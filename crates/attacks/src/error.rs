@@ -1,0 +1,79 @@
+//! Error type for attack operations.
+
+use c2pi_data::DataError;
+use c2pi_nn::NnError;
+use c2pi_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by fallible attack operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A network-layer error.
+    Nn(NnError),
+    /// A tensor kernel rejected its inputs.
+    Tensor(TensorError),
+    /// A dataset/metric error.
+    Data(DataError),
+    /// The attack was used before [`crate::Idpa::prepare`], or for a
+    /// different boundary than it was prepared for.
+    NotPrepared(String),
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "network error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::Data(e) => write!(f, "data error: {e}"),
+            AttackError::NotPrepared(msg) => write!(f, "attack not prepared: {msg}"),
+            AttackError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            AttackError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<DataError> for AttackError {
+    fn from(e: DataError) -> Self {
+        AttackError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AttackError::NotPrepared("dina at 7".into()).to_string().contains("dina"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

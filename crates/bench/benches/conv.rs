@@ -1,0 +1,28 @@
+//! Microbenchmark / ablation: im2col convolution vs direct convolution.
+
+use c2pi_tensor::conv::{conv2d_direct, conv2d_im2col, Conv2dGeom};
+use c2pi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    let geom = Conv2dGeom::new(3, 1, 1, 1);
+    for &(ch, hw) in &[(8usize, 16usize), (16, 32)] {
+        let x = Tensor::rand_uniform(&[1, ch, hw, hw], -1.0, 1.0, 1);
+        let w = Tensor::rand_uniform(&[ch, ch, 3, 3], -1.0, 1.0, 2);
+        let b = Tensor::rand_uniform(&[ch], -0.1, 0.1, 3);
+        let label = format!("{ch}ch_{hw}px");
+        group.bench_with_input(BenchmarkId::new("im2col", &label), &hw, |bench, _| {
+            bench.iter(|| conv2d_im2col(black_box(&x), &w, &b, geom).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("direct", &label), &hw, |bench, _| {
+            bench.iter(|| conv2d_direct(black_box(&x), &w, &b, geom).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark: garbling and evaluating the masked-ReLU circuit
+//! (Delphi's per-ReLU cost driver).
+
+use c2pi_mpc::gc::{evaluate, garble, relu_masked_circuit, to_bits};
+use c2pi_mpc::prg::Prg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_garbling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_relu");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    for &n in &[8usize, 32] {
+        let circuit = relu_masked_circuit(n, 64);
+        let mut gbits = Vec::new();
+        for i in 0..n {
+            gbits.extend(to_bits(i as u64, 64));
+            gbits.extend(to_bits((i as u64).wrapping_neg(), 64));
+        }
+        group.bench_with_input(BenchmarkId::new("garble", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut prg = Prg::from_u64(1);
+                garble(&circuit, &gbits, &mut prg).unwrap()
+            })
+        });
+        let mut prg = Prg::from_u64(1);
+        let garbled = garble(&circuit, &gbits, &mut prg).unwrap();
+        let labels: Vec<u128> =
+            garbled.evaluator_label_pairs.iter().map(|&(l0, _)| l0).collect();
+        group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |bench, _| {
+            bench.iter(|| {
+                evaluate(
+                    &circuit,
+                    &garbled.tables,
+                    &garbled.garbler_labels,
+                    &labels,
+                    &garbled.output_decode,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_garbling);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Microbenchmark: the blocked parallel matmul against the naive
+//! reference — the kernel behind every linear layer and im2col conv.
+
+use c2pi_tensor::{matmul, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
+                bench.iter(|| matmul::matmul_reference(black_box(&a), black_box(&b)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

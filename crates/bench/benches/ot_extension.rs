@@ -1,0 +1,48 @@
+//! Microbenchmark: IKNP OT extension throughput (the transport of GC
+//! input labels and bit-triple generation).
+
+use c2pi_mpc::dealer::Dealer;
+use c2pi_mpc::ot::{gen_bit_triples, ot_receive, ot_send, KAPPA};
+use c2pi_mpc::prg::Prg;
+use c2pi_transport::channel_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ot_extension");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    for &m in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("chosen_message", m), &m, |bench, &m| {
+            bench.iter(|| {
+                let mut dealer = Dealer::new(1);
+                let (snd, rcv) = dealer.base_ots(KAPPA);
+                let (client, server, _) = channel_pair();
+                let pairs = vec![(1u128, 2u128); m];
+                let choices = vec![true; m];
+                let t = std::thread::spawn(move || ot_send(&server, &snd, &pairs).unwrap());
+                let got = ot_receive(&client, &rcv, &choices).unwrap();
+                t.join().unwrap();
+                got
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bit_triples_iknp", m), &m, |bench, &m| {
+            bench.iter(|| {
+                let mut dealer = Dealer::new(2);
+                let (c_snd, s_rcv) = dealer.base_ots(KAPPA);
+                let (s_snd, c_rcv) = dealer.base_ots(KAPPA);
+                let (client, server, _) = channel_pair();
+                let t = std::thread::spawn(move || {
+                    let mut prg = Prg::from_u64(3);
+                    gen_bit_triples(&server, false, &s_snd, &s_rcv, m, &mut prg).unwrap()
+                });
+                let mut prg = Prg::from_u64(4);
+                let mine = gen_bit_triples(&client, true, &c_snd, &c_rcv, m, &mut prg).unwrap();
+                t.join().unwrap();
+                mine
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ot);
+criterion_main!(benches);

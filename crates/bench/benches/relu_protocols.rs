@@ -1,0 +1,61 @@
+//! Ablation: the two secure-ReLU protocols head to head — garbled
+//! circuits (Delphi) vs comparison-based with silent triples (Cheetah).
+//! The time and traffic asymmetry here is the root of Table II's shape.
+
+use c2pi_mpc::dealer::Dealer;
+use c2pi_mpc::ot::KAPPA;
+use c2pi_mpc::prg::Prg;
+use c2pi_mpc::relu::{drelu_bit_triples, gc_relu_evaluator, gc_relu_garbler, relu_interactive};
+use c2pi_mpc::share::{share_secret, ShareVec};
+use c2pi_mpc::FixedPoint;
+use c2pi_transport::channel_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shares(n: usize, seed: u64) -> (ShareVec, ShareVec) {
+    let fp = FixedPoint::default();
+    let secret: Vec<u64> = (0..n).map(|i| fp.encode(i as f32 - n as f32 / 2.0)).collect();
+    let mut prg = Prg::from_u64(seed);
+    share_secret(&secret, &mut prg)
+}
+
+fn bench_relu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secure_relu");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    for &n in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("gc_delphi", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let (s0, s1) = shares(n, 1);
+                let mut dealer = Dealer::new(2);
+                let (snd, rcv) = dealer.base_ots(KAPPA);
+                let (client, server, _) = channel_pair();
+                let t = std::thread::spawn(move || {
+                    let mut prg = Prg::from_u64(3);
+                    gc_relu_garbler(&server, &s1, &snd, &mut prg).unwrap()
+                });
+                let y0 = gc_relu_evaluator(&client, &s0, &rcv).unwrap();
+                t.join().unwrap();
+                y0
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interactive_cheetah", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let (s0, s1) = shares(n, 4);
+                let mut dealer = Dealer::new(5);
+                let (mut b0, mut b1) = dealer.bit_triples(n * drelu_bit_triples(63));
+                let (ta0, ta1) = dealer.beaver_triples(n);
+                let (tb0, tb1) = dealer.beaver_triples(n);
+                let (client, server, _) = channel_pair();
+                let t = std::thread::spawn(move || {
+                    relu_interactive(&server, false, &s1, &mut b1, &ta1, &tb1).unwrap()
+                });
+                let y0 = relu_interactive(&client, true, &s0, &mut b0, &ta0, &tb0).unwrap();
+                t.join().unwrap();
+                y0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relu);
+criterion_main!(benches);

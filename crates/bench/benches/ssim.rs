@@ -1,0 +1,22 @@
+//! Microbenchmark: SSIM on CIFAR-sized images (the metric every attack
+//! evaluation runs thousands of times).
+
+use c2pi_data::metrics::{ssim, ssim_with, SsimConfig};
+use c2pi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ssim(c: &mut Criterion) {
+    let a = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1);
+    let b = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 2);
+    c.bench_function("ssim_32px_default", |bench| {
+        bench.iter(|| ssim(black_box(&a), black_box(&b)).unwrap())
+    });
+    let cfg = SsimConfig { window: 11, sigma: 1.5, dynamic_range: 1.0 };
+    c.bench_function("ssim_32px_window11", |bench| {
+        bench.iter(|| ssim_with(black_box(&a), black_box(&b), &cfg).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_ssim);
+criterion_main!(benches);

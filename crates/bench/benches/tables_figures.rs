@@ -1,0 +1,37 @@
+//! Smoke-scale timing of the table/figure harnesses: each paper
+//! experiment at a micro configuration, so `cargo bench` exercises the
+//! same code paths the `src/bin` generators use.
+
+use c2pi_bench::figures::fig7;
+use c2pi_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn micro_scale() -> Scale {
+    Scale {
+        name: "micro",
+        width_div: 32,
+        classes10: 3,
+        classes100: 4,
+        per_class: 2,
+        train_epochs: 2,
+        mla_iterations: 10,
+        inversion_epochs: 2,
+        eval_images: 1,
+    }
+}
+
+fn bench_harnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments_micro");
+    // The cheapest full-harness path at a micro configuration; the
+    // attack- and MPC-heavy harnesses (fig1/fig4/table2) are exercised by
+    // their own binaries and the protocol benches — iterating them under
+    // criterion would take minutes per sample.
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let scale = micro_scale();
+    group.bench_function("fig7_noise_accuracy", |b| b.iter(|| fig7::run(&scale)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_harnesses);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: probabilistic local truncation (zero traffic, ±1 LSB
+//! error) against an exact open-truncate-reshare round trip.
+
+use c2pi_mpc::beaver::truncate_share;
+use c2pi_mpc::prg::Prg;
+use c2pi_mpc::share::{reconstruct, share_secret, ShareVec};
+use c2pi_mpc::FixedPoint;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_truncation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncation");
+    let fp = FixedPoint::default();
+    for &n in &[1024usize, 16384] {
+        let mut prg = Prg::from_u64(1);
+        let secret: Vec<u64> = (0..n).map(|i| fp.encode(i as f32) << 2).collect();
+        let (s0, s1) = share_secret(&secret, &mut prg);
+        group.bench_with_input(BenchmarkId::new("probabilistic_local", n), &n, |bench, _| {
+            bench.iter(|| {
+                let t0 = truncate_share(black_box(&s0), true, fp);
+                let t1 = truncate_share(black_box(&s1), false, fp);
+                (t0, t1)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_open_reshare", n), &n, |bench, _| {
+            bench.iter(|| {
+                // Reference (insecure) baseline: reconstruct, truncate,
+                // reshare — what a dealer-assisted exact protocol costs
+                // computationally.
+                let plain = reconstruct(black_box(&s0), black_box(&s1));
+                let trunc: Vec<u64> = plain.iter().map(|&v| fp.truncate(v)).collect();
+                let mut prg = Prg::from_u64(2);
+                let (a, b) = share_secret(&trunc, &mut prg);
+                (ShareVec::from_raw(a.into_raw()), b)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truncation);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Figure 1 - MLA case study on VGG16 of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig1;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 1 - MLA case study on VGG16", &scale);
+    let rows = fig1::run(&scale);
+    fig1::print(&rows);
+}

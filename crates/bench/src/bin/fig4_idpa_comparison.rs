@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 - IDPA comparison (MLA / EINA / DINA) of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig4;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 4 - IDPA comparison (MLA / EINA / DINA)", &scale);
+    let rows = fig4::run(&scale);
+    fig4::print(&rows);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 5 - DINA coefficient schedules of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig5;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 5 - DINA coefficient schedules", &scale);
+    let rows = fig5::run(&scale);
+    fig5::print(&rows);
+}

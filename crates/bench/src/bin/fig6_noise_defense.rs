@@ -1,0 +1,13 @@
+//! Regenerates Figure 6 - noise as a defense against DINA of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig6;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 6 - noise as a defense against DINA", &scale);
+    let rows = fig6::run(&scale);
+    fig6::print(&rows);
+}

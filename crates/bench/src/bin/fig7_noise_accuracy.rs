@@ -1,0 +1,13 @@
+//! Regenerates Figure 7 - accuracy under noise injection of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig7;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 7 - accuracy under noise injection", &scale);
+    let rows = fig7::run(&scale);
+    fig7::print(&rows);
+}

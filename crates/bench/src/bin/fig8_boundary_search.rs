@@ -1,0 +1,13 @@
+//! Regenerates Figure 8 - boundary search with DINA of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::fig8;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Figure 8 - boundary search with DINA", &scale);
+    let rows = fig8::run(&scale);
+    fig8::print(&rows);
+}

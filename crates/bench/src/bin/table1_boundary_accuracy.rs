@@ -1,0 +1,13 @@
+//! Regenerates Table I - C2PI boundary and accuracy of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::table1;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table I - C2PI boundary and accuracy", &scale);
+    let rows = table1::run(&scale);
+    table1::print(&rows);
+}

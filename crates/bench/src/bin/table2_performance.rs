@@ -1,0 +1,13 @@
+//! Regenerates Table II - C2PI vs Delphi/Cheetah performance of the C2PI paper.
+//! Pass `--paper-scale` for the paper's full parameter regime.
+
+use c2pi_bench::figures::table2;
+use c2pi_bench::setup::banner;
+use c2pi_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner("Table II - C2PI vs Delphi/Cheetah performance", &scale);
+    let rows = table2::run(&scale);
+    table2::print(&rows);
+}

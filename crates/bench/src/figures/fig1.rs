@@ -1,0 +1,63 @@
+//! Figure 1 — MLA case study: per-layer SSIM of a single recovered
+//! CIFAR-10 image through VGG-16. The paper observes SSIM dropping below
+//! the 0.3 threshold after layer 10.
+
+use crate::setup::{dataset, trained_model, DatasetKind};
+use crate::Scale;
+use c2pi_attacks::mla::{Mla, MlaConfig};
+use c2pi_attacks::Idpa;
+use c2pi_data::metrics::ssim;
+use c2pi_nn::BoundaryId;
+
+/// One figure point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Conv id (x axis).
+    pub conv_id: usize,
+    /// SSIM of the recovered image (y axis).
+    pub ssim: f32,
+    /// Below the 0.3 identification threshold?
+    pub below_threshold: bool,
+}
+
+/// Runs the case study.
+pub fn run(scale: &Scale) -> Vec<Point> {
+    let data = dataset(DatasetKind::Cifar10, scale);
+    let mut model = trained_model("vgg16", DatasetKind::Cifar10, scale, &data);
+    let x = &data.images()[0];
+    let mut points = Vec::new();
+    for conv in 1..=model.num_convs() {
+        let id = BoundaryId::relu(conv);
+        let act = model.forward_to_cut(id, x).expect("valid cut");
+        let mut mla = Mla::new(MlaConfig {
+            iterations: scale.mla_iterations,
+            lr: 0.05,
+            seed: 70 + conv as u64,
+        });
+        let rec = mla.recover(&mut model, id, &act).expect("mla runs");
+        let s = ssim(x, &rec).expect("same dims");
+        points.push(Point { conv_id: conv, ssim: s, below_threshold: s < 0.3 });
+    }
+    points
+}
+
+/// Prints the figure as a text series.
+pub fn print(points: &[Point]) {
+    println!("conv id | SSIM   | below 0.3 threshold");
+    println!("--------+--------+--------------------");
+    for p in points {
+        println!(
+            "{:>7} | {:>6.3} | {}",
+            p.conv_id,
+            p.ssim,
+            if p.below_threshold { "yes (unidentifiable)" } else { "no" }
+        );
+    }
+    if let Some(first) = points.iter().find(|p| p.below_threshold) {
+        println!();
+        println!(
+            "SSIM falls below the threshold from conv {} on (paper: layer 10 at full scale).",
+            first.conv_id
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper experiment. Every `run` function returns
+//! structured rows; the `src/bin` wrappers print them.
+
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;

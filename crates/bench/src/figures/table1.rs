@@ -1,0 +1,64 @@
+//! Table I — C2PI boundary and accuracy for σ = 0.2 and σ = 0.3 across
+//! AlexNet / VGG-16 / VGG-19 on both datasets.
+//!
+//! The boundary depends on σ only through thresholding the same DINA
+//! sweep, so this table reuses the Figure 8 machinery at two thresholds.
+
+use crate::figures::fig8;
+use crate::Scale;
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Full-PI (noise-free) baseline accuracy, percent.
+    pub baseline_acc: f32,
+    /// Boundary conv id at σ = 0.2.
+    pub boundary_02: usize,
+    /// Accuracy at that boundary with λ = 0.1 noise, percent.
+    pub acc_02: f32,
+    /// Boundary conv id at σ = 0.3.
+    pub boundary_03: usize,
+    /// Accuracy at that boundary, percent.
+    pub acc_03: f32,
+}
+
+/// Runs both threshold settings.
+pub fn run(scale: &Scale) -> Vec<Row> {
+    let strict = fig8::run_with(scale, 0.2);
+    let loose = fig8::run_with(scale, 0.3);
+    strict
+        .iter()
+        .zip(loose.iter())
+        .map(|(s, l)| Row {
+            dataset: s.dataset,
+            model: s.model,
+            baseline_acc: s.baseline * 100.0,
+            boundary_02: s.boundary,
+            acc_02: s.accuracy_checks.last().map(|a| a.1 * 100.0).unwrap_or(0.0),
+            boundary_03: l.boundary,
+            acc_03: l.accuracy_checks.last().map(|a| a.1 * 100.0).unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// Prints the table in the paper's layout.
+pub fn print(rows: &[Row]) {
+    println!(
+        "{:<28} {:<8} | {:>12} | {:>16} | {:>16}",
+        "Dataset", "Network", "Baseline Acc", "σ=0.2 Bnd/Acc", "σ=0.3 Bnd/Acc"
+    );
+    println!("{}", "-".repeat(92));
+    for r in rows {
+        println!(
+            "{:<28} {:<8} | {:>11.2}% | {:>7} / {:>5.2}% | {:>7} / {:>5.2}%",
+            r.dataset, r.model, r.baseline_acc, r.boundary_02, r.acc_02, r.boundary_03, r.acc_03
+        );
+    }
+    println!();
+    println!("(σ = 0.2 is stricter: the attack must do worse before layers go clear,");
+    println!(" so its boundary is at or after the σ = 0.3 boundary.)");
+}

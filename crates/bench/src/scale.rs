@@ -1,0 +1,99 @@
+//! Experiment scale profiles: quick (CPU default) vs paper.
+
+/// All size/iteration knobs of the experiment suite in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Human-readable profile name.
+    pub name: &'static str,
+    /// Model width divisor (1 = the paper's full-width models).
+    pub width_div: usize,
+    /// Classes used for the CIFAR-10 analogue.
+    pub classes10: usize,
+    /// Classes used for the CIFAR-100 analogue.
+    pub classes100: usize,
+    /// Training images per class.
+    pub per_class: usize,
+    /// Classifier training epochs.
+    pub train_epochs: usize,
+    /// MLA gradient-descent iterations (paper: 10 000).
+    pub mla_iterations: usize,
+    /// Inversion-network training epochs.
+    pub inversion_epochs: usize,
+    /// Images per attack evaluation (paper: 1000).
+    pub eval_images: usize,
+}
+
+impl Scale {
+    /// The CPU-friendly default.
+    pub fn quick() -> Self {
+        Scale {
+            name: "quick",
+            width_div: 32,
+            classes10: 10,
+            classes100: 20,
+            per_class: 4,
+            train_epochs: 80,
+            mla_iterations: 250,
+            inversion_epochs: 25,
+            eval_images: 4,
+        }
+    }
+
+    /// The paper's regime.
+    pub fn paper() -> Self {
+        Scale {
+            name: "paper",
+            width_div: 1,
+            classes10: 10,
+            classes100: 100,
+            per_class: 100,
+            train_epochs: 100,
+            mla_iterations: 10_000,
+            inversion_epochs: 200,
+            eval_images: 1000,
+        }
+    }
+
+    /// Parses `--paper-scale` (and an optional `--width-div N` override)
+    /// from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--paper-scale") {
+            Scale::paper()
+        } else {
+            Scale::quick()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--width-div") {
+            if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+                scale.width_div = v;
+            }
+        }
+        scale
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_strictly_larger() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(p.width_div < q.width_div);
+        assert!(p.mla_iterations > q.mla_iterations);
+        assert!(p.eval_images > q.eval_images);
+        assert!(p.per_class > q.per_class);
+    }
+
+    #[test]
+    fn default_is_quick() {
+        assert_eq!(Scale::default(), Scale::quick());
+    }
+}

@@ -1,0 +1,312 @@
+//! Algorithm 1 — crypto-clear boundary searching.
+//!
+//! Phase 1 sweeps the candidate boundaries from the tail of the model
+//! toward the head, attacking each with the supplied IDPA, and stops at
+//! the last layer where the attack still succeeds; the candidate after
+//! it is the potential boundary. Phase 2 then verifies that adding the
+//! defense noise at the boundary keeps accuracy within the agreed
+//! budget, pushing the boundary later until it does.
+
+use crate::noise::{baseline_accuracy, noised_accuracy};
+use crate::{C2piError, Result};
+use c2pi_attacks::eval::{avg_ssim_at, EvalConfig};
+use c2pi_attacks::Idpa;
+use c2pi_data::Dataset;
+use c2pi_nn::{BoundaryId, Model};
+use serde::{Deserialize, Serialize};
+
+/// Boundary-search parameters (the inputs of Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryConfig {
+    /// SSIM failure threshold `σ` (0.3 in the paper's main results, 0.2
+    /// for the stricter Table I column).
+    pub ssim_threshold: f32,
+    /// Maximum tolerated accuracy drop `δ` relative to baseline (the
+    /// paper uses 2.5%).
+    pub max_accuracy_drop: f32,
+    /// Defense noise magnitude `λ` (0.1 in the paper's experiments).
+    pub noise: f32,
+    /// Number of images used per attack evaluation.
+    pub eval_images: usize,
+    /// Randomness seed.
+    pub seed: u64,
+}
+
+impl Default for BoundaryConfig {
+    fn default() -> Self {
+        BoundaryConfig {
+            ssim_threshold: 0.3,
+            max_accuracy_drop: 0.025,
+            noise: 0.1,
+            eval_images: 8,
+            seed: 47,
+        }
+    }
+}
+
+/// One phase-1 probe: the attack's average SSIM at a candidate boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsimProbe {
+    /// Candidate boundary.
+    pub id: BoundaryId,
+    /// Average SSIM the IDPA achieved there.
+    pub avg_ssim: f32,
+}
+
+/// One phase-2 probe: noised accuracy at a candidate boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyProbe {
+    /// Candidate boundary.
+    pub id: BoundaryId,
+    /// Accuracy with noise injected at this boundary.
+    pub accuracy: f32,
+}
+
+/// Full record of a boundary search (the raw material of Figure 8 and
+/// Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryTrace {
+    /// Phase-1 probes, in the (tail-to-head) order they were taken.
+    pub ssim_probes: Vec<SsimProbe>,
+    /// Phase-2 probes, in the (head-to-tail) order they were taken.
+    pub accuracy_probes: Vec<AccuracyProbe>,
+    /// Noise-free baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// The returned boundary layer.
+    pub boundary: BoundaryId,
+    /// Noised accuracy at the returned boundary.
+    pub boundary_accuracy: f32,
+}
+
+/// Runs Algorithm 1 over the given candidate boundaries (defaults to the
+/// post-ReLU cut of every convolution when `candidates` is empty).
+///
+/// `attacker_data` trains the IDPA (the server's own data); `eval_data`
+/// measures recovery SSIM and accuracy.
+///
+/// # Errors
+///
+/// Returns an error when the model has no candidates, datasets are
+/// empty, or the attack fails.
+pub fn search_boundary(
+    model: &mut Model,
+    attack: &mut dyn Idpa,
+    attacker_data: &Dataset,
+    eval_data: &Dataset,
+    candidates: &[BoundaryId],
+    cfg: &BoundaryConfig,
+) -> Result<BoundaryTrace> {
+    let candidates: Vec<BoundaryId> = if candidates.is_empty() {
+        (1..=model.num_convs()).map(BoundaryId::relu).collect()
+    } else {
+        candidates.to_vec()
+    };
+    if candidates.is_empty() {
+        return Err(C2piError::NoBoundary("model has no candidate boundaries".into()));
+    }
+    let eval_cfg = EvalConfig {
+        noise: cfg.noise,
+        ssim_threshold: cfg.ssim_threshold,
+        eval_images: cfg.eval_images,
+        seed: cfg.seed,
+    };
+    // ---- Phase 1 (lines 1-6): sweep from the tail until the attack
+    // succeeds (avg_ssim >= sigma). ----
+    let mut ssim_probes = Vec::new();
+    let mut idx = candidates.len(); // one past the last probed index
+    let mut last_success: Option<usize> = None;
+    while idx > 0 {
+        idx -= 1;
+        let id = candidates[idx];
+        attack.prepare(model, id, attacker_data, cfg.noise)?;
+        let s = avg_ssim_at(attack, model, id, eval_data, &eval_cfg)?;
+        ssim_probes.push(SsimProbe { id, avg_ssim: s });
+        if s >= cfg.ssim_threshold {
+            last_success = Some(idx);
+            break;
+        }
+    }
+    // Potential boundary: the candidate after the last success (line 7),
+    // or the earliest candidate when the attack never succeeds.
+    let mut b_idx = match last_success {
+        Some(i) if i + 1 < candidates.len() => i + 1,
+        Some(_) => candidates.len() - 1, // attack succeeds even at the tail
+        None => 0,
+    };
+    // ---- Phase 2 (lines 8-12): push later until accuracy is OK. ----
+    let baseline = baseline_accuracy(model, eval_data)?;
+    let target = baseline - cfg.max_accuracy_drop;
+    let mut accuracy_probes = Vec::new();
+    let mut acc =
+        noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
+    accuracy_probes.push(AccuracyProbe { id: candidates[b_idx], accuracy: acc });
+    while acc < target && b_idx + 1 < candidates.len() {
+        b_idx += 1;
+        acc = noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
+        accuracy_probes.push(AccuracyProbe { id: candidates[b_idx], accuracy: acc });
+    }
+    Ok(BoundaryTrace {
+        ssim_probes,
+        accuracy_probes,
+        baseline_accuracy: baseline,
+        boundary: candidates[b_idx],
+        boundary_accuracy: acc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2pi_attacks::Result as AttackResult;
+    use c2pi_data::synth::{SynthConfig, SynthDataset};
+    use c2pi_nn::model::{alexnet, ZooConfig};
+    use c2pi_tensor::Tensor;
+
+    /// A scripted fake IDPA: returns a reconstruction whose SSIM is high
+    /// for conv ids below `succeeds_until` and pure noise afterwards —
+    /// lets us test Algorithm 1's control flow deterministically.
+    struct ScriptedAttack {
+        succeeds_until: usize,
+        probes: Vec<usize>,
+        reference: Tensor,
+    }
+
+    impl Idpa for ScriptedAttack {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn prepare(
+            &mut self,
+            _model: &mut Model,
+            id: BoundaryId,
+            _train: &Dataset,
+            _noise: f32,
+        ) -> AttackResult<()> {
+            self.probes.push(id.conv_id);
+            Ok(())
+        }
+        fn recover(
+            &mut self,
+            model: &mut Model,
+            id: BoundaryId,
+            _activation: &Tensor,
+        ) -> AttackResult<Tensor> {
+            let [c, h, w] = model.input_shape();
+            if id.conv_id <= self.succeeds_until {
+                // "Perfect" recovery: return a structured image close to
+                // the dataset's first image so SSIM is high.
+                Ok(self.reference.clone())
+            } else {
+                Ok(Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, 999 + id.conv_id as u64))
+            }
+        }
+    }
+
+    impl ScriptedAttack {
+        fn new(succeeds_until: usize, reference: Tensor) -> Self {
+            ScriptedAttack { succeeds_until, probes: Vec::new(), reference }
+        }
+    }
+
+    fn setup() -> (Model, Dataset) {
+        let model = alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
+        let data = SynthDataset::generate(&SynthConfig {
+            classes: 3,
+            per_class: 3,
+            pixel_noise: 0.02,
+            ..Default::default()
+        })
+        .into_dataset();
+        (model, data)
+    }
+
+    #[test]
+    fn phase1_stops_at_first_success_from_tail() {
+        let (mut model, data) = setup();
+        let reference = data.images()[0].clone();
+        let mut attack = ScriptedAttack::new(4, reference);
+        let cfg = BoundaryConfig {
+            eval_images: 1,
+            noise: 0.0,
+            max_accuracy_drop: 1.0, // accept any accuracy: isolate phase 1
+            ..Default::default()
+        };
+        let trace =
+            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        // Attack succeeds through conv 4 => boundary is conv 5's relu.
+        assert_eq!(trace.boundary, BoundaryId::relu(5));
+        // Phase 1 probed from the tail (7) down to 4.
+        assert_eq!(attack.probes, vec![7, 6, 5, 4]);
+        assert_eq!(trace.ssim_probes.len(), 4);
+    }
+
+    #[test]
+    fn attack_that_never_succeeds_yields_earliest_boundary() {
+        let (mut model, data) = setup();
+        let reference = data.images()[0].clone();
+        let mut attack = ScriptedAttack::new(0, reference);
+        let cfg = BoundaryConfig {
+            eval_images: 1,
+            noise: 0.0,
+            max_accuracy_drop: 1.0,
+            ..Default::default()
+        };
+        let trace =
+            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        assert_eq!(trace.boundary, BoundaryId::relu(1));
+    }
+
+    #[test]
+    fn attack_succeeding_everywhere_pushes_boundary_to_tail() {
+        let (mut model, data) = setup();
+        let reference = data.images()[0].clone();
+        let mut attack = ScriptedAttack::new(99, reference);
+        let cfg = BoundaryConfig {
+            eval_images: 1,
+            noise: 0.0,
+            max_accuracy_drop: 1.0,
+            ..Default::default()
+        };
+        let trace =
+            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        assert_eq!(trace.boundary, BoundaryId::relu(7)); // degenerates to full PI
+        assert_eq!(trace.ssim_probes.len(), 1); // stopped immediately
+    }
+
+    #[test]
+    fn phase2_pushes_boundary_when_accuracy_tanked() {
+        let (mut model, data) = setup();
+        let reference = data.images()[0].clone();
+        let mut attack = ScriptedAttack::new(2, reference);
+        // Huge noise destroys accuracy everywhere; impossible drop budget
+        // of -1 (target above baseline) forces phase 2 to walk to the
+        // tail.
+        let cfg = BoundaryConfig {
+            eval_images: 2,
+            noise: 100.0,
+            max_accuracy_drop: -1.0,
+            ..Default::default()
+        };
+        let trace =
+            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        assert_eq!(trace.boundary, BoundaryId::relu(7));
+        assert!(trace.accuracy_probes.len() >= 2);
+    }
+
+    #[test]
+    fn explicit_candidates_are_respected() {
+        let (mut model, data) = setup();
+        let reference = data.images()[0].clone();
+        let mut attack = ScriptedAttack::new(0, reference);
+        let cands = vec![BoundaryId::relu(2), BoundaryId::relu(5)];
+        let cfg = BoundaryConfig {
+            eval_images: 1,
+            noise: 0.0,
+            max_accuracy_drop: 1.0,
+            ..Default::default()
+        };
+        let trace =
+            search_boundary(&mut model, &mut attack, &data, &data, &cands, &cfg).unwrap();
+        assert_eq!(trace.boundary, BoundaryId::relu(2));
+    }
+}

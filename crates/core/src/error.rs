@@ -1,0 +1,101 @@
+//! Error type for C2PI operations.
+
+use c2pi_attacks::AttackError;
+use c2pi_data::DataError;
+use c2pi_nn::NnError;
+use c2pi_pi::PiError;
+use c2pi_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by fallible C2PI operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum C2piError {
+    /// Network-layer error.
+    Nn(NnError),
+    /// Tensor kernel error.
+    Tensor(TensorError),
+    /// Dataset/metric error.
+    Data(DataError),
+    /// Attack error during boundary evaluation.
+    Attack(AttackError),
+    /// Private-inference engine error.
+    Pi(PiError),
+    /// Boundary search could not satisfy the constraints.
+    NoBoundary(String),
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for C2piError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            C2piError::Nn(e) => write!(f, "network error: {e}"),
+            C2piError::Tensor(e) => write!(f, "tensor error: {e}"),
+            C2piError::Data(e) => write!(f, "data error: {e}"),
+            C2piError::Attack(e) => write!(f, "attack error: {e}"),
+            C2piError::Pi(e) => write!(f, "private inference error: {e}"),
+            C2piError::NoBoundary(msg) => write!(f, "no boundary satisfies constraints: {msg}"),
+            C2piError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for C2piError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            C2piError::Nn(e) => Some(e),
+            C2piError::Tensor(e) => Some(e),
+            C2piError::Data(e) => Some(e),
+            C2piError::Attack(e) => Some(e),
+            C2piError::Pi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for C2piError {
+    fn from(e: NnError) -> Self {
+        C2piError::Nn(e)
+    }
+}
+
+impl From<TensorError> for C2piError {
+    fn from(e: TensorError) -> Self {
+        C2piError::Tensor(e)
+    }
+}
+
+impl From<DataError> for C2piError {
+    fn from(e: DataError) -> Self {
+        C2piError::Data(e)
+    }
+}
+
+impl From<AttackError> for C2piError {
+    fn from(e: AttackError) -> Self {
+        C2piError::Attack(e)
+    }
+}
+
+impl From<PiError> for C2piError {
+    fn from(e: PiError) -> Self {
+        C2piError::Pi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(C2piError::NoBoundary("ssim".into()).to_string().contains("ssim"));
+        assert!(C2piError::BadConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<C2piError>();
+    }
+}

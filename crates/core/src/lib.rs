@@ -1,0 +1,46 @@
+//! # c2pi-core
+//!
+//! The paper's primary contribution: **C2PI**, crypto-clear two-party
+//! private inference.
+//!
+//! * [`boundary`] — Algorithm 1: sweep the model from tail to head with
+//!   an IDPA until recovery starts to succeed, then push the boundary
+//!   later until the noised-input accuracy drop is acceptable;
+//! * [`noise`] — the uniform-noise share defense and the
+//!   noised-activation accuracy evaluation (Figures 6–7);
+//! * [`pipeline`] — the end-to-end flow of Figure 2: run the crypto
+//!   layers under a PI engine, let the client noise and reveal its
+//!   share, and let the server finish the clear layers alone.
+//!
+//! ```no_run
+//! use c2pi_core::pipeline::{C2piPipeline, PipelineConfig};
+//! use c2pi_nn::model::{vgg16, ZooConfig};
+//! use c2pi_nn::BoundaryId;
+//! use c2pi_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), c2pi_core::C2piError> {
+//! let model = vgg16(&ZooConfig::default())?;
+//! let mut pipe = C2piPipeline::new(model, BoundaryId::relu(9), PipelineConfig::default())?;
+//! let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1);
+//! let result = pipe.infer(&x)?;
+//! println!("prediction: {}, comm: {:.1} MB", result.prediction, result.report.comm_mb());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod defense;
+pub mod error;
+pub mod noise;
+pub mod pipeline;
+pub mod split_learning;
+
+pub use boundary::{search_boundary, BoundaryConfig, BoundaryTrace};
+pub use error::C2piError;
+pub use pipeline::{C2piPipeline, InferenceResult, PipelineConfig};
+
+/// Convenience result alias for C2PI operations.
+pub type Result<T> = std::result::Result<T, C2piError>;

@@ -1,0 +1,136 @@
+//! The uniform-noise defense and noised-activation accuracy evaluation.
+//!
+//! At the boundary the client adds `U(−λ, λ)` noise to its additive
+//! share before revealing it; the reconstructed activation the server
+//! sees is therefore `M_l(x) + Δ`. More noise thwarts IDPAs (Figure 6)
+//! but costs accuracy (Figure 7); Algorithm 1's phase 2 checks that the
+//! drop stays within budget.
+
+use crate::Result;
+use c2pi_data::Dataset;
+use c2pi_nn::{BoundaryId, Model};
+use c2pi_tensor::Tensor;
+
+/// Adds uniform noise of the given magnitude to a tensor.
+pub fn add_uniform_noise(t: &Tensor, magnitude: f32, seed: u64) -> Tensor {
+    if magnitude <= 0.0 {
+        return t.clone();
+    }
+    let noise = Tensor::rand_uniform(t.dims(), -magnitude, magnitude, seed);
+    t.add(&noise).expect("same dims")
+}
+
+/// Classification accuracy when the activation entering the layer after
+/// boundary `id` is noised with magnitude `lambda` — the quantity the
+/// paper plots in Figure 7 and thresholds in Algorithm 1 (line 8).
+///
+/// # Errors
+///
+/// Returns an error for unknown boundaries or empty datasets.
+pub fn noised_accuracy(
+    model: &mut Model,
+    id: BoundaryId,
+    lambda: f32,
+    data: &Dataset,
+    seed: u64,
+) -> Result<f32> {
+    if data.is_empty() {
+        return Err(crate::C2piError::BadConfig("empty evaluation set".into()));
+    }
+    let mut correct = 0usize;
+    for (i, (img, &label)) in data.images().iter().zip(data.labels()).enumerate() {
+        let act = model.forward_to_cut(id, img)?;
+        let noisy = add_uniform_noise(&act, lambda, seed ^ ((i as u64) << 10));
+        let logits = model.forward_from_cut(id, &noisy)?;
+        if logits.argmax().unwrap_or(0) == label {
+            correct += 1;
+        }
+    }
+    model.seq_mut().clear_cache();
+    Ok(correct as f32 / data.len() as f32)
+}
+
+/// Baseline (noise-free) accuracy of the model on a dataset.
+///
+/// # Errors
+///
+/// Returns an error on empty datasets or layer failures.
+pub fn baseline_accuracy(model: &mut Model, data: &Dataset) -> Result<f32> {
+    if data.is_empty() {
+        return Err(crate::C2piError::BadConfig("empty evaluation set".into()));
+    }
+    let mut correct = 0usize;
+    for (img, &label) in data.images().iter().zip(data.labels()) {
+        let logits = model.forward(img)?;
+        if logits.argmax().unwrap_or(0) == label {
+            correct += 1;
+        }
+    }
+    model.seq_mut().clear_cache();
+    Ok(correct as f32 / data.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2pi_data::synth::{SynthConfig, SynthDataset};
+    use c2pi_nn::model::{alexnet, ZooConfig};
+    use c2pi_nn::train::{train_classifier, TrainConfig};
+
+    fn trained_model_and_data() -> (Model, Dataset) {
+        let mut model =
+            alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
+        let data = SynthDataset::generate(&SynthConfig {
+            classes: 4,
+            per_class: 6,
+            pixel_noise: 0.02,
+            ..Default::default()
+        })
+        .into_dataset();
+        train_classifier(
+            model.seq_mut(),
+            data.images(),
+            data.labels(),
+            &TrainConfig { epochs: 20, batch_size: 8, lr: 0.02, momentum: 0.9, seed: 1 },
+        )
+        .unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn zero_noise_matches_baseline() {
+        let (mut model, data) = trained_model_and_data();
+        let base = baseline_accuracy(&mut model, &data).unwrap();
+        let noiseless =
+            noised_accuracy(&mut model, BoundaryId::relu(3), 0.0, &data, 7).unwrap();
+        assert!((base - noiseless).abs() < 1e-6);
+        assert!(base > 0.5, "training should fit the tiny set, acc {base}");
+    }
+
+    #[test]
+    fn extreme_noise_destroys_accuracy() {
+        let (mut model, data) = trained_model_and_data();
+        let base = baseline_accuracy(&mut model, &data).unwrap();
+        let wrecked =
+            noised_accuracy(&mut model, BoundaryId::relu(2), 50.0, &data, 8).unwrap();
+        assert!(wrecked < base, "noise {wrecked} vs base {base}");
+    }
+
+    #[test]
+    fn noise_is_bounded_and_seeded() {
+        let t = Tensor::zeros(&[1, 2, 4, 4]);
+        let a = add_uniform_noise(&t, 0.2, 1);
+        let b = add_uniform_noise(&t, 0.2, 1);
+        assert_eq!(a, b);
+        assert!(a.max() <= 0.2 && a.min() >= -0.2);
+        assert_eq!(add_uniform_noise(&t, 0.0, 1), t);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let (mut model, _) = trained_model_and_data();
+        let empty = Dataset::default();
+        assert!(baseline_accuracy(&mut model, &empty).is_err());
+        assert!(noised_accuracy(&mut model, BoundaryId::relu(1), 0.1, &empty, 0).is_err());
+    }
+}

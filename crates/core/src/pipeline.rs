@@ -1,0 +1,282 @@
+//! The end-to-end C2PI flow of Figure 2: crypto layers under a PI
+//! engine, noised share reveal, clear layers on the server alone.
+
+use crate::{C2piError, Result};
+use c2pi_mpc::share::{reconstruct, ShareVec};
+use c2pi_nn::{BoundaryId, Model, Sequential};
+use c2pi_pi::engine::{run_prefix, specs_of, PiConfig};
+use c2pi_pi::report::PiReport;
+use c2pi_tensor::Tensor;
+use c2pi_transport::TrafficSnapshot;
+
+/// Where the crypto/clear split sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Split at a boundary layer: layers up to and including it run
+    /// under MPC, the rest in the clear (C2PI proper).
+    At(BoundaryId),
+    /// No clear segment: the entire network runs under MPC (the
+    /// conventional full-PI baseline, "boundary at the last layer").
+    Full,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// PI engine settings (backend, fixed point, dealer seed).
+    pub pi: PiConfig,
+    /// Defense noise magnitude `λ` added to the client's share before
+    /// the reveal (ignored for [`Split::Full`]).
+    pub noise: f32,
+    /// Seed for the client's noise draws.
+    pub noise_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { pi: PiConfig::default(), noise: 0.1, noise_seed: 53 }
+    }
+}
+
+/// Result of one C2PI inference.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Output logits.
+    pub logits: Tensor,
+    /// Argmax class.
+    pub prediction: usize,
+    /// The (noised) boundary activation the server reconstructed — what
+    /// an IDPA would attack. `None` for full PI.
+    pub revealed_activation: Option<Tensor>,
+    /// Cost profile (crypto phase plus the reveal flight).
+    pub report: PiReport,
+}
+
+/// A ready-to-run C2PI deployment of one model.
+#[derive(Debug)]
+pub struct C2piPipeline {
+    crypto_specs: Vec<c2pi_nn::LayerSpec>,
+    clear: Sequential,
+    split: Split,
+    cfg: PipelineConfig,
+    infer_count: u64,
+}
+
+impl C2piPipeline {
+    /// Builds a pipeline splitting `model` at `boundary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown boundaries.
+    pub fn new(model: Model, boundary: BoundaryId, cfg: PipelineConfig) -> Result<Self> {
+        let (prefix, suffix) = model.split_at(boundary)?;
+        Ok(C2piPipeline {
+            crypto_specs: specs_of(&prefix),
+            clear: suffix,
+            split: Split::At(boundary),
+            cfg,
+            infer_count: 0,
+        })
+    }
+
+    /// Builds the conventional full-PI baseline (every layer under MPC).
+    pub fn full_pi(model: Model, cfg: PipelineConfig) -> Self {
+        C2piPipeline {
+            crypto_specs: specs_of(model.seq()),
+            clear: Sequential::new(),
+            split: Split::Full,
+            cfg,
+            infer_count: 0,
+        }
+    }
+
+    /// The split position.
+    pub fn split(&self) -> Split {
+        self.split
+    }
+
+    /// Number of layers executed under MPC.
+    pub fn crypto_layer_count(&self) -> usize {
+        self.crypto_specs.len()
+    }
+
+    /// Number of layers the server executes in the clear.
+    pub fn clear_layer_count(&self) -> usize {
+        self.clear.len()
+    }
+
+    /// Runs one private inference on a `[1, c, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine or shape errors.
+    pub fn infer(&mut self, x: &Tensor) -> Result<InferenceResult> {
+        let fp = self.cfg.pi.fixed;
+        // Vary the dealer seed per inference so masks are fresh.
+        let mut pi_cfg = self.cfg.pi;
+        pi_cfg.dealer_seed = pi_cfg.dealer_seed.wrapping_add(self.infer_count);
+        self.infer_count += 1;
+        let outcome = run_prefix(&self.crypto_specs, x, &pi_cfg).map_err(C2piError::Pi)?;
+        let mut report = outcome.report.clone();
+        match self.split {
+            Split::Full => {
+                // The server sends its share to the client, who learns
+                // only the inference output (one reveal flight).
+                let raw = reconstruct(&outcome.client_share, &outcome.server_share);
+                let logits = fp.decode_tensor(&raw, &outcome.dims)?;
+                report.online = report.online.plus(&TrafficSnapshot {
+                    bytes_client_to_server: 0,
+                    bytes_server_to_client: (outcome.server_share.len() * 8) as u64,
+                    messages: 1,
+                    flights: 1,
+                });
+                let prediction = logits.argmax().unwrap_or(0);
+                Ok(InferenceResult { logits, prediction, revealed_activation: None, report })
+            }
+            Split::At(_) => {
+                // Client noises its share and reveals it (Figure 2c).
+                let noise_ring: Vec<u64> = if self.cfg.noise > 0.0 {
+                    let delta = Tensor::rand_uniform(
+                        &outcome.dims,
+                        -self.cfg.noise,
+                        self.cfg.noise,
+                        self.cfg.noise_seed.wrapping_add(self.infer_count),
+                    );
+                    fp.encode_tensor(&delta)
+                } else {
+                    vec![0u64; outcome.client_share.len()]
+                };
+                let noised_share = ShareVec::from_raw(
+                    outcome
+                        .client_share
+                        .as_raw()
+                        .iter()
+                        .zip(noise_ring.iter())
+                        .map(|(&s, &d)| s.wrapping_add(d))
+                        .collect(),
+                );
+                report.online = report.online.plus(&TrafficSnapshot {
+                    bytes_client_to_server: (noised_share.len() * 8) as u64,
+                    bytes_server_to_client: 0,
+                    messages: 1,
+                    flights: 1,
+                });
+                // Server reconstructs M_l(x) + Δ and finishes alone.
+                let raw = reconstruct(&noised_share, &outcome.server_share);
+                let act = fp.decode_tensor(&raw, &outcome.dims)?;
+                let logits = self.clear.forward(&act, false)?;
+                self.clear.clear_cache();
+                let prediction = logits.argmax().unwrap_or(0);
+                Ok(InferenceResult {
+                    logits,
+                    prediction,
+                    revealed_activation: Some(act),
+                    report,
+                })
+            }
+        }
+    }
+}
+
+/// Convenience: the plaintext prediction of a model (reference for
+/// end-to-end tests and accuracy comparisons).
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn plain_prediction(model: &mut Model, x: &Tensor) -> Result<usize> {
+    let logits = model.forward(x)?;
+    Ok(logits.argmax().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2pi_nn::model::{alexnet, ZooConfig};
+    use c2pi_pi::engine::PiBackend;
+
+    fn tiny_model() -> Model {
+        alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, ..Default::default() })
+            .unwrap()
+    }
+
+    fn cfg(noise: f32) -> PipelineConfig {
+        PipelineConfig {
+            pi: PiConfig { backend: PiBackend::Cheetah, ..Default::default() },
+            noise,
+            noise_seed: 5,
+        }
+    }
+
+    #[test]
+    fn c2pi_matches_plaintext_without_noise() {
+        let mut model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 1);
+        let plain = plain_prediction(&mut model, &x).unwrap();
+        let mut pipe = C2piPipeline::new(model, BoundaryId::relu(3), cfg(0.0)).unwrap();
+        let res = pipe.infer(&x).unwrap();
+        assert_eq!(res.prediction, plain);
+        assert!(res.revealed_activation.is_some());
+        assert!(pipe.clear_layer_count() > 0);
+    }
+
+    #[test]
+    fn full_pi_matches_plaintext() {
+        let mut model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 2);
+        let plain_logits = model.forward(&x).unwrap();
+        model.seq_mut().clear_cache();
+        let mut pipe = C2piPipeline::full_pi(model, cfg(0.0));
+        let res = pipe.infer(&x).unwrap();
+        assert!(res.revealed_activation.is_none());
+        assert_eq!(pipe.clear_layer_count(), 0);
+        for (a, b) in plain_logits.as_slice().iter().zip(res.logits.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn earlier_boundary_is_cheaper() {
+        let model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 3);
+        let mut early =
+            C2piPipeline::new(model.clone(), BoundaryId::relu(2), cfg(0.1)).unwrap();
+        let mut full = C2piPipeline::full_pi(model, cfg(0.1));
+        let re = early.infer(&x).unwrap();
+        let rf = full.infer(&x).unwrap();
+        assert!(
+            rf.report.comm_mb() > re.report.comm_mb(),
+            "full {} MB vs early {} MB",
+            rf.report.comm_mb(),
+            re.report.comm_mb()
+        );
+        assert!(rf.report.online.bytes_total() > re.report.online.bytes_total());
+    }
+
+    #[test]
+    fn noise_perturbs_revealed_activation() {
+        let model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 4);
+        let boundary = BoundaryId::relu(3);
+        let mut clean_model = model.clone();
+        let clean_act = clean_model.forward_to_cut(boundary, &x).unwrap();
+        let mut pipe = C2piPipeline::new(model, boundary, cfg(0.5)).unwrap();
+        let res = pipe.infer(&x).unwrap();
+        let revealed = res.revealed_activation.unwrap();
+        let diff = revealed.sub(&clean_act).unwrap();
+        // The revealed activation deviates by up to λ (plus fixed-point
+        // error) but not more.
+        assert!(diff.map(f32::abs).max() > 0.05);
+        assert!(diff.map(f32::abs).max() <= 0.5 + 0.05);
+    }
+
+    #[test]
+    fn reveal_flight_is_counted() {
+        let model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 6);
+        let mut pipe = C2piPipeline::new(model, BoundaryId::relu(1), cfg(0.1)).unwrap();
+        let res = pipe.infer(&x).unwrap();
+        // At least the input-share flight plus the reveal flight.
+        assert!(res.report.online.flights >= 2);
+    }
+}

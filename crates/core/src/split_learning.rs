@@ -1,0 +1,170 @@
+//! Split-learning (SL) support — the paper's §II notes that DINA *"also
+//! helps address the privacy issue in split learning"*, the setting the
+//! IDPAs were originally defined in (He et al. 2019).
+//!
+//! In SL the **edge** holds both the input and the first `l` layers
+//! `M₁`; the **cloud** holds the remaining layers `M₂`. The edge sends
+//! `M₁(x)` in the clear (optionally defended), and the *cloud* is the
+//! curious party. This module models that deployment so the same IDPAs
+//! can score it — the dual of C2PI where the prefix runs locally instead
+//! of under MPC.
+
+use crate::defense::Defense;
+use crate::Result;
+use c2pi_nn::{BoundaryId, Model, Sequential};
+use c2pi_tensor::Tensor;
+
+/// A split-learning deployment: edge-side prefix, cloud-side suffix.
+#[derive(Debug)]
+pub struct SplitDeployment {
+    edge: Sequential,
+    cloud: Sequential,
+    cut: BoundaryId,
+    defense: Defense,
+    query_count: u64,
+}
+
+/// What one SL inference produces.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// Output logits (computed by the cloud, returned to the edge).
+    pub logits: Tensor,
+    /// Argmax class.
+    pub prediction: usize,
+    /// The (defended) smashed data the cloud observed — IDPA target.
+    pub smashed: Tensor,
+    /// Bytes the edge uploaded for this query (4 bytes per activation).
+    pub upload_bytes: u64,
+}
+
+impl SplitDeployment {
+    /// Splits a model at `cut` into edge and cloud halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown cut points.
+    pub fn new(model: &Model, cut: BoundaryId, defense: Defense) -> Result<Self> {
+        let (edge, cloud) = model.split_at(cut)?;
+        Ok(SplitDeployment { edge, cloud, cut, defense, query_count: 0 })
+    }
+
+    /// The cut position.
+    pub fn cut(&self) -> BoundaryId {
+        self.cut
+    }
+
+    /// The configured defense.
+    pub fn defense(&self) -> Defense {
+        self.defense
+    }
+
+    /// Number of layers running on the edge.
+    pub fn edge_layer_count(&self) -> usize {
+        self.edge.len()
+    }
+
+    /// Runs one collaborative inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn infer(&mut self, x: &Tensor) -> Result<SplitResult> {
+        self.query_count += 1;
+        let act = self.edge.forward(x, false)?;
+        self.edge.clear_cache();
+        let smashed = self.defense.apply(&act, 0x51AB_0000 ^ self.query_count);
+        let logits = self.cloud.forward(&smashed, false)?;
+        self.cloud.clear_cache();
+        Ok(SplitResult {
+            prediction: logits.argmax().unwrap_or(0),
+            upload_bytes: (smashed.len() * 4) as u64,
+            smashed,
+            logits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2pi_attacks::dina::{Dina, DinaConfig};
+    use c2pi_attacks::Idpa;
+    use c2pi_data::metrics::ssim;
+    use c2pi_data::synth::{SynthConfig, SynthDataset};
+    use c2pi_nn::model::{alexnet, ZooConfig};
+
+    fn setup() -> (Model, c2pi_data::Dataset) {
+        let model =
+            alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
+        let data = SynthDataset::generate(&SynthConfig {
+            classes: 3,
+            per_class: 3,
+            ..Default::default()
+        })
+        .into_dataset();
+        (model, data)
+    }
+
+    #[test]
+    fn split_inference_matches_monolithic_model() {
+        let (model, data) = setup();
+        let mut mono = model.clone();
+        let mut sl =
+            SplitDeployment::new(&model, BoundaryId::relu(3), Defense::None).unwrap();
+        for x in data.images().iter().take(3) {
+            let expect = mono.forward(x).unwrap().argmax().unwrap();
+            let got = sl.infer(x).unwrap();
+            assert_eq!(got.prediction, expect);
+        }
+    }
+
+    #[test]
+    fn earlier_cut_means_less_edge_compute_more_upload() {
+        let (model, data) = setup();
+        let x = &data.images()[0];
+        let mut early =
+            SplitDeployment::new(&model, BoundaryId::relu(1), Defense::None).unwrap();
+        let mut late =
+            SplitDeployment::new(&model, BoundaryId::relu(5), Defense::None).unwrap();
+        assert!(early.edge_layer_count() < late.edge_layer_count());
+        let eb = early.infer(x).unwrap().upload_bytes;
+        let lb = late.infer(x).unwrap().upload_bytes;
+        // Deeper activations are smaller for this pooled architecture.
+        assert!(eb > lb, "early upload {eb} vs late {lb}");
+    }
+
+    #[test]
+    fn cloud_can_attack_undefended_smashed_data() {
+        // The SL threat the IDPAs were built for: an early, undefended
+        // cut leaks the input to a trained inversion attack.
+        let (mut model, data) = setup();
+        let cut = BoundaryId::relu(1);
+        let mut dina = Dina::new(DinaConfig { epochs: 20, ..Default::default() });
+        dina.prepare(&mut model, cut, &data, 0.0).unwrap();
+        let mut sl = SplitDeployment::new(&model, cut, Defense::None).unwrap();
+        let x = &data.images()[0];
+        let res = sl.infer(x).unwrap();
+        let rec = dina.recover(&mut model, cut, &res.smashed).unwrap();
+        let s = ssim(x, &rec).unwrap();
+        assert!(s > 0.25, "early-cut SL should leak, SSIM {s}");
+    }
+
+    #[test]
+    fn defense_degrades_the_cloud_attack() {
+        let (mut model, data) = setup();
+        let cut = BoundaryId::relu(1);
+        let mut dina = Dina::new(DinaConfig { epochs: 20, ..Default::default() });
+        dina.prepare(&mut model, cut, &data, 0.0).unwrap();
+        let x = &data.images()[0];
+        let mut score = |defense| {
+            let mut sl = SplitDeployment::new(&model.clone(), cut, defense).unwrap();
+            let res = sl.infer(x).unwrap();
+            let mut m = model.clone();
+            let rec = dina.recover(&mut m, cut, &res.smashed).unwrap();
+            ssim(x, &rec).unwrap()
+        };
+        let clean = score(Defense::None);
+        let noisy = score(Defense::Gaussian { std: 3.0 });
+        assert!(noisy < clean, "defense should hurt the attack: {noisy} !< {clean}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Labelled image set container.
+
+use crate::{DataError, Result};
+use c2pi_tensor::Tensor;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// An in-memory labelled image dataset (`[1, c, h, w]` tensors plus class
+/// indices).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset after validating alignment and label range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] when lengths differ, a label is
+    /// out of range, or `num_classes` is zero.
+    pub fn new(images: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if num_classes == 0 {
+            return Err(DataError::BadConfig("num_classes must be positive".into()));
+        }
+        if images.len() != labels.len() {
+            return Err(DataError::BadConfig(format!(
+                "{} images vs {} labels",
+                images.len(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::BadConfig(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset { images, labels, num_classes })
+    }
+
+    /// The images.
+    pub fn images(&self) -> &[Tensor] {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Splits into (train, test) with `train_fraction` of a shuffled copy
+    /// going to train.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadConfig`] when either side would be empty.
+    pub fn split(&self, train_fraction: f32, seed: u64) -> Result<(Dataset, Dataset)> {
+        let n_train = (self.len() as f32 * train_fraction).round() as usize;
+        if n_train == 0 || n_train >= self.len() {
+            return Err(DataError::BadConfig(format!(
+                "split fraction {train_fraction} leaves an empty side for {} examples",
+                self.len()
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let pick = |idx: &[usize]| {
+            let images = idx.iter().map(|&i| self.images[i].clone()).collect();
+            let labels = idx.iter().map(|&i| self.labels[i]).collect();
+            Dataset { images, labels, num_classes: self.num_classes }
+        };
+        Ok((pick(&order[..n_train]), pick(&order[n_train..])))
+    }
+
+    /// The first `n` examples as a new dataset (for CPU-scale runs).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Stacks all images into one `[n, c, h, w]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when empty or when image shapes disagree.
+    pub fn as_batch(&self) -> Result<Tensor> {
+        Ok(Tensor::stack_batch(&self.images)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Dataset {
+        let images = (0..n).map(|i| Tensor::rand_uniform(&[1, 1, 4, 4], 0.0, 1.0, i as u64)).collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(Dataset::new(vec![], vec![0], 2).is_err());
+        assert!(Dataset::new(vec![Tensor::zeros(&[1, 1, 2, 2])], vec![5], 2).is_err());
+        assert!(Dataset::new(vec![], vec![], 0).is_err());
+    }
+
+    #[test]
+    fn split_partitions_all_examples() {
+        let d = sample(10);
+        let (tr, te) = d.split(0.7, 0).unwrap();
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        assert_eq!(tr.num_classes(), 3);
+    }
+
+    #[test]
+    fn degenerate_split_rejected() {
+        let d = sample(4);
+        assert!(d.split(0.0, 0).is_err());
+        assert!(d.split(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = sample(10);
+        assert_eq!(d.take(4).len(), 4);
+        assert_eq!(d.take(99).len(), 10);
+    }
+
+    #[test]
+    fn as_batch_stacks() {
+        let d = sample(5);
+        let b = d.as_batch().unwrap();
+        assert_eq!(b.dims(), &[5, 1, 4, 4]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for dataset and metric operations.
+
+use c2pi_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by fallible data operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A tensor kernel rejected its inputs.
+    Tensor(TensorError),
+    /// The images passed to a metric are incompatible (shape, range).
+    BadImage(String),
+    /// Invalid configuration (zero classes, empty split, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::BadImage(msg) => write!(f, "bad image: {msg}"),
+            DataError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DataError::BadImage("negative".into()).to_string().contains("negative"));
+        assert!(DataError::BadConfig("zero".into()).to_string().contains("zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

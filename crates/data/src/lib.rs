@@ -1,0 +1,39 @@
+//! # c2pi-data
+//!
+//! Datasets and image metrics for the C2PI reproduction.
+//!
+//! * [`synth`] — a procedural, class-conditioned image generator standing
+//!   in for CIFAR-10/100 (no dataset files are available offline; see
+//!   DESIGN.md §3 for the substitution argument);
+//! * [`metrics`] — the structural similarity index (SSIM, Wang et al.
+//!   2004) that the paper uses to score every inference-data-privacy
+//!   attack, plus PSNR;
+//! * [`dataset`] — a small labelled-set container with train/test
+//!   splitting and batching.
+//!
+//! ## Example
+//!
+//! ```
+//! use c2pi_data::synth::{SynthConfig, SynthDataset};
+//! use c2pi_data::metrics::ssim;
+//!
+//! let data = SynthDataset::generate(&SynthConfig { classes: 10, per_class: 2, ..Default::default() });
+//! let img = &data.images()[0];
+//! // An image is perfectly similar to itself.
+//! assert!((ssim(img, img)? - 1.0).abs() < 1e-6);
+//! # Ok::<(), c2pi_data::DataError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod metrics;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use error::DataError;
+
+/// Convenience result alias for data operations.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,249 @@
+//! Image quality metrics: SSIM (the paper's attack-success measure) and
+//! PSNR.
+//!
+//! The paper judges an inference-data-privacy attack **failed** when the
+//! structural similarity between the recovered image and the client's
+//! input drops below a threshold (0.3 by default, following He et al.).
+//! [`ssim`] implements the original Wang et al. 2004 definition: local
+//! Gaussian-weighted statistics combined as
+//! `((2·μx·μy + C1)(2·σxy + C2)) / ((μx² + μy² + C1)(σx² + σy² + C2))`,
+//! averaged over all window positions and channels.
+
+use crate::{DataError, Result};
+use c2pi_tensor::Tensor;
+
+/// Parameters of the SSIM computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimConfig {
+    /// Side length of the (square) Gaussian window. 7 suits 32×32
+    /// CIFAR-scale images; the classic choice for larger images is 11.
+    pub window: usize,
+    /// Gaussian standard deviation.
+    pub sigma: f32,
+    /// Dynamic range of the pixel values (1.0 for `[0, 1]` images).
+    pub dynamic_range: f32,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        SsimConfig { window: 7, sigma: 1.5, dynamic_range: 1.0 }
+    }
+}
+
+fn gaussian_kernel(window: usize, sigma: f32) -> Vec<f32> {
+    let c = (window as f32 - 1.0) / 2.0;
+    let mut k = Vec::with_capacity(window * window);
+    for y in 0..window {
+        for x in 0..window {
+            let dy = y as f32 - c;
+            let dx = x as f32 - c;
+            k.push((-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp());
+        }
+    }
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Mean SSIM between two `[1, c, h, w]` images with custom parameters.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ, the tensors are not rank-4
+/// single-image batches, or the window does not fit.
+pub fn ssim_with(a: &Tensor, b: &Tensor, cfg: &SsimConfig) -> Result<f32> {
+    let (na, ca, ha, wa) = a.shape().as_nchw().map_err(DataError::from)?;
+    let (nb, cb, hb, wb) = b.shape().as_nchw().map_err(DataError::from)?;
+    if (na, ca, ha, wa) != (nb, cb, hb, wb) {
+        return Err(DataError::BadImage(format!(
+            "image shapes differ: {:?} vs {:?}",
+            a.dims(),
+            b.dims()
+        )));
+    }
+    if na != 1 {
+        return Err(DataError::BadImage("ssim expects single images, not batches".into()));
+    }
+    if ha < cfg.window || wa < cfg.window {
+        return Err(DataError::BadImage(format!(
+            "window {} does not fit {}x{} image",
+            cfg.window, ha, wa
+        )));
+    }
+    let c1 = (0.01 * cfg.dynamic_range).powi(2);
+    let c2 = (0.03 * cfg.dynamic_range).powi(2);
+    let kern = gaussian_kernel(cfg.window, cfg.sigma);
+    let oh = ha - cfg.window + 1;
+    let ow = wa - cfg.window + 1;
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for ch in 0..ca {
+        let pa = &a.as_slice()[ch * ha * wa..(ch + 1) * ha * wa];
+        let pb = &b.as_slice()[ch * ha * wa..(ch + 1) * ha * wa];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut mu_a = 0.0f32;
+                let mut mu_b = 0.0f32;
+                let mut aa = 0.0f32;
+                let mut bb = 0.0f32;
+                let mut ab = 0.0f32;
+                let mut ki = 0usize;
+                for ky in 0..cfg.window {
+                    let row = (oy + ky) * wa + ox;
+                    for kx in 0..cfg.window {
+                        let va = pa[row + kx];
+                        let vb = pb[row + kx];
+                        let w = kern[ki];
+                        ki += 1;
+                        mu_a += w * va;
+                        mu_b += w * vb;
+                        aa += w * va * va;
+                        bb += w * vb * vb;
+                        ab += w * va * vb;
+                    }
+                }
+                let var_a = aa - mu_a * mu_a;
+                let var_b = bb - mu_b * mu_b;
+                let cov = ab - mu_a * mu_b;
+                let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                    / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+                total += s as f64;
+                count += 1;
+            }
+        }
+    }
+    Ok((total / count.max(1) as f64) as f32)
+}
+
+/// Mean SSIM with the default CIFAR-scale configuration.
+///
+/// # Errors
+///
+/// Same conditions as [`ssim_with`].
+pub fn ssim(a: &Tensor, b: &Tensor) -> Result<f32> {
+    ssim_with(a, b, &SsimConfig::default())
+}
+
+/// Peak signal-to-noise ratio in dB for `[0, 1]`-range images.
+///
+/// Returns `f32::INFINITY` for identical images.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ.
+pub fn psnr(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.dims() != b.dims() {
+        return Err(DataError::BadImage(format!(
+            "image shapes differ: {:?} vs {:?}",
+            a.dims(),
+            b.dims()
+        )));
+    }
+    let mse = a.mse(b).map_err(DataError::from)?;
+    if mse == 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(-10.0 * mse.log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn image(seed: u64) -> Tensor {
+        Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, seed)
+    }
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let img = image(0);
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_noise_has_low_ssim() {
+        let a = image(1);
+        let b = image(999);
+        let s = ssim(&a, &b).unwrap();
+        assert!(s < 0.3, "ssim {s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise_magnitude() {
+        // A structured image: horizontal gradient.
+        let mut base = Tensor::zeros(&[1, 1, 16, 16]);
+        for y in 0..16 {
+            for x in 0..16 {
+                base.set(&[0, 0, y, x], x as f32 / 15.0).unwrap();
+            }
+        }
+        let mut last = 1.1f32;
+        for (i, mag) in [0.05f32, 0.2, 0.6].iter().enumerate() {
+            let noise = Tensor::rand_uniform(&[1, 1, 16, 16], -mag, *mag, i as u64 + 5);
+            let noisy = base.add(&noise).unwrap();
+            let s = ssim(&base, &noisy).unwrap();
+            assert!(s < last, "mag {mag}: ssim {s} !< {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = image(2);
+        let b = a.map(|v| (v + 0.1).min(1.0));
+        let ab = ssim(&a, &b).unwrap();
+        let ba = ssim(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = image(3);
+        let b = Tensor::zeros(&[1, 3, 8, 8]);
+        assert!(ssim(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn batches_rejected() {
+        let a = Tensor::zeros(&[2, 3, 16, 16]);
+        assert!(ssim(&a, &a).is_err());
+    }
+
+    #[test]
+    fn window_must_fit() {
+        let a = Tensor::zeros(&[1, 1, 4, 4]);
+        let cfg = SsimConfig { window: 7, ..Default::default() };
+        assert!(ssim_with(&a, &a, &cfg).is_err());
+    }
+
+    #[test]
+    fn psnr_infinite_for_identical_and_finite_otherwise() {
+        let a = image(4);
+        assert_eq!(psnr(&a, &a).unwrap(), f32::INFINITY);
+        let b = a.map(|v| (v * 0.9).min(1.0));
+        let p = psnr(&a, &b).unwrap();
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ssim_in_valid_range(seed in 0u64..500, shift in 0.0f32..0.5) {
+            let a = image(seed);
+            let b = a.map(|v| (v + shift).min(1.0));
+            let s = ssim(&a, &b).unwrap();
+            prop_assert!((-1.0..=1.0 + 1e-6).contains(&s));
+        }
+
+        #[test]
+        fn self_similarity_is_maximal(seed in 0u64..200) {
+            let a = image(seed);
+            let b = image(seed + 1);
+            prop_assert!(ssim(&a, &a).unwrap() >= ssim(&a, &b).unwrap());
+        }
+    }
+}

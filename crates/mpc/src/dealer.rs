@@ -1,0 +1,268 @@
+//! Trusted-dealer correlated randomness.
+//!
+//! A real Delphi deployment produces these correlations with
+//! linearly homomorphic encryption in an input-independent offline phase;
+//! Cheetah produces them with lattice HE. No HE crate exists in the
+//! sanctioned offline set, so the dealer stands in for those offline
+//! phases (DESIGN.md §3) — the PI engines charge the *modelled* offline
+//! ciphertext traffic separately, while all online interaction runs for
+//! real over the byte-counted channel.
+//!
+//! Every correlation is generated deterministically from the dealer seed
+//! and split into a client half and a server half **before** the two
+//! protocol threads start, so no hidden channel exists between parties.
+
+use crate::prg::Prg;
+use crate::ring::RingMatrix;
+use crate::share::{share_secret, ShareVec};
+use crate::Result;
+
+/// A scalar/elementwise Beaver triple share: `(a, b, c)` with
+/// `c = a·b` reconstructed across parties.
+#[derive(Debug, Clone)]
+pub struct TripleShare {
+    /// Share of the `a` mask vector.
+    pub a: ShareVec,
+    /// Share of the `b` mask vector.
+    pub b: ShareVec,
+    /// Share of the product vector `c`.
+    pub c: ShareVec,
+}
+
+/// One party's half of a masked-linear correlation for a *server-known*
+/// matrix `W [m, k]` applied to a shared `[k, n]` input (the Delphi /
+/// Cheetah linear-layer offline artifact).
+///
+/// Client half: the mask `A` and the share `c0`; server half: the share
+/// `c1`, with `c0 + c1 = W·A`.
+#[derive(Debug, Clone)]
+pub struct LinearCorrClient {
+    /// Random mask matrix `A [k, n]`, known only to the client.
+    pub mask: RingMatrix,
+    /// Client's share of `W·A`.
+    pub wa_share: RingMatrix,
+}
+
+/// Server half of the masked-linear correlation.
+#[derive(Debug, Clone)]
+pub struct LinearCorrServer {
+    /// Server's share of `W·A`.
+    pub wa_share: RingMatrix,
+}
+
+/// Client half of an elementwise masked-affine correlation for a
+/// server-known scale vector `s`: mask `a` plus a share of `s·a`.
+#[derive(Debug, Clone)]
+pub struct AffineCorrClient {
+    /// Random mask vector, known only to the client.
+    pub mask: Vec<u64>,
+    /// Client's share of `s ⊙ a`.
+    pub sa_share: ShareVec,
+}
+
+/// Server half of the masked-affine correlation.
+#[derive(Debug, Clone)]
+pub struct AffineCorrServer {
+    /// Server's share of `s ⊙ a`.
+    pub sa_share: ShareVec,
+}
+
+/// Base-OT material for the IKNP extension (the extension *sender*'s
+/// side receives one seed per base OT, chosen by its selection bits).
+#[derive(Debug, Clone)]
+pub struct BaseOtSender {
+    /// Selection bits `s_i`.
+    pub choices: Vec<bool>,
+    /// The chosen seeds `k_{s_i}`.
+    pub seeds: Vec<[u8; 32]>,
+}
+
+/// Base-OT material for the extension *receiver*'s side (both seeds per
+/// base OT).
+#[derive(Debug, Clone)]
+pub struct BaseOtReceiver {
+    /// Seed pairs `(k0_i, k1_i)`.
+    pub seed_pairs: Vec<([u8; 32], [u8; 32])>,
+}
+
+/// The trusted dealer.
+#[derive(Debug)]
+pub struct Dealer {
+    prg: Prg,
+}
+
+impl Dealer {
+    /// Creates a dealer from a seed. All correlations are deterministic
+    /// in this seed.
+    pub fn new(seed: u64) -> Self {
+        Dealer { prg: Prg::from_u64(seed ^ 0xDEA1_DEA1_DEA1_DEA1) }
+    }
+
+    /// Generates `n` elementwise Beaver triples, returning the
+    /// (client, server) halves.
+    pub fn beaver_triples(&mut self, n: usize) -> (TripleShare, TripleShare) {
+        let a: Vec<u64> = self.prg.next_u64s(n);
+        let b: Vec<u64> = self.prg.next_u64s(n);
+        let c: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| x.wrapping_mul(y)).collect();
+        let (a0, a1) = share_secret(&a, &mut self.prg);
+        let (b0, b1) = share_secret(&b, &mut self.prg);
+        let (c0, c1) = share_secret(&c, &mut self.prg);
+        (
+            TripleShare { a: a0, b: b0, c: c0 },
+            TripleShare { a: a1, b: b1, c: c1 },
+        )
+    }
+
+    /// Generates the masked-linear correlation for a server-known matrix
+    /// `w [m, k]` and a shared input with `n` columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-dimension errors (a bug in the caller's shapes).
+    pub fn linear_corr(
+        &mut self,
+        w: &RingMatrix,
+        n: usize,
+    ) -> Result<(LinearCorrClient, LinearCorrServer)> {
+        let k = w.cols();
+        let mask = RingMatrix::from_vec(self.prg.next_u64s(k * n), k, n)?;
+        let wa = w.matmul(&mask)?;
+        let (c0, c1) = share_secret(wa.as_slice(), &mut self.prg);
+        let wa0 = RingMatrix::from_vec(c0.into_raw(), w.rows(), n)?;
+        let wa1 = RingMatrix::from_vec(c1.into_raw(), w.rows(), n)?;
+        Ok((
+            LinearCorrClient { mask, wa_share: wa0 },
+            LinearCorrServer { wa_share: wa1 },
+        ))
+    }
+
+    /// Generates the masked-affine correlation for a server-known scale
+    /// vector (per-channel batch-norm folding, average-pool scaling).
+    pub fn affine_corr(&mut self, scale: &[u64]) -> (AffineCorrClient, AffineCorrServer) {
+        let mask: Vec<u64> = self.prg.next_u64s(scale.len());
+        let sa: Vec<u64> =
+            scale.iter().zip(mask.iter()).map(|(&s, &a)| s.wrapping_mul(a)).collect();
+        let (c0, c1) = share_secret(&sa, &mut self.prg);
+        (AffineCorrClient { mask, sa_share: c0 }, AffineCorrServer { sa_share: c1 })
+    }
+
+    /// Generates `kappa` base OTs for the IKNP extension. The extension
+    /// sender (who will transmit extended messages) receives chosen
+    /// seeds; the extension receiver holds both seeds per OT.
+    pub fn base_ots(&mut self, kappa: usize) -> (BaseOtSender, BaseOtReceiver) {
+        let mut choices = Vec::with_capacity(kappa);
+        let mut chosen = Vec::with_capacity(kappa);
+        let mut pairs = Vec::with_capacity(kappa);
+        for _ in 0..kappa {
+            let mut k0 = [0u8; 32];
+            let mut k1 = [0u8; 32];
+            self.prg.fill_bytes(&mut k0);
+            self.prg.fill_bytes(&mut k1);
+            let s = self.prg.next_bool();
+            choices.push(s);
+            chosen.push(if s { k1 } else { k0 });
+            pairs.push((k0, k1));
+        }
+        (BaseOtSender { choices, seeds: chosen }, BaseOtReceiver { seed_pairs: pairs })
+    }
+
+    /// Fresh shares of a uniformly random vector (used as re-masking
+    /// randomness in layer hand-offs).
+    pub fn random_shared(&mut self, n: usize) -> (ShareVec, ShareVec) {
+        let secret: Vec<u64> = self.prg.next_u64s(n);
+        share_secret(&secret, &mut self.prg)
+    }
+
+    /// Generates `n` boolean AND triples directly (the silent-OT /
+    /// Ferret-style correlation used by the Cheetah-flavoured engine,
+    /// whose online phase then only exchanges the GMW openings; the
+    /// IKNP-generated alternative lives in [`crate::ot::gen_bit_triples`]
+    /// and is benchmarked as an ablation).
+    pub fn bit_triples(&mut self, n: usize) -> (crate::ot::BitTriples, crate::ot::BitTriples) {
+        let mut gen_bits = |k: usize| -> Vec<bool> {
+            (0..k).map(|_| self.prg.next_bool()).collect()
+        };
+        let a0 = gen_bits(n);
+        let a1 = gen_bits(n);
+        let b0 = gen_bits(n);
+        let b1 = gen_bits(n);
+        let c0 = gen_bits(n);
+        let c1: Vec<bool> = (0..n)
+            .map(|i| ((a0[i] ^ a1[i]) & (b0[i] ^ b1[i])) ^ c0[i])
+            .collect();
+        (
+            crate::ot::BitTriples { a: a0, b: b0, c: c0 },
+            crate::ot::BitTriples { a: a1, b: b1, c: c1 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share::reconstruct;
+
+    #[test]
+    fn beaver_triples_satisfy_c_equals_ab() {
+        let mut dealer = Dealer::new(1);
+        let (t0, t1) = dealer.beaver_triples(32);
+        let a = reconstruct(&t0.a, &t1.a);
+        let b = reconstruct(&t0.b, &t1.b);
+        let c = reconstruct(&t0.c, &t1.c);
+        for i in 0..32 {
+            assert_eq!(c[i], a[i].wrapping_mul(b[i]));
+        }
+    }
+
+    #[test]
+    fn triples_are_fresh_each_call() {
+        let mut dealer = Dealer::new(2);
+        let (x0, _) = dealer.beaver_triples(4);
+        let (y0, _) = dealer.beaver_triples(4);
+        assert_ne!(x0.a.as_raw(), y0.a.as_raw());
+    }
+
+    #[test]
+    fn linear_corr_reconstructs_to_w_times_mask() {
+        let mut dealer = Dealer::new(3);
+        let mut prg = Prg::from_u64(9);
+        let w = RingMatrix::from_vec(prg.next_u64s(6), 2, 3).unwrap();
+        let (cl, sv) = dealer.linear_corr(&w, 4).unwrap();
+        let wa = w.matmul(&cl.mask).unwrap();
+        let got = reconstruct(
+            &ShareVec::from_raw(cl.wa_share.as_slice().to_vec()),
+            &ShareVec::from_raw(sv.wa_share.as_slice().to_vec()),
+        );
+        assert_eq!(got, wa.as_slice());
+    }
+
+    #[test]
+    fn base_ots_are_consistent() {
+        let mut dealer = Dealer::new(4);
+        let (snd, rcv) = dealer.base_ots(128);
+        assert_eq!(snd.choices.len(), 128);
+        for i in 0..128 {
+            let expect = if snd.choices[i] { rcv.seed_pairs[i].1 } else { rcv.seed_pairs[i].0 };
+            assert_eq!(snd.seeds[i], expect);
+        }
+        // Both choice values appear (overwhelmingly likely).
+        assert!(snd.choices.iter().any(|&c| c));
+        assert!(snd.choices.iter().any(|&c| !c));
+    }
+
+    #[test]
+    fn random_shared_reconstructs_uniform() {
+        let mut dealer = Dealer::new(5);
+        let (r0, r1) = dealer.random_shared(64);
+        let r = reconstruct(&r0, &r1);
+        // Not all equal (overwhelmingly likely for uniform).
+        assert!(r.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn dealer_is_deterministic_in_seed() {
+        let (a0, _) = Dealer::new(7).beaver_triples(4);
+        let (b0, _) = Dealer::new(7).beaver_triples(4);
+        assert_eq!(a0.a.as_raw(), b0.a.as_raw());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for MPC operations.
+
+use c2pi_transport::TransportError;
+use std::fmt;
+
+/// Error returned by fallible MPC operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// The underlying channel failed.
+    Transport(TransportError),
+    /// The dealer's correlated randomness ran out or is mismatched.
+    Dealer(String),
+    /// A protocol message had an unexpected size or content.
+    Protocol(String),
+    /// Invalid configuration (vector length mismatch, zero sizes, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::Transport(e) => write!(f, "transport error: {e}"),
+            MpcError::Dealer(msg) => write!(f, "dealer error: {msg}"),
+            MpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            MpcError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpcError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for MpcError {
+    fn from(e: TransportError) -> Self {
+        MpcError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MpcError::from(TransportError::Disconnected);
+        assert!(e.to_string().contains("transport"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MpcError::Dealer("out".into())).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MpcError>();
+    }
+}

@@ -1,0 +1,723 @@
+//! Yao garbled circuits with free-XOR and point-and-permute — the
+//! non-linear-layer protocol of Delphi-style private inference.
+//!
+//! * wire labels are 128-bit; the global offset Δ has its low bit set so
+//!   the label's low bit doubles as the permute bit;
+//! * XOR and NOT gates are free (label arithmetic only);
+//! * AND gates emit a classic four-row table, each row
+//!   `H(Wa, Wb, gate) ⊕ Wout`, indexed by the operand permute bits;
+//! * outputs are decoded with one permute bit per output wire.
+//!
+//! The module also provides the masked-ReLU circuit used by
+//! [`crate::relu::gc_relu_garbler`]: it reconstructs `x = x₀ + x₁`,
+//! zeroes it when negative, and re-masks the result with the garbler's
+//! fresh randomness so the parties end with additive shares.
+
+use crate::prg::{prf128_pair, Prg};
+use crate::{MpcError, Result};
+
+/// Index of a wire in a [`Circuit`].
+pub type WireId = usize;
+
+/// A boolean gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// `out = a ⊕ b` (free).
+    Xor {
+        /// Left operand wire.
+        a: WireId,
+        /// Right operand wire.
+        b: WireId,
+        /// Output wire.
+        out: WireId,
+    },
+    /// `out = a ∧ b` (one garbled table).
+    And {
+        /// Left operand wire.
+        a: WireId,
+        /// Right operand wire.
+        b: WireId,
+        /// Output wire.
+        out: WireId,
+    },
+    /// `out = ¬a` (free).
+    Inv {
+        /// Operand wire.
+        a: WireId,
+        /// Output wire.
+        out: WireId,
+    },
+}
+
+/// A boolean circuit with two input partitions (garbler, evaluator).
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    n_wires: usize,
+    garbler_inputs: Vec<WireId>,
+    evaluator_inputs: Vec<WireId>,
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl Circuit {
+    /// Number of AND gates (the communication cost driver).
+    pub fn and_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::And { .. })).count()
+    }
+
+    /// Number of garbler input wires.
+    pub fn garbler_input_count(&self) -> usize {
+        self.garbler_inputs.len()
+    }
+
+    /// Number of evaluator input wires.
+    pub fn evaluator_input_count(&self) -> usize {
+        self.evaluator_inputs.len()
+    }
+
+    /// Number of output wires.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total wires.
+    pub fn wire_count(&self) -> usize {
+        self.n_wires
+    }
+
+    /// Plaintext evaluation for testing and spec purposes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when input lengths disagree with the circuit.
+    pub fn eval_plain(&self, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Result<Vec<bool>> {
+        if garbler_bits.len() != self.garbler_inputs.len()
+            || evaluator_bits.len() != self.evaluator_inputs.len()
+        {
+            return Err(MpcError::BadConfig("plain eval input length mismatch".into()));
+        }
+        let mut vals = vec![false; self.n_wires];
+        for (w, &b) in self.garbler_inputs.iter().zip(garbler_bits) {
+            vals[*w] = b;
+        }
+        for (w, &b) in self.evaluator_inputs.iter().zip(evaluator_bits) {
+            vals[*w] = b;
+        }
+        for g in &self.gates {
+            match *g {
+                Gate::Xor { a, b, out } => vals[out] = vals[a] ^ vals[b],
+                Gate::And { a, b, out } => vals[out] = vals[a] & vals[b],
+                Gate::Inv { a, out } => vals[out] = !vals[a],
+            }
+        }
+        Ok(self.outputs.iter().map(|&w| vals[w]).collect())
+    }
+}
+
+/// Incremental circuit builder.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CircuitBuilder::default()
+    }
+
+    fn fresh(&mut self) -> WireId {
+        let w = self.circuit.n_wires;
+        self.circuit.n_wires += 1;
+        w
+    }
+
+    /// Allocates a garbler input wire.
+    pub fn garbler_input(&mut self) -> WireId {
+        let w = self.fresh();
+        self.circuit.garbler_inputs.push(w);
+        w
+    }
+
+    /// Allocates an evaluator input wire.
+    pub fn evaluator_input(&mut self) -> WireId {
+        let w = self.fresh();
+        self.circuit.evaluator_inputs.push(w);
+        w
+    }
+
+    /// Adds `out = a ⊕ b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        let out = self.fresh();
+        self.circuit.gates.push(Gate::Xor { a, b, out });
+        out
+    }
+
+    /// Adds `out = a ∧ b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        let out = self.fresh();
+        self.circuit.gates.push(Gate::And { a, b, out });
+        out
+    }
+
+    /// Adds `out = ¬a`.
+    pub fn inv(&mut self, a: WireId) -> WireId {
+        let out = self.fresh();
+        self.circuit.gates.push(Gate::Inv { a, out });
+        out
+    }
+
+    /// Marks a wire as a circuit output.
+    pub fn output(&mut self, w: WireId) {
+        self.circuit.outputs.push(w);
+    }
+
+    /// Ripple-carry adder over little-endian bit vectors; returns the sum
+    /// bits (carry-out discarded: arithmetic is mod 2^len).
+    ///
+    /// Uses the standard one-AND full adder:
+    /// `s = a⊕b⊕c`, `c' = c ⊕ (a⊕c)∧(b⊕c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand widths differ.
+    pub fn add_mod2n(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len(), "adder width mismatch");
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry: Option<WireId> = None;
+        for (&ai, &bi) in a.iter().zip(b.iter()) {
+            match carry {
+                None => {
+                    sum.push(self.xor(ai, bi));
+                    carry = Some(self.and(ai, bi));
+                }
+                Some(c) => {
+                    let axc = self.xor(ai, c);
+                    let s = self.xor(axc, bi);
+                    sum.push(s);
+                    let bxc = self.xor(bi, c);
+                    let t = self.and(axc, bxc);
+                    carry = Some(self.xor(c, t));
+                }
+            }
+        }
+        sum
+    }
+
+    /// Increment-by-one over a little-endian bit vector (mod 2^len):
+    /// `s₀ = ¬x₀`, carry ripples through AND gates.
+    pub fn inc_mod2n(&mut self, x: &[WireId]) -> Vec<WireId> {
+        let mut out = Vec::with_capacity(x.len());
+        let mut carry: Option<WireId> = None;
+        for &xi in x {
+            match carry {
+                None => {
+                    out.push(self.inv(xi));
+                    carry = Some(xi);
+                }
+                Some(c) => {
+                    out.push(self.xor(xi, c));
+                    carry = Some(self.and(xi, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Two's-complement subtraction `a − b = a + ¬b + 1` (mod 2^len).
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand widths differ.
+    pub fn sub_mod2n(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len(), "subtractor width mismatch");
+        let nb: Vec<WireId> = b.iter().map(|&w| self.inv(w)).collect();
+        let t = self.add_mod2n(a, &nb);
+        self.inc_mod2n(&t)
+    }
+
+    /// `max(a, b)` over two's-complement bit vectors: select by the sign
+    /// of `a − b` (`out = b ⊕ (¬sign ∧ (a ⊕ b))`).
+    ///
+    /// Correct when `|a − b| < 2^(bits−1)` — the difference must not
+    /// overflow. The fixed-point pipeline guarantees this: activations
+    /// live far below `2^62` in the 64-bit ring, the same precondition
+    /// the DReLU carry decomposition relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand widths differ.
+    pub fn max_signed(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        let d = self.sub_mod2n(a, b);
+        let a_ge_b = self.inv(d[d.len() - 1]);
+        a.iter()
+            .zip(b.iter())
+            .map(|(&ai, &bi)| {
+                let x = self.xor(ai, bi);
+                let sel = self.and(x, a_ge_b);
+                self.xor(bi, sel)
+            })
+            .collect()
+    }
+
+    /// Finalizes the circuit.
+    pub fn build(self) -> Circuit {
+        self.circuit
+    }
+}
+
+/// Builds the batched masked-ReLU circuit for `n` ring elements of
+/// `bits` width.
+///
+/// Input order — evaluator: `x₀` bits per element; garbler: `x₁` bits,
+/// then mask (`−r`) bits per element. Output: the bits of
+/// `relu(x₀+x₁) − r`, revealed to the evaluator.
+pub fn relu_masked_circuit(n: usize, bits: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    for _ in 0..n {
+        let x0: Vec<WireId> = (0..bits).map(|_| b.evaluator_input()).collect();
+        let x1: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let mask: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let x = b.add_mod2n(&x0, &x1);
+        // drelu = ¬ sign bit; y_i = x_i ∧ drelu.
+        let drelu = b.inv(x[bits - 1]);
+        let y: Vec<WireId> = x.iter().map(|&xi| b.and(xi, drelu)).collect();
+        let out = b.add_mod2n(&y, &mask);
+        for w in out {
+            b.output(w);
+        }
+    }
+    b.build()
+}
+
+/// Builds the batched masked 4-way max circuit used for secure 2×2 max
+/// pooling: per element, four additively shared values enter (evaluator
+/// holds one share of each, garbler the other), a two-level tournament
+/// picks the maximum, and the result leaves re-masked with the garbler's
+/// randomness.
+///
+/// Input order per element — evaluator: shares of `v₀..v₃`; garbler:
+/// shares of `v₀..v₃`, then the mask (`−r`) bits.
+pub fn maxpool4_masked_circuit(n: usize, bits: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    for _ in 0..n {
+        let ev: Vec<Vec<WireId>> =
+            (0..4).map(|_| (0..bits).map(|_| b.evaluator_input()).collect()).collect();
+        let ga: Vec<Vec<WireId>> =
+            (0..4).map(|_| (0..bits).map(|_| b.garbler_input()).collect()).collect();
+        let mask: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let vals: Vec<Vec<WireId>> =
+            (0..4).map(|i| b.add_mod2n(&ev[i], &ga[i])).collect();
+        let m1 = b.max_signed(&vals[0], &vals[1]);
+        let m2 = b.max_signed(&vals[2], &vals[3]);
+        let m = b.max_signed(&m1, &m2);
+        let out = b.add_mod2n(&m, &mask);
+        for w in out {
+            b.output(w);
+        }
+    }
+    b.build()
+}
+
+/// The garbler's artifacts for one circuit.
+#[derive(Debug, Clone)]
+pub struct Garbled {
+    /// Four-row tables for each AND gate, in gate order.
+    pub tables: Vec<[u128; 4]>,
+    /// Label pairs for the evaluator's input wires (transferred by OT).
+    pub evaluator_label_pairs: Vec<(u128, u128)>,
+    /// Active labels for the garbler's own inputs (sent directly).
+    pub garbler_labels: Vec<u128>,
+    /// Permute bit of each output wire's zero label (for decoding).
+    pub output_decode: Vec<bool>,
+}
+
+/// Garbles `circuit` with the garbler's input bits fixed.
+///
+/// # Errors
+///
+/// Returns an error when `garbler_bits` length disagrees.
+pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result<Garbled> {
+    if garbler_bits.len() != circuit.garbler_inputs.len() {
+        return Err(MpcError::BadConfig(format!(
+            "garbler has {} bits for {} input wires",
+            garbler_bits.len(),
+            circuit.garbler_inputs.len()
+        )));
+    }
+    let delta = prg.next_u128() | 1; // low bit set: permute bit offset
+    let mut zero = vec![0u128; circuit.n_wires];
+    for &w in circuit.garbler_inputs.iter().chain(circuit.evaluator_inputs.iter()) {
+        zero[w] = prg.next_u128();
+    }
+    let mut tables = Vec::with_capacity(circuit.and_count());
+    for (gid, gate) in circuit.gates.iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
+            Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
+            Gate::And { a, b, out } => {
+                let w0 = prg.next_u128();
+                zero[out] = w0;
+                let mut rows = [0u128; 4];
+                for ia in 0..2u8 {
+                    for ib in 0..2u8 {
+                        let la = zero[a] ^ if ia == 1 { delta } else { 0 };
+                        let lb = zero[b] ^ if ib == 1 { delta } else { 0 };
+                        let lo = w0 ^ if ia & ib == 1 { delta } else { 0 };
+                        let slot = (((la & 1) as usize) << 1) | ((lb & 1) as usize);
+                        rows[slot] = prf128_pair(la, lb, gid as u64) ^ lo;
+                    }
+                }
+                tables.push(rows);
+            }
+        }
+    }
+    let evaluator_label_pairs = circuit
+        .evaluator_inputs
+        .iter()
+        .map(|&w| (zero[w], zero[w] ^ delta))
+        .collect();
+    let garbler_labels = circuit
+        .garbler_inputs
+        .iter()
+        .zip(garbler_bits.iter())
+        .map(|(&w, &bit)| zero[w] ^ if bit { delta } else { 0 })
+        .collect();
+    let output_decode = circuit.outputs.iter().map(|&w| zero[w] & 1 == 1).collect();
+    Ok(Garbled { tables, evaluator_label_pairs, garbler_labels, output_decode })
+}
+
+/// Evaluates a garbled circuit given the active input labels, returning
+/// the decoded output bits.
+///
+/// # Errors
+///
+/// Returns an error when label/table counts disagree with the circuit.
+pub fn evaluate(
+    circuit: &Circuit,
+    tables: &[[u128; 4]],
+    garbler_labels: &[u128],
+    evaluator_labels: &[u128],
+    output_decode: &[bool],
+) -> Result<Vec<bool>> {
+    if garbler_labels.len() != circuit.garbler_inputs.len()
+        || evaluator_labels.len() != circuit.evaluator_inputs.len()
+        || tables.len() != circuit.and_count()
+        || output_decode.len() != circuit.outputs.len()
+    {
+        return Err(MpcError::Protocol("garbled artifact counts disagree with circuit".into()));
+    }
+    let mut label = vec![0u128; circuit.n_wires];
+    for (&w, &l) in circuit.garbler_inputs.iter().zip(garbler_labels) {
+        label[w] = l;
+    }
+    for (&w, &l) in circuit.evaluator_inputs.iter().zip(evaluator_labels) {
+        label[w] = l;
+    }
+    let mut and_idx = 0usize;
+    for (gid, gate) in circuit.gates.iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, out } => label[out] = label[a] ^ label[b],
+            Gate::Inv { a, out } => label[out] = label[a],
+            Gate::And { a, b, out } => {
+                let la = label[a];
+                let lb = label[b];
+                let slot = (((la & 1) as usize) << 1) | ((lb & 1) as usize);
+                label[out] = prf128_pair(la, lb, gid as u64) ^ tables[and_idx][slot];
+                and_idx += 1;
+            }
+        }
+    }
+    Ok(circuit
+        .outputs
+        .iter()
+        .zip(output_decode.iter())
+        .map(|(&w, &d)| ((label[w] & 1) == 1) ^ d)
+        .collect())
+}
+
+/// Little-endian bit decomposition of a ring element.
+pub fn to_bits(v: u64, bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Recomposes little-endian bits into a ring element.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedPoint;
+    use crate::share::share_secret;
+    use proptest::prelude::*;
+
+    fn garble_and_eval(circuit: &Circuit, g_bits: &[bool], e_bits: &[bool]) -> Vec<bool> {
+        let mut prg = Prg::from_u64(999);
+        let garbled = garble(circuit, g_bits, &mut prg).unwrap();
+        let labels: Vec<u128> = garbled
+            .evaluator_label_pairs
+            .iter()
+            .zip(e_bits.iter())
+            .map(|(&(l0, l1), &b)| if b { l1 } else { l0 })
+            .collect();
+        evaluate(
+            circuit,
+            &garbled.tables,
+            &garbled.garbler_labels,
+            &labels,
+            &garbled.output_decode,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_and_gate() {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        b.output(z);
+        let c = b.build();
+        for gx in [false, true] {
+            for ey in [false, true] {
+                assert_eq!(garble_and_eval(&c, &[gx], &[ey]), vec![gx & ey]);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_and_inv_are_free_and_correct() {
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.xor(x, y);
+        let nz = b.inv(z);
+        b.output(z);
+        b.output(nz);
+        let c = b.build();
+        assert_eq!(c.and_count(), 0);
+        for gx in [false, true] {
+            for ey in [false, true] {
+                assert_eq!(garble_and_eval(&c, &[gx], &[ey]), vec![gx ^ ey, !(gx ^ ey)]);
+            }
+        }
+    }
+
+    #[test]
+    fn adder_matches_wrapping_arithmetic() {
+        let bits = 16;
+        let mut b = CircuitBuilder::new();
+        let a: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let bb: Vec<WireId> = (0..bits).map(|_| b.evaluator_input()).collect();
+        let s = b.add_mod2n(&a, &bb);
+        for w in s {
+            b.output(w);
+        }
+        let c = b.build();
+        for (x, y) in [(3u64, 5u64), (65535, 1), (40000, 30000), (0, 0)] {
+            let out = garble_and_eval(&c, &to_bits(x, bits), &to_bits(y, bits));
+            assert_eq!(from_bits(&out), (x + y) & 0xFFFF, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn plain_eval_agrees_with_garbled_eval() {
+        let c = relu_masked_circuit(2, 16);
+        let mut prg = Prg::from_u64(4);
+        let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|_| prg.next_bool()).collect();
+        let e_bits: Vec<bool> =
+            (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
+        assert_eq!(
+            c.eval_plain(&g_bits, &e_bits).unwrap(),
+            garble_and_eval(&c, &g_bits, &e_bits)
+        );
+    }
+
+    #[test]
+    fn relu_circuit_computes_masked_relu() {
+        let fp = FixedPoint::new(4);
+        let bits = 64;
+        let c = relu_masked_circuit(1, bits);
+        let mut prg = Prg::from_u64(8);
+        for &val in &[-3.5f32, -0.25, 0.0, 0.25, 3.5] {
+            let x = fp.encode(val);
+            let (s0, s1) = share_secret(&[x], &mut prg);
+            let r = prg.next_u64();
+            let mut g_bits = to_bits(s1.as_raw()[0], bits);
+            g_bits.extend(to_bits(r.wrapping_neg(), bits));
+            let e_bits = to_bits(s0.as_raw()[0], bits);
+            let out = garble_and_eval(&c, &g_bits, &e_bits);
+            let evaluator_share = from_bits(&out);
+            let y = evaluator_share.wrapping_add(r);
+            let expect = fp.encode(val.max(0.0));
+            assert_eq!(y, expect, "relu({val})");
+        }
+    }
+
+    #[test]
+    fn relu_circuit_size_is_linear_in_batch() {
+        let c1 = relu_masked_circuit(1, 64);
+        let c4 = relu_masked_circuit(4, 64);
+        assert_eq!(c4.and_count(), 4 * c1.and_count());
+        // 2 adders (63 + 64 ANDs incl. first-bit carry) + 64-bit mux.
+        assert!(c1.and_count() >= 64 * 3 - 2 && c1.and_count() <= 64 * 3 + 2, "{}", c1.and_count());
+    }
+
+    #[test]
+    fn wrong_artifact_counts_rejected() {
+        let c = relu_masked_circuit(1, 8);
+        let mut prg = Prg::from_u64(5);
+        let g = garble(&c, &vec![false; c.garbler_input_count()], &mut prg).unwrap();
+        assert!(evaluate(&c, &g.tables[..1], &g.garbler_labels, &[], &g.output_decode).is_err());
+        assert!(garble(&c, &[true], &mut prg).is_err());
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for v in [0u64, 1, 42, u64::MAX, 1 << 63] {
+            assert_eq!(from_bits(&to_bits(v, 64)), v);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn garbled_relu_matches_plain_relu(x in any::<i32>(), seed in any::<u64>()) {
+            let bits = 32;
+            let c = relu_masked_circuit(1, bits);
+            let mut prg = Prg::from_u64(seed);
+            let xv = (x as i64 as u64) & 0xFFFF_FFFF;
+            let s0 = prg.next_u64() & 0xFFFF_FFFF;
+            let s1 = xv.wrapping_sub(s0) & 0xFFFF_FFFF;
+            let r = prg.next_u64() & 0xFFFF_FFFF;
+            let mut g_bits = to_bits(s1, bits);
+            g_bits.extend(to_bits(r.wrapping_neg() & 0xFFFF_FFFF, bits));
+            let garbled = garble(&c, &g_bits, &mut prg).unwrap();
+            let e_bits = to_bits(s0, bits);
+            let labels: Vec<u128> = garbled.evaluator_label_pairs.iter().zip(e_bits.iter())
+                .map(|(&(l0, l1), &b)| if b { l1 } else { l0 }).collect();
+            let out = evaluate(&c, &garbled.tables, &garbled.garbler_labels, &labels, &garbled.output_decode).unwrap();
+            let y = (from_bits(&out).wrapping_add(r)) & 0xFFFF_FFFF;
+            let expect = if x < 0 { 0u64 } else { x as u64 };
+            prop_assert_eq!(y, expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod maxpool_tests {
+    use super::*;
+    use crate::prg::Prg;
+    use proptest::prelude::*;
+
+    fn garble_and_eval(circuit: &Circuit, g_bits: &[bool], e_bits: &[bool], seed: u64) -> Vec<bool> {
+        let mut prg = Prg::from_u64(seed);
+        let garbled = garble(circuit, g_bits, &mut prg).unwrap();
+        let labels: Vec<u128> = garbled
+            .evaluator_label_pairs
+            .iter()
+            .zip(e_bits.iter())
+            .map(|(&(l0, l1), &b)| if b { l1 } else { l0 })
+            .collect();
+        evaluate(circuit, &garbled.tables, &garbled.garbler_labels, &labels, &garbled.output_decode)
+            .unwrap()
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        let bits = 16;
+        let mut b = CircuitBuilder::new();
+        let a: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let bb: Vec<WireId> = (0..bits).map(|_| b.evaluator_input()).collect();
+        let d = b.sub_mod2n(&a, &bb);
+        for w in d {
+            b.output(w);
+        }
+        let c = b.build();
+        for (x, y) in [(10u64, 3u64), (3, 10), (0, 0), (65535, 1)] {
+            let out = garble_and_eval(&c, &to_bits(x, bits), &to_bits(y, bits), 1);
+            assert_eq!(from_bits(&out), x.wrapping_sub(y) & 0xFFFF, "{x}-{y}");
+        }
+    }
+
+    #[test]
+    fn max_signed_picks_larger_twos_complement_value() {
+        let bits = 16;
+        let mut b = CircuitBuilder::new();
+        let a: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let bb: Vec<WireId> = (0..bits).map(|_| b.evaluator_input()).collect();
+        let m = b.max_signed(&a, &bb);
+        for w in m {
+            b.output(w);
+        }
+        let c = b.build();
+        for (x, y) in [(5i16, 3i16), (3, 5), (-4, 2), (2, -4), (-7, -2), (0, 0)] {
+            let out = garble_and_eval(
+                &c,
+                &to_bits(x as u16 as u64, bits),
+                &to_bits(y as u16 as u64, bits),
+                2,
+            );
+            assert_eq!(from_bits(&out) as u16 as i16, x.max(y), "max({x},{y})");
+        }
+    }
+
+    #[test]
+    fn maxpool4_circuit_plain_eval_matches_spec() {
+        // Exhaustive-ish check of the 4-way max circuit via plain eval.
+        let bits = 32;
+        let c = maxpool4_masked_circuit(1, bits);
+        let mask = 0xFFFF_FFFFu64;
+        for vals in [[1i32, 2, 3, 4], [4, 3, 2, 1], [-5, -1, -9, -3], [7, 7, 7, 7], [-1, 0, 1, -2]] {
+            let mut prg = Prg::from_u64(9);
+            let shares0: Vec<u64> = (0..4).map(|_| prg.next_u64() & mask).collect();
+            let shares1: Vec<u64> = vals
+                .iter()
+                .zip(shares0.iter())
+                .map(|(&v, &s0)| ((v as i64 as u64).wrapping_sub(s0)) & mask)
+                .collect();
+            let r = prg.next_u64() & mask;
+            let mut e_bits = Vec::new();
+            for &s in &shares0 {
+                e_bits.extend(to_bits(s, bits));
+            }
+            let mut g_bits = Vec::new();
+            for &s in &shares1 {
+                g_bits.extend(to_bits(s, bits));
+            }
+            g_bits.extend(to_bits(r.wrapping_neg() & mask, bits));
+            let out = c.eval_plain(&g_bits, &e_bits).unwrap();
+            let got = (from_bits(&out).wrapping_add(r)) & mask;
+            let expect = (*vals.iter().max().unwrap() as i64 as u64) & mask;
+            assert_eq!(got, expect, "max of {vals:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn garbled_max_matches_plain_eval(vals in proptest::array::uniform4(-8000i16..8000), seed in any::<u64>()) {
+            let bits = 16;
+            let mask = 0xFFFFu64;
+            let c = maxpool4_masked_circuit(1, bits);
+            let mut prg = Prg::from_u64(seed);
+            let shares0: Vec<u64> = (0..4).map(|_| prg.next_u64() & mask).collect();
+            let shares1: Vec<u64> = vals.iter().zip(shares0.iter())
+                .map(|(&v, &s0)| ((v as i64 as u64).wrapping_sub(s0)) & mask).collect();
+            let r = prg.next_u64() & mask;
+            let mut e_bits = Vec::new();
+            for &s in &shares0 { e_bits.extend(to_bits(s, bits)); }
+            let mut g_bits = Vec::new();
+            for &s in &shares1 { g_bits.extend(to_bits(s, bits)); }
+            g_bits.extend(to_bits(r.wrapping_neg() & mask, bits));
+            let plain = c.eval_plain(&g_bits, &e_bits).unwrap();
+            let garbled = garble_and_eval(&c, &g_bits, &e_bits, seed ^ 0xABCD);
+            prop_assert_eq!(&plain, &garbled);
+            let got = (from_bits(&garbled).wrapping_add(r)) & mask;
+            let expect = (*vals.iter().max().unwrap() as i64 as u64) & mask;
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

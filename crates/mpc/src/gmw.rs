@@ -1,0 +1,392 @@
+//! GMW-style boolean two-party computation: XOR-shared bits, batched
+//! AND via bit triples, a log-depth millionaires' comparison, and the
+//! DReLU (sign) protocol that powers the Cheetah/CrypTFlow2-flavoured
+//! ReLU.
+
+use crate::ot::BitTriples;
+use crate::{MpcError, Result};
+use c2pi_transport::Endpoint;
+
+/// XOR-shared bit vector: the secret bits are `mine ⊕ peer` elementwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitShareVec(pub Vec<bool>);
+
+impl BitShareVec {
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Free local XOR of two shared vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn xor(&self, other: &BitShareVec) -> BitShareVec {
+        assert_eq!(self.len(), other.len(), "bit share length mismatch");
+        BitShareVec(self.0.iter().zip(other.0.iter()).map(|(&a, &b)| a ^ b).collect())
+    }
+
+    /// XOR with a public constant vector — exactly one party applies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn xor_public(&self, public: &[bool], party_applies: bool) -> BitShareVec {
+        assert_eq!(self.len(), public.len(), "bit share length mismatch");
+        if party_applies {
+            BitShareVec(self.0.iter().zip(public.iter()).map(|(&a, &p)| a ^ p).collect())
+        } else {
+            self.clone()
+        }
+    }
+}
+
+fn pack(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
+    if bytes.len() < n.div_ceil(8) {
+        return Err(MpcError::Protocol(format!(
+            "bit frame of {} bytes for {n} bits",
+            bytes.len()
+        )));
+    }
+    Ok((0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect())
+}
+
+/// Batched secure AND of two XOR-shared vectors, consuming one bit
+/// triple per position. One round trip (both parties exchange their
+/// opened `d = x⊕a`, `e = y⊕b` shares simultaneously).
+///
+/// `is_initiator` breaks the send/receive symmetry; parties pass
+/// opposite values.
+///
+/// # Errors
+///
+/// Returns transport/protocol errors or triple-pool exhaustion.
+pub fn and_batch(
+    ep: &Endpoint,
+    is_initiator: bool,
+    x: &BitShareVec,
+    y: &BitShareVec,
+    triples: &mut BitTriples,
+) -> Result<BitShareVec> {
+    let n = x.len();
+    if y.len() != n {
+        return Err(MpcError::BadConfig("and_batch length mismatch".into()));
+    }
+    let t = triples.take(n)?;
+    // Open d = x ⊕ a and e = y ⊕ b.
+    let mut opened: Vec<bool> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        opened.push(x.0[i] ^ t.a[i]);
+    }
+    for i in 0..n {
+        opened.push(y.0[i] ^ t.b[i]);
+    }
+    let peer_opened;
+    if is_initiator {
+        ep.send_bytes(&pack(&opened))?;
+        peer_opened = unpack(&ep.recv_bytes()?, 2 * n)?;
+    } else {
+        peer_opened = unpack(&ep.recv_bytes()?, 2 * n)?;
+        ep.send_bytes(&pack(&opened))?;
+    }
+    let mut z = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = opened[i] ^ peer_opened[i];
+        let e = opened[n + i] ^ peer_opened[n + i];
+        // z = c ⊕ d·b ⊕ e·a ⊕ d·e (d·e added by the initiator only).
+        let mut zi = t.c[i] ^ (d & t.b[i]) ^ (e & t.a[i]);
+        if is_initiator {
+            zi ^= d & e;
+        }
+        z.push(zi);
+    }
+    Ok(BitShareVec(z))
+}
+
+/// Batched millionaires' protocol: party 0 holds private values `u`,
+/// party 1 holds private values `v` (both `bits`-bit unsigned); the
+/// output is an XOR-sharing of `[v > u]` per element.
+///
+/// Implemented as the classic `(lt, eq)` tree: leaf `lt_i = ¬u_i ∧ v_i`,
+/// `eq_i = ¬(u_i ⊕ v_i)`, combined pairwise in `⌈log₂ bits⌉` levels —
+/// each level is one batched [`and_batch`] round.
+///
+/// `my_values` are the party's own private inputs; `is_party0` selects
+/// the `u` role (and initiator).
+///
+/// # Errors
+///
+/// Returns transport errors or triple exhaustion.
+pub fn millionaire_batch(
+    ep: &Endpoint,
+    is_party0: bool,
+    my_values: &[u64],
+    bits: u32,
+    triples: &mut BitTriples,
+) -> Result<BitShareVec> {
+    let n = my_values.len();
+    let w = bits as usize;
+    // Build leaf shares. For party 0 (holder of u): lt share inputs are
+    // (¬u_i, 0)-style private sharings; the AND protocol multiplies the
+    // two parties' private bits.
+    let mut lt = BitShareVec(vec![false; n * w]);
+    let mut eq_pub_mine: Vec<bool> = Vec::with_capacity(n * w);
+    let mut my_bits_vec: Vec<bool> = Vec::with_capacity(n * w);
+    for &val in my_values {
+        for bit in 0..w {
+            let b = (val >> bit) & 1 == 1;
+            my_bits_vec.push(b);
+            eq_pub_mine.push(b);
+        }
+    }
+    // lt_i = (¬u_i) ∧ v_i: party0 inputs ¬u_i, party1 inputs v_i; each
+    // party's AND operand is its private bit XOR-shared as (bit, 0).
+    let lhs = if is_party0 {
+        BitShareVec(my_bits_vec.iter().map(|&b| !b).collect())
+    } else {
+        BitShareVec(vec![false; n * w])
+    };
+    let rhs = if is_party0 {
+        BitShareVec(vec![false; n * w])
+    } else {
+        BitShareVec(my_bits_vec.clone())
+    };
+    let leaf_lt = and_batch(ep, is_party0, &lhs, &rhs, triples)?;
+    lt.0.copy_from_slice(&leaf_lt.0);
+    // eq_i = ¬(u_i ⊕ v_i): share = own bits, party0 also flips.
+    let mut eq = BitShareVec(eq_pub_mine);
+    if is_party0 {
+        eq = BitShareVec(eq.0.iter().map(|&b| !b).collect());
+    }
+    // Tree combine, least-significant pairs first. Elements are laid out
+    // bit-minor: [elem0 bit0..w, elem1 bit0..w, ...]. At each level,
+    // combine (lo, hi) adjacent pairs: LT = lt_hi ⊕ eq_hi·lt_lo,
+    // EQ = eq_hi·eq_lo.
+    let mut width = w;
+    while width > 1 {
+        let half = width / 2;
+        let odd = width % 2 == 1;
+        let pairs = n * half;
+        let mut lt_lo = Vec::with_capacity(pairs);
+        let mut lt_hi = Vec::with_capacity(pairs);
+        let mut eq_lo = Vec::with_capacity(pairs);
+        let mut eq_hi = Vec::with_capacity(pairs);
+        for e in 0..n {
+            let base = e * width;
+            for p in 0..half {
+                lt_lo.push(lt.0[base + 2 * p]);
+                lt_hi.push(lt.0[base + 2 * p + 1]);
+                eq_lo.push(eq.0[base + 2 * p]);
+                eq_hi.push(eq.0[base + 2 * p + 1]);
+            }
+        }
+        // Two ANDs per pair, batched into one call of size 2·pairs.
+        let mut left = eq_hi.clone();
+        left.extend_from_slice(&eq_hi);
+        let mut right = lt_lo.clone();
+        right.extend_from_slice(&eq_lo);
+        let prod = and_batch(
+            ep,
+            is_party0,
+            &BitShareVec(left),
+            &BitShareVec(right),
+            triples,
+        )?;
+        let new_width = half + usize::from(odd);
+        let mut new_lt = vec![false; n * new_width];
+        let mut new_eq = vec![false; n * new_width];
+        for e in 0..n {
+            for p in 0..half {
+                let idx = e * half + p;
+                new_lt[e * new_width + p] = lt_hi[idx] ^ prod.0[idx];
+                new_eq[e * new_width + p] = prod.0[pairs + idx];
+            }
+            if odd {
+                // Carry the unpaired most-significant entry up unchanged.
+                new_lt[e * new_width + half] = lt.0[e * width + width - 1];
+                new_eq[e * new_width + half] = eq.0[e * width + width - 1];
+            }
+        }
+        lt = BitShareVec(new_lt);
+        eq = BitShareVec(new_eq);
+        width = new_width;
+    }
+    Ok(lt)
+}
+
+/// DReLU over additively shared ring values: returns an XOR-sharing of
+/// `[x ≥ 0]` for each element, where `x = my_share + peer_share`
+/// (mod 2^64) holds a two's-complement fixed-point value.
+///
+/// Uses `msb(x) = msb(x0) ⊕ msb(x1) ⊕ carry₆₃`, with the carry computed
+/// by one millionaires' comparison on the low 63 bits.
+///
+/// # Errors
+///
+/// Returns transport errors or triple exhaustion.
+pub fn drelu_batch(
+    ep: &Endpoint,
+    is_party0: bool,
+    my_share: &[u64],
+    triples: &mut BitTriples,
+) -> Result<BitShareVec> {
+    const LOW_MASK: u64 = (1u64 << 63) - 1;
+    // carry = (x0_low + x1_low ≥ 2^63) = (x1_low > ~x0_low mod 2^63).
+    let inputs: Vec<u64> = if is_party0 {
+        my_share.iter().map(|&s| (!s) & LOW_MASK).collect()
+    } else {
+        my_share.iter().map(|&s| s & LOW_MASK).collect()
+    };
+    let carry = millionaire_batch(ep, is_party0, &inputs, 63, triples)?;
+    // msb share = own msb ⊕ carry share; drelu = ¬msb (party 0 flips).
+    let out: Vec<bool> = my_share
+        .iter()
+        .zip(carry.0.iter())
+        .map(|(&s, &c)| {
+            let msb_share = (s >> 63) & 1 == 1;
+            let m = msb_share ^ c;
+            if is_party0 {
+                !m
+            } else {
+                m
+            }
+        })
+        .collect();
+    Ok(BitShareVec(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dealer::Dealer;
+    use crate::fixed::FixedPoint;
+    use crate::ot::{gen_bit_triples, KAPPA};
+    use crate::prg::Prg;
+    use crate::share::share_secret;
+    use c2pi_transport::channel_pair;
+
+    /// Generates matched triple pools for both parties over a throwaway
+    /// channel.
+    fn triple_pools(n: usize, seed: u64) -> (BitTriples, BitTriples) {
+        let mut dealer = Dealer::new(seed);
+        let (c_snd, s_rcv) = dealer.base_ots(KAPPA);
+        let (s_snd, c_rcv) = dealer.base_ots(KAPPA);
+        let (client, server, _) = channel_pair();
+        let t = std::thread::spawn(move || {
+            let mut prg = Prg::from_u64(seed ^ 1);
+            gen_bit_triples(&server, false, &s_snd, &s_rcv, n, &mut prg).unwrap()
+        });
+        let mut prg = Prg::from_u64(seed ^ 2);
+        let mine = gen_bit_triples(&client, true, &c_snd, &c_rcv, n, &mut prg).unwrap();
+        (mine, t.join().unwrap())
+    }
+
+    #[test]
+    fn and_batch_computes_conjunction() {
+        let (mut tc, mut ts) = triple_pools(256, 31);
+        let (client, server, _) = channel_pair();
+        // Party 0 privately holds x, party 1 privately holds y.
+        let x: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let y: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let xc = x.clone();
+        let yc = y.clone();
+        let t = std::thread::spawn(move || {
+            and_batch(&server, false, &BitShareVec(vec![false; 64]), &BitShareVec(yc), &mut ts)
+                .unwrap()
+        });
+        let mine =
+            and_batch(&client, true, &BitShareVec(xc), &BitShareVec(vec![false; 64]), &mut tc)
+                .unwrap();
+        let theirs = t.join().unwrap();
+        for i in 0..64 {
+            assert_eq!(mine.0[i] ^ theirs.0[i], x[i] & y[i], "position {i}");
+        }
+    }
+
+    #[test]
+    fn millionaire_compares_correctly() {
+        let n = 40;
+        let (mut tc, mut ts) = triple_pools(40 * 63 * 4, 37);
+        let (client, server, _) = channel_pair();
+        let mut prg = Prg::from_u64(7);
+        let u: Vec<u64> = (0..n).map(|_| prg.next_u64() & ((1 << 20) - 1)).collect();
+        let mut v: Vec<u64> = (0..n).map(|_| prg.next_u64() & ((1 << 20) - 1)).collect();
+        // Force some edge cases.
+        v[0] = u[0]; // equal => v > u is false
+        v[1] = u[1] + 1;
+        if u[2] > 0 {
+            v[2] = u[2] - 1;
+        }
+        let uc = u.clone();
+        let vc = v.clone();
+        let t = std::thread::spawn(move || {
+            millionaire_batch(&server, false, &vc, 20, &mut ts).unwrap()
+        });
+        let mine = millionaire_batch(&client, true, &uc, 20, &mut tc).unwrap();
+        let theirs = t.join().unwrap();
+        for i in 0..n {
+            assert_eq!(mine.0[i] ^ theirs.0[i], v[i] > u[i], "element {i}: v={} u={}", v[i], u[i]);
+        }
+    }
+
+    #[test]
+    fn drelu_recovers_sign_of_fixed_point_values() {
+        let fp = FixedPoint::default();
+        let values: Vec<f32> =
+            vec![-5.0, -0.25, -0.0005, 0.0, 0.0005, 0.25, 5.0, 100.0, -100.0, 1.5];
+        let secret: Vec<u64> = values.iter().map(|&x| fp.encode(x)).collect();
+        let mut prg = Prg::from_u64(77);
+        let (s0, s1) = share_secret(&secret, &mut prg);
+        let (mut tc, mut ts) = triple_pools(values.len() * 63 * 4, 41);
+        let (client, server, _) = channel_pair();
+        let s1_raw = s1.as_raw().to_vec();
+        let t = std::thread::spawn(move || {
+            drelu_batch(&server, false, &s1_raw, &mut ts).unwrap()
+        });
+        let mine = drelu_batch(&client, true, s0.as_raw(), &mut tc).unwrap();
+        let theirs = t.join().unwrap();
+        for (i, &x) in values.iter().enumerate() {
+            let got = mine.0[i] ^ theirs.0[i];
+            assert_eq!(got, x >= 0.0, "value {x}");
+        }
+    }
+
+    #[test]
+    fn xor_is_free_and_local() {
+        let a = BitShareVec(vec![true, false, true]);
+        let b = BitShareVec(vec![true, true, false]);
+        assert_eq!(a.xor(&b).0, vec![false, true, true]);
+        assert_eq!(a.xor_public(&[true, true, true], false), a);
+        assert_eq!(a.xor_public(&[true, true, true], true).0, vec![false, true, false]);
+    }
+
+    #[test]
+    fn and_batch_rejects_mismatched_lengths() {
+        let (mut tc, _) = triple_pools(8, 43);
+        let (client, _server, _) = channel_pair();
+        let r = and_batch(
+            &client,
+            true,
+            &BitShareVec(vec![false; 2]),
+            &BitShareVec(vec![false; 3]),
+            &mut tc,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # c2pi-mpc
+//!
+//! The two-party-computation substrate of the C2PI reproduction: every
+//! cryptographic building block the crypto-layer phase needs, implemented
+//! from scratch and executed for real over byte-counted
+//! [`c2pi_transport`] channels.
+//!
+//! | Module | Provides |
+//! |--------|----------|
+//! | [`fixed`] | fixed-point encoding into the ring `Z_2^64` |
+//! | [`prg`] | ChaCha12 pseudorandom generator / PRF (no AES crate offline) |
+//! | [`share`] | additive secret sharing over `Z_2^64` |
+//! | [`dealer`] | trusted-dealer correlated randomness (Beaver triples, base-OT seeds) — stands in for the HE offline phases, see DESIGN.md §3 |
+//! | [`ot`] | IKNP OT extension: random OTs, chosen-message OTs, bit triples |
+//! | [`gmw`] | boolean sharing, batched AND, log-depth comparison, DReLU |
+//! | [`beaver`] | arithmetic multiplication / matmul with triples + truncation |
+//! | [`gc`] | Yao garbled circuits with free-XOR and point-and-permute |
+//! | [`relu`] | the two secure ReLU protocols (GC-based à la Delphi, comparison-based à la Cheetah/CrypTFlow2) and secure max-pooling |
+//!
+//! The semi-honest threat model of the paper is assumed throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beaver;
+pub mod dealer;
+pub mod error;
+pub mod fixed;
+pub mod gc;
+pub mod gmw;
+pub mod ot;
+pub mod prg;
+pub mod relu;
+pub mod ring;
+pub mod share;
+
+pub use error::MpcError;
+pub use fixed::FixedPoint;
+pub use share::ShareVec;
+
+/// Convenience result alias for MPC operations.
+pub type Result<T> = std::result::Result<T, MpcError>;

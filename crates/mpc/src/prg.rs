@@ -1,0 +1,230 @@
+//! ChaCha12 pseudorandom generator and PRF, written from scratch.
+//!
+//! The sanctioned offline crate set has no AES implementation, so the
+//! garbling PRF, OT-extension expansion and share expansion all run on
+//! ChaCha12 (12 rounds: the conservative speed/security point used by
+//! `rand`'s own StdRng). The implementation below is the RFC 8439 block
+//! function with a 12-round schedule.
+
+/// ChaCha12 block state.
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[0..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce as u32;
+    state[15] = (nonce >> 32) as u32;
+    let mut w = state;
+    for _ in 0..6 {
+        // Two rounds per iteration: one column round, one diagonal round.
+        quarter(&mut w, 0, 4, 8, 12);
+        quarter(&mut w, 1, 5, 9, 13);
+        quarter(&mut w, 2, 6, 10, 14);
+        quarter(&mut w, 3, 7, 11, 15);
+        quarter(&mut w, 0, 5, 10, 15);
+        quarter(&mut w, 1, 6, 11, 12);
+        quarter(&mut w, 2, 7, 8, 13);
+        quarter(&mut w, 3, 4, 9, 14);
+    }
+    for (o, s) in w.iter_mut().zip(state.iter()) {
+        *o = o.wrapping_add(*s);
+    }
+    w
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// A seeded ChaCha12 stream generator.
+///
+/// ```
+/// use c2pi_mpc::prg::Prg;
+/// let mut a = Prg::from_seed([7u8; 32]);
+/// let mut b = Prg::from_seed([7u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prg {
+    key: [u32; 8],
+    nonce: u64,
+    counter: u64,
+    buf: [u32; 16],
+    pos: usize,
+}
+
+impl Prg {
+    /// Creates a generator from a 256-bit seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        Prg { key, nonce: 0, counter: 0, buf: [0; 16], pos: 16 }
+    }
+
+    /// Creates a generator from a 128-bit seed (zero-padded), the label
+    /// size used by the garbled-circuit module.
+    pub fn from_seed128(seed: u128) -> Self {
+        let mut s = [0u8; 32];
+        s[..16].copy_from_slice(&seed.to_le_bytes());
+        Prg::from_seed(s)
+    }
+
+    /// Creates a generator from a `u64` convenience seed.
+    pub fn from_u64(seed: u64) -> Self {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        s[8..16].copy_from_slice(&seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+        Prg::from_seed(s)
+    }
+
+    fn refill(&mut self) {
+        self.buf = chacha_block(&self.key, self.counter, self.nonce);
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) | ((self.next_u32() as u64) << 32)
+    }
+
+    /// Next 128 random bits (one GC wire label).
+    pub fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) | ((self.next_u64() as u128) << 64)
+    }
+
+    /// Fills a `u64` vector.
+    pub fn next_u64s(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// Next random bit.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+
+    /// Fills a byte buffer.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(4) {
+            let v = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Fixed-key PRF used for garbling and OT hashing:
+/// `H(key, tweak) -> u128`.
+///
+/// Instantiated as one ChaCha12 block keyed by `key` (a 128-bit wire
+/// label, zero-extended) with the tweak in the nonce slot.
+pub fn prf128(key: u128, tweak: u64) -> u128 {
+    let mut k = [0u32; 8];
+    let bytes = key.to_le_bytes();
+    for (i, kk) in k.iter_mut().take(4).enumerate() {
+        *kk = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let block = chacha_block(&k, 0, tweak);
+    (block[0] as u128)
+        | ((block[1] as u128) << 32)
+        | ((block[2] as u128) << 64)
+        | ((block[3] as u128) << 96)
+}
+
+/// PRF variant keyed by *two* labels, used by AND-gate garbling:
+/// `H(a, b, tweak)`.
+pub fn prf128_pair(a: u128, b: u128, tweak: u64) -> u128 {
+    // Davies–Meyer-style combination: key with a, absorb b via the tweak
+    // stream, then mix once more with the gate tweak.
+    prf128(a ^ prf128(b, tweak ^ 0xA5A5_A5A5_5A5A_5A5A), tweak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Prg::from_u64(42);
+        let mut b = Prg::from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prg::from_u64(1);
+        let mut b = Prg::from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Bit-balance sanity check on 64k bits.
+        let mut prg = Prg::from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1024 {
+            ones += prg.next_u64().count_ones();
+        }
+        let total = 1024 * 64;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_lengths() {
+        let mut prg = Prg::from_u64(9);
+        let mut buf = [0u8; 7];
+        prg.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn prf_is_deterministic_and_tweak_sensitive() {
+        let k = 0x0123_4567_89ab_cdef_u128;
+        assert_eq!(prf128(k, 1), prf128(k, 1));
+        assert_ne!(prf128(k, 1), prf128(k, 2));
+        assert_ne!(prf128(k, 1), prf128(k ^ 1, 1));
+    }
+
+    #[test]
+    fn pair_prf_depends_on_both_keys() {
+        let (a, b) = (11u128, 22u128);
+        assert_ne!(prf128_pair(a, b, 0), prf128_pair(b, a, 0));
+        assert_ne!(prf128_pair(a, b, 0), prf128_pair(a, b ^ 1, 0));
+        assert_eq!(prf128_pair(a, b, 5), prf128_pair(a, b, 5));
+    }
+
+    #[test]
+    fn u128_stream_is_consistent_with_u64s() {
+        let mut a = Prg::from_u64(3);
+        let mut b = Prg::from_u64(3);
+        let lo = b.next_u64() as u128;
+        let hi = b.next_u64() as u128;
+        assert_eq!(a.next_u128(), lo | (hi << 64));
+    }
+}

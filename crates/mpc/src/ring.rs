@@ -1,0 +1,294 @@
+//! Matrix arithmetic over the ring `Z_2^64`, plus the ring-domain
+//! `im2col` that lets each party convert its share of a convolution input
+//! locally (im2col is linear, so it commutes with additive sharing).
+
+use crate::{MpcError, Result};
+use c2pi_tensor::conv::Conv2dGeom;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of ring elements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl RingMatrix {
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the buffer length differs from `rows·cols`.
+    pub fn from_vec(data: Vec<u64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MpcError::BadConfig(format!(
+                "buffer of {} for {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(RingMatrix { rows, cols, data })
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RingMatrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major elements.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable row-major elements.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Wrapping matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when inner dimensions disagree.
+    pub fn matmul(&self, rhs: &RingMatrix) -> Result<RingMatrix> {
+        if self.cols != rhs.rows {
+            return Err(MpcError::BadConfig(format!(
+                "ring matmul {}x{} times {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = vec![0u64; self.rows * rhs.cols];
+        for i in 0..self.rows {
+            for kk in 0..self.cols {
+                let a = self.data[i * self.cols + kk];
+                if a == 0 {
+                    continue;
+                }
+                let brow = &rhs.data[kk * rhs.cols..(kk + 1) * rhs.cols];
+                let orow = &mut out[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o = o.wrapping_add(a.wrapping_mul(b));
+                }
+            }
+        }
+        RingMatrix::from_vec(out, self.rows, rhs.cols)
+    }
+
+    /// Elementwise wrapping sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when shapes differ.
+    pub fn add(&self, rhs: &RingMatrix) -> Result<RingMatrix> {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return Err(MpcError::BadConfig("ring add shape mismatch".into()));
+        }
+        RingMatrix::from_vec(
+            self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a.wrapping_add(b)).collect(),
+            self.rows,
+            self.cols,
+        )
+    }
+
+    /// Elementwise wrapping difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when shapes differ.
+    pub fn sub(&self, rhs: &RingMatrix) -> Result<RingMatrix> {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return Err(MpcError::BadConfig("ring sub shape mismatch".into()));
+        }
+        RingMatrix::from_vec(
+            self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a.wrapping_sub(b)).collect(),
+            self.rows,
+            self.cols,
+        )
+    }
+}
+
+/// Ring-domain `im2col` for one image stored as a flat
+/// channel-major `[c·h·w]` vector of ring elements. Mirrors
+/// [`c2pi_tensor::conv::im2col`] exactly (zero padding becomes ring 0).
+///
+/// # Errors
+///
+/// Returns an error when the buffer length or geometry is inconsistent.
+pub fn im2col_ring(
+    input: &[u64],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeom,
+) -> Result<RingMatrix> {
+    if input.len() != c * h * w {
+        return Err(MpcError::BadConfig(format!(
+            "im2col buffer {} for {c}x{h}x{w}",
+            input.len()
+        )));
+    }
+    let (oh, ow) = geom
+        .output_hw(h, w)
+        .map_err(|e| MpcError::BadConfig(format!("im2col geometry: {e}")))?;
+    let k = geom.kernel;
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut out = vec![0u64; rows * cols];
+    let pad = geom.padding as isize;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride) as isize + (ky * geom.dilation) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix =
+                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] = input[in_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    RingMatrix::from_vec(out, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedPoint;
+    use c2pi_tensor::conv::im2col;
+    use c2pi_tensor::Tensor;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = RingMatrix::from_vec(vec![1, 2, 3, 4], 2, 2).unwrap();
+        let b = RingMatrix::from_vec(vec![5, 6, 7, 8], 2, 2).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn matmul_wraps_modulo_2_64() {
+        let a = RingMatrix::from_vec(vec![u64::MAX], 1, 1).unwrap();
+        let b = RingMatrix::from_vec(vec![2], 1, 1).unwrap();
+        assert_eq!(a.matmul(&b).unwrap().as_slice(), &[u64::MAX - 1]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = RingMatrix::zeros(2, 3);
+        let b = RingMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.add(&RingMatrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = RingMatrix::from_vec(vec![1, u64::MAX], 1, 2).unwrap();
+        let b = RingMatrix::from_vec(vec![5, 7], 1, 2).unwrap();
+        assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn ring_im2col_matches_float_im2col() {
+        let fp = FixedPoint::default();
+        let geom = Conv2dGeom::new(3, 2, 1, 1);
+        let img = Tensor::rand_uniform(&[1, 2, 6, 6], -2.0, 2.0, 1);
+        let float_cols = im2col(&img, geom).unwrap();
+        let ring_input = fp.encode_tensor(&img);
+        let ring_cols = im2col_ring(&ring_input, 2, 6, 6, geom).unwrap();
+        assert_eq!(ring_cols.rows() * ring_cols.cols(), float_cols.len());
+        for (rv, fv) in ring_cols.as_slice().iter().zip(float_cols.as_slice()) {
+            assert!((fp.decode(*rv) - fv).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ring_im2col_is_additive() {
+        // im2col(x0 + x1) == im2col(x0) + im2col(x1) — the property that
+        // lets each party transform its share locally.
+        let geom = Conv2dGeom::new(3, 1, 1, 1);
+        let mut prg = crate::prg::Prg::from_u64(5);
+        let x: Vec<u64> = prg.next_u64s(2 * 5 * 5);
+        let (s0, s1) = crate::share::share_secret(&x, &mut prg);
+        let full = im2col_ring(&x, 2, 5, 5, geom).unwrap();
+        let c0 = im2col_ring(s0.as_raw(), 2, 5, 5, geom).unwrap();
+        let c1 = im2col_ring(s1.as_raw(), 2, 5, 5, geom).unwrap();
+        assert_eq!(c0.add(&c1).unwrap(), full);
+    }
+}
+
+#[cfg(test)]
+mod ring_proptests {
+    use super::*;
+    use crate::prg::Prg;
+    use proptest::prelude::*;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> RingMatrix {
+        let mut prg = Prg::from_u64(seed);
+        RingMatrix::from_vec(prg.next_u64s(rows * cols), rows, cols).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn matmul_is_associative(m in 1usize..4, k in 1usize..4, n in 1usize..4, p in 1usize..4, seed in any::<u64>()) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 1);
+            let c = random_matrix(n, p, seed ^ 2);
+            let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in any::<u64>()) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 3);
+            let c = random_matrix(k, n, seed ^ 4);
+            let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn matmul_commutes_with_share_reconstruction(k in 1usize..4, n in 1usize..4, seed in any::<u64>()) {
+            // W(X0 + X1) == WX0 + WX1 — the linearity the masked-linear
+            // protocol rests on.
+            let w = random_matrix(2, k, seed);
+            let mut prg = Prg::from_u64(seed ^ 9);
+            let x: Vec<u64> = prg.next_u64s(k * n);
+            let (x0, x1) = crate::share::share_secret(&x, &mut prg);
+            let xm = RingMatrix::from_vec(x, k, n).unwrap();
+            let x0m = RingMatrix::from_vec(x0.into_raw(), k, n).unwrap();
+            let x1m = RingMatrix::from_vec(x1.into_raw(), k, n).unwrap();
+            let full = w.matmul(&xm).unwrap();
+            let split = w.matmul(&x0m).unwrap().add(&w.matmul(&x1m).unwrap()).unwrap();
+            prop_assert_eq!(full, split);
+        }
+    }
+}

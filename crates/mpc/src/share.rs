@@ -1,0 +1,187 @@
+//! Additive secret sharing over `Z_2^64`.
+
+use crate::prg::Prg;
+use serde::{Deserialize, Serialize};
+
+/// One party's additive share of a vector of ring elements: the secret is
+/// the elementwise wrapping sum of the two parties' [`ShareVec`]s.
+///
+/// The type deliberately does **not** expose the plaintext: recovering it
+/// requires both halves via [`reconstruct`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShareVec(Vec<u64>);
+
+impl ShareVec {
+    /// Wraps raw ring elements as a share.
+    pub fn from_raw(values: Vec<u64>) -> Self {
+        ShareVec(values)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the share is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw ring elements (each individually uniform, hence safe to
+    /// transmit).
+    pub fn as_raw(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Consumes the share, returning the raw elements.
+    pub fn into_raw(self) -> Vec<u64> {
+        self.0
+    }
+
+    /// Elementwise wrapping sum of two shares (shares of `x + y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn add(&self, other: &ShareVec) -> ShareVec {
+        assert_eq!(self.len(), other.len(), "share length mismatch");
+        ShareVec(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect(),
+        )
+    }
+
+    /// Elementwise wrapping difference (shares of `x - y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn sub(&self, other: &ShareVec) -> ShareVec {
+        assert_eq!(self.len(), other.len(), "share length mismatch");
+        ShareVec(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(&a, &b)| a.wrapping_sub(b))
+                .collect(),
+        )
+    }
+
+    /// Multiplies by a *public* constant (shares of `c·x`).
+    pub fn scale_public(&self, c: u64) -> ShareVec {
+        ShareVec(self.0.iter().map(|&a| a.wrapping_mul(c)).collect())
+    }
+
+    /// Adds a *public* vector to the share. Exactly one party must do
+    /// this, which the `party_adds` flag makes explicit at call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    pub fn add_public(&self, public: &[u64], party_adds: bool) -> ShareVec {
+        assert_eq!(self.len(), public.len(), "share length mismatch");
+        if party_adds {
+            ShareVec(
+                self.0.iter().zip(public.iter()).map(|(&a, &p)| a.wrapping_add(p)).collect(),
+            )
+        } else {
+            self.clone()
+        }
+    }
+}
+
+/// Splits a secret vector into two uniform additive shares using the
+/// given PRG for the masking randomness.
+pub fn share_secret(secret: &[u64], prg: &mut Prg) -> (ShareVec, ShareVec) {
+    let mask: Vec<u64> = prg.next_u64s(secret.len());
+    let other: Vec<u64> =
+        secret.iter().zip(mask.iter()).map(|(&s, &m)| s.wrapping_sub(m)).collect();
+    (ShareVec(mask), ShareVec(other))
+}
+
+/// Reconstructs the secret from both shares.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn reconstruct(a: &ShareVec, b: &ShareVec) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "share length mismatch");
+    a.0.iter().zip(b.0.iter()).map(|(&x, &y)| x.wrapping_add(y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn share_and_reconstruct_round_trip() {
+        let secret: Vec<u64> = vec![0, 1, u64::MAX, 42, 1 << 63];
+        let mut prg = Prg::from_u64(1);
+        let (a, b) = share_secret(&secret, &mut prg);
+        assert_eq!(reconstruct(&a, &b), secret);
+    }
+
+    #[test]
+    fn single_share_is_masked() {
+        let secret = vec![7u64; 16];
+        let mut prg = Prg::from_u64(2);
+        let (a, _) = share_secret(&secret, &mut prg);
+        // The masked half should not equal the constant secret.
+        assert_ne!(a.as_raw(), secret.as_slice());
+    }
+
+    #[test]
+    fn linear_operations_commute_with_reconstruction() {
+        let x = vec![10u64, 20, 30];
+        let y = vec![1u64, 2, 3];
+        let mut prg = Prg::from_u64(3);
+        let (x0, x1) = share_secret(&x, &mut prg);
+        let (y0, y1) = share_secret(&y, &mut prg);
+        let sum = reconstruct(&x0.add(&y0), &x1.add(&y1));
+        assert_eq!(sum, vec![11, 22, 33]);
+        let diff = reconstruct(&x0.sub(&y0), &x1.sub(&y1));
+        assert_eq!(diff, vec![9, 18, 27]);
+        let scaled = reconstruct(&x0.scale_public(5), &x1.scale_public(5));
+        assert_eq!(scaled, vec![50, 100, 150]);
+    }
+
+    #[test]
+    fn add_public_applies_once() {
+        let x = vec![100u64];
+        let mut prg = Prg::from_u64(4);
+        let (x0, x1) = share_secret(&x, &mut prg);
+        let p = vec![5u64];
+        let r = reconstruct(&x0.add_public(&p, true), &x1.add_public(&p, false));
+        assert_eq!(r, vec![105]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = ShareVec::from_raw(vec![1]);
+        let b = ShareVec::from_raw(vec![1, 2]);
+        a.add(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn reconstruction_is_exact(secret in proptest::collection::vec(any::<u64>(), 1..64), seed in any::<u64>()) {
+            let mut prg = Prg::from_u64(seed);
+            let (a, b) = share_secret(&secret, &mut prg);
+            prop_assert_eq!(reconstruct(&a, &b), secret);
+        }
+
+        #[test]
+        fn shares_of_zero_are_negations(n in 1usize..32, seed in any::<u64>()) {
+            let mut prg = Prg::from_u64(seed);
+            let (a, b) = share_secret(&vec![0u64; n], &mut prg);
+            for (x, y) in a.as_raw().iter().zip(b.as_raw()) {
+                prop_assert_eq!(x.wrapping_add(*y), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Layer`] trait: the unit of composition for every network in the
+//! reproduction.
+
+use crate::{Param, Result};
+use c2pi_tensor::conv::Conv2dGeom;
+use c2pi_tensor::Tensor;
+
+/// A protocol-facing description of a layer: everything a private
+/// inference engine needs to execute the layer under MPC (weights are
+/// cloned, since the server party owns them).
+#[derive(Debug, Clone)]
+pub enum LayerSpec {
+    /// 2-D convolution with server-held weights.
+    Conv2d {
+        /// Weight tensor `[oc, ic, k, k]`.
+        weight: Tensor,
+        /// Bias `[oc]`.
+        bias: Tensor,
+        /// Geometry.
+        geom: Conv2dGeom,
+    },
+    /// Fully connected layer with server-held weights.
+    Linear {
+        /// Weight `[in, out]`.
+        weight: Tensor,
+        /// Bias `[out]`.
+        bias: Tensor,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Max pooling.
+    MaxPool2d {
+        /// Window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling.
+    AvgPool2d {
+        /// Window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Flatten to a feature vector.
+    Flatten,
+    /// Inference-time batch norm folded to a per-channel affine map.
+    Affine {
+        /// Per-channel scale.
+        scale: Vec<f32>,
+        /// Per-channel shift.
+        shift: Vec<f32>,
+    },
+    /// A layer the PI engines cannot execute (description attached).
+    Unsupported(String),
+}
+
+/// Classification of a layer, used by the PI engines to decide which MPC
+/// protocol executes it and by the model zoo to assign paper-style conv
+/// ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Linear operation evaluated with Beaver-triple / HE-style protocols
+    /// (convolutions and fully connected layers).
+    Linear,
+    /// Non-linear comparison-based operation (ReLU, max pooling) requiring
+    /// garbled circuits or OT in the crypto phase.
+    NonLinear,
+    /// Shape-only operation with no secure cost (flatten, upsample).
+    Reshape,
+    /// Local affine operation that folds into an adjacent linear layer
+    /// (batch normalisation, average pooling).
+    Affine,
+}
+
+/// A differentiable network layer.
+///
+/// `forward` caches whatever the corresponding `backward` needs;
+/// `backward` consumes the most recent cache and returns the gradient
+/// with respect to the layer input while accumulating parameter
+/// gradients into [`Layer::params`].
+///
+/// Layers are `Send` so attack training can shard batches across
+/// threads, and boxed layers are cloneable so models can be split at a
+/// boundary without retraining.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (e.g. batch-norm statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Backpropagates `grad_out`, returning the gradient with respect to
+    /// the input of the most recent `forward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingCache`] when called before
+    /// `forward`, or a tensor error on shape mismatch.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Mutable access to learnable parameters (empty for stateless
+    /// layers).
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// The protocol class of this layer.
+    fn kind(&self) -> LayerKind;
+
+    /// A short human-readable description, e.g. `conv2d(3->64, k3 s1 p1)`.
+    fn describe(&self) -> String;
+
+    /// Clones the layer behind a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Drops cached activations (frees memory between attack iterations).
+    fn clear_cache(&mut self);
+
+    /// Protocol-facing description for the PI engines. Layers without a
+    /// secure execution default to [`LayerSpec::Unsupported`].
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Unsupported(self.describe())
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Relu;
+
+    #[test]
+    fn boxed_layers_clone() {
+        let layer: Box<dyn Layer> = Box::new(Relu::new());
+        let copy = layer.clone();
+        assert_eq!(copy.describe(), layer.describe());
+        assert_eq!(copy.kind(), LayerKind::NonLinear);
+    }
+}

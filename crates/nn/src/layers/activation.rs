@@ -1,0 +1,118 @@
+//! ReLU — the non-linearity whose MPC cost motivates the whole paper.
+
+use crate::layer::LayerSpec;
+use crate::{Layer, LayerKind, NnError, Result};
+use c2pi_tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)` elementwise.
+///
+/// In the crypto phase of a PI framework every ReLU costs a garbled
+/// circuit (Delphi) or a batch of OTs (Cheetah); in C2PI's clear phase it
+/// is a single comparison. The layer caches the sign mask for backward.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+    dims: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        let y = x.map(|v| if v > 0.0 { v } else { 0.0 });
+        self.mask = Some(mask);
+        self.dims = x.dims().to_vec();
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or(NnError::MissingCache { layer: "relu" })?;
+        if grad_out.len() != mask.len() {
+            return Err(NnError::BadConfig(format!(
+                "relu backward: gradient has {} elements, cache has {}",
+                grad_out.len(),
+                mask.len()
+            )));
+        }
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, &self.dims)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::NonLinear
+    }
+
+    fn describe(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Relu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = r.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0, 0.0], &[4]).unwrap();
+        r.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[4]).unwrap();
+        let gi = r.backward(&g).unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 20.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // subgradient choice: ReLU'(0) = 0, matching the forward mask v > 0
+        let mut r = Relu::new();
+        r.forward(&Tensor::zeros(&[2]), true).unwrap();
+        let gi = r.backward(&Tensor::full(&[2], 1.0)).unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_twice_errors() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::zeros(&[2]), true).unwrap();
+        r.backward(&Tensor::zeros(&[2])).unwrap();
+        assert!(r.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn mismatched_gradient_rejected() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::zeros(&[4]), true).unwrap();
+        assert!(r.backward(&Tensor::zeros(&[5])).is_err());
+    }
+}

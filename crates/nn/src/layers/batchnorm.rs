@@ -1,0 +1,302 @@
+//! 2-D batch normalisation.
+
+use crate::layer::LayerSpec;
+use crate::{Layer, LayerKind, NnError, Param, Result};
+use c2pi_tensor::Tensor;
+
+/// Per-channel batch normalisation over NCHW activations.
+///
+/// Training mode normalises with batch statistics and updates running
+/// estimates; evaluation mode uses the running estimates, which lets the
+/// PI engines fold the layer into the preceding convolution (it is a
+/// per-channel affine map at inference time, hence [`LayerKind::Affine`]).
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::full(&[channels], 1.0),
+            cache: None,
+        }
+    }
+
+    /// The inference-time per-channel scale `gamma / sqrt(var + eps)`.
+    pub fn folded_scale(&self) -> Vec<f32> {
+        (0..self.channels)
+            .map(|c| {
+                self.gamma.value.as_slice()[c]
+                    / (self.running_var.as_slice()[c] + self.eps).sqrt()
+            })
+            .collect()
+    }
+
+    /// The inference-time per-channel shift `beta - mean * folded_scale`.
+    pub fn folded_shift(&self) -> Vec<f32> {
+        let scale = self.folded_scale();
+        (0..self.channels)
+            .map(|c| self.beta.value.as_slice()[c] - self.running_mean.as_slice()[c] * scale[c])
+            .collect()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = x.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(NnError::BadConfig(format!(
+                "batchnorm expects {} channels, got {c}",
+                self.channels
+            )));
+        }
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = Tensor::zeros(x.dims());
+        if train {
+            let mut x_hat = Tensor::zeros(x.dims());
+            let mut inv_stds = vec![0.0f32; c];
+            for ch in 0..c {
+                let mut mean = 0.0f32;
+                for b in 0..n {
+                    let off = (b * c + ch) * plane;
+                    mean += x.as_slice()[off..off + plane].iter().sum::<f32>();
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for b in 0..n {
+                    let off = (b * c + ch) * plane;
+                    var += x.as_slice()[off..off + plane]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= count;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                inv_stds[ch] = inv_std;
+                let g = self.gamma.value.as_slice()[ch];
+                let bta = self.beta.value.as_slice()[ch];
+                for b in 0..n {
+                    let off = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        let xh = (x.as_slice()[off + i] - mean) * inv_std;
+                        x_hat.as_mut_slice()[off + i] = xh;
+                        out.as_mut_slice()[off + i] = g * xh + bta;
+                    }
+                }
+                self.running_mean.as_mut_slice()[ch] =
+                    (1.0 - self.momentum) * self.running_mean.as_slice()[ch] + self.momentum * mean;
+                self.running_var.as_mut_slice()[ch] =
+                    (1.0 - self.momentum) * self.running_var.as_slice()[ch] + self.momentum * var;
+            }
+            self.cache = Some(BnCache { x_hat, inv_std: inv_stds, dims: x.dims().to_vec() });
+        } else {
+            let scale = self.folded_scale();
+            let shift = self.folded_shift();
+            for b in 0..n {
+                for ch in 0..c {
+                    let off = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        out.as_mut_slice()[off + i] =
+                            x.as_slice()[off + i] * scale[ch] + shift[ch];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache =
+            self.cache.take().ok_or(NnError::MissingCache { layer: "batchnorm2d" })?;
+        let dims = cache.dims.clone();
+        let (n, c, h, w) = c2pi_tensor::Shape::new(&dims).as_nchw()?;
+        if grad_out.dims() != dims.as_slice() {
+            return Err(NnError::BadConfig("batchnorm backward shape mismatch".into()));
+        }
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(&dims);
+        for ch in 0..c {
+            let g = self.gamma.value.as_slice()[ch];
+            let inv_std = cache.inv_std[ch];
+            // Accumulate the three reduction terms of the BN backward formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                let off = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.as_slice()[off + i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.as_slice()[off + i];
+                }
+            }
+            self.beta.grad.as_mut_slice()[ch] += sum_dy;
+            self.gamma.grad.as_mut_slice()[ch] += sum_dy_xhat;
+            for b in 0..n {
+                let off = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.as_slice()[off + i];
+                    let xh = cache.x_hat.as_slice()[off + i];
+                    grad_in.as_mut_slice()[off + i] =
+                        g * inv_std * (dy - sum_dy / count - xh * sum_dy_xhat / count);
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Affine
+    }
+
+    fn describe(&self) -> String {
+        format!("batchnorm2d({})", self.channels)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Affine { scale: self.folded_scale(), shift: self.folded_shift() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_forward_normalises() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform(&[4, 2, 3, 3], 5.0, 9.0, 0);
+        let y = bn.forward(&x, true).unwrap();
+        // Per-channel mean ~0, var ~1 after normalisation with unit gamma.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.at(&[b, ch, i / 3, i % 3]).unwrap());
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::rand_uniform(&[8, 1, 4, 4], 2.0, 4.0, 1);
+        for _ in 0..60 {
+            bn.forward(&x, true).unwrap();
+            bn.clear_cache();
+        }
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.mean().abs() < 0.3);
+    }
+
+    #[test]
+    fn backward_sums_to_zero_per_channel() {
+        // With gamma=1, the BN input gradient for a constant dy is exactly 0
+        // (dy - mean(dy) - x_hat*mean(dy*x_hat) collapses).
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::rand_uniform(&[2, 1, 3, 3], -1.0, 1.0, 2);
+        bn.forward(&x, true).unwrap();
+        let g = bn.backward(&Tensor::full(&[2, 1, 3, 3], 1.0)).unwrap();
+        assert!(g.as_slice().iter().all(|v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::rand_uniform(&[1, 1, 2, 2], -1.0, 1.0, 3);
+        // Use a non-uniform downstream gradient via L = sum(y * w).
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[1, 1, 2, 2]).unwrap();
+        bn.forward(&x, true).unwrap();
+        let gx = bn.backward(&w).unwrap();
+        let eps = 1e-3f32;
+        for probe in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let mut bn2 = BatchNorm2d::new(1);
+            let lp = bn2.forward(&xp, true).unwrap().mul(&w).unwrap().sum();
+            let mut bn3 = BatchNorm2d::new(1);
+            let lm = bn3.forward(&xm, true).unwrap().mul(&w).unwrap().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[probe]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "probe {probe}: {} vs {}",
+                numeric,
+                gx.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn folded_affine_matches_eval_forward() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform(&[4, 2, 3, 3], -2.0, 2.0, 4);
+        bn.forward(&x, true).unwrap();
+        bn.clear_cache();
+        let y = bn.forward(&x, false).unwrap();
+        let scale = bn.folded_scale();
+        let shift = bn.folded_shift();
+        for b in 0..4 {
+            for ch in 0..2 {
+                for i in 0..9 {
+                    let expect =
+                        x.at(&[b, ch, i / 3, i % 3]).unwrap() * scale[ch] + shift[ch];
+                    assert!((y.at(&[b, ch, i / 3, i % 3]).unwrap() - expect).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), true).is_err());
+    }
+}

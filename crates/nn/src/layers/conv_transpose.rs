@@ -1,0 +1,239 @@
+//! Transposed (fractionally strided) convolution, used by the inversion
+//! networks to grow spatial resolution back toward the input image.
+
+use crate::{Layer, LayerKind, NnError, Param, Result};
+use c2pi_tensor::conv::{col2im, im2col, Conv2dGeom};
+use c2pi_tensor::{matmul, Tensor};
+
+/// Transposed 2-D convolution `[n, ic, h, w] -> [n, oc, oh, ow]` with
+/// `oh = (h-1)·stride + kernel - 2·padding`.
+///
+/// Forward is exactly the input-gradient computation of an ordinary
+/// convolution with the same geometry, and backward is that
+/// convolution's forward — both expressed through `im2col`/`col2im`.
+#[derive(Debug, Clone)]
+pub struct ConvTranspose2d {
+    in_channels: usize,
+    out_channels: usize,
+    geom: Conv2dGeom,
+    /// Stored as the *forward-conv* weight layout `[ic, oc, k, k]`.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution with Kaiming-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the channel counts, `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
+        let geom = Conv2dGeom::new(kernel, stride, padding, 1);
+        let fan_in = in_channels * kernel * kernel;
+        ConvTranspose2d {
+            in_channels,
+            out_channels,
+            geom,
+            weight: Param::kaiming(&[in_channels, out_channels, kernel, kernel], fan_in, seed),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let k = self.geom.kernel;
+        let s = self.geom.stride;
+        let p = self.geom.padding;
+        ((h - 1) * s + k - 2 * p, (w - 1) * s + k - 2 * p)
+    }
+
+    fn weight_mat(&self) -> Result<Tensor> {
+        let k = self.geom.kernel;
+        Ok(self.weight.value.reshape(&[self.in_channels, self.out_channels * k * k])?)
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = x.shape().as_nchw()?;
+        if c != self.in_channels {
+            return Err(NnError::BadConfig(format!(
+                "conv_transpose2d expects {} input channels, got {c}",
+                self.in_channels
+            )));
+        }
+        let (oh, ow) = self.output_hw(h, w);
+        let wmat = self.weight_mat()?;
+        let mut items = Vec::with_capacity(n);
+        for b in 0..n {
+            let xm = x.batch_item(b)?.reshape(&[self.in_channels, h * w])?;
+            // cols = Wᵀ × x: [oc·k·k, h·w]
+            let cols = matmul::matmul_at(&wmat, &xm)?;
+            let mut out = col2im(&cols, self.out_channels, oh, ow, self.geom)?;
+            for o in 0..self.out_channels {
+                let bv = self.bias.value.as_slice()[o];
+                for v in &mut out.as_mut_slice()[o * oh * ow..(o + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+            items.push(out);
+        }
+        self.cached_input = Some(x.clone());
+        Ok(Tensor::stack_batch(&items)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or(NnError::MissingCache { layer: "conv_transpose2d" })?;
+        let (n, _, h, w) = x.shape().as_nchw()?;
+        let wmat = self.weight_mat()?;
+        let k = self.geom.kernel;
+        let mut grad_items = Vec::with_capacity(n);
+        let mut wgrad = Tensor::zeros(&[self.in_channels, self.out_channels * k * k]);
+        let mut bgrad = Tensor::zeros(&[self.out_channels]);
+        let (_, goc, goh, gow) = grad_out.shape().as_nchw()?;
+        if goc != self.out_channels {
+            return Err(NnError::BadConfig("conv_transpose2d backward shape mismatch".into()));
+        }
+        for b in 0..n {
+            let gb = grad_out.batch_item(b)?;
+            let gcols = im2col(&gb, self.geom)?; // [oc·k·k, h·w]
+            let xm = x.batch_item(b)?.reshape(&[self.in_channels, h * w])?;
+            // dX = W × gcols (an ordinary conv forward on the gradient)
+            let gx = wmat.matmul(&gcols)?;
+            grad_items.push(gx.reshape(&[1, self.in_channels, h, w])?);
+            // dW += x × gcolsᵀ
+            wgrad.add_assign_scaled(&matmul::matmul_bt(&xm, &gcols)?, 1.0)?;
+            // db += spatial sums of the output gradient
+            for o in 0..self.out_channels {
+                bgrad.as_mut_slice()[o] += gb.as_slice()
+                    [o * goh * gow..(o + 1) * goh * gow]
+                    .iter()
+                    .sum::<f32>();
+            }
+        }
+        self.weight.grad.add_assign_scaled(
+            &wgrad.reshape(&[self.in_channels, self.out_channels, k, k])?,
+            1.0,
+        )?;
+        self.bias.grad.add_assign_scaled(&bgrad, 1.0)?;
+        Ok(Tensor::stack_batch(&grad_items)?)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv_transpose2d({}->{}, k{} s{} p{})",
+            self.in_channels,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_doubles_with_stride2_k2() {
+        let ct = ConvTranspose2d::new(4, 2, 2, 2, 0, 0);
+        assert_eq!(ct.output_hw(8, 8), (16, 16));
+    }
+
+    #[test]
+    fn same_size_with_k3_s1_p1() {
+        let ct = ConvTranspose2d::new(2, 2, 3, 1, 1, 0);
+        assert_eq!(ct.output_hw(8, 8), (8, 8));
+    }
+
+    #[test]
+    fn forward_shape_is_correct() {
+        let mut ct = ConvTranspose2d::new(4, 2, 2, 2, 0, 1);
+        let x = Tensor::rand_uniform(&[2, 4, 5, 5], -1.0, 1.0, 2);
+        let y = ct.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 2, 10, 10]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut ct = ConvTranspose2d::new(2, 3, 2, 2, 0, 3);
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, 4);
+        let y = ct.forward(&x, true).unwrap();
+        let gx = ct.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        let eps = 1e-2f32;
+        for probe in [0usize, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (ct.forward(&xp, true).unwrap().sum() - ct.forward(&xm, true).unwrap().sum())
+                    / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[probe]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut ct = ConvTranspose2d::new(1, 1, 2, 2, 0, 5);
+        let x = Tensor::rand_uniform(&[1, 1, 3, 3], -1.0, 1.0, 6);
+        let y = ct.forward(&x, true).unwrap();
+        ct.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        let analytic = ct.weight.grad.clone();
+        let eps = 1e-2f32;
+        for probe in 0..analytic.len() {
+            let orig = ct.weight.value.as_slice()[probe];
+            ct.weight.value.as_mut_slice()[probe] = orig + eps;
+            let lp = ct.forward(&x, true).unwrap().sum();
+            ct.weight.value.as_mut_slice()[probe] = orig - eps;
+            let lm = ct.forward(&x, true).unwrap().sum();
+            ct.weight.value.as_mut_slice()[probe] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - analytic.as_slice()[probe]).abs() < 2e-2 * (1.0 + numeric.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_inverts_conv_shape() {
+        // conv k3 s2 p1 on 7x7 gives 4x4; the matching transpose maps back
+        // to 7x7 when kernel/stride/padding chosen appropriately.
+        let geom_down = Conv2dGeom::new(3, 2, 1, 1);
+        let (oh, ow) = geom_down.output_hw(7, 7).unwrap();
+        assert_eq!((oh, ow), (4, 4));
+        let ct = ConvTranspose2d::new(1, 1, 3, 2, 1, 7);
+        assert_eq!(ct.output_hw(oh, ow), (7, 7));
+    }
+}

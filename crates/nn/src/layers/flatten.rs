@@ -1,0 +1,73 @@
+//! Flatten: NCHW activations to `[n, c·h·w]` feature matrices.
+
+use crate::layer::LayerSpec;
+use crate::{Layer, LayerKind, NnError, Result};
+use c2pi_tensor::Tensor;
+
+/// Reshapes `[n, c, h, w]` into `[n, c·h·w]` for the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = x.shape().as_nchw()?;
+        self.input_dims = Some(x.dims().to_vec());
+        Ok(x.reshape(&[n, c * h * w])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims =
+            self.input_dims.take().ok_or(NnError::MissingCache { layer: "flatten" })?;
+        Ok(grad_out.reshape(&dims)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+
+    fn describe(&self) -> String {
+        "flatten".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.input_dims = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Flatten
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::rand_uniform(&[2, 3, 4, 4], -1.0, 1.0, 0);
+        let y = f.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn rejects_non_nchw() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[2, 3]), false).is_err());
+    }
+}

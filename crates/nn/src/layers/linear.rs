@@ -1,0 +1,183 @@
+//! Fully connected layer.
+
+use crate::layer::LayerSpec;
+use crate::{Layer, LayerKind, NnError, Param, Result};
+use c2pi_tensor::{matmul, Tensor};
+
+/// A fully connected layer `[n, in] -> [n, out]` with bias.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-initialised weights
+    /// `[in, out]` and zero bias `[out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "features must be positive");
+        Linear {
+            in_features,
+            out_features,
+            weight: Param::kaiming(&[in_features, out_features], in_features, seed),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable view of the weight `[in, out]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let (n, f) = x.shape().as_matrix()?;
+        if f != self.in_features {
+            return Err(NnError::BadConfig(format!(
+                "linear expects {} features, got {f}",
+                self.in_features
+            )));
+        }
+        let mut y = x.matmul(&self.weight.value)?;
+        for i in 0..n {
+            for (j, v) in
+                y.as_mut_slice()[i * self.out_features..(i + 1) * self.out_features]
+                    .iter_mut()
+                    .enumerate()
+            {
+                *v += self.bias.value.as_slice()[j];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .take()
+            .ok_or(NnError::MissingCache { layer: "linear" })?;
+        let (n, _) = grad_out.shape().as_matrix()?;
+        // dW += xᵀ × g  — matmul_at treats x as already-transposed.
+        let wgrad = matmul::matmul_at(&x, grad_out)?;
+        self.weight.grad.add_assign_scaled(&wgrad, 1.0)?;
+        // db += column sums of g.
+        for i in 0..n {
+            for j in 0..self.out_features {
+                self.bias.grad.as_mut_slice()[j] +=
+                    grad_out.as_slice()[i * self.out_features + j];
+            }
+        }
+        // dX = g × Wᵀ.
+        Ok(matmul::matmul_bt(grad_out, &self.weight.value)?)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn describe(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Linear { weight: self.weight.value.clone(), bias: self.bias.value.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::new(2, 2, 0);
+        l.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        l.bias.value = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = l.forward(&x, false).unwrap();
+        assert_eq!(y.as_slice(), &[14.0, 26.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut l = Linear::new(4, 3, 1);
+        let x = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, 2);
+        let y = l.forward(&x, true).unwrap();
+        let gx = l.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        let eps = 1e-3f32;
+        // input gradient
+        for probe in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (l.forward(&xp, true).unwrap().sum() - l.forward(&xm, true).unwrap().sum())
+                    / (2.0 * eps);
+            assert!((numeric - gx.as_slice()[probe]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn weight_grad_accumulates_across_backwards() {
+        let mut l = Linear::new(2, 2, 3);
+        let x = Tensor::rand_uniform(&[1, 2], -1.0, 1.0, 4);
+        for _ in 0..2 {
+            let y = l.forward(&x, true).unwrap();
+            l.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        }
+        let once = {
+            let mut l2 = Linear::new(2, 2, 3);
+            let y = l2.forward(&x, true).unwrap();
+            l2.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+            l2.weight.grad.clone()
+        };
+        for (a, b) in l.weight.grad.as_slice().iter().zip(once.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn feature_mismatch_rejected() {
+        let mut l = Linear::new(4, 3, 5);
+        assert!(l.forward(&Tensor::zeros(&[1, 5]), false).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = Linear::new(2, 2, 6);
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+}

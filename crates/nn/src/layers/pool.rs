@@ -1,0 +1,176 @@
+//! Max and average pooling layers.
+
+use crate::layer::LayerSpec;
+use crate::{Layer, LayerKind, NnError, Result};
+use c2pi_tensor::pool;
+use c2pi_tensor::Tensor;
+
+/// 2-D max pooling (square window, equal stride).
+///
+/// Max pooling is comparison-based, so like ReLU it belongs to the
+/// expensive non-linear protocol class in the crypto phase.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+        MaxPool2d { window, stride, cache: None }
+    }
+
+    /// Window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let out = pool::max_pool2d(x, self.window, self.stride)?;
+        self.cache = Some((out.argmax, x.dims().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (argmax, dims) =
+            self.cache.take().ok_or(NnError::MissingCache { layer: "max_pool2d" })?;
+        Ok(pool::max_pool2d_backward(grad_out, &argmax, &dims)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::NonLinear
+    }
+
+    fn describe(&self) -> String {
+        format!("max_pool2d(w{} s{})", self.window, self.stride)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool2d { window: self.window, stride: self.stride }
+    }
+}
+
+/// 2-D average pooling (square window, equal stride).
+///
+/// Linear in its input, so the PI engines treat it as a cheap affine
+/// operation.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+        AvgPool2d { window, stride, input_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let y = pool::avg_pool2d(x, self.window, self.stride)?;
+        self.input_dims = Some(x.dims().to_vec());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims =
+            self.input_dims.take().ok_or(NnError::MissingCache { layer: "avg_pool2d" })?;
+        Ok(pool::avg_pool2d_backward(grad_out, &dims, self.window, self.stride)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Affine
+    }
+
+    fn describe(&self) -> String {
+        format!("avg_pool2d(w{} s{})", self.window, self.stride)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.input_dims = None;
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::AvgPool2d { window: self.window, stride: self.stride }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_halves_spatial_size() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::rand_uniform(&[1, 2, 8, 8], -1.0, 1.0, 0);
+        let y = p.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_gradient_is_sparse() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, 1);
+        let y = p.forward(&x, true).unwrap();
+        let g = p.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        let nonzero = g.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 4); // one winner per window
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_forward_and_backward() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::full(&[1, 1, 4, 4], 8.0);
+        let y = p.forward(&x, true).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (v - 8.0).abs() < 1e-6));
+        let g = p.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn kinds_reflect_protocol_class() {
+        assert_eq!(MaxPool2d::new(2, 2).kind(), LayerKind::NonLinear);
+        assert_eq!(AvgPool2d::new(2, 2).kind(), LayerKind::Affine);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(AvgPool2d::new(2, 2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! ResNet basic block — the building block of the EINA and DINA
+//! inversion models (He et al., CVPR 2016).
+
+use crate::{Layer, LayerKind, NnError, Param, Result};
+use c2pi_tensor::Tensor;
+
+use super::{Conv2d, Relu};
+
+/// A two-convolution residual block with ReLU activations:
+///
+/// `y = relu(conv2(relu(conv1(x))) + shortcut(x))`
+///
+/// where `shortcut` is the identity when the channel counts agree and a
+/// 1×1 convolution otherwise. Both convolutions are 3×3, stride 1,
+/// padding 1, so spatial dimensions are preserved.
+#[derive(Debug, Clone)]
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    shortcut: Option<Conv2d>,
+    final_mask: Option<Vec<bool>>,
+    out_dims: Vec<usize>,
+}
+
+impl ResidualBlock {
+    /// Creates a basic block mapping `in_channels` to `out_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either channel count is zero.
+    pub fn new(in_channels: usize, out_channels: usize, seed: u64) -> Self {
+        let shortcut = if in_channels == out_channels {
+            None
+        } else {
+            Some(Conv2d::new(in_channels, out_channels, 1, 1, 0, 1, seed.wrapping_add(2)))
+        };
+        ResidualBlock {
+            conv1: Conv2d::new(in_channels, out_channels, 3, 1, 1, 1, seed),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(out_channels, out_channels, 3, 1, 1, 1, seed.wrapping_add(1)),
+            shortcut,
+            final_mask: None,
+            out_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let h = self.conv1.forward(x, train)?;
+        let h = self.relu1.forward(&h, train)?;
+        let h = self.conv2.forward(&h, train)?;
+        let skip = match &mut self.shortcut {
+            Some(c) => c.forward(x, train)?,
+            None => x.clone(),
+        };
+        let pre = h.add(&skip)?;
+        let mask: Vec<bool> = pre.as_slice().iter().map(|&v| v > 0.0).collect();
+        let y = pre.map(|v| if v > 0.0 { v } else { 0.0 });
+        self.final_mask = Some(mask);
+        self.out_dims = y.dims().to_vec();
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .final_mask
+            .take()
+            .ok_or(NnError::MissingCache { layer: "residual_block" })?;
+        if grad_out.len() != mask.len() {
+            return Err(NnError::BadConfig("residual backward shape mismatch".into()));
+        }
+        let gated = Tensor::from_vec(
+            grad_out
+                .as_slice()
+                .iter()
+                .zip(mask.iter())
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+            &self.out_dims,
+        )?;
+        // Main path.
+        let g = self.conv2.backward(&gated)?;
+        let g = self.relu1.backward(&g)?;
+        let g_main = self.conv1.backward(&g)?;
+        // Skip path.
+        let g_skip = match &mut self.shortcut {
+            Some(c) => c.backward(&gated)?,
+            None => gated,
+        };
+        Ok(g_main.add(&g_skip)?)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.conv1.params();
+        ps.extend(self.conv2.params());
+        if let Some(c) = &mut self.shortcut {
+            ps.extend(c.params());
+        }
+        ps
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::NonLinear
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "residual_block({}->{}{})",
+            self.conv1.in_channels(),
+            self.conv1.out_channels(),
+            if self.shortcut.is_some() { ", 1x1 shortcut" } else { "" }
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.conv1.clear_cache();
+        self.relu1.clear_cache();
+        self.conv2.clear_cache();
+        if let Some(c) = &mut self.shortcut {
+            c.clear_cache();
+        }
+        self.final_mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_shortcut_preserves_shape() {
+        let mut rb = ResidualBlock::new(4, 4, 0);
+        let x = Tensor::rand_uniform(&[2, 4, 6, 6], -1.0, 1.0, 1);
+        let y = rb.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        assert!(rb.describe().contains("4->4"));
+        assert_eq!(rb.params().len(), 4); // two convs, weight+bias each
+    }
+
+    #[test]
+    fn projection_shortcut_changes_channels() {
+        let mut rb = ResidualBlock::new(2, 6, 0);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, 2);
+        let y = rb.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 6, 5, 5]);
+        assert_eq!(rb.params().len(), 6); // plus the 1x1 projection
+    }
+
+    #[test]
+    fn output_is_nonnegative() {
+        let mut rb = ResidualBlock::new(3, 3, 5);
+        let x = Tensor::rand_uniform(&[1, 3, 4, 4], -2.0, 2.0, 3);
+        let y = rb.forward(&x, false).unwrap();
+        assert!(y.min() >= 0.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rb = ResidualBlock::new(2, 2, 7);
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, 8);
+        let y = rb.forward(&x, true).unwrap();
+        let gx = rb.backward(&Tensor::full(y.dims(), 1.0)).unwrap();
+        let eps = 1e-2f32;
+        for probe in [0usize, 13, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let numeric =
+                (rb.forward(&xp, true).unwrap().sum() - rb.forward(&xm, true).unwrap().sum())
+                    / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[probe]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "probe {probe}: {} vs {}",
+                numeric,
+                gx.as_slice()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rb = ResidualBlock::new(2, 2, 9);
+        assert!(rb.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+}

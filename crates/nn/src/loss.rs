@@ -1,0 +1,169 @@
+//! Loss functions: value plus input gradient in one call.
+
+use crate::{NnError, Result};
+use c2pi_tensor::Tensor;
+
+/// Mean-squared-error loss `L = mean((pred - target)²)`.
+///
+/// Returns `(loss, dL/dpred)`. This is the workhorse of every IDPA: MLA
+/// minimises activation MSE, and the inversion attacks minimise image
+/// (and distillation) MSE.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    if pred.dims() != target.dims() {
+        return Err(NnError::BadConfig(format!(
+            "mse shapes differ: {:?} vs {:?}",
+            pred.dims(),
+            target.dims()
+        )));
+    }
+    let n = pred.len().max(1) as f32;
+    let loss = pred.mse(target)?;
+    let grad = pred.sub(target)?.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// Numerically stable row-wise softmax of a logits matrix `[n, k]`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-2 input.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    let (n, k) = logits.shape().as_matrix()?;
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for (j, e) in exps.iter().enumerate() {
+            out.as_mut_slice()[i * k + j] = e / z;
+        }
+    }
+    Ok(out)
+}
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// Returns `(mean loss, dL/dlogits)` — the gradient is the standard
+/// `(softmax - onehot) / n`.
+///
+/// # Errors
+///
+/// Returns an error when the label count differs from the batch size or
+/// a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let (n, k) = logits.shape().as_matrix()?;
+    if labels.len() != n {
+        return Err(NnError::BadConfig(format!(
+            "{} labels for batch of {n}",
+            labels.len()
+        )));
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= k {
+            return Err(NnError::BadConfig(format!("label {label} out of range {k}")));
+        }
+        let p = probs.as_slice()[i * k + label].max(1e-12);
+        loss -= p.ln();
+        grad.as_mut_slice()[i * k + label] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    Ok((loss * scale, grad.scale(scale)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let t = Tensor::rand_uniform(&[4], -1.0, 1.0, 0);
+        let (l, g) = mse(&t, &t).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let p = Tensor::rand_uniform(&[6], -1.0, 1.0, 1);
+        let t = Tensor::rand_uniform(&[6], -1.0, 1.0, 2);
+        let (_, g) = mse(&p, &t).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let numeric = (mse(&pp, &t).unwrap().0 - mse(&pm, &t).unwrap().0) / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_rejects_shape_mismatch() {
+        assert!(mse(&Tensor::zeros(&[3]), &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::rand_uniform(&[5, 7], -3.0, 3.0, 3);
+        let p = softmax(&logits).unwrap();
+        for i in 0..5 {
+            let s: f32 = p.as_slice()[i * 7..(i + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.map(|v| v + 100.0);
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Tensor::from_vec(vec![5.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let bad = Tensor::from_vec(vec![0.0, 5.0, 0.0], &[1, 3]).unwrap();
+        let (lg, _) = softmax_cross_entropy(&good, &[0]).unwrap();
+        let (lb, _) = softmax_cross_entropy(&bad, &[0]).unwrap();
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, 4);
+        let labels = [1usize, 3];
+        let (_, g) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let numeric = (softmax_cross_entropy(&lp, &labels).unwrap().0
+                - softmax_cross_entropy(&lm, &labels).unwrap().0)
+                / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Optimizers: SGD with momentum (used to train the paper's inversion
+//! models) and Adam (used by MLA's input-space descent and classifier
+//! training).
+
+use crate::Param;
+use c2pi_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// The paper trains EINA/DINA inversion models with SGD at learning rate
+/// `0.001`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then leaves the gradients untouched (call `zero_grad`
+    /// separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set changes shape between steps.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            assert_eq!(v.dims(), p.value.dims(), "parameter set changed between steps");
+            for ((vi, &g), w) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice().iter())
+                .zip(p.value.as_mut_slice().iter_mut())
+            {
+                *vi = self.momentum * *vi + g;
+                *w -= self.lr * *vi;
+            }
+        }
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most
+/// `max_norm`, returning the pre-clip norm. Standard protection against
+/// the exploding gradients of deep decoder training.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad.sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad = p.grad.scale(scale);
+        }
+    }
+    norm
+}
+
+/// Adam optimizer (Kingma & Ba) — used for MLA's 10 000-iteration
+/// input-space optimisation where plain SGD converges too slowly.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one Adam step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set changes shape between steps.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            assert_eq!(m.dims(), p.value.dims(), "parameter set changed between steps");
+            for (((mi, vi), &g), w) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice().iter_mut())
+                .zip(p.grad.as_slice().iter())
+                .zip(p.value.as_mut_slice().iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(w) = (w - 3)² with each optimizer.
+    fn quadratic_descent(optim: &mut dyn FnMut(&mut [&mut Param]), steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        for _ in 0..steps {
+            let w = p.value.as_slice()[0];
+            p.grad = Tensor::from_vec(vec![2.0 * (w - 3.0)], &[1]).unwrap();
+            optim(&mut [&mut p]);
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let w = quadratic_descent(&mut |ps| sgd.step(ps), 100);
+        assert!((w - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut momentum = Sgd::new(0.01, 0.9);
+        let w_plain = quadratic_descent(&mut |ps| plain.step(ps), 50);
+        let w_mom = quadratic_descent(&mut |ps| momentum.step(ps), 50);
+        assert!((w_mom - 3.0).abs() < (w_plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.3);
+        let w = quadratic_descent(&mut |ps| adam.step(ps), 200);
+        assert!((w - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_handles_sparse_gradients() {
+        // One coordinate gets gradients rarely; Adam should still move it.
+        let mut adam = Adam::new(0.1);
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        for t in 0..100 {
+            let w = p.value.as_slice().to_vec();
+            let g0 = 2.0 * (w[0] - 1.0);
+            let g1 = if t % 10 == 0 { 2.0 * (w[1] - 1.0) } else { 0.0 };
+            p.grad = Tensor::from_vec(vec![g0, g1], &[2]).unwrap();
+            adam.step(&mut [&mut p]);
+        }
+        assert!((p.value.as_slice()[0] - 1.0).abs() < 0.05);
+        assert!(p.value.as_slice()[1] > 0.3);
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut sgd = Sgd::new(0.0, 0.0);
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad = Tensor::full(&[1], 1.0);
+        sgd.step(&mut [&mut p]);
+        assert_eq!(p.value.as_slice()[0], 0.0); // lr 0: no movement
+        sgd.set_lr(1.0);
+        sgd.step(&mut [&mut p]);
+        assert_eq!(p.value.as_slice()[0], -1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Learnable parameters: a value tensor plus its accumulated gradient.
+
+use c2pi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A learnable parameter: the current value and the gradient accumulated
+/// by the most recent backward pass(es).
+///
+/// Optimizers consume `grad` and update `value`; [`Param::zero_grad`]
+/// resets accumulation between steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Kaiming-He initialisation for a weight with `fan_in` inputs —
+    /// the standard choice for ReLU networks like the paper's models.
+    pub fn kaiming(dims: &[usize], fan_in: usize, seed: u64) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Param::new(Tensor::rand_normal(dims, 0.0, std, seed))
+    }
+
+    /// Xavier/Glorot uniform initialisation.
+    pub fn xavier(dims: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Self {
+        let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Param::new(Tensor::rand_uniform(dims, -bound, bound, seed))
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.dims());
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::full(&[3, 3], 1.0));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 9);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn kaiming_scale_tracks_fan_in() {
+        let small_fan = Param::kaiming(&[64, 4], 4, 1);
+        let large_fan = Param::kaiming(&[64, 400], 400, 1);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            t.map(|v| (v - m) * (v - m)).mean().sqrt()
+        };
+        assert!(std(&small_fan.value) > std(&large_fan.value));
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        p.grad = Tensor::full(&[2], 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let p = Param::xavier(&[100], 50, 50, 2);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(p.value.max() <= bound && p.value.min() >= -bound);
+    }
+}

@@ -1,0 +1,184 @@
+//! Checkpointing: save and load a model's parameters in a small
+//! self-describing binary format (magic, version, tensor count, then
+//! `rank, dims…, f32 data` per tensor, all little-endian).
+//!
+//! The format stores only the *state dict* — the architecture is code,
+//! as in most deep-learning frameworks.
+
+use crate::{NnError, Result, Sequential};
+use c2pi_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"C2PICKPT";
+const VERSION: u32 = 1;
+
+/// Serializes a state dict to a writer.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_state_dict<W: Write>(mut w: W, state: &[Tensor]) -> Result<()> {
+    let io = |e: std::io::Error| NnError::BadConfig(format!("checkpoint write: {e}"));
+    w.write_all(MAGIC).map_err(io)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io)?;
+    w.write_all(&(state.len() as u64).to_le_bytes()).map_err(io)?;
+    for t in state {
+        w.write_all(&(t.dims().len() as u32).to_le_bytes()).map_err(io)?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes()).map_err(io)?;
+        }
+        for &v in t.as_slice() {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a state dict from a reader.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic/version, or a corrupt
+/// layout.
+pub fn read_state_dict<R: Read>(mut r: R) -> Result<Vec<Tensor>> {
+    let io = |e: std::io::Error| NnError::BadConfig(format!("checkpoint read: {e}"));
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(NnError::BadConfig("not a c2pi checkpoint (bad magic)".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4).map_err(io)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(NnError::BadConfig(format!("unsupported checkpoint version {version}")));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8).map_err(io)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+    if count > 1 << 20 {
+        return Err(NnError::BadConfig(format!("implausible tensor count {count}")));
+    }
+    let mut state = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut buf4).map_err(io)?;
+        let rank = u32::from_le_bytes(buf4) as usize;
+        if rank > 8 {
+            return Err(NnError::BadConfig(format!("implausible tensor rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut buf8).map_err(io)?;
+            dims.push(u64::from_le_bytes(buf8) as usize);
+        }
+        let volume: usize = dims.iter().product();
+        if volume > 1 << 28 {
+            return Err(NnError::BadConfig(format!("implausible tensor volume {volume}")));
+        }
+        let mut data = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            r.read_exact(&mut buf4).map_err(io)?;
+            data.push(f32::from_le_bytes(buf4));
+        }
+        state.push(Tensor::from_vec(data, &dims)?);
+    }
+    Ok(state)
+}
+
+/// Saves a network's parameters to a file.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn save(net: &mut Sequential, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| NnError::BadConfig(format!("checkpoint create: {e}")))?;
+    write_state_dict(std::io::BufWriter::new(file), &net.state_dict())
+}
+
+/// Loads parameters from a file into a network with matching
+/// architecture.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or parameter-shape mismatch.
+pub fn load(net: &mut Sequential, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| NnError::BadConfig(format!("checkpoint open: {e}")))?;
+    let state = read_state_dict(std::io::BufReader::new(file))?;
+    net.load_state_dict(&state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Flatten, Linear, Relu};
+
+    fn net() -> Sequential {
+        let mut s = Sequential::new();
+        s.push(Conv2d::new(1, 2, 3, 1, 1, 1, 1));
+        s.push(Relu::new());
+        s.push(Flatten::new());
+        s.push(Linear::new(2 * 4 * 4, 3, 2));
+        s
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let mut a = net();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &a.state_dict()).unwrap();
+        let state = read_state_dict(buf.as_slice()).unwrap();
+        let mut b = net();
+        for p in b.params() {
+            p.value.map_inplace(|v| v + 1.0);
+        }
+        b.load_state_dict(&state).unwrap();
+        let x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, 3);
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("c2pi_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut a = net();
+        save(&mut a, &path).unwrap();
+        let mut b = net();
+        for p in b.params() {
+            p.value.map_inplace(|v| v * 2.0 + 0.5);
+        }
+        load(&mut b, &path).unwrap();
+        let x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, 4);
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTACKPT\x01\x00\x00\x00".to_vec();
+        assert!(read_state_dict(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut a = net();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &a.state_dict()).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_state_dict(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_architecture_rejected_on_load() {
+        let mut a = net();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &a.state_dict()).unwrap();
+        let state = read_state_dict(buf.as_slice()).unwrap();
+        let mut tiny = Sequential::new();
+        tiny.push(Linear::new(2, 2, 0));
+        assert!(tiny.load_state_dict(&state).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Analytic cost model for the HE offline phases (DESIGN.md §3).
+//!
+//! What the engines execute online is measured exactly by the channel;
+//! what real Delphi/Cheetah do *offline* with homomorphic encryption —
+//! shipping `Enc(r)` / `Enc(W·r − s)` ciphertexts and evaluating the
+//! linear layers homomorphically — is charged here from first-order
+//! parameters (ciphertext size, slot count, per-MAC evaluation time).
+//! The constants are chosen so the *relative* magnitudes match the
+//! published systems: Delphi's offline dominates its end-to-end cost,
+//! Cheetah's lattice pipeline is roughly an order of magnitude leaner.
+
+use crate::report::OpCounts;
+use c2pi_transport::{Side, TrafficSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// First-order offline cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineCostModel {
+    /// Serialized ciphertext size in bytes.
+    pub ct_bytes: u64,
+    /// Plaintext slots per ciphertext.
+    pub slots: usize,
+    /// Homomorphic evaluation time per multiply-accumulate, seconds.
+    pub sec_per_mac: f64,
+    /// Setup bytes per correlated-randomness bit (silent-OT seeds /
+    /// triple material shipped offline).
+    pub bytes_per_bit_triple: f64,
+    /// Garbling + transfer time per AND gate shipped offline, seconds
+    /// (zero when the backend has no GC component).
+    pub sec_per_and_gate: f64,
+}
+
+impl OfflineCostModel {
+    /// Delphi-like parameters: SEAL BFV at n=8192 — 128 KiB ciphertexts,
+    /// 4096 slots, slow rotation-heavy convolutions, garbled circuits
+    /// prepared offline.
+    pub fn delphi() -> Self {
+        OfflineCostModel {
+            ct_bytes: 131_072,
+            slots: 4096,
+            sec_per_mac: 2.0e-7,
+            bytes_per_bit_triple: 0.0,
+            sec_per_and_gate: 2.0e-7,
+        }
+    }
+
+    /// Cheetah-like parameters: leaner lattice encoding without
+    /// rotations — smaller ciphertexts and roughly 10× faster
+    /// homomorphic linear algebra; silent-OT setup for the non-linear
+    /// correlations.
+    pub fn cheetah() -> Self {
+        OfflineCostModel {
+            ct_bytes: 32_768,
+            slots: 4096,
+            sec_per_mac: 2.0e-8,
+            bytes_per_bit_triple: 0.125,
+            sec_per_and_gate: 0.0,
+        }
+    }
+
+    /// Modelled offline traffic for the accumulated operation counts.
+    /// Ciphertexts flow both ways for each linear layer (`Enc(r)` up,
+    /// `Enc(W·r − s)` down).
+    pub fn offline_traffic(&self, counts: &OpCounts) -> TrafficSnapshot {
+        let cts_up: u64 =
+            counts.linear_in_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
+        let cts_down: u64 =
+            counts.linear_out_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
+        let triple_bytes = (counts.bit_triples as f64 * self.bytes_per_bit_triple) as u64;
+        TrafficSnapshot {
+            bytes_client_to_server: cts_up * self.ct_bytes,
+            bytes_server_to_client: cts_down * self.ct_bytes + triple_bytes,
+            messages: cts_up + cts_down,
+            // One round trip per linear layer's ciphertext exchange.
+            flights: 2 * counts.linear_in_elems.len() as u64,
+        }
+    }
+
+    /// Modelled offline compute seconds.
+    pub fn offline_seconds(&self, counts: &OpCounts) -> f64 {
+        counts.macs as f64 * self.sec_per_mac
+            + counts.and_gates as f64 * self.sec_per_and_gate
+    }
+
+    /// Charges the modelled traffic onto a live counter as phantom bytes
+    /// (used when a single counter should reflect the full protocol).
+    pub fn charge(
+        &self,
+        counter: &c2pi_transport::TrafficCounter,
+        counts: &OpCounts,
+    ) -> TrafficSnapshot {
+        let t = self.offline_traffic(counts);
+        counter.charge_phantom(Side::Client, t.bytes_client_to_server, t.flights / 2);
+        counter.charge_phantom(Side::Server, t.bytes_server_to_client, t.flights - t.flights / 2);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> OpCounts {
+        OpCounts {
+            linear_in_elems: vec![3 * 32 * 32, 4096],
+            linear_out_elems: vec![64 * 32 * 32, 512],
+            macs: 1_000_000,
+            relu_elems: 2048,
+            pool_windows: 512,
+            bit_triples: 2048 * 187,
+            and_gates: 0,
+        }
+    }
+
+    #[test]
+    fn delphi_offline_dwarfs_cheetah() {
+        let c = counts();
+        let d = OfflineCostModel::delphi();
+        let ch = OfflineCostModel::cheetah();
+        assert!(d.offline_traffic(&c).bytes_total() > 2 * ch.offline_traffic(&c).bytes_total());
+        assert!(d.offline_seconds(&c) > 5.0 * ch.offline_seconds(&c));
+    }
+
+    #[test]
+    fn traffic_scales_with_layer_sizes() {
+        let small = OpCounts { linear_in_elems: vec![100], linear_out_elems: vec![100], ..counts() };
+        let big = OpCounts {
+            linear_in_elems: vec![100_000],
+            linear_out_elems: vec![100_000],
+            ..counts()
+        };
+        let m = OfflineCostModel::delphi();
+        assert!(m.offline_traffic(&big).bytes_total() > m.offline_traffic(&small).bytes_total());
+    }
+
+    #[test]
+    fn zero_counts_cost_nothing() {
+        let zero = OpCounts::default();
+        let m = OfflineCostModel::cheetah();
+        assert_eq!(m.offline_traffic(&zero).bytes_total(), 0);
+        assert_eq!(m.offline_seconds(&zero), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # c2pi-pi
+//!
+//! Two-party private-inference engines over the `c2pi-mpc` substrate:
+//!
+//! * [`engine::PiBackend::Delphi`] — linear layers via the masked-linear
+//!   protocol, non-linear layers (ReLU, max pool) via garbled circuits;
+//! * [`engine::PiBackend::Cheetah`] — the same linear protocol (its HE
+//!   offline modelled more cheaply) with comparison-based non-linear
+//!   layers whose online traffic is two orders of magnitude leaner.
+//!
+//! [`engine::run_prefix`] executes the crypto-layer prefix of a model on
+//! a client-held input: both parties run as real threads exchanging
+//! bytes through a counted channel; the result is a pair of additive
+//! shares of the boundary activation plus a [`report::PiReport`] that a
+//! [`c2pi_transport::NetModel`] converts into Table-II-style latency and
+//! communication numbers.
+//!
+//! The offline phases that real Delphi/Cheetah run with homomorphic
+//! encryption are charged analytically by [`cost::OfflineCostModel`]
+//! (see DESIGN.md §3 for the substitution argument).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod report;
+
+pub use engine::{run_prefix, PiBackend, PiConfig, PiOutcome};
+pub use error::PiError;
+pub use report::{OpCounts, PiReport};
+
+/// Convenience result alias for PI operations.
+pub type Result<T> = std::result::Result<T, PiError>;

@@ -1,0 +1,117 @@
+//! The cost report a private-inference run produces — the raw material
+//! of the paper's Table II.
+
+use c2pi_transport::{NetModel, TrafficSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// Operation counts accumulated while walking the crypto-layer prefix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Input element count of every linear (conv/fc/affine) layer.
+    pub linear_in_elems: Vec<usize>,
+    /// Output element count of every linear layer.
+    pub linear_out_elems: Vec<usize>,
+    /// Total multiply-accumulates across linear layers.
+    pub macs: u64,
+    /// Total ReLU elements evaluated securely.
+    pub relu_elems: usize,
+    /// Total 2×2 max-pool windows evaluated securely.
+    pub pool_windows: usize,
+    /// Bit triples consumed (comparison-based backends).
+    pub bit_triples: u64,
+    /// AND gates garbled (GC backends).
+    pub and_gates: u64,
+}
+
+/// Complete cost profile of one private-inference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiReport {
+    /// Engine name (`delphi` / `cheetah`).
+    pub backend: &'static str,
+    /// Exact traffic measured on the channel.
+    pub online: TrafficSnapshot,
+    /// Modelled offline (HE / correlation-setup) traffic.
+    pub offline: TrafficSnapshot,
+    /// Wall-clock seconds of the protocol threads (local compute).
+    pub online_seconds: f64,
+    /// Modelled offline compute seconds.
+    pub offline_seconds: f64,
+    /// Operation counts.
+    pub counts: OpCounts,
+}
+
+impl PiReport {
+    /// Total traffic, online plus modelled offline.
+    pub fn traffic_total(&self) -> TrafficSnapshot {
+        self.online.plus(&self.offline)
+    }
+
+    /// Total communication in megabytes (the paper's `Commu. (MB)`).
+    pub fn comm_mb(&self) -> f64 {
+        self.traffic_total().megabytes()
+    }
+
+    /// End-to-end latency in seconds under a network model (the paper's
+    /// `Latency (s)` columns).
+    pub fn latency_seconds(&self, net: &NetModel) -> f64 {
+        net.latency_seconds(&self.traffic_total(), self.online_seconds + self.offline_seconds)
+    }
+
+    /// Merges another report into this one (used to aggregate phases).
+    pub fn merge(&mut self, other: &PiReport) {
+        self.online = self.online.plus(&other.online);
+        self.offline = self.offline.plus(&other.offline);
+        self.online_seconds += other.online_seconds;
+        self.offline_seconds += other.offline_seconds;
+        self.counts.linear_in_elems.extend(&other.counts.linear_in_elems);
+        self.counts.linear_out_elems.extend(&other.counts.linear_out_elems);
+        self.counts.macs += other.counts.macs;
+        self.counts.relu_elems += other.counts.relu_elems;
+        self.counts.pool_windows += other.counts.pool_windows;
+        self.counts.bit_triples += other.counts.bit_triples;
+        self.counts.and_gates += other.counts.and_gates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(bytes: u64, secs: f64) -> PiReport {
+        PiReport {
+            backend: "delphi",
+            online: TrafficSnapshot {
+                bytes_client_to_server: bytes,
+                bytes_server_to_client: 0,
+                messages: 1,
+                flights: 2,
+            },
+            offline: TrafficSnapshot::default(),
+            online_seconds: secs,
+            offline_seconds: 0.0,
+            counts: OpCounts::default(),
+        }
+    }
+
+    #[test]
+    fn comm_mb_uses_decimal_megabytes() {
+        assert!((report(5_000_000, 0.0).comm_mb() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_adds_compute_and_network_terms() {
+        let r = report(44_000_000, 1.0);
+        let wan = NetModel::wan();
+        let lat = r.latency_seconds(&wan);
+        // 1 s compute + 1 s bandwidth + 1 RTT.
+        assert!((lat - (1.0 + 1.0 + 0.040)).abs() < 1e-6, "latency {lat}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = report(100, 0.5);
+        a.merge(&report(200, 0.25));
+        assert_eq!(a.online.bytes_client_to_server, 300);
+        assert!((a.online_seconds - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,369 @@
+//! Convolution geometry and the `im2col`/`col2im` kernels.
+//!
+//! Layers in `c2pi-nn` express both the forward and backward passes of
+//! (dilated) convolutions in terms of the three primitives here:
+//!
+//! * [`im2col`] — unfolds input patches into a `[c·kh·kw, oh·ow]` matrix
+//!   so the convolution becomes a matmul with the `[oc, c·kh·kw]` weight
+//!   matrix;
+//! * [`col2im`] — the adjoint scatter, used for input gradients and for
+//!   transposed convolutions;
+//! * [`conv2d_direct`] — a straightforward reference implementation used
+//!   to cross-check the fast path in tests.
+
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution: kernel size, stride, zero padding and
+/// dilation (all square, matching the paper's models).
+///
+/// ```
+/// use c2pi_tensor::conv::Conv2dGeom;
+/// let g = Conv2dGeom::new(3, 1, 1, 1); // 3x3, stride 1, pad 1 — "same"
+/// assert_eq!(g.output_hw(32, 32).unwrap(), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Dilation factor (1 = ordinary convolution).
+    pub dilation: usize,
+}
+
+impl Conv2dGeom {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel`, `stride` or `dilation` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize, dilation: usize) -> Self {
+        assert!(kernel > 0 && stride > 0 && dilation > 0, "conv geometry must be positive");
+        Conv2dGeom { kernel, stride, padding, dilation }
+    }
+
+    /// Effective kernel extent once dilation is applied.
+    pub fn effective_kernel(&self) -> usize {
+        self.dilation * (self.kernel - 1) + 1
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadGeometry`] when the padded input is
+    /// smaller than the effective kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let eff = self.effective_kernel();
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < eff || pw < eff {
+            return Err(TensorError::BadGeometry(format!(
+                "padded input {ph}x{pw} smaller than effective kernel {eff}"
+            )));
+        }
+        Ok(((ph - eff) / self.stride + 1, (pw - eff) / self.stride + 1))
+    }
+}
+
+/// Unfolds one image `[1, c, h, w]` into a patch matrix
+/// `[c·k·k, oh·ow]` according to `geom`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs or impossible geometry.
+pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if n != 1 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![1, c, h, w],
+            found: input.dims().to_vec(),
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let k = geom.kernel;
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    let pad = geom.padding as isize;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride) as isize + (ky * geom.dilation) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix =
+                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] = data[in_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// The adjoint of [`im2col`]: scatters a patch matrix `[c·k·k, oh·ow]`
+/// back onto a `[1, c, h, w]` image, accumulating where patches overlap.
+///
+/// # Errors
+///
+/// Returns an error when the column matrix shape disagrees with the
+/// geometry.
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, geom: Conv2dGeom) -> Result<Tensor> {
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let k = geom.kernel;
+    let (rows, ncols) = cols.shape().as_matrix()?;
+    if rows != c * k * k || ncols != oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c * k * k, oh * ow],
+            found: vec![rows, ncols],
+            op: "col2im",
+        });
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.as_slice();
+    let pad = geom.padding as isize;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride) as isize + (ky * geom.dilation) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let out_row = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix =
+                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[out_row + ix as usize] += data[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[1, c, h, w])
+}
+
+/// Reference direct convolution of a batch `[n, c, h, w]` with weights
+/// `[oc, c, k, k]` and per-channel bias `[oc]`.
+///
+/// Slow; used to validate the im2col path and in property tests.
+///
+/// # Errors
+///
+/// Returns an error on any shape/geometry inconsistency.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeom,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (oc, wc, kh, kw) = weight.shape().as_nchw()?;
+    if wc != c || kh != geom.kernel || kw != geom.kernel {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![oc, c, geom.kernel, geom.kernel],
+            found: weight.dims().to_vec(),
+            op: "conv2d_direct",
+        });
+    }
+    if bias.len() != oc {
+        return Err(TensorError::LengthMismatch { expected: oc, found: bias.len() });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let pad = geom.padding as isize;
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.as_slice()[o];
+                    for ch in 0..c {
+                        for ky in 0..geom.kernel {
+                            for kx in 0..geom.kernel {
+                                let iy = (oy * geom.stride + ky * geom.dilation) as isize - pad;
+                                let ix = (ox * geom.stride + kx * geom.dilation) as isize - pad;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = input
+                                    .at(&[b, ch, iy as usize, ix as usize])
+                                    .expect("bounds checked");
+                                let wv =
+                                    weight.at(&[o, ch, ky, kx]).expect("bounds checked");
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out.set(&[b, o, oy, ox], acc).expect("bounds checked");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fast conv forward for one batch: `weight_mat [oc, c·k·k] × im2col`.
+///
+/// # Errors
+///
+/// Returns an error on shape/geometry inconsistency.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeom,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (oc, _, _, _) = weight.shape().as_nchw()?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let wmat = weight.reshape(&[oc, c * geom.kernel * geom.kernel])?;
+    let mut items = Vec::with_capacity(n);
+    for b in 0..n {
+        let cols = im2col(&input.batch_item(b)?, geom)?;
+        let mut prod = wmat.matmul(&cols)?; // [oc, oh*ow]
+        for o in 0..oc {
+            let bv = bias.as_slice()[o];
+            for v in &mut prod.as_mut_slice()[o * oh * ow..(o + 1) * oh * ow] {
+                *v += bv;
+            }
+        }
+        items.push(prod.reshape(&[1, oc, oh, ow])?);
+    }
+    Tensor::stack_batch(&items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_size_same_padding() {
+        let g = Conv2dGeom::new(3, 1, 1, 1);
+        assert_eq!(g.output_hw(32, 32).unwrap(), (32, 32));
+        let g2 = Conv2dGeom::new(3, 2, 1, 1);
+        assert_eq!(g2.output_hw(32, 32).unwrap(), (16, 16));
+    }
+
+    #[test]
+    fn dilation_grows_effective_kernel() {
+        let g = Conv2dGeom::new(3, 1, 2, 2);
+        assert_eq!(g.effective_kernel(), 5);
+        assert_eq!(g.output_hw(8, 8).unwrap(), (8, 8));
+    }
+
+    #[test]
+    fn impossible_geometry_is_rejected() {
+        let g = Conv2dGeom::new(5, 1, 0, 1);
+        assert!(g.output_hw(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1x1x3x3 input, 2x2 kernel, stride 1, no padding -> 4 patches.
+        let input =
+            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let cols = im2col(&input, Conv2dGeom::new(2, 1, 0, 1)).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Row 0 holds the top-left element of each patch.
+        assert_eq!(&cols.as_slice()[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Row 3 holds the bottom-right element of each patch.
+        assert_eq!(&cols.as_slice()[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_rejects_batch() {
+        let input = Tensor::zeros(&[2, 1, 4, 4]);
+        assert!(im2col(&input, Conv2dGeom::new(2, 1, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn conv_paths_agree_basic() {
+        let input = Tensor::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, 1);
+        let weight = Tensor::rand_uniform(&[4, 3, 3, 3], -0.5, 0.5, 2);
+        let bias = Tensor::rand_uniform(&[4], -0.1, 0.1, 3);
+        let g = Conv2dGeom::new(3, 1, 1, 1);
+        let fast = conv2d_im2col(&input, &weight, &bias, g).unwrap();
+        let slow = conv2d_direct(&input, &weight, &bias, g).unwrap();
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the conv backward pass relies on.
+        let g = Conv2dGeom::new(3, 2, 1, 1);
+        let x = Tensor::rand_uniform(&[1, 2, 7, 7], -1.0, 1.0, 4);
+        let (oh, ow) = g.output_hw(7, 7).unwrap();
+        let y = Tensor::rand_uniform(&[2 * 9, oh * ow], -1.0, 1.0, 5);
+        let lhs: f32 =
+            im2col(&x, g).unwrap().as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, 2, 7, 7, g).unwrap();
+        let rhs: f32 =
+            x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn conv_paths_agree_random_geometry(
+            c in 1usize..3, oc in 1usize..3, hw in 4usize..9,
+            k in 1usize..4, stride in 1usize..3, pad in 0usize..2, dil in 1usize..3,
+            seed in 0u64..100,
+        ) {
+            let g = Conv2dGeom::new(k, stride, pad, dil);
+            prop_assume!(g.output_hw(hw, hw).is_ok());
+            let input = Tensor::rand_uniform(&[1, c, hw, hw], -1.0, 1.0, seed);
+            let weight = Tensor::rand_uniform(&[oc, c, k, k], -1.0, 1.0, seed + 1);
+            let bias = Tensor::rand_uniform(&[oc], -0.5, 0.5, seed + 2);
+            let fast = conv2d_im2col(&input, &weight, &bias, g).unwrap();
+            let slow = conv2d_direct(&input, &weight, &bias, g).unwrap();
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn col2im_adjoint_random_geometry(
+            c in 1usize..3, hw in 4usize..9, k in 1usize..4,
+            stride in 1usize..3, pad in 0usize..2, seed in 0u64..100,
+        ) {
+            let g = Conv2dGeom::new(k, stride, pad, 1);
+            prop_assume!(g.output_hw(hw, hw).is_ok());
+            let (oh, ow) = g.output_hw(hw, hw).unwrap();
+            let x = Tensor::rand_uniform(&[1, c, hw, hw], -1.0, 1.0, seed);
+            let y = Tensor::rand_uniform(&[c * k * k, oh * ow], -1.0, 1.0, seed + 1);
+            let lhs: f32 = im2col(&x, g).unwrap().as_slice().iter()
+                .zip(y.as_slice()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.as_slice().iter()
+                .zip(col2im(&y, c, hw, hw, g).unwrap().as_slice())
+                .map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-2);
+        }
+    }
+}

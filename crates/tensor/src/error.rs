@@ -1,0 +1,92 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        found: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The element count implied by a shape does not match the buffer length.
+    LengthMismatch {
+        /// Element count implied by the requested shape.
+        expected: usize,
+        /// Length of the supplied buffer.
+        found: usize,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        found: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An index is out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The size of the dimension being indexed.
+        len: usize,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger
+    /// than padded input).
+    BadGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, found, op } => {
+                write!(f, "shape mismatch in {op}: expected {expected:?}, found {found:?}")
+            }
+            TensorError::LengthMismatch { expected, found } => {
+                write!(f, "buffer length {found} does not match shape volume {expected}")
+            }
+            TensorError::RankMismatch { expected, found, op } => {
+                write!(f, "rank mismatch in {op}: expected rank {expected}, found rank {found}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of size {len}")
+            }
+            TensorError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch { expected: vec![2], found: vec![3], op: "add" },
+            TensorError::LengthMismatch { expected: 4, found: 5 },
+            TensorError::RankMismatch { expected: 4, found: 2, op: "conv2d" },
+            TensorError::IndexOutOfBounds { index: 9, len: 3 },
+            TensorError::BadGeometry("kernel too large".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,44 @@
+//! # c2pi-tensor
+//!
+//! Dense, row-major, `f32` tensor library used throughout the C2PI
+//! reproduction. It provides exactly the primitives the paper's systems
+//! need:
+//!
+//! * [`Tensor`] — an n-dimensional array in NCHW layout for images and
+//!   activations;
+//! * a cache-blocked, data-parallel [`matmul`](crate::matmul::matmul);
+//! * `im2col`/`col2im` based convolution kernels (plus a direct reference
+//!   implementation used for cross-checking);
+//! * pooling and upsampling kernels with index bookkeeping for backprop.
+//!
+//! The crate is deliberately free of any learning logic: gradients,
+//! layers and optimizers live in `c2pi-nn`.
+//!
+//! ## Example
+//!
+//! ```
+//! use c2pi_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok::<(), c2pi_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod error;
+pub mod matmul;
+pub mod pool;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

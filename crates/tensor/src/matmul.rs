@@ -1,0 +1,265 @@
+//! Cache-blocked, data-parallel matrix multiplication.
+//!
+//! The kernel used by every linear and (through im2col) convolutional
+//! layer in the reproduction. Rows of the output are distributed across
+//! the rayon pool; within a row-block the kernel iterates in `i-k-j`
+//! order so the innermost loop streams both `b` and `c` contiguously,
+//! which lets LLVM auto-vectorize it.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Minimum number of output elements before the kernel bothers spawning
+/// parallel work; below this, threading overhead dominates.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Matrix product `a × b` for `a: [m, k]`, `b: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] when either input is not rank 2
+/// and [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+///
+/// ```
+/// use c2pi_tensor::{matmul::matmul, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok::<(), c2pi_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k, n],
+            found: vec![k2, n],
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            row_kernel(row, &av[i * k..(i + 1) * k], bv, n);
+        });
+    } else {
+        for i in 0..m {
+            row_kernel(&mut out[i * n..(i + 1) * n], &av[i * k..(i + 1) * k], bv, n);
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes one output row: `row += a_row · B`.
+#[inline]
+fn row_kernel(row: &mut [f32], a_row: &[f32], b: &[f32], n: usize) {
+    for (kk, &aik) in a_row.iter().enumerate() {
+        if aik == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n..kk * n + n];
+        for (r, &bv) in row.iter_mut().zip(brow.iter()) {
+            *r += aik * bv;
+        }
+    }
+}
+
+/// Matrix product where `b` is supplied transposed: computes `a × bᵀ` for
+/// `a: [m, k]`, `bt: [n, k]`.
+///
+/// Used by layer backward passes, which naturally hold `Wᵀ`.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_bt(a: &Tensor, bt: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, k2) = bt.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, k],
+            found: vec![n, k2],
+            op: "matmul_bt",
+        });
+    }
+    let av = a.as_slice();
+    let bv = bt.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    let dot = |i: usize, j: usize| -> f32 {
+        av[i * k..(i + 1) * k].iter().zip(&bv[j * k..(j + 1) * k]).map(|(&x, &y)| x * y).sum()
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = dot(i, j);
+            }
+        });
+    } else {
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = dot(i, j);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix product where `a` is supplied transposed: computes `aᵀ × b` for
+/// `at: [k, m]`, `b: [k, n]`.
+///
+/// Used when accumulating weight gradients (`∂L/∂W = xᵀ · ∂L/∂y`).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_at(at: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = at.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k, n],
+            found: vec![k2, n],
+            op: "matmul_at",
+        });
+    }
+    let av = at.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    // i-k-j order over the output [m, n]: out[i, :] += at[kk, i] * b[kk, :]
+    for kk in 0..k {
+        let brow = &bv[kk * n..kk * n + n];
+        for i in 0..m {
+            let aik = av[kk * m + i];
+            if aik == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..i * n + n];
+            for (r, &bvv) in orow.iter_mut().zip(brow.iter()) {
+                *r += aik * bvv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive reference matmul used to validate the blocked kernels in tests.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k, n],
+            found: vec![k2, n],
+            op: "matmul_reference",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a.as_slice()[i * k + kk] * b.as_slice()[kk * n + j];
+            }
+            out.as_mut_slice()[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_bt(&a, &Tensor::zeros(&[2, 4])).is_err());
+        assert!(matmul_at(&a, &Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[3, 4]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn large_matches_reference_and_uses_parallel_path() {
+        let a = Tensor::rand_uniform(&[96, 33], -1.0, 1.0, 1);
+        let b = Tensor::rand_uniform(&[33, 96], -1.0, 1.0, 2);
+        assert_close(&matmul(&a, &b).unwrap(), &matmul_reference(&a, &b).unwrap(), 1e-4);
+    }
+
+    #[test]
+    fn bt_variant_matches_plain() {
+        let a = Tensor::rand_uniform(&[7, 5], -1.0, 1.0, 3);
+        let b = Tensor::rand_uniform(&[5, 9], -1.0, 1.0, 4);
+        let bt = b.transpose().unwrap();
+        assert_close(&matmul_bt(&a, &bt).unwrap(), &matmul(&a, &b).unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn at_variant_matches_plain() {
+        let at = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, 5);
+        let b = Tensor::rand_uniform(&[5, 9], -1.0, 1.0, 6);
+        assert_close(&matmul_at(&at, &b).unwrap(), &matmul(&at.transpose().unwrap(), &b).unwrap(), 1e-5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn kernels_agree_with_reference(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+            let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, seed);
+            let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, seed + 1);
+            let fast = matmul(&a, &b).unwrap();
+            let refr = matmul_reference(&a, &b).unwrap();
+            for (x, y) in fast.as_slice().iter().zip(refr.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+            let bt = b.transpose().unwrap();
+            let via_bt = matmul_bt(&a, &bt).unwrap();
+            for (x, y) in via_bt.as_slice().iter().zip(refr.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+            let at = a.transpose().unwrap();
+            let via_at = matmul_at(&at, &b).unwrap();
+            for (x, y) in via_at.as_slice().iter().zip(refr.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn identity_is_neutral(m in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+            let a = Tensor::rand_uniform(&[m, n], -1.0, 1.0, seed);
+            let p = matmul(&a, &Tensor::eye(n)).unwrap();
+            for (x, y) in p.as_slice().iter().zip(a.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

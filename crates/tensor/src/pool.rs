@@ -1,0 +1,333 @@
+//! Pooling and nearest-neighbour upsampling kernels.
+//!
+//! Max pooling records argmax indices so the `c2pi-nn` layer can route
+//! gradients back exactly; average pooling and upsampling have closed-form
+//! adjoints.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Output of [`max_pool2d`]: pooled values plus flat argmax indices into
+/// the input buffer (one per output element) for the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolOutput {
+    /// Pooled activations `[n, c, oh, ow]`.
+    pub output: Tensor,
+    /// For each output element, the flat index of the winning input.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling with a square window and equal stride.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs or when the window does not fit.
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if window == 0 || stride == 0 {
+        return Err(TensorError::BadGeometry("pool window/stride must be positive".into()));
+    }
+    if h < window || w < window {
+        return Err(TensorError::BadGeometry(format!(
+            "pool window {window} larger than input {h}x{w}"
+        )));
+    }
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+    let mut oi = 0usize;
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = plane + oy * stride * w + ox * stride;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let idx = plane + (oy * stride + ky) * w + (ox * stride + kx);
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.as_mut_slice()[oi] = best;
+                    argmax[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput { output: out, argmax })
+}
+
+/// Routes output gradients back through the argmax indices recorded by
+/// [`max_pool2d`].
+///
+/// # Errors
+///
+/// Returns an error when `grad_out` length disagrees with `argmax`.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            found: grad_out.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        grad_in.as_mut_slice()[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// 2-D average pooling with a square window and equal stride.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs or when the window does not fit.
+pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    if window == 0 || stride == 0 {
+        return Err(TensorError::BadGeometry("pool window/stride must be positive".into()));
+    }
+    if h < window || w < window {
+        return Err(TensorError::BadGeometry(format!(
+            "pool window {window} larger than input {h}x{w}"
+        )));
+    }
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let inv = 1.0 / (window * window) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let data = input.as_slice();
+    let mut oi = 0usize;
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += data[plane + (oy * stride + ky) * w + (ox * stride + kx)];
+                        }
+                    }
+                    out.as_mut_slice()[oi] = acc * inv;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its window.
+///
+/// # Errors
+///
+/// Returns an error on shape/geometry inconsistency.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_dims: &[usize],
+    window: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let mut grad_in = Tensor::zeros(input_dims);
+    let (n, c, h, w) = grad_in.shape().as_nchw()?;
+    let (gn, gc, oh, ow) = grad_out.shape().as_nchw()?;
+    if gn != n || gc != c {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c, oh, ow],
+            found: grad_out.dims().to_vec(),
+            op: "avg_pool2d_backward",
+        });
+    }
+    let inv = 1.0 / (window * window) as f32;
+    let gd = grad_out.as_slice();
+    let mut oi = 0usize;
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[oi] * inv;
+                    oi += 1;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            grad_in.as_mut_slice()
+                                [plane + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Nearest-neighbour upsampling by an integer factor.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs or a zero factor.
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(TensorError::BadGeometry("upsample factor must be positive".into()));
+    }
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let data = input.as_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let ip = (b * c + ch) * h * w;
+            let op = (b * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out.as_mut_slice()[op + oy * ow + ox] =
+                        data[ip + (oy / factor) * w + ox / factor];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`upsample_nearest`]: sums gradients over each upsampled
+/// block.
+///
+/// # Errors
+///
+/// Returns an error when `grad_out` is not rank 4 or not divisible by the
+/// factor.
+pub fn upsample_nearest_backward(grad_out: &Tensor, factor: usize) -> Result<Tensor> {
+    let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
+    if factor == 0 || oh % factor != 0 || ow % factor != 0 {
+        return Err(TensorError::BadGeometry(format!(
+            "gradient {oh}x{ow} not divisible by factor {factor}"
+        )));
+    }
+    let (h, w) = (oh / factor, ow / factor);
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gd = grad_out.as_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let ip = (b * c + ch) * h * w;
+            let op = (b * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    grad_in.as_mut_slice()[ip + (oy / factor) * w + ox / factor] +=
+                        gd[op + oy * ow + ox];
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let p = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(p.output.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(p.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let p = max_pool2d(&input, 2, 2).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let gi = max_pool2d_backward(&g, &p.argmax, &[1, 1, 4, 4]).unwrap();
+        assert_eq!(gi.at(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(gi.at(&[0, 0, 1, 3]).unwrap(), 2.0);
+        assert_eq!(gi.at(&[0, 0, 3, 1]).unwrap(), 3.0);
+        assert_eq!(gi.at(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(gi.sum(), 10.0);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let p = avg_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(p.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(max_pool2d(&input, 3, 1).is_err());
+        assert!(avg_pool2d(&input, 3, 1).is_err());
+        assert!(max_pool2d(&input, 0, 1).is_err());
+    }
+
+    #[test]
+    fn upsample_round_trip_shape() {
+        let input = Tensor::rand_uniform(&[2, 3, 4, 4], -1.0, 1.0, 1);
+        let up = upsample_nearest(&input, 2).unwrap();
+        assert_eq!(up.dims(), &[2, 3, 8, 8]);
+        assert_eq!(up.at(&[1, 2, 7, 7]).unwrap(), input.at(&[1, 2, 3, 3]).unwrap());
+        let back = upsample_nearest_backward(&up, 2).unwrap();
+        // sum over each 2x2 block of identical values = 4x the value
+        for (a, b) in back.as_slice().iter().zip(input.as_slice()) {
+            assert!((a - 4.0 * b).abs() < 1e-5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn avg_pool_backward_is_adjoint(
+            hw in 2usize..8, window in 1usize..3, stride in 1usize..3, seed in 0u64..100,
+        ) {
+            prop_assume!(hw >= window);
+            let x = Tensor::rand_uniform(&[1, 2, hw, hw], -1.0, 1.0, seed);
+            let y = avg_pool2d(&x, window, stride).unwrap();
+            let g = Tensor::rand_uniform(y.dims(), -1.0, 1.0, seed + 1);
+            let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+            let gi = avg_pool2d_backward(&g, x.dims(), window, stride).unwrap();
+            let rhs: f32 = x.as_slice().iter().zip(gi.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-3);
+        }
+
+        #[test]
+        fn max_pool_output_bounded_by_input(hw in 2usize..8, seed in 0u64..100) {
+            let x = Tensor::rand_uniform(&[1, 1, hw, hw], -1.0, 1.0, seed);
+            let p = max_pool2d(&x, 2, 1).unwrap();
+            prop_assert!(p.output.max() <= x.max() + 1e-6);
+            prop_assert!(p.output.min() >= x.min() - 1e-6);
+        }
+
+        #[test]
+        fn upsample_backward_is_adjoint(hw in 1usize..6, f in 1usize..4, seed in 0u64..100) {
+            let x = Tensor::rand_uniform(&[1, 2, hw, hw], -1.0, 1.0, seed);
+            let y = upsample_nearest(&x, f).unwrap();
+            let g = Tensor::rand_uniform(y.dims(), -1.0, 1.0, seed + 1);
+            let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+            let gi = upsample_nearest_backward(&g, f).unwrap();
+            let rhs: f32 = x.as_slice().iter().zip(gi.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-3);
+        }
+    }
+}

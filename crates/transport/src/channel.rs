@@ -1,0 +1,379 @@
+//! Byte-counted in-memory duplex channel.
+
+use crate::{Result, TransportError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Which end of the channel an [`Endpoint`] is — the MPC code names the
+/// parties after the paper's roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The client (holds the inference input `x`).
+    Client,
+    /// The server (holds the model `M`).
+    Server,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::Client => Side::Server,
+            Side::Server => Side::Client,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    bytes_client_to_server: AtomicU64,
+    bytes_server_to_client: AtomicU64,
+    messages: AtomicU64,
+    /// Sequential message flights (direction changes). Two flights make
+    /// one protocol round trip.
+    flights: AtomicU64,
+    /// 0 = none yet, 1 = client sent last, 2 = server sent last.
+    last_sender: AtomicU8,
+}
+
+/// Shared handle for reading the traffic profile of a channel pair.
+#[derive(Debug, Clone)]
+pub struct TrafficCounter {
+    inner: Arc<StatsInner>,
+}
+
+/// A point-in-time copy of the traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Bytes sent from client to server.
+    pub bytes_client_to_server: u64,
+    /// Bytes sent from server to client.
+    pub bytes_server_to_client: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Sequential message flights (two flights = one round trip).
+    pub flights: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total bytes in both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_client_to_server + self.bytes_server_to_client
+    }
+
+    /// Total traffic in megabytes (10⁶ bytes, as in the paper's tables).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes_total() as f64 / 1e6
+    }
+
+    /// Full round trips implied by the flight count (rounded up).
+    pub fn round_trips(&self) -> u64 {
+        self.flights.div_ceil(2)
+    }
+
+    /// Component-wise difference (`self - earlier`), for measuring a
+    /// protocol phase.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            bytes_client_to_server: self.bytes_client_to_server - earlier.bytes_client_to_server,
+            bytes_server_to_client: self.bytes_server_to_client - earlier.bytes_server_to_client,
+            messages: self.messages - earlier.messages,
+            flights: self.flights - earlier.flights,
+        }
+    }
+
+    /// Component-wise sum, for aggregating phases.
+    pub fn plus(&self, other: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            bytes_client_to_server: self.bytes_client_to_server + other.bytes_client_to_server,
+            bytes_server_to_client: self.bytes_server_to_client + other.bytes_server_to_client,
+            messages: self.messages + other.messages,
+            flights: self.flights + other.flights,
+        }
+    }
+}
+
+impl TrafficCounter {
+    /// Reads the current counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            bytes_client_to_server: self.inner.bytes_client_to_server.load(Ordering::SeqCst),
+            bytes_server_to_client: self.inner.bytes_server_to_client.load(Ordering::SeqCst),
+            messages: self.inner.messages.load(Ordering::SeqCst),
+            flights: self.inner.flights.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Charges *phantom* traffic to the counters without moving data —
+    /// used to account for the analytically modelled homomorphic
+    /// ciphertexts of the Delphi/Cheetah offline phases (DESIGN.md §3).
+    pub fn charge_phantom(&self, from: Side, bytes: u64, flights: u64) {
+        match from {
+            Side::Client => {
+                self.inner.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst)
+            }
+            Side::Server => {
+                self.inner.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst)
+            }
+        };
+        self.inner.flights.fetch_add(flights, Ordering::SeqCst);
+        if bytes > 0 {
+            self.inner.messages.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One end of a byte-counted duplex channel.
+#[derive(Debug)]
+pub struct Endpoint {
+    side: Side,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    stats: Arc<StatsInner>,
+}
+
+/// Creates a connected (client, server) endpoint pair plus the shared
+/// traffic counter.
+pub fn channel_pair() -> (Endpoint, Endpoint, TrafficCounter) {
+    let (tx_c2s, rx_c2s) = unbounded();
+    let (tx_s2c, rx_s2c) = unbounded();
+    let stats = Arc::new(StatsInner::default());
+    let client =
+        Endpoint { side: Side::Client, tx: tx_c2s, rx: rx_s2c, stats: Arc::clone(&stats) };
+    let server =
+        Endpoint { side: Side::Server, tx: tx_s2c, rx: rx_c2s, stats: Arc::clone(&stats) };
+    (client, server, TrafficCounter { inner: stats })
+}
+
+impl Endpoint {
+    /// Which side this endpoint is.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Sends a raw byte frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] when the peer is gone.
+    pub fn send_bytes(&self, data: &[u8]) -> Result<()> {
+        let me = match self.side {
+            Side::Client => 1u8,
+            Side::Server => 2u8,
+        };
+        let prev = self.stats.last_sender.swap(me, Ordering::SeqCst);
+        if prev != me {
+            self.stats.flights.fetch_add(1, Ordering::SeqCst);
+        }
+        match self.side {
+            Side::Client => self
+                .stats
+                .bytes_client_to_server
+                .fetch_add(data.len() as u64, Ordering::SeqCst),
+            Side::Server => self
+                .stats
+                .bytes_server_to_client
+                .fetch_add(data.len() as u64, Ordering::SeqCst),
+        };
+        self.stats.messages.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .send(Bytes::copy_from_slice(data))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Receives the next byte frame from the peer (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] when the peer is gone.
+    pub fn recv_bytes(&self) -> Result<Vec<u8>> {
+        self.rx.recv().map(|b| b.to_vec()).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Sends a slice of `u64` ring elements as one little-endian frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] when the peer is gone.
+    pub fn send_u64s(&self, values: &[u64]) -> Result<()> {
+        let mut buf = BytesMut::with_capacity(values.len() * 8);
+        for &v in values {
+            buf.put_u64_le(v);
+        }
+        self.send_bytes(&buf)
+    }
+
+    /// Receives a frame of `u64` ring elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when the frame length is not a multiple of
+    /// 8, or [`TransportError::Disconnected`].
+    pub fn recv_u64s(&self) -> Result<Vec<u64>> {
+        let raw = self.recv_bytes()?;
+        if raw.len() % 8 != 0 {
+            return Err(TransportError::Decode(format!(
+                "frame of {} bytes is not a u64 sequence",
+                raw.len()
+            )));
+        }
+        let mut buf = Bytes::from(raw);
+        let mut out = Vec::with_capacity(buf.len() / 8);
+        while buf.has_remaining() {
+            out.push(buf.get_u64_le());
+        }
+        Ok(out)
+    }
+
+    /// Sends a slice of `f32` values as one little-endian frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] when the peer is gone.
+    pub fn send_f32s(&self, values: &[f32]) -> Result<()> {
+        let mut buf = BytesMut::with_capacity(values.len() * 4);
+        for &v in values {
+            buf.put_f32_le(v);
+        }
+        self.send_bytes(&buf)
+    }
+
+    /// Receives a frame of `f32` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when the frame length is not a multiple of
+    /// 4, or [`TransportError::Disconnected`].
+    pub fn recv_f32s(&self) -> Result<Vec<f32>> {
+        let raw = self.recv_bytes()?;
+        if raw.len() % 4 != 0 {
+            return Err(TransportError::Decode(format!(
+                "frame of {} bytes is not an f32 sequence",
+                raw.len()
+            )));
+        }
+        let mut buf = Bytes::from(raw);
+        let mut out = Vec::with_capacity(buf.len() / 4);
+        while buf.has_remaining() {
+            out.push(buf.get_f32_le());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let (c, s, _) = channel_pair();
+        c.send_bytes(b"hello").unwrap();
+        assert_eq!(s.recv_bytes().unwrap(), b"hello");
+        s.send_bytes(b"world").unwrap();
+        assert_eq!(c.recv_bytes().unwrap(), b"world");
+    }
+
+    #[test]
+    fn u64_and_f32_frames_round_trip() {
+        let (c, s, _) = channel_pair();
+        c.send_u64s(&[1, u64::MAX, 42]).unwrap();
+        assert_eq!(s.recv_u64s().unwrap(), vec![1, u64::MAX, 42]);
+        s.send_f32s(&[1.5, -2.25]).unwrap();
+        assert_eq!(c.recv_f32s().unwrap(), vec![1.5, -2.25]);
+    }
+
+    #[test]
+    fn byte_counters_are_exact() {
+        let (c, s, counter) = channel_pair();
+        c.send_bytes(&[0u8; 100]).unwrap();
+        s.recv_bytes().unwrap();
+        s.send_bytes(&[0u8; 40]).unwrap();
+        c.recv_bytes().unwrap();
+        let snap = counter.snapshot();
+        assert_eq!(snap.bytes_client_to_server, 100);
+        assert_eq!(snap.bytes_server_to_client, 40);
+        assert_eq!(snap.bytes_total(), 140);
+        assert_eq!(snap.messages, 2);
+    }
+
+    #[test]
+    fn flights_count_direction_changes() {
+        let (c, s, counter) = channel_pair();
+        // Client sends twice in a row: one flight.
+        c.send_bytes(b"a").unwrap();
+        c.send_bytes(b"b").unwrap();
+        s.recv_bytes().unwrap();
+        s.recv_bytes().unwrap();
+        assert_eq!(counter.snapshot().flights, 1);
+        // Server replies: second flight = one round trip.
+        s.send_bytes(b"c").unwrap();
+        c.recv_bytes().unwrap();
+        let snap = counter.snapshot();
+        assert_eq!(snap.flights, 2);
+        assert_eq!(snap.round_trips(), 1);
+    }
+
+    #[test]
+    fn snapshot_difference_isolates_a_phase() {
+        let (c, s, counter) = channel_pair();
+        c.send_bytes(&[0u8; 10]).unwrap();
+        s.recv_bytes().unwrap();
+        let mark = counter.snapshot();
+        s.send_bytes(&[0u8; 30]).unwrap();
+        c.recv_bytes().unwrap();
+        let phase = counter.snapshot().since(&mark);
+        assert_eq!(phase.bytes_total(), 30);
+        assert_eq!(phase.flights, 1);
+    }
+
+    #[test]
+    fn phantom_traffic_is_charged() {
+        let (_c, _s, counter) = channel_pair();
+        counter.charge_phantom(Side::Server, 1_000_000, 2);
+        let snap = counter.snapshot();
+        assert_eq!(snap.bytes_server_to_client, 1_000_000);
+        assert_eq!(snap.flights, 2);
+    }
+
+    #[test]
+    fn disconnected_peer_errors() {
+        let (c, s, _) = channel_pair();
+        drop(s);
+        assert_eq!(c.send_bytes(b"x").unwrap_err(), TransportError::Disconnected);
+        assert_eq!(c.recv_bytes().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn decode_rejects_ragged_frames() {
+        let (c, s, _) = channel_pair();
+        c.send_bytes(&[1, 2, 3]).unwrap();
+        assert!(matches!(s.recv_u64s(), Err(TransportError::Decode(_))));
+        c.send_bytes(&[1, 2, 3]).unwrap();
+        assert!(matches!(s.recv_f32s(), Err(TransportError::Decode(_))));
+    }
+
+    #[test]
+    fn threads_can_run_a_protocol() {
+        let (c, s, counter) = channel_pair();
+        let t = std::thread::spawn(move || {
+            // Server echoes incremented values.
+            let v = s.recv_u64s().unwrap();
+            let inc: Vec<u64> = v.iter().map(|x| x + 1).collect();
+            s.send_u64s(&inc).unwrap();
+        });
+        c.send_u64s(&[10, 20]).unwrap();
+        assert_eq!(c.recv_u64s().unwrap(), vec![11, 21]);
+        t.join().unwrap();
+        assert_eq!(counter.snapshot().round_trips(), 1);
+    }
+
+    #[test]
+    fn side_peer_flips() {
+        assert_eq!(Side::Client.peer(), Side::Server);
+        assert_eq!(Side::Server.peer(), Side::Client);
+    }
+}

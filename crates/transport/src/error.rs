@@ -1,0 +1,40 @@
+//! Error type for transport operations.
+
+use std::fmt;
+
+/// Error returned by fallible transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint was dropped while a message was expected.
+    Disconnected,
+    /// A received frame could not be decoded as the requested type.
+    Decode(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer endpoint disconnected"),
+            TransportError::Decode(msg) => write!(f, "frame decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
+        assert!(TransportError::Decode("bad length".into()).to_string().contains("bad length"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TransportError>();
+    }
+}

@@ -1,0 +1,118 @@
+//! Network cost models: convert a traffic profile into wall-clock
+//! latency under the paper's LAN and WAN settings.
+
+use crate::TrafficSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth + round-trip-time network model.
+///
+/// The paper's evaluation (§IV-E) uses two settings:
+///
+/// * **LAN** — ~384 MBps bandwidth, 0.3 ms round-trip time;
+/// * **WAN** — ~44 MBps bandwidth, 40 ms round-trip time.
+///
+/// Latency is modelled as
+/// `compute + flights × (RTT / 2) + bytes / bandwidth`, the standard
+/// first-order cost model for secure-computation protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// Human-readable name (`lan`, `wan`, …).
+    pub name: &'static str,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Round-trip time in seconds.
+    pub rtt_seconds: f64,
+}
+
+impl NetModel {
+    /// The paper's LAN setting: 384 MBps, 0.3 ms RTT.
+    pub fn lan() -> Self {
+        NetModel { name: "lan", bandwidth_bytes_per_sec: 384e6, rtt_seconds: 0.3e-3 }
+    }
+
+    /// The paper's WAN setting: 44 MBps, 40 ms RTT.
+    pub fn wan() -> Self {
+        NetModel { name: "wan", bandwidth_bytes_per_sec: 44e6, rtt_seconds: 40e-3 }
+    }
+
+    /// A custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive or RTT is negative.
+    pub fn custom(name: &'static str, bandwidth_bytes_per_sec: f64, rtt_seconds: f64) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!(rtt_seconds >= 0.0, "rtt must be non-negative");
+        NetModel { name, bandwidth_bytes_per_sec, rtt_seconds }
+    }
+
+    /// End-to-end latency in seconds for a traffic profile plus local
+    /// compute time.
+    pub fn latency_seconds(&self, traffic: &TrafficSnapshot, compute_seconds: f64) -> f64 {
+        compute_seconds
+            + traffic.flights as f64 * (self.rtt_seconds / 2.0)
+            + traffic.bytes_total() as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(bytes: u64, flights: u64) -> TrafficSnapshot {
+        TrafficSnapshot {
+            bytes_client_to_server: bytes,
+            bytes_server_to_client: 0,
+            messages: 1,
+            flights,
+        }
+    }
+
+    #[test]
+    fn paper_settings_are_encoded() {
+        let lan = NetModel::lan();
+        assert_eq!(lan.bandwidth_bytes_per_sec, 384e6);
+        assert_eq!(lan.rtt_seconds, 0.3e-3);
+        let wan = NetModel::wan();
+        assert_eq!(wan.bandwidth_bytes_per_sec, 44e6);
+        assert_eq!(wan.rtt_seconds, 40e-3);
+    }
+
+    #[test]
+    fn wan_dominated_by_rtt_for_chatty_protocols() {
+        // Many small rounds: WAN latency should exceed LAN by orders of
+        // magnitude.
+        let t = traffic(1_000, 200);
+        let lan = NetModel::lan().latency_seconds(&t, 0.0);
+        let wan = NetModel::wan().latency_seconds(&t, 0.0);
+        assert!(wan > 50.0 * lan, "wan {wan} vs lan {lan}");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let m = NetModel::lan();
+        let l1 = m.latency_seconds(&traffic(1_000_000, 0), 0.0);
+        let l2 = m.latency_seconds(&traffic(2_000_000, 0), 0.0);
+        assert!((l2 / l1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_time_is_additive() {
+        let m = NetModel::wan();
+        let t = traffic(0, 0);
+        assert_eq!(m.latency_seconds(&t, 1.5), 1.5);
+    }
+
+    #[test]
+    fn flights_cost_half_rtt_each() {
+        let m = NetModel::custom("test", 1e9, 0.010);
+        let t = traffic(0, 4); // 4 flights = 2 round trips
+        assert!((m.latency_seconds(&t, 0.0) - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        NetModel::custom("bad", 0.0, 0.0);
+    }
+}

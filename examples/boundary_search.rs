@@ -1,0 +1,59 @@
+//! Runs Algorithm 1 end to end: DINA sweeps the model from the tail,
+//! finds the first layer where recovery succeeds, then the accuracy
+//! check finalises the crypto-clear boundary.
+//!
+//! ```text
+//! cargo run --release --example boundary_search
+//! ```
+
+use c2pi_suite::attacks::dina::{Dina, DinaConfig};
+use c2pi_suite::core::boundary::{search_boundary, BoundaryConfig};
+use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
+use c2pi_suite::nn::model::{alexnet, ZooConfig};
+use c2pi_suite::nn::train::{train_classifier, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthDataset::generate(&SynthConfig {
+        classes: 4,
+        per_class: 6,
+        ..Default::default()
+    })
+    .into_dataset();
+    let (train, eval) = data.split(0.7, 3)?;
+
+    let mut model = alexnet(&ZooConfig { width_div: 32, num_classes: 4, ..Default::default() })?;
+    println!("training the target model...");
+    train_classifier(
+        model.seq_mut(),
+        train.images(),
+        train.labels(),
+        &TrainConfig { epochs: 20, batch_size: 8, lr: 0.02, momentum: 0.9, seed: 1 },
+    )?;
+
+    println!("running Algorithm 1 with DINA (sigma=0.3, lambda=0.1, delta=2.5%)...\n");
+    let mut dina = Dina::new(DinaConfig { epochs: 15, ..Default::default() });
+    let trace = search_boundary(
+        &mut model,
+        &mut dina,
+        &train,
+        &eval,
+        &[],
+        &BoundaryConfig { eval_images: 3, ..Default::default() },
+    )?;
+
+    println!("phase 1 (tail-to-head DINA probes):");
+    for p in &trace.ssim_probes {
+        println!("  layer {:>4}: avg SSIM {:.3}", p.id.to_string(), p.avg_ssim);
+    }
+    println!("\nphase 2 (noised accuracy checks, baseline {:.1}%):", trace.baseline_accuracy * 100.0);
+    for p in &trace.accuracy_probes {
+        println!("  layer {:>4}: accuracy {:.1}%", p.id.to_string(), p.accuracy * 100.0);
+    }
+    println!(
+        "\nboundary: layer {} (noised accuracy {:.1}%)",
+        trace.boundary,
+        trace.boundary_accuracy * 100.0
+    );
+    println!("layers after {} can run in the clear on the server.", trace.boundary);
+    Ok(())
+}

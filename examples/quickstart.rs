@@ -1,0 +1,77 @@
+//! Quickstart: train a small model on the synthetic CIFAR substitute,
+//! split it at a boundary layer, and run one crypto-clear private
+//! inference — comparing cost and correctness against full PI.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use c2pi_suite::core::pipeline::{plain_prediction, C2piPipeline, PipelineConfig};
+use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
+use c2pi_suite::nn::model::{alexnet, ZooConfig};
+use c2pi_suite::nn::train::{evaluate_accuracy, train_classifier, TrainConfig};
+use c2pi_suite::nn::BoundaryId;
+use c2pi_suite::pi::engine::{PiBackend, PiConfig};
+use c2pi_suite::transport::NetModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a synthetic, class-structured CIFAR-10 stand-in.
+    let data = SynthDataset::generate(&SynthConfig {
+        classes: 4,
+        per_class: 8,
+        ..Default::default()
+    })
+    .into_dataset();
+
+    // 2. Model: a width-reduced AlexNet variant, trained briefly.
+    let mut model = alexnet(&ZooConfig { width_div: 32, ..Default::default() })?;
+    println!("training a {}-conv AlexNet variant...", model.num_convs());
+    train_classifier(
+        model.seq_mut(),
+        data.images(),
+        data.labels(),
+        &TrainConfig { epochs: 15, batch_size: 8, lr: 0.02, momentum: 0.9, seed: 1 },
+    )?;
+    let acc = evaluate_accuracy(model.seq_mut(), data.images(), data.labels())?;
+    println!("train accuracy: {:.0}%\n", acc * 100.0);
+
+    // 3. One inference under C2PI: crypto layers up to conv 3's ReLU run
+    //    under the Cheetah-style engine, then the client reveals a noised
+    //    share and the server finishes alone.
+    let x = &data.images()[0];
+    let expected = plain_prediction(&mut model.clone(), x)?;
+    let cfg = PipelineConfig {
+        pi: PiConfig { backend: PiBackend::Cheetah, ..Default::default() },
+        noise: 0.1,
+        noise_seed: 2,
+    };
+    let mut c2pi = C2piPipeline::new(model.clone(), BoundaryId::relu(3), cfg)?;
+    let res = c2pi.infer(x)?;
+    println!(
+        "C2PI  prediction: {} (plaintext: {expected}) — {} crypto layers, {} clear layers",
+        res.prediction,
+        c2pi.crypto_layer_count(),
+        c2pi.clear_layer_count()
+    );
+    println!(
+        "C2PI  cost: {:.2} MB, LAN {:.3} s, WAN {:.3} s",
+        res.report.comm_mb(),
+        res.report.latency_seconds(&NetModel::lan()),
+        res.report.latency_seconds(&NetModel::wan())
+    );
+
+    // 4. The full-PI baseline for comparison.
+    let mut full = C2piPipeline::full_pi(model, cfg);
+    let full_res = full.infer(x)?;
+    println!(
+        "full  cost: {:.2} MB, LAN {:.3} s, WAN {:.3} s",
+        full_res.report.comm_mb(),
+        full_res.report.latency_seconds(&NetModel::lan()),
+        full_res.report.latency_seconds(&NetModel::wan())
+    );
+    println!(
+        "\nC2PI saves {:.1}x communication on this model/boundary.",
+        full_res.report.comm_mb() / res.report.comm_mb()
+    );
+    Ok(())
+}

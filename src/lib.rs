@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the C2PI workspace for examples/tests.
+pub use c2pi_attacks as attacks;
+pub use c2pi_core as core;
+pub use c2pi_data as data;
+pub use c2pi_mpc as mpc;
+pub use c2pi_nn as nn;
+pub use c2pi_pi as pi;
+pub use c2pi_tensor as tensor;
+pub use c2pi_transport as transport;

@@ -1,0 +1,159 @@
+//! Integration tests spanning the whole workspace: data → training →
+//! boundary → crypto-clear inference, checked against plaintext.
+
+use c2pi_suite::core::pipeline::{plain_prediction, C2piPipeline, PipelineConfig, Split};
+use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
+use c2pi_suite::nn::model::{alexnet, by_name, ZooConfig};
+use c2pi_suite::nn::train::{evaluate_accuracy, train_classifier, TrainConfig};
+use c2pi_suite::nn::BoundaryId;
+use c2pi_suite::pi::engine::{PiBackend, PiConfig};
+use c2pi_suite::transport::NetModel;
+use c2pi_tensor::Tensor;
+
+fn tiny_model() -> c2pi_suite::nn::Model {
+    alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, num_classes: 10 }).unwrap()
+}
+
+fn pipeline_cfg(backend: PiBackend, noise: f32) -> PipelineConfig {
+    PipelineConfig { pi: PiConfig { backend, ..Default::default() }, noise, noise_seed: 11 }
+}
+
+#[test]
+fn c2pi_agrees_with_plaintext_on_several_images_both_backends() {
+    for backend in [PiBackend::Cheetah, PiBackend::Delphi] {
+        let model = tiny_model();
+        let mut pipe =
+            C2piPipeline::new(model.clone(), BoundaryId::relu(3), pipeline_cfg(backend, 0.0))
+                .unwrap();
+        for seed in 0..3u64 {
+            let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, seed);
+            let expected = plain_prediction(&mut model.clone(), &x).unwrap();
+            let got = pipe.infer(&x).unwrap();
+            assert_eq!(got.prediction, expected, "backend {backend:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn trained_model_keeps_accuracy_through_c2pi() {
+    // Train a small classifier, then check that the crypto-clear
+    // execution preserves its predictions on the training set.
+    let data = SynthDataset::generate(&SynthConfig {
+        classes: 3,
+        per_class: 4,
+        image_size: 16,
+        seed: 5,
+        pixel_noise: 0.02,
+    })
+    .into_dataset();
+    let mut model = alexnet(&ZooConfig {
+        width_div: 32,
+        seed: 3,
+        image_size: 16,
+        num_classes: 3,
+    })
+    .unwrap();
+    train_classifier(
+        model.seq_mut(),
+        data.images(),
+        data.labels(),
+        &TrainConfig { epochs: 15, batch_size: 4, lr: 0.02, momentum: 0.9, seed: 1 },
+    )
+    .unwrap();
+    let acc = evaluate_accuracy(model.seq_mut(), data.images(), data.labels()).unwrap();
+    assert!(acc > 0.5, "training failed: {acc}");
+    let mut pipe = C2piPipeline::new(
+        model.clone(),
+        BoundaryId::relu(4),
+        pipeline_cfg(PiBackend::Cheetah, 0.0),
+    )
+    .unwrap();
+    let mut agreement = 0usize;
+    for x in data.images().iter().take(6) {
+        let plain = plain_prediction(&mut model.clone(), x).unwrap();
+        let secure = pipe.infer(x).unwrap().prediction;
+        if plain == secure {
+            agreement += 1;
+        }
+    }
+    assert_eq!(agreement, 6, "crypto-clear execution changed predictions");
+}
+
+#[test]
+fn full_pi_costs_more_than_every_c2pi_boundary() {
+    let model = tiny_model();
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 9);
+    let mut full = C2piPipeline::full_pi(model.clone(), pipeline_cfg(PiBackend::Cheetah, 0.1));
+    let full_cost = full.infer(&x).unwrap().report.comm_mb();
+    let mut last = 0.0f64;
+    for conv in [1usize, 3, 5] {
+        let mut pipe = C2piPipeline::new(
+            model.clone(),
+            BoundaryId::relu(conv),
+            pipeline_cfg(PiBackend::Cheetah, 0.1),
+        )
+        .unwrap();
+        let cost = pipe.infer(&x).unwrap().report.comm_mb();
+        assert!(cost < full_cost, "boundary {conv}: {cost} !< {full_cost}");
+        assert!(cost > last, "cost should grow with boundary depth");
+        last = cost;
+    }
+}
+
+#[test]
+fn delphi_is_heavier_than_cheetah_end_to_end() {
+    // The Table II asymmetry must survive the full pipeline.
+    let model = tiny_model();
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 10);
+    let boundary = BoundaryId::relu(3);
+    let run = |backend| {
+        let mut pipe =
+            C2piPipeline::new(model.clone(), boundary, pipeline_cfg(backend, 0.1)).unwrap();
+        let r = pipe.infer(&x).unwrap().report;
+        (r.comm_mb(), r.latency_seconds(&NetModel::wan()))
+    };
+    let (delphi_mb, delphi_wan) = run(PiBackend::Delphi);
+    let (cheetah_mb, cheetah_wan) = run(PiBackend::Cheetah);
+    assert!(delphi_mb > 2.0 * cheetah_mb, "comm: {delphi_mb} vs {cheetah_mb}");
+    assert!(delphi_wan > cheetah_wan, "wan: {delphi_wan} vs {cheetah_wan}");
+}
+
+#[test]
+fn all_zoo_models_run_under_c2pi() {
+    for name in ["alexnet", "vgg16", "vgg19"] {
+        let model = by_name(
+            name,
+            &ZooConfig { width_div: 32, seed: 3, image_size: 32, num_classes: 10 },
+        )
+        .unwrap();
+        let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 12);
+        let expected = plain_prediction(&mut model.clone(), &x).unwrap();
+        let mut pipe = C2piPipeline::new(
+            model,
+            BoundaryId::relu(2),
+            pipeline_cfg(PiBackend::Cheetah, 0.0),
+        )
+        .unwrap();
+        let res = pipe.infer(&x).unwrap();
+        assert_eq!(res.prediction, expected, "model {name}");
+        assert!(matches!(pipe.split(), Split::At(_)));
+    }
+}
+
+#[test]
+fn noise_changes_logits_but_modestly_at_small_lambda() {
+    let model = tiny_model();
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 13);
+    let boundary = BoundaryId::relu(5);
+    let run = |noise: f32| {
+        let mut pipe =
+            C2piPipeline::new(model.clone(), boundary, pipeline_cfg(PiBackend::Cheetah, noise))
+                .unwrap();
+        pipe.infer(&x).unwrap().logits
+    };
+    let clean = run(0.0);
+    let small = run(0.1);
+    let big = run(5.0);
+    let dist = |a: &Tensor, b: &Tensor| a.sub(b).unwrap().sq_norm();
+    assert!(dist(&clean, &small) < dist(&clean, &big));
+}

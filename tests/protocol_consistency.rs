@@ -1,0 +1,118 @@
+//! Integration tests of the MPC substrate against plaintext execution:
+//! random small networks must produce the same activations under both
+//! engines, and the traffic profile must reflect the architecture.
+
+use c2pi_suite::nn::layers::{AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use c2pi_suite::nn::Sequential;
+use c2pi_suite::pi::engine::{run_prefix, specs_of, PiBackend, PiConfig};
+use c2pi_tensor::Tensor;
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+    assert_eq!(a.dims(), b.dims());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() < tol, "{x} vs {y}");
+    }
+}
+
+fn check_both_backends(seq: &mut Sequential, x: &Tensor, tol: f32) {
+    let plain = seq.forward(x, false).unwrap();
+    seq.clear_cache();
+    for backend in [PiBackend::Cheetah, PiBackend::Delphi] {
+        let cfg = PiConfig { backend, ..Default::default() };
+        let outcome = run_prefix(&specs_of(seq), x, &cfg).unwrap();
+        let secure = outcome.reconstruct(cfg.fixed).unwrap();
+        assert_close(&plain, &secure, tol);
+    }
+}
+
+#[test]
+fn random_conv_stacks_agree_with_plaintext() {
+    for seed in 0..3u64 {
+        let mut seq = Sequential::new();
+        seq.push(Conv2d::new(2, 3, 3, 1, 1, 1, seed));
+        seq.push(Relu::new());
+        seq.push(Conv2d::new(3, 2, 3, 1, 1, 1, seed + 10));
+        seq.push(Relu::new());
+        let x = Tensor::rand_uniform(&[1, 2, 8, 8], -1.0, 1.0, seed + 20);
+        check_both_backends(&mut seq, &x, 0.02);
+    }
+}
+
+#[test]
+fn pooling_and_head_agree_with_plaintext() {
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(1, 4, 3, 1, 1, 1, 1));
+    seq.push(Relu::new());
+    seq.push(MaxPool2d::new(2, 2));
+    seq.push(Conv2d::new(4, 4, 3, 1, 1, 1, 2));
+    seq.push(Relu::new());
+    seq.push(AvgPool2d::new(2, 2));
+    seq.push(Flatten::new());
+    seq.push(Linear::new(4 * 2 * 2, 6, 3));
+    let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 4);
+    check_both_backends(&mut seq, &x, 0.05);
+}
+
+#[test]
+fn strided_convolutions_agree_with_plaintext() {
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(2, 4, 3, 2, 1, 1, 5));
+    seq.push(Relu::new());
+    let x = Tensor::rand_uniform(&[1, 2, 9, 9], -1.0, 1.0, 6);
+    check_both_backends(&mut seq, &x, 0.02);
+}
+
+#[test]
+fn traffic_scales_with_relu_count_not_just_layers() {
+    // Two nets with the same conv cost but different ReLU surface: the
+    // non-linear protocol should dominate the difference.
+    let x = Tensor::rand_uniform(&[1, 2, 8, 8], -1.0, 1.0, 7);
+    let cfg = PiConfig { backend: PiBackend::Delphi, ..Default::default() };
+    let mut with_relu = Sequential::new();
+    with_relu.push(Conv2d::new(2, 4, 3, 1, 1, 1, 8));
+    with_relu.push(Relu::new());
+    let mut without_relu = Sequential::new();
+    without_relu.push(Conv2d::new(2, 4, 3, 1, 1, 1, 8));
+    let a = run_prefix(&specs_of(&with_relu), &x, &cfg).unwrap();
+    let b = run_prefix(&specs_of(&without_relu), &x, &cfg).unwrap();
+    assert!(
+        a.report.online.bytes_total() > 10 * b.report.online.bytes_total(),
+        "relu {} vs linear-only {}",
+        a.report.online.bytes_total(),
+        b.report.online.bytes_total()
+    );
+}
+
+#[test]
+fn dealer_seed_changes_transcript_not_result() {
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(1, 2, 3, 1, 1, 1, 9));
+    seq.push(Relu::new());
+    let x = Tensor::rand_uniform(&[1, 1, 6, 6], -1.0, 1.0, 10);
+    let plain = seq.forward(&x, false).unwrap();
+    seq.clear_cache();
+    let mut shares_seen = Vec::new();
+    for seed in [1u64, 2] {
+        let cfg = PiConfig { dealer_seed: seed, ..Default::default() };
+        let outcome = run_prefix(&specs_of(&seq), &x, &cfg).unwrap();
+        let secure = outcome.reconstruct(cfg.fixed).unwrap();
+        assert_close(&plain, &secure, 0.02);
+        shares_seen.push(outcome.client_share.as_raw().to_vec());
+    }
+    // Different masks => different transcripts/shares, same plaintext.
+    assert_ne!(shares_seen[0], shares_seen[1]);
+}
+
+#[test]
+fn client_share_alone_reveals_nothing_obvious() {
+    // Sanity privacy check: the client share of a constant activation is
+    // not constant (it is uniformly masked).
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(1, 2, 3, 1, 1, 1, 11));
+    let x = Tensor::full(&[1, 1, 6, 6], 0.5);
+    let cfg = PiConfig::default();
+    let outcome = run_prefix(&specs_of(&seq), &x, &cfg).unwrap();
+    let raw = outcome.server_share.as_raw();
+    let distinct: std::collections::HashSet<&u64> = raw.iter().collect();
+    assert!(distinct.len() > raw.len() / 2, "shares look non-uniform");
+}
