@@ -101,11 +101,11 @@ pub fn sub_blocks(model: &mut Model, id: BoundaryId) -> Result<Vec<SubBlock>> {
     model.seq_mut().clear_cache();
     let mut blocks = Vec::new();
     let mut start = 0usize;
-    for i in 0..end {
+    for (i, out) in outs.iter().enumerate().take(end) {
         let is_relu = matches!(model.seq().layers()[i].spec(), LayerSpec::Relu);
         let is_last = i + 1 == end;
         if is_relu || is_last {
-            blocks.push(SubBlock { range: (start, i + 1), out_dims: outs[i].dims().to_vec() });
+            blocks.push(SubBlock { range: (start, i + 1), out_dims: out.dims().to_vec() });
             start = i + 1;
         }
     }
@@ -118,20 +118,14 @@ pub fn sub_blocks(model: &mut Model, id: BoundaryId) -> Result<Vec<SubBlock>> {
 /// # Errors
 ///
 /// Returns an error when the spatial growth factor is not a power of two.
-pub fn basic_inverse_block(
-    in_dims: &[usize],
-    out_dims: &[usize],
-    seed: u64,
-) -> Result<Sequential> {
+pub fn basic_inverse_block(in_dims: &[usize], out_dims: &[usize], seed: u64) -> Result<Sequential> {
     if in_dims.len() != 4 || out_dims.len() != 4 {
         return Err(AttackError::BadConfig("inverse block needs NCHW shapes".into()));
     }
     let (ci, hi) = (in_dims[1], in_dims[2]);
     let (co, ho) = (out_dims[1], out_dims[2]);
     if ho % hi != 0 || !(ho / hi).is_power_of_two() {
-        return Err(AttackError::BadConfig(format!(
-            "inverse block cannot grow {hi} to {ho}"
-        )));
+        return Err(AttackError::BadConfig(format!("inverse block cannot grow {hi} to {ho}")));
     }
     let factor = ho / hi;
     let mid = co.max(8);
@@ -173,11 +167,7 @@ impl Dina {
 
     /// Runs the inverse chain, returning every intermediate `I_j`
     /// (ordered `I_{N−1}, …, I_0`).
-    fn forward_chain(
-        blocks: &mut [Sequential],
-        z: &Tensor,
-        train: bool,
-    ) -> Result<Vec<Tensor>> {
+    fn forward_chain(blocks: &mut [Sequential], z: &Tensor, train: bool) -> Result<Vec<Tensor>> {
         let mut outs = Vec::with_capacity(blocks.len());
         let mut cur = z.clone();
         for b in blocks.iter_mut() {
@@ -225,11 +215,7 @@ impl Idpa for Dina {
         for (i, img) in train.images().iter().enumerate() {
             let outs = model.seq_mut().forward_collect(img, false)?;
             model.seq_mut().clear_cache();
-            let z = noised(
-                &outs[sbs[n - 1].range.1 - 1],
-                noise,
-                self.cfg.seed ^ ((i as u64) << 9),
-            );
+            let z = noised(&outs[sbs[n - 1].range.1 - 1], noise, self.cfg.seed ^ ((i as u64) << 9));
             let targets: Vec<Tensor> =
                 (1..n).map(|j| outs[sbs[j - 1].range.1 - 1].clone()).collect();
             samples.push((z, targets, img.clone()));
@@ -257,7 +243,7 @@ impl Idpa for Dina {
                     // the output of blocks[e-1]; inject its loss term.
                     if e > 0 {
                         let j = n - e; // distillation index of I_j
-                        if j <= n - 1 {
+                        if j < n {
                             let i_j = &inters[e - 1];
                             let d_j: Vec<Tensor> = chunk
                                 .iter()
@@ -265,8 +251,7 @@ impl Idpa for Dina {
                                 .collect();
                             let d_j = Tensor::stack_batch(&d_j)?;
                             let aj = self.cfg.schedule.alpha(j);
-                            let inject =
-                                i_j.sub(&d_j)?.scale(2.0 * aj / i_j.len() as f32);
+                            let inject = i_j.sub(&d_j)?.scale(2.0 * aj / i_j.len() as f32);
                             g = g.add(&inject)?;
                         }
                     }
@@ -299,10 +284,7 @@ impl Idpa for Dina {
                 self.prepared_for.map(|b| b.to_string())
             )));
         }
-        let blocks = self
-            .blocks
-            .as_mut()
-            .ok_or_else(|| AttackError::NotPrepared("dina".into()))?;
+        let blocks = self.blocks.as_mut().ok_or_else(|| AttackError::NotPrepared("dina".into()))?;
         let inters = Dina::forward_chain(blocks, activation, false)?;
         for b in blocks.iter_mut() {
             b.clear_cache();
@@ -401,12 +383,8 @@ mod tests {
         let id = BoundaryId::relu(3);
         let run = |schedule| {
             let mut model = tiny_model();
-            let mut dina = Dina::new(DinaConfig {
-                schedule,
-                epochs: 30,
-                lr: 0.01,
-                ..Default::default()
-            });
+            let mut dina =
+                Dina::new(DinaConfig { schedule, epochs: 30, lr: 0.01, ..Default::default() });
             dina.prepare(&mut model, id, &data, 0.0).unwrap();
             let mut total = 0.0f32;
             for x in data.images() {

@@ -138,9 +138,7 @@ mod tests {
     #[test]
     fn first_failing_conv_scans_from_tail() {
         let mk = |v: &[(usize, bool)]| -> Vec<SweepPoint> {
-            v.iter()
-                .map(|&(c, failed)| SweepPoint { conv_id: c, avg_ssim: 0.0, failed })
-                .collect()
+            v.iter().map(|&(c, failed)| SweepPoint { conv_id: c, avg_ssim: 0.0, failed }).collect()
         };
         // Fails from conv 4 onward -> boundary candidate 4.
         let pts = mk(&[(1, false), (2, false), (3, false), (4, true), (5, true)]);

@@ -74,7 +74,7 @@ pub fn build_decoder(
         )));
     }
     let (ca, ha) = (act_dims[1], act_dims[2]);
-    if ha == 0 || image_size % ha != 0 || !(image_size / ha).is_power_of_two() {
+    if ha == 0 || !image_size.is_multiple_of(ha) || !(image_size / ha).is_power_of_two() {
         return Err(AttackError::BadConfig(format!(
             "cannot upsample {ha} to {image_size} by powers of two"
         )));
@@ -184,13 +184,8 @@ impl Idpa for InversionAttack {
             pairs.push((noised(&act, noise, self.cfg.seed ^ (i as u64) << 8), img.clone()));
         }
         model.seq_mut().clear_cache();
-        let mut decoder = build_decoder(
-            self.cfg.arch,
-            pairs[0].0.dims(),
-            h,
-            self.cfg.base_width,
-            self.cfg.seed,
-        )?;
+        let mut decoder =
+            build_decoder(self.cfg.arch, pairs[0].0.dims(), h, self.cfg.base_width, self.cfg.seed)?;
         let mut optim = Adam::new(self.cfg.lr);
         for _epoch in 0..self.cfg.epochs {
             for chunk in pairs.chunks(self.cfg.batch.max(1)) {
@@ -226,10 +221,8 @@ impl Idpa for InversionAttack {
             )));
         }
         let name = self.name();
-        let decoder = self
-            .decoder
-            .as_mut()
-            .ok_or_else(|| AttackError::NotPrepared(name.to_string()))?;
+        let decoder =
+            self.decoder.as_mut().ok_or_else(|| AttackError::NotPrepared(name.to_string()))?;
         let out = decoder.forward(activation, false)?;
         decoder.clear_cache();
         Ok(out.clamp(0.0, 1.0))
@@ -279,7 +272,7 @@ mod tests {
         let id = BoundaryId::relu(2);
         let mut attack = InversionAttack::new(InaConfig {
             arch: InaArch::Residual,
-            epochs: 60,
+            epochs: 120,
             lr: 0.01,
             base_width: 12,
             ..Default::default()
@@ -310,10 +303,7 @@ mod tests {
         let mut model = tiny_model();
         let data = small_data(1);
         let id = BoundaryId::relu(1);
-        let mut attack = InversionAttack::new(InaConfig {
-            epochs: 1,
-            ..Default::default()
-        });
+        let mut attack = InversionAttack::new(InaConfig { epochs: 1, ..Default::default() });
         attack.prepare(&mut model, id, &data, 0.0).unwrap();
         let act = model.forward_to_cut(BoundaryId::relu(2), &data.images()[0]).unwrap();
         assert!(attack.recover(&mut model, BoundaryId::relu(2), &act).is_err());

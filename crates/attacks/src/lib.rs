@@ -66,10 +66,6 @@ pub trait Idpa {
     ///
     /// Returns an error when the attack was not prepared for this
     /// boundary or shapes are inconsistent.
-    fn recover(
-        &mut self,
-        model: &mut Model,
-        id: BoundaryId,
-        activation: &Tensor,
-    ) -> Result<Tensor>;
+    fn recover(&mut self, model: &mut Model, id: BoundaryId, activation: &Tensor)
+        -> Result<Tensor>;
 }

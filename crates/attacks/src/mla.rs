@@ -67,12 +67,7 @@ impl Idpa for Mla {
         activation: &Tensor,
     ) -> Result<Tensor> {
         let [c, h, w] = model.input_shape();
-        let mut xhat = Param::new(Tensor::rand_uniform(
-            &[1, c, h, w],
-            0.25,
-            0.75,
-            self.cfg.seed,
-        ));
+        let mut xhat = Param::new(Tensor::rand_uniform(&[1, c, h, w], 0.25, 0.75, self.cfg.seed));
         let mut adam = Adam::new(self.cfg.lr);
         for _ in 0..self.cfg.iterations {
             let a = model.forward_to_cut(id, &xhat.value)?;
@@ -140,10 +135,7 @@ mod tests {
         let late_act = model.forward_to_cut(late_id, x).unwrap();
         let early = ssim(x, &mla.recover(&mut model, early_id, &early_act).unwrap()).unwrap();
         let late = ssim(x, &mla.recover(&mut model, late_id, &late_act).unwrap()).unwrap();
-        assert!(
-            early > late,
-            "early {early} should beat late {late}"
-        );
+        assert!(early > late, "early {early} should beat late {late}");
     }
 
     #[test]

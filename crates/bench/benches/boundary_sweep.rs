@@ -2,10 +2,10 @@
 //! monotone curve whose endpoints are Table II's "full PI" and the
 //! paper's speedups.
 
-use c2pi_core::pipeline::{C2piPipeline, PipelineConfig};
+use c2pi_core::session::C2pi;
 use c2pi_nn::model::{alexnet, ZooConfig};
 use c2pi_nn::BoundaryId;
-use c2pi_pi::engine::{PiBackend, PiConfig};
+use c2pi_pi::cheetah;
 use c2pi_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -20,18 +20,31 @@ fn bench_boundary(c: &mut Criterion) {
     for conv in [1usize, 3, 5, 7] {
         let m = model.clone();
         let xx = x.clone();
-        group.bench_with_input(BenchmarkId::new("cheetah_c2pi", conv), &conv, move |bench, &conv| {
-            bench.iter(|| {
-                let cfg = PipelineConfig {
-                    pi: PiConfig { backend: PiBackend::Cheetah, ..Default::default() },
-                    noise: 0.1,
-                    noise_seed: 2,
-                };
-                let mut pipe =
-                    C2piPipeline::new(m.clone(), BoundaryId::relu(conv), cfg).unwrap();
-                pipe.infer(&xx).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cheetah_c2pi", conv),
+            &conv,
+            move |bench, &conv| {
+                // Compile and preprocess outside the measured loop: the
+                // session split makes the online phase the benchmarked unit.
+                let mut session = C2pi::builder(m.clone())
+                    .split_at(BoundaryId::relu(conv))
+                    .noise(0.1)
+                    .noise_seed(2)
+                    .backend(cheetah())
+                    .build()
+                    .unwrap();
+                session.preprocess(64).unwrap();
+                bench.iter(|| session.infer(&xx).unwrap());
+                // Guard the measurement: if a harness ever runs more
+                // iterations than the pool covers, fail loudly instead
+                // of silently folding dealer time into "online".
+                assert_eq!(
+                    session.ledger().generated_inline,
+                    0,
+                    "online measurement must not include inline dealer work"
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -23,8 +23,7 @@ fn bench_garbling(c: &mut Criterion) {
         });
         let mut prg = Prg::from_u64(1);
         let garbled = garble(&circuit, &gbits, &mut prg).unwrap();
-        let labels: Vec<u128> =
-            garbled.evaluator_label_pairs.iter().map(|&(l0, _)| l0).collect();
+        let labels: Vec<u128> = garbled.evaluator_label_pairs.iter().map(|&(l0, _)| l0).collect();
         group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |bench, _| {
             bench.iter(|| {
                 evaluate(

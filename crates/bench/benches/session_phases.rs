@@ -1,0 +1,70 @@
+//! Offline/online phase split of the session API: preprocessing cost vs
+//! true online latency, per backend.
+//!
+//! The point of `PiSession::preprocess` is that the online phase a
+//! client actually waits for excludes all dealer work. This bench
+//! measures the two phases separately — `preprocess/…` rows are the
+//! offline correlated-randomness generation, `online/…` rows are
+//! `infer` against a warm pool (the ledger asserts no inline generation
+//! leaked into the measurement) — plus the batched entry point.
+
+use c2pi_core::session::{C2pi, C2piSession};
+use c2pi_nn::model::{alexnet, Model, ZooConfig};
+use c2pi_nn::BoundaryId;
+use c2pi_pi::engine::PiBackend;
+use c2pi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn model() -> Model {
+    alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, ..Default::default() }).unwrap()
+}
+
+fn session(backend: PiBackend) -> C2piSession {
+    C2pi::builder(model())
+        .split_at(BoundaryId::relu(3))
+        .noise(0.1)
+        .backend(backend)
+        .build()
+        .unwrap()
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_phases");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 1);
+    for backend in [PiBackend::Cheetah, PiBackend::Delphi] {
+        let name = backend.name();
+        // Offline phase alone: one preprocessed material set.
+        let mut s = session(backend);
+        group.bench_with_input(BenchmarkId::new("preprocess", name), &(), |bench, ()| {
+            bench.iter(|| s.preprocess(1).unwrap())
+        });
+        // Online phase alone: infer against a warm pool (the shim runs
+        // sample_size+1 iterations, so 16 sets cover the measurement).
+        let mut s = session(backend);
+        s.preprocess(16).unwrap();
+        let xx = x.clone();
+        group.bench_with_input(BenchmarkId::new("online", name), &(), |bench, ()| {
+            bench.iter(|| s.infer(&xx).unwrap())
+        });
+        let ledger = s.ledger();
+        assert_eq!(ledger.generated_inline, 0, "online measurement must not include dealer work");
+        println!(
+            "  [{name}] ledger: {} preprocessed, {} consumed, {:.3}s total generation",
+            ledger.generated_offline, ledger.consumed, ledger.generation_seconds
+        );
+        // Batched serving: 4 images per iteration on pooled material.
+        let mut s = session(backend);
+        s.preprocess(48).unwrap();
+        let batch: Vec<Tensor> =
+            (0..4).map(|i| Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, i)).collect();
+        group.bench_with_input(BenchmarkId::new("online_batch4", name), &(), |bench, ()| {
+            bench.iter(|| s.infer_batch(&batch).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

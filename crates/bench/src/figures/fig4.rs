@@ -34,35 +34,24 @@ pub struct Panel {
 
 fn make_attacks(scale: &Scale) -> Vec<Box<dyn Idpa>> {
     vec![
-        Box::new(Mla::new(MlaConfig {
-            iterations: scale.mla_iterations,
-            lr: 0.05,
-            seed: 80,
-        })),
+        Box::new(Mla::new(MlaConfig { iterations: scale.mla_iterations, lr: 0.05, seed: 80 })),
         Box::new(InversionAttack::new(InaConfig {
             epochs: scale.inversion_epochs,
             ..Default::default()
         })),
-        Box::new(Dina::new(DinaConfig {
-            epochs: scale.inversion_epochs,
-            ..Default::default()
-        })),
+        Box::new(Dina::new(DinaConfig { epochs: scale.inversion_epochs, ..Default::default() })),
     ]
 }
 
 fn sweep_model(model: &mut Model, data: &Dataset, scale: &Scale) -> Vec<Series> {
     let (train, eval) = data.split(0.75, 99).expect("splittable dataset");
-    let cfg = EvalConfig {
-        noise: 0.1,
-        ssim_threshold: 0.3,
-        eval_images: scale.eval_images,
-        seed: 81,
-    };
+    let cfg =
+        EvalConfig { noise: 0.1, ssim_threshold: 0.3, eval_images: scale.eval_images, seed: 81 };
     make_attacks(scale)
         .into_iter()
         .map(|mut attack| {
-            let points = sweep_conv_layers(attack.as_mut(), model, &train, &eval, &cfg)
-                .expect("sweep runs");
+            let points =
+                sweep_conv_layers(attack.as_mut(), model, &train, &eval, &cfg).expect("sweep runs");
             let potential_boundary = first_failing_conv(&points);
             let name = attack.name();
             Series { attack: name, points, potential_boundary }

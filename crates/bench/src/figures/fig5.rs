@@ -53,8 +53,7 @@ pub fn run(scale: &Scale) -> Vec<Panel> {
                     epochs: scale.inversion_epochs,
                     ..Default::default()
                 });
-                sweep_conv_layers(&mut dina, &mut model, &train, &eval, &cfg)
-                    .expect("sweep runs")
+                sweep_conv_layers(&mut dina, &mut model, &train, &eval, &cfg).expect("sweep runs")
             };
             let s1 = sweep(CoefficientSchedule::IncreasingC1);
             let s2 = sweep(CoefficientSchedule::UniformC2);

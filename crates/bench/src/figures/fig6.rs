@@ -63,8 +63,7 @@ pub fn run(scale: &Scale) -> Vec<Panel> {
                             eval_images: scale.eval_images,
                             seed: 83,
                         };
-                        let s = avg_ssim_at(&mut dina, &mut model, id, &eval, &cfg)
-                            .expect("eval");
+                        let s = avg_ssim_at(&mut dina, &mut model, id, &eval, &cfg).expect("eval");
                         points.push((conv, s));
                     }
                     Series { lambda, points }
@@ -98,7 +97,10 @@ pub fn print(panels: &[Panel]) {
             .iter()
             .map(|s| s.points.iter().map(|p| p.1).sum::<f32>() / s.points.len() as f32)
             .collect();
-        println!("mean SSIM per λ: {:?}", means.iter().map(|m| (m * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+        println!(
+            "mean SSIM per λ: {:?}",
+            means.iter().map(|m| (m * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        );
         println!();
     }
 }

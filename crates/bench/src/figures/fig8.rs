@@ -56,12 +56,10 @@ pub fn run_with(scale: &Scale, sigma: f32) -> Vec<Cell> {
                 eval_images: scale.eval_images,
                 seed: 85,
             };
-            let mut dina = Dina::new(DinaConfig {
-                epochs: scale.inversion_epochs,
-                ..Default::default()
-            });
-            let sweep = sweep_conv_layers(&mut dina, &mut model, &train, &eval, &cfg)
-                .expect("sweep runs");
+            let mut dina =
+                Dina::new(DinaConfig { epochs: scale.inversion_epochs, ..Default::default() });
+            let sweep =
+                sweep_conv_layers(&mut dina, &mut model, &train, &eval, &cfg).expect("sweep runs");
             // Phase 1: deepest prefix where DINA still succeeds.
             let candidate = first_failing_conv(&sweep).unwrap_or(model.num_convs());
             // Phase 2: push later until the accuracy drop is acceptable.
@@ -70,9 +68,8 @@ pub fn run_with(scale: &Scale, sigma: f32) -> Vec<Cell> {
             let mut boundary = candidate;
             let mut accuracy_checks = Vec::new();
             loop {
-                let acc =
-                    noised_accuracy(&mut model, BoundaryId::relu(boundary), 0.1, &eval, 86)
-                        .expect("accuracy");
+                let acc = noised_accuracy(&mut model, BoundaryId::relu(boundary), 0.1, &eval, 86)
+                    .expect("accuracy");
                 accuracy_checks.push((boundary, acc));
                 if acc >= target || boundary >= model.num_convs() {
                     break;

@@ -4,9 +4,9 @@
 
 use crate::setup::{dataset, trained_model, DatasetKind};
 use crate::Scale;
-use c2pi_core::pipeline::{C2piPipeline, PipelineConfig};
+use c2pi_core::session::C2pi;
 use c2pi_nn::BoundaryId;
-use c2pi_pi::engine::{PiBackend, PiConfig};
+use c2pi_pi::engine::PiBackend;
 use c2pi_tensor::Tensor;
 use c2pi_transport::NetModel;
 
@@ -77,19 +77,17 @@ fn run_cost(
     boundary: Option<BoundaryId>,
     x: &Tensor,
 ) -> Cost {
-    let cfg = PipelineConfig {
-        pi: PiConfig { backend, ..Default::default() },
-        noise: 0.1,
-        noise_seed: 87,
+    let builder = C2pi::builder(model.clone()).backend(backend).noise(0.1).noise_seed(87);
+    let builder = match boundary {
+        Some(b) => builder.split_at(b),
+        None => builder.full_pi(),
     };
-    let mut pipe = match boundary {
-        Some(b) => C2piPipeline::new(model.clone(), b, cfg).expect("valid boundary"),
-        None => C2piPipeline::full_pi(model.clone(), cfg),
-    };
+    let mut session = builder.build().expect("valid boundary");
+    session.preprocess(2).expect("preprocessing runs");
     // Two runs, keep the faster: damps wall-clock noise from a loaded
     // machine (traffic is identical across runs by construction).
-    let a = Cost::from_report(&pipe.infer(x).expect("inference runs").report);
-    let b = Cost::from_report(&pipe.infer(x).expect("inference runs").report);
+    let a = Cost::from_report(&session.infer(x).expect("inference runs").report);
+    let b = Cost::from_report(&session.infer(x).expect("inference runs").report);
     Cost {
         lan_s: a.lan_s.min(b.lan_s),
         wan_s: a.wan_s.min(b.wan_s),
@@ -125,7 +123,11 @@ pub fn run(scale: &Scale) -> Vec<Row> {
 pub fn print(rows: &[Row]) {
     println!(
         "{:<7} {:<8} | {:>30} | {:>38} | {:>38}",
-        "Network", "Method", "Full PI (LAN s / WAN s / MB)", "C2PI σ=0.2 (speedups)", "C2PI σ=0.3 (speedups)"
+        "Network",
+        "Method",
+        "Full PI (LAN s / WAN s / MB)",
+        "C2PI σ=0.2 (speedups)",
+        "C2PI σ=0.3 (speedups)"
     );
     println!("{}", "-".repeat(132));
     for r in rows {

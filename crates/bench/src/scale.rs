@@ -58,11 +58,8 @@ impl Scale {
     /// from the process arguments.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut scale = if args.iter().any(|a| a == "--paper-scale") {
-            Scale::paper()
-        } else {
-            Scale::quick()
-        };
+        let mut scale =
+            if args.iter().any(|a| a == "--paper-scale") { Scale::paper() } else { Scale::quick() };
         if let Some(pos) = args.iter().position(|a| a == "--width-div") {
             if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
                 scale.width_div = v;

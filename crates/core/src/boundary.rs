@@ -137,8 +137,7 @@ pub fn search_boundary(
     let baseline = baseline_accuracy(model, eval_data)?;
     let target = baseline - cfg.max_accuracy_drop;
     let mut accuracy_probes = Vec::new();
-    let mut acc =
-        noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
+    let mut acc = noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
     accuracy_probes.push(AccuracyProbe { id: candidates[b_idx], accuracy: acc });
     while acc < target && b_idx + 1 < candidates.len() {
         b_idx += 1;
@@ -231,8 +230,7 @@ mod tests {
             max_accuracy_drop: 1.0, // accept any accuracy: isolate phase 1
             ..Default::default()
         };
-        let trace =
-            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        let trace = search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
         // Attack succeeds through conv 4 => boundary is conv 5's relu.
         assert_eq!(trace.boundary, BoundaryId::relu(5));
         // Phase 1 probed from the tail (7) down to 4.
@@ -251,8 +249,7 @@ mod tests {
             max_accuracy_drop: 1.0,
             ..Default::default()
         };
-        let trace =
-            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        let trace = search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
         assert_eq!(trace.boundary, BoundaryId::relu(1));
     }
 
@@ -267,8 +264,7 @@ mod tests {
             max_accuracy_drop: 1.0,
             ..Default::default()
         };
-        let trace =
-            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        let trace = search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
         assert_eq!(trace.boundary, BoundaryId::relu(7)); // degenerates to full PI
         assert_eq!(trace.ssim_probes.len(), 1); // stopped immediately
     }
@@ -287,8 +283,7 @@ mod tests {
             max_accuracy_drop: -1.0,
             ..Default::default()
         };
-        let trace =
-            search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
+        let trace = search_boundary(&mut model, &mut attack, &data, &data, &[], &cfg).unwrap();
         assert_eq!(trace.boundary, BoundaryId::relu(7));
         assert!(trace.accuracy_probes.len() >= 2);
     }
@@ -305,8 +300,7 @@ mod tests {
             max_accuracy_drop: 1.0,
             ..Default::default()
         };
-        let trace =
-            search_boundary(&mut model, &mut attack, &data, &data, &cands, &cfg).unwrap();
+        let trace = search_boundary(&mut model, &mut attack, &data, &data, &cands, &cfg).unwrap();
         assert_eq!(trace.boundary, BoundaryId::relu(2));
     }
 }

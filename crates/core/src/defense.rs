@@ -194,12 +194,9 @@ mod tests {
     fn defended_accuracy_matches_noised_accuracy_for_uniform() {
         let mut model =
             alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
-        let data = SynthDataset::generate(&SynthConfig {
-            classes: 3,
-            per_class: 3,
-            ..Default::default()
-        })
-        .into_dataset();
+        let data =
+            SynthDataset::generate(&SynthConfig { classes: 3, per_class: 3, ..Default::default() })
+                .into_dataset();
         let id = BoundaryId::relu(3);
         // Identical noise semantics: both draw U(-l, l); exact seeds
         // differ, so compare coarse behaviour (both in [0, 1], both exact

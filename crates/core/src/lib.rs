@@ -8,21 +8,30 @@
 //!   later until the noised-input accuracy drop is acceptable;
 //! * [`noise`] — the uniform-noise share defense and the
 //!   noised-activation accuracy evaluation (Figures 6–7);
-//! * [`pipeline`] — the end-to-end flow of Figure 2: run the crypto
-//!   layers under a PI engine, let the client noise and reveal its
-//!   share, and let the server finish the clear layers alone.
+//! * [`session`] — the serving API: the [`session::C2pi`] builder
+//!   compiles a deployment into a long-lived [`session::C2piSession`]
+//!   with an explicit offline/online phase split (`preprocess` ahead of
+//!   traffic, `infer`/`infer_batch` online);
+//! * [`pipeline`] — the end-to-end flow of Figure 2, plus the deprecated
+//!   pre-session `C2piPipeline` shims.
 //!
 //! ```no_run
-//! use c2pi_core::pipeline::{C2piPipeline, PipelineConfig};
+//! use c2pi_core::session::C2pi;
 //! use c2pi_nn::model::{vgg16, ZooConfig};
 //! use c2pi_nn::BoundaryId;
+//! use c2pi_pi::cheetah;
 //! use c2pi_tensor::Tensor;
 //!
 //! # fn main() -> Result<(), c2pi_core::C2piError> {
 //! let model = vgg16(&ZooConfig::default())?;
-//! let mut pipe = C2piPipeline::new(model, BoundaryId::relu(9), PipelineConfig::default())?;
+//! let mut session = C2pi::builder(model)
+//!     .split_at(BoundaryId::relu(9))
+//!     .noise(0.1)
+//!     .backend(cheetah())
+//!     .build()?;
+//! session.preprocess(8)?; // offline, input-independent
 //! let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1);
-//! let result = pipe.infer(&x)?;
+//! let result = session.infer(&x)?; // online
 //! println!("prediction: {}, comm: {:.1} MB", result.prediction, result.report.comm_mb());
 //! # Ok(())
 //! # }
@@ -36,11 +45,16 @@ pub mod defense;
 pub mod error;
 pub mod noise;
 pub mod pipeline;
+pub mod session;
 pub mod split_learning;
 
 pub use boundary::{search_boundary, BoundaryConfig, BoundaryTrace};
 pub use error::C2piError;
-pub use pipeline::{C2piPipeline, InferenceResult, PipelineConfig};
+pub use pipeline::{plain_prediction, InferenceResult, Split};
+pub use session::{C2pi, C2piBuilder, C2piSession};
+
+#[allow(deprecated)]
+pub use pipeline::{C2piPipeline, PipelineConfig};
 
 /// Convenience result alias for C2PI operations.
 pub type Result<T> = std::result::Result<T, C2piError>;

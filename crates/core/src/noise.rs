@@ -91,7 +91,7 @@ mod tests {
             model.seq_mut(),
             data.images(),
             data.labels(),
-            &TrainConfig { epochs: 20, batch_size: 8, lr: 0.02, momentum: 0.9, seed: 1 },
+            &TrainConfig { epochs: 40, batch_size: 8, lr: 0.005, momentum: 0.9, seed: 1 },
         )
         .unwrap();
         (model, data)
@@ -101,8 +101,7 @@ mod tests {
     fn zero_noise_matches_baseline() {
         let (mut model, data) = trained_model_and_data();
         let base = baseline_accuracy(&mut model, &data).unwrap();
-        let noiseless =
-            noised_accuracy(&mut model, BoundaryId::relu(3), 0.0, &data, 7).unwrap();
+        let noiseless = noised_accuracy(&mut model, BoundaryId::relu(3), 0.0, &data, 7).unwrap();
         assert!((base - noiseless).abs() < 1e-6);
         assert!(base > 0.5, "training should fit the tiny set, acc {base}");
     }
@@ -111,8 +110,7 @@ mod tests {
     fn extreme_noise_destroys_accuracy() {
         let (mut model, data) = trained_model_and_data();
         let base = baseline_accuracy(&mut model, &data).unwrap();
-        let wrecked =
-            noised_accuracy(&mut model, BoundaryId::relu(2), 50.0, &data, 8).unwrap();
+        let wrecked = noised_accuracy(&mut model, BoundaryId::relu(2), 50.0, &data, 8).unwrap();
         assert!(wrecked < base, "noise {wrecked} vs base {base}");
     }
 

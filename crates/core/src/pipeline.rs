@@ -1,13 +1,22 @@
-//! The end-to-end C2PI flow of Figure 2: crypto layers under a PI
-//! engine, noised share reveal, clear layers on the server alone.
+//! The end-to-end C2PI flow of Figure 2, plus the deprecated
+//! pre-session API kept as thin shims for one release.
+//!
+//! New code should use the session API in [`crate::session`]:
+//! [`crate::session::C2pi::builder`] replaces the
+//! [`C2piPipeline::new`] / [`C2piPipeline::full_pi`] /
+//! [`PipelineConfig`] triple, and [`crate::session::C2piSession`] adds
+//! the offline/online phase split ([`preprocess`] + [`infer_batch`])
+//! that this per-call pipeline could not express.
+//!
+//! [`preprocess`]: crate::session::C2piSession::preprocess
+//! [`infer_batch`]: crate::session::C2piSession::infer_batch
 
-use crate::{C2piError, Result};
-use c2pi_mpc::share::{reconstruct, ShareVec};
-use c2pi_nn::{BoundaryId, Model, Sequential};
-use c2pi_pi::engine::{run_prefix, specs_of, PiConfig};
+use crate::session::{C2pi, C2piSession};
+use crate::Result;
+use c2pi_nn::{BoundaryId, Model};
+use c2pi_pi::engine::PiConfig;
 use c2pi_pi::report::PiReport;
 use c2pi_tensor::Tensor;
-use c2pi_transport::TrafficSnapshot;
 
 /// Where the crypto/clear split sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +29,8 @@ pub enum Split {
     Full,
 }
 
-/// Pipeline configuration.
+/// Pipeline configuration (pre-session API).
+#[deprecated(since = "0.2.0", note = "configure through `C2pi::builder` instead")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// PI engine settings (backend, fixed point, dealer seed).
@@ -32,6 +42,7 @@ pub struct PipelineConfig {
     pub noise_seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig { pi: PiConfig::default(), noise: 0.1, noise_seed: 53 }
@@ -52,16 +63,18 @@ pub struct InferenceResult {
     pub report: PiReport,
 }
 
-/// A ready-to-run C2PI deployment of one model.
+/// A ready-to-run C2PI deployment of one model (pre-session API).
+///
+/// This shim delegates to [`C2piSession`]; it rebuilds no state per
+/// call, but it cannot preprocess ahead of traffic or batch. Use
+/// [`C2pi::builder`] directly.
+#[deprecated(since = "0.2.0", note = "use `C2pi::builder(model)...build()` instead")]
 #[derive(Debug)]
 pub struct C2piPipeline {
-    crypto_specs: Vec<c2pi_nn::LayerSpec>,
-    clear: Sequential,
-    split: Split,
-    cfg: PipelineConfig,
-    infer_count: u64,
+    inner: C2piSession,
 }
 
+#[allow(deprecated)]
 impl C2piPipeline {
     /// Builds a pipeline splitting `model` at `boundary`.
     ///
@@ -69,40 +82,45 @@ impl C2piPipeline {
     ///
     /// Returns an error for unknown boundaries.
     pub fn new(model: Model, boundary: BoundaryId, cfg: PipelineConfig) -> Result<Self> {
-        let (prefix, suffix) = model.split_at(boundary)?;
-        Ok(C2piPipeline {
-            crypto_specs: specs_of(&prefix),
-            clear: suffix,
-            split: Split::At(boundary),
-            cfg,
-            infer_count: 0,
-        })
+        let inner = C2pi::builder(model)
+            .split_at(boundary)
+            .noise(cfg.noise)
+            .noise_seed(cfg.noise_seed)
+            .pi_config(cfg.pi)
+            .build()?;
+        Ok(C2piPipeline { inner })
     }
 
     /// Builds the conventional full-PI baseline (every layer under MPC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's own layer stack fails to compile — the
+    /// pre-session API had no error path here.
     pub fn full_pi(model: Model, cfg: PipelineConfig) -> Self {
-        C2piPipeline {
-            crypto_specs: specs_of(model.seq()),
-            clear: Sequential::new(),
-            split: Split::Full,
-            cfg,
-            infer_count: 0,
-        }
+        let inner = C2pi::builder(model)
+            .full_pi()
+            .noise(cfg.noise)
+            .noise_seed(cfg.noise_seed)
+            .pi_config(cfg.pi)
+            .build()
+            .expect("full-PI prefix compiles");
+        C2piPipeline { inner }
     }
 
     /// The split position.
     pub fn split(&self) -> Split {
-        self.split
+        self.inner.split()
     }
 
     /// Number of layers executed under MPC.
     pub fn crypto_layer_count(&self) -> usize {
-        self.crypto_specs.len()
+        self.inner.crypto_layer_count()
     }
 
     /// Number of layers the server executes in the clear.
     pub fn clear_layer_count(&self) -> usize {
-        self.clear.len()
+        self.inner.clear_layer_count()
     }
 
     /// Runs one private inference on a `[1, c, h, w]` input.
@@ -111,85 +129,24 @@ impl C2piPipeline {
     ///
     /// Returns engine or shape errors.
     pub fn infer(&mut self, x: &Tensor) -> Result<InferenceResult> {
-        let fp = self.cfg.pi.fixed;
-        // Vary the dealer seed per inference so masks are fresh.
-        let mut pi_cfg = self.cfg.pi;
-        pi_cfg.dealer_seed = pi_cfg.dealer_seed.wrapping_add(self.infer_count);
-        self.infer_count += 1;
-        let outcome = run_prefix(&self.crypto_specs, x, &pi_cfg).map_err(C2piError::Pi)?;
-        let mut report = outcome.report.clone();
-        match self.split {
-            Split::Full => {
-                // The server sends its share to the client, who learns
-                // only the inference output (one reveal flight).
-                let raw = reconstruct(&outcome.client_share, &outcome.server_share);
-                let logits = fp.decode_tensor(&raw, &outcome.dims)?;
-                report.online = report.online.plus(&TrafficSnapshot {
-                    bytes_client_to_server: 0,
-                    bytes_server_to_client: (outcome.server_share.len() * 8) as u64,
-                    messages: 1,
-                    flights: 1,
-                });
-                let prediction = logits.argmax().unwrap_or(0);
-                Ok(InferenceResult { logits, prediction, revealed_activation: None, report })
-            }
-            Split::At(_) => {
-                // Client noises its share and reveals it (Figure 2c).
-                let noise_ring: Vec<u64> = if self.cfg.noise > 0.0 {
-                    let delta = Tensor::rand_uniform(
-                        &outcome.dims,
-                        -self.cfg.noise,
-                        self.cfg.noise,
-                        self.cfg.noise_seed.wrapping_add(self.infer_count),
-                    );
-                    fp.encode_tensor(&delta)
-                } else {
-                    vec![0u64; outcome.client_share.len()]
-                };
-                let noised_share = ShareVec::from_raw(
-                    outcome
-                        .client_share
-                        .as_raw()
-                        .iter()
-                        .zip(noise_ring.iter())
-                        .map(|(&s, &d)| s.wrapping_add(d))
-                        .collect(),
-                );
-                report.online = report.online.plus(&TrafficSnapshot {
-                    bytes_client_to_server: (noised_share.len() * 8) as u64,
-                    bytes_server_to_client: 0,
-                    messages: 1,
-                    flights: 1,
-                });
-                // Server reconstructs M_l(x) + Δ and finishes alone.
-                let raw = reconstruct(&noised_share, &outcome.server_share);
-                let act = fp.decode_tensor(&raw, &outcome.dims)?;
-                let logits = self.clear.forward(&act, false)?;
-                self.clear.clear_cache();
-                let prediction = logits.argmax().unwrap_or(0);
-                Ok(InferenceResult {
-                    logits,
-                    prediction,
-                    revealed_activation: Some(act),
-                    report,
-                })
-            }
-        }
+        self.inner.infer(x)
     }
 }
 
 /// Convenience: the plaintext prediction of a model (reference for
-/// end-to-end tests and accuracy comparisons).
+/// end-to-end tests and accuracy comparisons). Runs on the immutable
+/// [`Model::predict`] path, so a shared reference suffices.
 ///
 /// # Errors
 ///
 /// Propagates layer errors.
-pub fn plain_prediction(model: &mut Model, x: &Tensor) -> Result<usize> {
-    let logits = model.forward(x)?;
+pub fn plain_prediction(model: &Model, x: &Tensor) -> Result<usize> {
+    let logits = model.predict(x)?;
     Ok(logits.argmax().unwrap_or(0))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use c2pi_nn::model::{alexnet, ZooConfig};
@@ -210,9 +167,9 @@ mod tests {
 
     #[test]
     fn c2pi_matches_plaintext_without_noise() {
-        let mut model = tiny_model();
+        let model = tiny_model();
         let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 1);
-        let plain = plain_prediction(&mut model, &x).unwrap();
+        let plain = plain_prediction(&model, &x).unwrap();
         let mut pipe = C2piPipeline::new(model, BoundaryId::relu(3), cfg(0.0)).unwrap();
         let res = pipe.infer(&x).unwrap();
         assert_eq!(res.prediction, plain);
@@ -239,8 +196,7 @@ mod tests {
     fn earlier_boundary_is_cheaper() {
         let model = tiny_model();
         let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 3);
-        let mut early =
-            C2piPipeline::new(model.clone(), BoundaryId::relu(2), cfg(0.1)).unwrap();
+        let mut early = C2piPipeline::new(model.clone(), BoundaryId::relu(2), cfg(0.1)).unwrap();
         let mut full = C2piPipeline::full_pi(model, cfg(0.1));
         let re = early.infer(&x).unwrap();
         let rf = full.infer(&x).unwrap();

@@ -1,0 +1,367 @@
+//! The session-based C2PI serving API: a fluent builder plus a
+//! long-lived [`C2piSession`] with an explicit offline/online split.
+//!
+//! ```no_run
+//! use c2pi_core::session::C2pi;
+//! use c2pi_nn::model::{vgg16, ZooConfig};
+//! use c2pi_nn::BoundaryId;
+//! use c2pi_pi::cheetah;
+//! use c2pi_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), c2pi_core::C2piError> {
+//! let model = vgg16(&ZooConfig::default())?;
+//! let mut session = C2pi::builder(model)
+//!     .split_at(BoundaryId::relu(9))
+//!     .noise(0.1)
+//!     .backend(cheetah())
+//!     .build()?;
+//! session.preprocess(16)?; // offline: correlated randomness for 16 images
+//! let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1);
+//! let result = session.infer(&x)?; // online only
+//! println!("prediction {}, online {:.1} ms", result.prediction,
+//!          result.report.online_seconds * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pipeline::{InferenceResult, Split};
+use crate::{C2piError, Result};
+use c2pi_mpc::prg::SeedSequence;
+use c2pi_mpc::share::ShareVec;
+use c2pi_mpc::FixedPoint;
+use c2pi_nn::{BoundaryId, Model, Sequential};
+use c2pi_pi::engine::{specs_of, PiConfig};
+use c2pi_pi::report::PreprocessLedger;
+use c2pi_pi::{IntoBackend, PiSession};
+use c2pi_tensor::Tensor;
+use c2pi_transport::TrafficSnapshot;
+
+/// Entry point of the builder API.
+pub struct C2pi;
+
+impl C2pi {
+    /// Starts configuring a C2PI deployment of `model`. Defaults:
+    /// full PI (no clear segment), Cheetah backend, noise λ = 0.1.
+    pub fn builder(model: Model) -> C2piBuilder {
+        C2piBuilder {
+            model,
+            split: Split::Full,
+            noise: 0.1,
+            noise_seed: 53,
+            pi: PiConfig::default(),
+            backend: None,
+        }
+    }
+}
+
+/// Fluent configuration for a [`C2piSession`].
+pub struct C2piBuilder {
+    model: Model,
+    split: Split,
+    noise: f32,
+    noise_seed: u64,
+    pi: PiConfig,
+    backend: Option<std::sync::Arc<dyn c2pi_pi::PiBackendImpl>>,
+}
+
+impl C2piBuilder {
+    /// Splits the model at `boundary`: layers up to and including it run
+    /// under MPC, the rest in the clear on the server (C2PI proper).
+    pub fn split_at(mut self, boundary: BoundaryId) -> Self {
+        self.split = Split::At(boundary);
+        self
+    }
+
+    /// Runs every layer under MPC (the conventional full-PI baseline).
+    pub fn full_pi(mut self) -> Self {
+        self.split = Split::Full;
+        self
+    }
+
+    /// Sets the split directly.
+    pub fn split(mut self, split: Split) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Defense noise magnitude λ added to the client's share before the
+    /// reveal (ignored for [`Split::Full`]).
+    pub fn noise(mut self, lambda: f32) -> Self {
+        self.noise = lambda;
+        self
+    }
+
+    /// Master seed for the client's noise draws (per-inference seeds
+    /// fork from it).
+    pub fn noise_seed(mut self, seed: u64) -> Self {
+        self.noise_seed = seed;
+        self
+    }
+
+    /// Protocol backend: a [`c2pi_pi::PiBackend`] tag or any
+    /// `Arc<dyn PiBackendImpl>` (e.g. [`c2pi_pi::cheetah()`],
+    /// [`c2pi_pi::delphi()`], or a custom implementation).
+    pub fn backend<B: IntoBackend>(mut self, backend: B) -> Self {
+        self.backend = Some(backend.into_backend());
+        self
+    }
+
+    /// Fixed-point format for the crypto phase.
+    pub fn fixed(mut self, fp: FixedPoint) -> Self {
+        self.pi.fixed = fp;
+        self
+    }
+
+    /// Master seed for the dealer's per-inference seed stream.
+    pub fn dealer_seed(mut self, seed: u64) -> Self {
+        self.pi.dealer_seed = seed;
+        self
+    }
+
+    /// Maximum elements per garbled-circuit batch (GC backends).
+    pub fn gc_chunk(mut self, chunk: usize) -> Self {
+        self.pi.gc_chunk = chunk;
+        self
+    }
+
+    /// Full engine configuration override (backend tag included, unless
+    /// [`C2piBuilder::backend`] was also called).
+    pub fn pi_config(mut self, cfg: PiConfig) -> Self {
+        self.pi = cfg;
+        self
+    }
+
+    /// Compiles the deployment into a ready-to-serve session.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown boundaries or crypto prefixes the
+    /// engine cannot execute.
+    pub fn build(self) -> Result<C2piSession> {
+        let (crypto, clear) = match self.split {
+            Split::At(boundary) => self.model.split_at(boundary).map_err(C2piError::Nn)?,
+            Split::Full => (self.model.seq().clone(), Sequential::new()),
+        };
+        let backend = self.backend.unwrap_or_else(|| self.pi.backend.engine());
+        let input_shape = self.model.input_shape();
+        let pi = PiSession::with_backend(&specs_of(&crypto), input_shape, self.pi, backend)
+            .map_err(C2piError::Pi)?;
+        Ok(C2piSession {
+            pi,
+            clear,
+            split: self.split,
+            noise: self.noise,
+            noise_seeds: SeedSequence::new(self.noise_seed, b"c2pi/session/noise"),
+        })
+    }
+}
+
+/// A long-lived C2PI deployment of one model: a [`PiSession`] for the
+/// crypto prefix plus the server's clear suffix and the client's noise
+/// stream. Create it with [`C2pi::builder`].
+#[derive(Debug)]
+pub struct C2piSession {
+    pi: PiSession,
+    clear: Sequential,
+    split: Split,
+    noise: f32,
+    noise_seeds: SeedSequence,
+}
+
+impl C2piSession {
+    /// Offline phase: generates correlated randomness for `n` future
+    /// inferences (see [`PiSession::preprocess`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors.
+    pub fn preprocess(&mut self, n: usize) -> Result<()> {
+        self.pi.preprocess(n).map_err(C2piError::Pi)
+    }
+
+    /// The split position.
+    pub fn split(&self) -> Split {
+        self.split
+    }
+
+    /// Number of layers executed under MPC.
+    pub fn crypto_layer_count(&self) -> usize {
+        self.pi.step_count()
+    }
+
+    /// Number of layers the server executes in the clear.
+    pub fn clear_layer_count(&self) -> usize {
+        self.clear.len()
+    }
+
+    /// The engine name of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.pi.backend_name()
+    }
+
+    /// Current consumed-vs-generated preprocessing ledger.
+    pub fn ledger(&self) -> PreprocessLedger {
+        self.pi.ledger()
+    }
+
+    /// Online phase: one private inference on a `[1, c, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine or shape errors.
+    pub fn infer(&mut self, x: &Tensor) -> Result<InferenceResult> {
+        let noise_seed = self.noise_seeds.next();
+        let fp = self.pi.config().fixed;
+        let outcome = self.pi.infer(x).map_err(C2piError::Pi)?;
+        let mut report = outcome.report.clone();
+        match self.split {
+            Split::Full => {
+                // The server sends its share to the client, who learns
+                // only the inference output (one reveal flight).
+                let raw =
+                    c2pi_mpc::share::reconstruct(&outcome.client_share, &outcome.server_share);
+                let logits = fp.decode_tensor(&raw, &outcome.dims)?;
+                report.online = report.online.plus(&TrafficSnapshot {
+                    bytes_client_to_server: 0,
+                    bytes_server_to_client: (outcome.server_share.len() * 8) as u64,
+                    messages: 1,
+                    flights: 1,
+                });
+                let prediction = logits.argmax().unwrap_or(0);
+                Ok(InferenceResult { logits, prediction, revealed_activation: None, report })
+            }
+            Split::At(_) => {
+                // Client noises its share and reveals it (Figure 2c).
+                let noise_ring: Vec<u64> = if self.noise > 0.0 {
+                    let delta =
+                        Tensor::rand_uniform(&outcome.dims, -self.noise, self.noise, noise_seed);
+                    fp.encode_tensor(&delta)
+                } else {
+                    vec![0u64; outcome.client_share.len()]
+                };
+                let noised_share = ShareVec::from_raw(
+                    outcome
+                        .client_share
+                        .as_raw()
+                        .iter()
+                        .zip(noise_ring.iter())
+                        .map(|(&s, &d)| s.wrapping_add(d))
+                        .collect(),
+                );
+                report.online = report.online.plus(&TrafficSnapshot {
+                    bytes_client_to_server: (noised_share.len() * 8) as u64,
+                    bytes_server_to_client: 0,
+                    messages: 1,
+                    flights: 1,
+                });
+                // Server reconstructs M_l(x) + Δ and finishes alone, on
+                // the immutable (cache-free) forward path.
+                let raw = c2pi_mpc::share::reconstruct(&noised_share, &outcome.server_share);
+                let act = fp.decode_tensor(&raw, &outcome.dims)?;
+                let logits = self.clear.forward_eval(&act)?;
+                let prediction = logits.argmax().unwrap_or(0);
+                Ok(InferenceResult { logits, prediction, revealed_activation: Some(act), report })
+            }
+        }
+    }
+
+    /// Online phase over a batch: one result per input. Preprocess at
+    /// least `xs.len()` material sets first to keep the whole batch off
+    /// the dealer's critical path (check
+    /// [`PreprocessLedger::generated_inline`] afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first erroring inference.
+    pub fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<InferenceResult>> {
+        xs.iter().map(|x| self.infer(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::plain_prediction;
+    use c2pi_nn::model::{alexnet, ZooConfig};
+    use c2pi_pi::{cheetah, delphi, PiBackend};
+
+    fn tiny_model() -> Model {
+        alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_session_matches_plaintext_without_noise() {
+        let model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 1);
+        let plain = plain_prediction(&model, &x).unwrap();
+        let mut session = C2pi::builder(model)
+            .split_at(BoundaryId::relu(3))
+            .noise(0.0)
+            .backend(cheetah())
+            .build()
+            .unwrap();
+        session.preprocess(2).unwrap();
+        let res = session.infer(&x).unwrap();
+        assert_eq!(res.prediction, plain);
+        assert!(res.revealed_activation.is_some());
+        assert!(session.clear_layer_count() > 0);
+        assert_eq!(res.report.preprocessing.generated_inline, 0);
+        assert_eq!(session.ledger().available, 1);
+    }
+
+    #[test]
+    fn full_pi_builder_runs_and_batches() {
+        let model = tiny_model();
+        let xs: Vec<Tensor> =
+            (0..2).map(|s| Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, s)).collect();
+        let expected: Vec<usize> =
+            xs.iter().map(|x| plain_prediction(&tiny_model(), x).unwrap()).collect();
+        let mut session = C2pi::builder(model).full_pi().noise(0.0).build().unwrap();
+        session.preprocess(xs.len()).unwrap();
+        let results = session.infer_batch(&xs).unwrap();
+        assert_eq!(results.len(), 2);
+        for (res, want) in results.iter().zip(&expected) {
+            assert_eq!(res.prediction, *want);
+            assert!(res.revealed_activation.is_none());
+        }
+        let ledger = session.ledger();
+        assert_eq!(ledger.consumed, 2);
+        assert_eq!(ledger.generated_inline, 0);
+    }
+
+    #[test]
+    fn backend_accepts_tag_and_impl() {
+        let a = C2pi::builder(tiny_model())
+            .split_at(BoundaryId::relu(2))
+            .backend(PiBackend::Delphi)
+            .build()
+            .unwrap();
+        assert_eq!(a.backend_name(), "delphi");
+        let b = C2pi::builder(tiny_model())
+            .split_at(BoundaryId::relu(2))
+            .backend(delphi())
+            .build()
+            .unwrap();
+        assert_eq!(b.backend_name(), "delphi");
+    }
+
+    #[test]
+    fn per_inference_noise_is_forked_not_repeated() {
+        let model = tiny_model();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 9);
+        let mut session =
+            C2pi::builder(model).split_at(BoundaryId::relu(3)).noise(0.5).build().unwrap();
+        let a = session.infer(&x).unwrap().revealed_activation.unwrap();
+        let b = session.infer(&x).unwrap().revealed_activation.unwrap();
+        // Same input, same session: the revealed activations differ
+        // because each inference draws fresh noise.
+        assert!(a.sub(&b).unwrap().map(f32::abs).max() > 1e-4);
+    }
+
+    #[test]
+    fn unknown_boundary_is_rejected() {
+        let err = C2pi::builder(tiny_model()).split_at(BoundaryId::conv(99)).build();
+        assert!(err.is_err());
+    }
+}

@@ -94,14 +94,10 @@ mod tests {
     use c2pi_nn::model::{alexnet, ZooConfig};
 
     fn setup() -> (Model, c2pi_data::Dataset) {
-        let model =
-            alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
-        let data = SynthDataset::generate(&SynthConfig {
-            classes: 3,
-            per_class: 3,
-            ..Default::default()
-        })
-        .into_dataset();
+        let model = alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
+        let data =
+            SynthDataset::generate(&SynthConfig { classes: 3, per_class: 3, ..Default::default() })
+                .into_dataset();
         (model, data)
     }
 
@@ -109,8 +105,7 @@ mod tests {
     fn split_inference_matches_monolithic_model() {
         let (model, data) = setup();
         let mut mono = model.clone();
-        let mut sl =
-            SplitDeployment::new(&model, BoundaryId::relu(3), Defense::None).unwrap();
+        let mut sl = SplitDeployment::new(&model, BoundaryId::relu(3), Defense::None).unwrap();
         for x in data.images().iter().take(3) {
             let expect = mono.forward(x).unwrap().argmax().unwrap();
             let got = sl.infer(x).unwrap();
@@ -122,10 +117,8 @@ mod tests {
     fn earlier_cut_means_less_edge_compute_more_upload() {
         let (model, data) = setup();
         let x = &data.images()[0];
-        let mut early =
-            SplitDeployment::new(&model, BoundaryId::relu(1), Defense::None).unwrap();
-        let mut late =
-            SplitDeployment::new(&model, BoundaryId::relu(5), Defense::None).unwrap();
+        let mut early = SplitDeployment::new(&model, BoundaryId::relu(1), Defense::None).unwrap();
+        let mut late = SplitDeployment::new(&model, BoundaryId::relu(5), Defense::None).unwrap();
         assert!(early.edge_layer_count() < late.edge_layer_count());
         let eb = early.infer(x).unwrap().upload_bytes;
         let lb = late.infer(x).unwrap().upload_bytes;
@@ -139,7 +132,7 @@ mod tests {
         // cut leaks the input to a trained inversion attack.
         let (mut model, data) = setup();
         let cut = BoundaryId::relu(1);
-        let mut dina = Dina::new(DinaConfig { epochs: 20, ..Default::default() });
+        let mut dina = Dina::new(DinaConfig { epochs: 40, ..Default::default() });
         dina.prepare(&mut model, cut, &data, 0.0).unwrap();
         let mut sl = SplitDeployment::new(&model, cut, Defense::None).unwrap();
         let x = &data.images()[0];

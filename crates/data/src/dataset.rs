@@ -114,7 +114,8 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Dataset {
-        let images = (0..n).map(|i| Tensor::rand_uniform(&[1, 1, 4, 4], 0.0, 1.0, i as u64)).collect();
+        let images =
+            (0..n).map(|i| Tensor::rand_uniform(&[1, 1, 4, 4], 0.0, 1.0, i as u64)).collect();
         let labels = (0..n).map(|i| i % 3).collect();
         Dataset::new(images, labels, 3).unwrap()
     }

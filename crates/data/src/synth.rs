@@ -236,14 +236,28 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SynthDataset::generate(&SynthConfig { classes: 2, per_class: 1, seed: 1, ..Default::default() });
-        let b = SynthDataset::generate(&SynthConfig { classes: 2, per_class: 1, seed: 2, ..Default::default() });
+        let a = SynthDataset::generate(&SynthConfig {
+            classes: 2,
+            per_class: 1,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = SynthDataset::generate(&SynthConfig {
+            classes: 2,
+            per_class: 1,
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.images()[0], b.images()[0]);
     }
 
     #[test]
     fn pixels_are_in_unit_range() {
-        let d = SynthDataset::generate(&SynthConfig { classes: 10, per_class: 3, ..Default::default() });
+        let d = SynthDataset::generate(&SynthConfig {
+            classes: 10,
+            per_class: 3,
+            ..Default::default()
+        });
         for img in d.images() {
             assert!(img.min() >= 0.0 && img.max() <= 1.0);
             assert_eq!(img.dims(), &[1, 3, 32, 32]);
@@ -252,7 +266,8 @@ mod tests {
 
     #[test]
     fn labels_align_with_class_blocks() {
-        let d = SynthDataset::generate(&SynthConfig { classes: 3, per_class: 4, ..Default::default() });
+        let d =
+            SynthDataset::generate(&SynthConfig { classes: 3, per_class: 4, ..Default::default() });
         assert_eq!(d.labels().len(), 12);
         assert_eq!(d.labels()[0], 0);
         assert_eq!(d.labels()[4], 1);
@@ -278,12 +293,7 @@ mod tests {
             across.push(ssim(&imgs[b], &imgs[(b + 5) % 24]).unwrap());
         }
         let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-        assert!(
-            avg(&within) > avg(&across),
-            "within {:?} across {:?}",
-            avg(&within),
-            avg(&across)
-        );
+        assert!(avg(&within) > avg(&across), "within {:?} across {:?}", avg(&within), avg(&across));
     }
 
     #[test]

@@ -123,12 +123,8 @@ pub fn affine_client(
     if corr.mask.len() != x0.len() {
         return Err(MpcError::BadConfig("affine correlation length mismatch".into()));
     }
-    let masked: Vec<u64> = x0
-        .as_raw()
-        .iter()
-        .zip(corr.mask.iter())
-        .map(|(&x, &a)| x.wrapping_sub(a))
-        .collect();
+    let masked: Vec<u64> =
+        x0.as_raw().iter().zip(corr.mask.iter()).map(|(&x, &a)| x.wrapping_sub(a)).collect();
     ep.send_u64s(&masked)?;
     Ok(corr.sa_share.clone())
 }
@@ -170,13 +166,7 @@ pub fn truncate_share(share: &ShareVec, is_client: bool, fp: FixedPoint) -> Shar
     let out: Vec<u64> = share
         .as_raw()
         .iter()
-        .map(|&s| {
-            if is_client {
-                s >> f
-            } else {
-                (s.wrapping_neg() >> f).wrapping_neg()
-            }
-        })
+        .map(|&s| if is_client { s >> f } else { (s.wrapping_neg() >> f).wrapping_neg() })
         .collect();
     ShareVec::from_raw(out)
 }
@@ -239,9 +229,7 @@ mod tests {
         let (x0, x1) = share_secret(&x, &mut prg);
         let (y0, y1) = share_secret(&y, &mut prg);
         let (client, server, _) = channel_pair();
-        let t = std::thread::spawn(move || {
-            mul_elementwise(&server, false, &x1, &y1, &t1).unwrap()
-        });
+        let t = std::thread::spawn(move || mul_elementwise(&server, false, &x1, &y1, &t1).unwrap());
         let z0 = mul_elementwise(&client, true, &x0, &y0, &t0).unwrap();
         let z1 = t.join().unwrap();
         let z = reconstruct(&z0, &z1);
@@ -275,10 +263,7 @@ mod tests {
         for i in 0..n {
             let got = fp.decode(z[i]);
             let want = vals_x[i] * vals_y[i];
-            assert!(
-                (got - want).abs() < 0.01,
-                "element {i}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 0.01, "element {i}: {got} vs {want}");
         }
     }
 
@@ -312,9 +297,8 @@ mod tests {
         let (corr_c, corr_s) = dealer.linear_corr(&w, n).unwrap();
         let (client, server, counter) = channel_pair();
         let w_clone = w.clone();
-        let t = std::thread::spawn(move || {
-            linear_server(&server, &w_clone, &x1m, &corr_s).unwrap()
-        });
+        let t =
+            std::thread::spawn(move || linear_server(&server, &w_clone, &x1m, &corr_s).unwrap());
         let y0 = linear_client(&client, &x0m, &corr_c).unwrap();
         let y1 = t.join().unwrap();
         let y = reconstruct(
@@ -340,9 +324,7 @@ mod tests {
         let b1: Vec<bool> = (0..n).map(|_| prg.next_bool()).collect();
         let (client, server, _) = channel_pair();
         let b1c = b1.clone();
-        let t = std::thread::spawn(move || {
-            b2a(&server, false, &BitShareVec(b1c), &t1).unwrap()
-        });
+        let t = std::thread::spawn(move || b2a(&server, false, &BitShareVec(b1c), &t1).unwrap());
         let a0 = b2a(&client, true, &BitShareVec(b0.clone()), &t0).unwrap();
         let a1 = t.join().unwrap();
         let a = reconstruct(&a0, &a1);

@@ -107,10 +107,7 @@ impl Dealer {
         let (a0, a1) = share_secret(&a, &mut self.prg);
         let (b0, b1) = share_secret(&b, &mut self.prg);
         let (c0, c1) = share_secret(&c, &mut self.prg);
-        (
-            TripleShare { a: a0, b: b0, c: c0 },
-            TripleShare { a: a1, b: b1, c: c1 },
-        )
+        (TripleShare { a: a0, b: b0, c: c0 }, TripleShare { a: a1, b: b1, c: c1 })
     }
 
     /// Generates the masked-linear correlation for a server-known matrix
@@ -130,10 +127,7 @@ impl Dealer {
         let (c0, c1) = share_secret(wa.as_slice(), &mut self.prg);
         let wa0 = RingMatrix::from_vec(c0.into_raw(), w.rows(), n)?;
         let wa1 = RingMatrix::from_vec(c1.into_raw(), w.rows(), n)?;
-        Ok((
-            LinearCorrClient { mask, wa_share: wa0 },
-            LinearCorrServer { wa_share: wa1 },
-        ))
+        Ok((LinearCorrClient { mask, wa_share: wa0 }, LinearCorrServer { wa_share: wa1 }))
     }
 
     /// Generates the masked-affine correlation for a server-known scale
@@ -179,17 +173,14 @@ impl Dealer {
     /// IKNP-generated alternative lives in [`crate::ot::gen_bit_triples`]
     /// and is benchmarked as an ablation).
     pub fn bit_triples(&mut self, n: usize) -> (crate::ot::BitTriples, crate::ot::BitTriples) {
-        let mut gen_bits = |k: usize| -> Vec<bool> {
-            (0..k).map(|_| self.prg.next_bool()).collect()
-        };
+        let mut gen_bits =
+            |k: usize| -> Vec<bool> { (0..k).map(|_| self.prg.next_bool()).collect() };
         let a0 = gen_bits(n);
         let a1 = gen_bits(n);
         let b0 = gen_bits(n);
         let b1 = gen_bits(n);
         let c0 = gen_bits(n);
-        let c1: Vec<bool> = (0..n)
-            .map(|i| ((a0[i] ^ a1[i]) & (b0[i] ^ b1[i])) ^ c0[i])
-            .collect();
+        let c1: Vec<bool> = (0..n).map(|i| ((a0[i] ^ a1[i]) & (b0[i] ^ b1[i])) ^ c0[i]).collect();
         (
             crate::ot::BitTriples { a: a0, b: b0, c: c0 },
             crate::ot::BitTriples { a: a1, b: b1, c: c1 },

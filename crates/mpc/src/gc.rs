@@ -306,8 +306,7 @@ pub fn maxpool4_masked_circuit(n: usize, bits: usize) -> Circuit {
         let ga: Vec<Vec<WireId>> =
             (0..4).map(|_| (0..bits).map(|_| b.garbler_input()).collect()).collect();
         let mask: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
-        let vals: Vec<Vec<WireId>> =
-            (0..4).map(|i| b.add_mod2n(&ev[i], &ga[i])).collect();
+        let vals: Vec<Vec<WireId>> = (0..4).map(|i| b.add_mod2n(&ev[i], &ga[i])).collect();
         let m1 = b.max_signed(&vals[0], &vals[1]);
         let m2 = b.max_signed(&vals[2], &vals[3]);
         let m = b.max_signed(&m1, &m2);
@@ -372,11 +371,8 @@ pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result
             }
         }
     }
-    let evaluator_label_pairs = circuit
-        .evaluator_inputs
-        .iter()
-        .map(|&w| (zero[w], zero[w] ^ delta))
-        .collect();
+    let evaluator_label_pairs =
+        circuit.evaluator_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
     let garbler_labels = circuit
         .garbler_inputs
         .iter()
@@ -462,14 +458,8 @@ mod tests {
             .zip(e_bits.iter())
             .map(|(&(l0, l1), &b)| if b { l1 } else { l0 })
             .collect();
-        evaluate(
-            circuit,
-            &garbled.tables,
-            &garbled.garbler_labels,
-            &labels,
-            &garbled.output_decode,
-        )
-        .unwrap()
+        evaluate(circuit, &garbled.tables, &garbled.garbler_labels, &labels, &garbled.output_decode)
+            .unwrap()
     }
 
     #[test]
@@ -527,12 +517,8 @@ mod tests {
         let c = relu_masked_circuit(2, 16);
         let mut prg = Prg::from_u64(4);
         let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|_| prg.next_bool()).collect();
-        let e_bits: Vec<bool> =
-            (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
-        assert_eq!(
-            c.eval_plain(&g_bits, &e_bits).unwrap(),
-            garble_and_eval(&c, &g_bits, &e_bits)
-        );
+        let e_bits: Vec<bool> = (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
+        assert_eq!(c.eval_plain(&g_bits, &e_bits).unwrap(), garble_and_eval(&c, &g_bits, &e_bits));
     }
 
     #[test]
@@ -612,7 +598,12 @@ mod maxpool_tests {
     use crate::prg::Prg;
     use proptest::prelude::*;
 
-    fn garble_and_eval(circuit: &Circuit, g_bits: &[bool], e_bits: &[bool], seed: u64) -> Vec<bool> {
+    fn garble_and_eval(
+        circuit: &Circuit,
+        g_bits: &[bool],
+        e_bits: &[bool],
+        seed: u64,
+    ) -> Vec<bool> {
         let mut prg = Prg::from_u64(seed);
         let garbled = garble(circuit, g_bits, &mut prg).unwrap();
         let labels: Vec<u128> = garbled
@@ -670,7 +661,8 @@ mod maxpool_tests {
         let bits = 32;
         let c = maxpool4_masked_circuit(1, bits);
         let mask = 0xFFFF_FFFFu64;
-        for vals in [[1i32, 2, 3, 4], [4, 3, 2, 1], [-5, -1, -9, -3], [7, 7, 7, 7], [-1, 0, 1, -2]] {
+        for vals in [[1i32, 2, 3, 4], [4, 3, 2, 1], [-5, -1, -9, -3], [7, 7, 7, 7], [-1, 0, 1, -2]]
+        {
             let mut prg = Prg::from_u64(9);
             let shares0: Vec<u64> = (0..4).map(|_| prg.next_u64() & mask).collect();
             let shares1: Vec<u64> = vals

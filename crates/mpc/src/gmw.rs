@@ -59,10 +59,7 @@ fn pack(bits: &[bool]) -> Vec<u8> {
 
 fn unpack(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
     if bytes.len() < n.div_ceil(8) {
-        return Err(MpcError::Protocol(format!(
-            "bit frame of {} bytes for {n} bits",
-            bytes.len()
-        )));
+        return Err(MpcError::Protocol(format!("bit frame of {} bytes for {n} bits", bytes.len())));
     }
     Ok((0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect())
 }
@@ -162,11 +159,8 @@ pub fn millionaire_batch(
     } else {
         BitShareVec(vec![false; n * w])
     };
-    let rhs = if is_party0 {
-        BitShareVec(vec![false; n * w])
-    } else {
-        BitShareVec(my_bits_vec.clone())
-    };
+    let rhs =
+        if is_party0 { BitShareVec(vec![false; n * w]) } else { BitShareVec(my_bits_vec.clone()) };
     let leaf_lt = and_batch(ep, is_party0, &lhs, &rhs, triples)?;
     lt.0.copy_from_slice(&leaf_lt.0);
     // eq_i = ¬(u_i ⊕ v_i): share = own bits, party0 also flips.
@@ -201,13 +195,7 @@ pub fn millionaire_batch(
         left.extend_from_slice(&eq_hi);
         let mut right = lt_lo.clone();
         right.extend_from_slice(&eq_lo);
-        let prod = and_batch(
-            ep,
-            is_party0,
-            &BitShareVec(left),
-            &BitShareVec(right),
-            triples,
-        )?;
+        let prod = and_batch(ep, is_party0, &BitShareVec(left), &BitShareVec(right), triples)?;
         let new_width = half + usize::from(odd);
         let mut new_lt = vec![false; n * new_width];
         let mut new_eq = vec![false; n * new_width];
@@ -356,9 +344,7 @@ mod tests {
         let (mut tc, mut ts) = triple_pools(values.len() * 63 * 4, 41);
         let (client, server, _) = channel_pair();
         let s1_raw = s1.as_raw().to_vec();
-        let t = std::thread::spawn(move || {
-            drelu_batch(&server, false, &s1_raw, &mut ts).unwrap()
-        });
+        let t = std::thread::spawn(move || drelu_batch(&server, false, &s1_raw, &mut ts).unwrap());
         let mine = drelu_batch(&client, true, s0.as_raw(), &mut tc).unwrap();
         let theirs = t.join().unwrap();
         for (i, &x) in values.iter().enumerate() {

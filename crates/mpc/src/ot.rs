@@ -52,11 +52,7 @@ fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn ot_receive(
-    ep: &Endpoint,
-    base: &BaseOtReceiver,
-    choices: &[bool],
-) -> Result<Vec<u128>> {
+pub fn ot_receive(ep: &Endpoint, base: &BaseOtReceiver, choices: &[bool]) -> Result<Vec<u128>> {
     let m = choices.len();
     if base.seed_pairs.len() != KAPPA {
         return Err(MpcError::BadConfig(format!(
@@ -113,11 +109,7 @@ pub fn ot_receive(
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn ot_send(
-    ep: &Endpoint,
-    base: &BaseOtSender,
-    pairs: &[(u128, u128)],
-) -> Result<()> {
+pub fn ot_send(ep: &Endpoint, base: &BaseOtSender, pairs: &[(u128, u128)]) -> Result<()> {
     let m = pairs.len();
     if base.seeds.len() != KAPPA || base.choices.len() != KAPPA {
         return Err(MpcError::BadConfig(format!(
@@ -233,11 +225,8 @@ pub fn gen_bit_triples(
     // Cross term 1: my a × peer b. I act as OT sender with pads hiding a.
     // Cross term 2: peer a × my b. I act as OT receiver with choices b.
     let r_pad: Vec<bool> = (0..n).map(|_| prg.next_bool()).collect();
-    let pairs: Vec<(u128, u128)> = r_pad
-        .iter()
-        .zip(a.iter())
-        .map(|(&r, &ai)| (r as u128, (r ^ ai) as u128))
-        .collect();
+    let pairs: Vec<(u128, u128)> =
+        r_pad.iter().zip(a.iter()).map(|(&r, &ai)| (r as u128, (r ^ ai) as u128)).collect();
     let received: Vec<u128>;
     if is_initiator {
         ot_send(ep, my_send_base, &pairs)?;
@@ -248,9 +237,8 @@ pub fn gen_bit_triples(
     }
     // c share: a·b (local) ⊕ r (my pad for peer's cross term)
     //          ⊕ received bit (peer's pad ⊕ peer_a·my_b).
-    let c: Vec<bool> = (0..n)
-        .map(|i| (a[i] & b[i]) ^ r_pad[i] ^ ((received[i] & 1) == 1))
-        .collect();
+    let c: Vec<bool> =
+        (0..n).map(|i| (a[i] & b[i]) ^ r_pad[i] ^ ((received[i] & 1) == 1)).collect();
     Ok(BitTriples { a, b, c })
 }
 

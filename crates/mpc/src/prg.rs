@@ -132,6 +132,52 @@ impl Prg {
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
     }
+
+    /// Forks an independent child generator keyed by the next 256 bits
+    /// of this stream. Children are computationally independent of each
+    /// other and of the parent's later output — the right way to derive
+    /// per-inference seeds from a session master seed (unlike
+    /// `seed + counter`, which produces related ChaCha keys).
+    pub fn fork(&mut self) -> Prg {
+        let mut seed = [0u8; 32];
+        self.fill_bytes(&mut seed);
+        Prg::from_seed(seed)
+    }
+}
+
+/// Derives the stream of per-inference seeds a session consumes, domain
+/// separated from every other use of the session's master seed.
+///
+/// ```
+/// use c2pi_mpc::prg::SeedSequence;
+/// let mut a = SeedSequence::new(7, b"dealer");
+/// let mut b = SeedSequence::new(7, b"noise");
+/// assert_ne!(a.next(), b.next()); // distinct domains diverge
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    prg: Prg,
+}
+
+impl SeedSequence {
+    /// Creates a sequence from a master seed and a domain label.
+    pub fn new(master: u64, domain: &[u8]) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&master.to_le_bytes());
+        for (i, &b) in domain.iter().take(24).enumerate() {
+            key[8 + i] = b;
+        }
+        SeedSequence { prg: Prg::from_seed(key) }
+    }
+
+    /// The next per-inference seed: the first word of a freshly
+    /// [`Prg::fork`]ed child, so consecutive seeds come from
+    /// computationally independent 256-bit keys rather than adjacent
+    /// positions of one stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.prg.fork().next_u64()
+    }
 }
 
 /// Fixed-key PRF used for garbling and OT hashing:
@@ -217,6 +263,35 @@ mod tests {
         assert_ne!(prf128_pair(a, b, 0), prf128_pair(b, a, 0));
         assert_ne!(prf128_pair(a, b, 0), prf128_pair(a, b ^ 1, 0));
         assert_eq!(prf128_pair(a, b, 5), prf128_pair(a, b, 5));
+    }
+
+    #[test]
+    fn forked_children_are_independent() {
+        let mut parent = Prg::from_u64(11);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+        // Same parent seed reproduces the same children.
+        let mut parent2 = Prg::from_u64(11);
+        let mut c1b = parent2.fork();
+        let a2: Vec<u64> = (0..8).map(|_| c1b.next_u64()).collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn seed_sequences_are_domain_separated() {
+        let mut dealer = SeedSequence::new(42, b"dealer");
+        let mut noise = SeedSequence::new(42, b"noise");
+        let d: Vec<u64> = (0..4).map(|_| dealer.next()).collect();
+        let n: Vec<u64> = (0..4).map(|_| noise.next()).collect();
+        assert_ne!(d, n);
+        let mut dealer2 = SeedSequence::new(42, b"dealer");
+        let d2: Vec<u64> = (0..4).map(|_| dealer2.next()).collect();
+        assert_eq!(d, d2);
+        // Consecutive seeds differ (fresh randomness per inference).
+        assert_ne!(d[0], d[1]);
     }
 
     #[test]

@@ -97,9 +97,9 @@ pub fn gc_relu_garbler(
     let circuit = relu_masked_circuit(n, RING_BITS);
     let r: Vec<u64> = prg.next_u64s(n);
     let mut garbler_bits = Vec::with_capacity(2 * RING_BITS * n);
-    for i in 0..n {
-        garbler_bits.extend(to_bits(x1_share.as_raw()[i], RING_BITS));
-        garbler_bits.extend(to_bits(r[i].wrapping_neg(), RING_BITS));
+    for (&share, &mask) in x1_share.as_raw().iter().zip(r.iter()) {
+        garbler_bits.extend(to_bits(share, RING_BITS));
+        garbler_bits.extend(to_bits(mask.wrapping_neg(), RING_BITS));
     }
     gc_exec_garbler(ep, &circuit, &garbler_bits, base, prg)?;
     Ok(ShareVec::from_raw(r))
@@ -140,14 +140,11 @@ pub fn gc_exec_evaluator(
     if label_words.len() != circuit.garbler_input_count() * 2 {
         return Err(MpcError::Protocol("garbler label frame size mismatch".into()));
     }
-    let garbler_labels: Vec<u128> = label_words
-        .chunks(2)
-        .map(|c| (c[0] as u128) | ((c[1] as u128) << 64))
-        .collect();
+    let garbler_labels: Vec<u128> =
+        label_words.chunks(2).map(|c| (c[0] as u128) | ((c[1] as u128) << 64)).collect();
     let decode_raw = ep.recv_bytes()?;
-    let decode: Vec<bool> = (0..circuit.output_count())
-        .map(|i| (decode_raw[i / 8] >> (i % 8)) & 1 == 1)
-        .collect();
+    let decode: Vec<bool> =
+        (0..circuit.output_count()).map(|i| (decode_raw[i / 8] >> (i % 8)) & 1 == 1).collect();
     let my_labels = ot_receive(ep, base, choices)?;
     evaluate(circuit, &tables, &garbler_labels, &my_labels, &decode)
 }
@@ -190,18 +187,18 @@ pub fn gc_maxpool4_garbler(
     base: &BaseOtSender,
     prg: &mut Prg,
 ) -> Result<ShareVec> {
-    if shares.len() % 4 != 0 {
+    if !shares.len().is_multiple_of(4) {
         return Err(MpcError::BadConfig("gc maxpool input not a multiple of 4".into()));
     }
     let n = shares.len() / 4;
     let circuit = maxpool4_masked_circuit(n, RING_BITS);
     let r: Vec<u64> = prg.next_u64s(n);
     let mut garbler_bits = Vec::with_capacity(5 * RING_BITS * n);
-    for w in 0..n {
-        for j in 0..4 {
-            garbler_bits.extend(to_bits(shares.as_raw()[4 * w + j], RING_BITS));
+    for (quad, &mask) in shares.as_raw().chunks_exact(4).zip(r.iter()) {
+        for &share in quad {
+            garbler_bits.extend(to_bits(share, RING_BITS));
         }
-        garbler_bits.extend(to_bits(r[w].wrapping_neg(), RING_BITS));
+        garbler_bits.extend(to_bits(mask.wrapping_neg(), RING_BITS));
     }
     gc_exec_garbler(ep, &circuit, &garbler_bits, base, prg)?;
     Ok(ShareVec::from_raw(r))
@@ -219,7 +216,7 @@ pub fn gc_maxpool4_evaluator(
     shares: &ShareVec,
     base: &BaseOtReceiver,
 ) -> Result<ShareVec> {
-    if shares.len() % 4 != 0 {
+    if !shares.len().is_multiple_of(4) {
         return Err(MpcError::BadConfig("gc maxpool input not a multiple of 4".into()));
     }
     let n = shares.len() / 4;

@@ -137,14 +137,10 @@ pub fn im2col_ring(
     geom: Conv2dGeom,
 ) -> Result<RingMatrix> {
     if input.len() != c * h * w {
-        return Err(MpcError::BadConfig(format!(
-            "im2col buffer {} for {c}x{h}x{w}",
-            input.len()
-        )));
+        return Err(MpcError::BadConfig(format!("im2col buffer {} for {c}x{h}x{w}", input.len())));
     }
-    let (oh, ow) = geom
-        .output_hw(h, w)
-        .map_err(|e| MpcError::BadConfig(format!("im2col geometry: {e}")))?;
+    let (oh, ow) =
+        geom.output_hw(h, w).map_err(|e| MpcError::BadConfig(format!("im2col geometry: {e}")))?;
     let k = geom.kernel;
     let rows = c * k * k;
     let cols = oh * ow;
@@ -162,8 +158,7 @@ pub fn im2col_ring(
                     }
                     let in_row = (ch * h + iy as usize) * w;
                     for ox in 0..ow {
-                        let ix =
-                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        let ix = (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }

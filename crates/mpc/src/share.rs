@@ -45,13 +45,7 @@ impl ShareVec {
     /// Panics when lengths differ.
     pub fn add(&self, other: &ShareVec) -> ShareVec {
         assert_eq!(self.len(), other.len(), "share length mismatch");
-        ShareVec(
-            self.0
-                .iter()
-                .zip(other.0.iter())
-                .map(|(&a, &b)| a.wrapping_add(b))
-                .collect(),
-        )
+        ShareVec(self.0.iter().zip(other.0.iter()).map(|(&a, &b)| a.wrapping_add(b)).collect())
     }
 
     /// Elementwise wrapping difference (shares of `x - y`).
@@ -61,13 +55,7 @@ impl ShareVec {
     /// Panics when lengths differ.
     pub fn sub(&self, other: &ShareVec) -> ShareVec {
         assert_eq!(self.len(), other.len(), "share length mismatch");
-        ShareVec(
-            self.0
-                .iter()
-                .zip(other.0.iter())
-                .map(|(&a, &b)| a.wrapping_sub(b))
-                .collect(),
-        )
+        ShareVec(self.0.iter().zip(other.0.iter()).map(|(&a, &b)| a.wrapping_sub(b)).collect())
     }
 
     /// Multiplies by a *public* constant (shares of `c·x`).
@@ -84,9 +72,7 @@ impl ShareVec {
     pub fn add_public(&self, public: &[u64], party_adds: bool) -> ShareVec {
         assert_eq!(self.len(), public.len(), "share length mismatch");
         if party_adds {
-            ShareVec(
-                self.0.iter().zip(public.iter()).map(|(&a, &p)| a.wrapping_add(p)).collect(),
-            )
+            ShareVec(self.0.iter().zip(public.iter()).map(|(&a, &p)| a.wrapping_add(p)).collect())
         } else {
             self.clone()
         }

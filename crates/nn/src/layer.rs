@@ -80,10 +80,12 @@ pub enum LayerKind {
 /// with respect to the layer input while accumulating parameter
 /// gradients into [`Layer::params`].
 ///
-/// Layers are `Send` so attack training can shard batches across
-/// threads, and boxed layers are cloneable so models can be split at a
-/// boundary without retraining.
-pub trait Layer: std::fmt::Debug + Send {
+/// Layers are `Send + Sync` — attack training shards batches across
+/// threads, and serving shares a `&Model` between workers on the
+/// immutable [`Layer::forward_eval`] path (layers hold plain data, no
+/// interior mutability). Boxed layers are cloneable so models can be
+/// split at a boundary without retraining.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Computes the layer output. `train` selects training behaviour
     /// (e.g. batch-norm statistics).
     ///
@@ -123,6 +125,19 @@ pub trait Layer: std::fmt::Debug + Send {
     /// secure execution default to [`LayerSpec::Unsupported`].
     fn spec(&self) -> LayerSpec {
         LayerSpec::Unsupported(self.describe())
+    }
+
+    /// Immutable inference-mode forward: evaluates the layer on scratch
+    /// buffers without touching the backward cache. Defaults to the
+    /// functional evaluation of [`Layer::spec`], so any layer with a
+    /// secure execution gets the pure path for free.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for incompatible shapes or layers without a
+    /// functional description.
+    fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        crate::functional::eval_spec(&self.spec(), x)
     }
 }
 

@@ -53,8 +53,7 @@ impl BatchNorm2d {
     pub fn folded_scale(&self) -> Vec<f32> {
         (0..self.channels)
             .map(|c| {
-                self.gamma.value.as_slice()[c]
-                    / (self.running_var.as_slice()[c] + self.eps).sqrt()
+                self.gamma.value.as_slice()[c] / (self.running_var.as_slice()[c] + self.eps).sqrt()
             })
             .collect()
     }
@@ -83,7 +82,7 @@ impl Layer for BatchNorm2d {
         if train {
             let mut x_hat = Tensor::zeros(x.dims());
             let mut inv_stds = vec![0.0f32; c];
-            for ch in 0..c {
+            for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
                 let mut mean = 0.0f32;
                 for b in 0..n {
                     let off = (b * c + ch) * plane;
@@ -100,7 +99,7 @@ impl Layer for BatchNorm2d {
                 }
                 var /= count;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
-                inv_stds[ch] = inv_std;
+                *inv_std_slot = inv_std;
                 let g = self.gamma.value.as_slice()[ch];
                 let bta = self.beta.value.as_slice()[ch];
                 for b in 0..n {
@@ -124,8 +123,7 @@ impl Layer for BatchNorm2d {
                 for ch in 0..c {
                     let off = (b * c + ch) * plane;
                     for i in 0..plane {
-                        out.as_mut_slice()[off + i] =
-                            x.as_slice()[off + i] * scale[ch] + shift[ch];
+                        out.as_mut_slice()[off + i] = x.as_slice()[off + i] * scale[ch] + shift[ch];
                     }
                 }
             }
@@ -134,8 +132,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache =
-            self.cache.take().ok_or(NnError::MissingCache { layer: "batchnorm2d" })?;
+        let cache = self.cache.take().ok_or(NnError::MissingCache { layer: "batchnorm2d" })?;
         let dims = cache.dims.clone();
         let (n, c, h, w) = c2pi_tensor::Shape::new(&dims).as_nchw()?;
         if grad_out.dims() != dims.as_slice() {
@@ -286,8 +283,7 @@ mod tests {
         for b in 0..4 {
             for ch in 0..2 {
                 for i in 0..9 {
-                    let expect =
-                        x.at(&[b, ch, i / 3, i % 3]).unwrap() * scale[ch] + shift[ch];
+                    let expect = x.at(&[b, ch, i / 3, i % 3]).unwrap() * scale[ch] + shift[ch];
                     assert!((y.at(&[b, ch, i / 3, i % 3]).unwrap() - expect).abs() < 1e-5);
                 }
             }

@@ -127,10 +127,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .take()
-            .ok_or(NnError::MissingCache { layer: "conv2d" })?;
+        let x = self.cached_input.take().ok_or(NnError::MissingCache { layer: "conv2d" })?;
         let (n, _, h, w) = x.shape().as_nchw()?;
         let (gn, goc, oh, ow) = grad_out.shape().as_nchw()?;
         if gn != n || goc != self.out_channels {
@@ -159,9 +156,10 @@ impl Layer for Conv2d {
             let gcols = matmul::matmul_at(&wmat, &gmat)?;
             grad_items.push(col2im(&gcols, self.in_channels, h, w, self.geom)?);
         }
-        self.weight
-            .grad
-            .add_assign_scaled(&wgrad.reshape(&[self.out_channels, self.in_channels, k, k])?, 1.0)?;
+        self.weight.grad.add_assign_scaled(
+            &wgrad.reshape(&[self.out_channels, self.in_channels, k, k])?,
+            1.0,
+        )?;
         self.bias.grad.add_assign_scaled(&bgrad, 1.0)?;
         Ok(Tensor::stack_batch(&grad_items)?)
     }
@@ -235,8 +233,7 @@ mod tests {
         let mut layer = Conv2d::new(3, 5, 3, 1, 1, 1, 7);
         let x = Tensor::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, 1);
         let fast = layer.forward(&x, false).unwrap();
-        let slow =
-            conv2d_direct(&x, layer.weight(), layer.bias(), layer.geom()).unwrap();
+        let slow = conv2d_direct(&x, layer.weight(), layer.bias(), layer.geom()).unwrap();
         for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -247,8 +244,7 @@ mod tests {
         let mut layer = Conv2d::new(2, 3, 3, 1, 2, 2, 9);
         let x = Tensor::rand_uniform(&[1, 2, 8, 8], -1.0, 1.0, 2);
         let fast = layer.forward(&x, false).unwrap();
-        let slow =
-            conv2d_direct(&x, layer.weight(), layer.bias(), layer.geom()).unwrap();
+        let slow = conv2d_direct(&x, layer.weight(), layer.bias(), layer.geom()).unwrap();
         for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((a - b).abs() < 1e-4);
         }

@@ -61,10 +61,10 @@ impl ConvTranspose2d {
         let k = self.geom.kernel;
         Ok(self.weight.value.reshape(&[self.in_channels, self.out_channels * k * k])?)
     }
-}
 
-impl Layer for ConvTranspose2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+    /// The forward computation, cache-free (shared by the training and
+    /// immutable inference paths).
+    fn compute(&self, x: &Tensor) -> Result<Tensor> {
         let (n, c, h, w) = x.shape().as_nchw()?;
         if c != self.in_channels {
             return Err(NnError::BadConfig(format!(
@@ -88,15 +88,24 @@ impl Layer for ConvTranspose2d {
             }
             items.push(out);
         }
-        self.cached_input = Some(x.clone());
         Ok(Tensor::stack_batch(&items)?)
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let y = self.compute(x)?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        self.compute(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .take()
-            .ok_or(NnError::MissingCache { layer: "conv_transpose2d" })?;
+        let x =
+            self.cached_input.take().ok_or(NnError::MissingCache { layer: "conv_transpose2d" })?;
         let (n, _, h, w) = x.shape().as_nchw()?;
         let wmat = self.weight_mat()?;
         let k = self.geom.kernel;
@@ -118,10 +127,8 @@ impl Layer for ConvTranspose2d {
             wgrad.add_assign_scaled(&matmul::matmul_bt(&xm, &gcols)?, 1.0)?;
             // db += spatial sums of the output gradient
             for o in 0..self.out_channels {
-                bgrad.as_mut_slice()[o] += gb.as_slice()
-                    [o * goh * gow..(o + 1) * goh * gow]
-                    .iter()
-                    .sum::<f32>();
+                bgrad.as_mut_slice()[o] +=
+                    gb.as_slice()[o * goh * gow..(o + 1) * goh * gow].iter().sum::<f32>();
             }
         }
         self.weight.grad.add_assign_scaled(
@@ -196,9 +203,9 @@ mod tests {
             xp.as_mut_slice()[probe] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[probe] -= eps;
-            let numeric =
-                (ct.forward(&xp, true).unwrap().sum() - ct.forward(&xm, true).unwrap().sum())
-                    / (2.0 * eps);
+            let numeric = (ct.forward(&xp, true).unwrap().sum()
+                - ct.forward(&xm, true).unwrap().sum())
+                / (2.0 * eps);
             assert!(
                 (numeric - gx.as_slice()[probe]).abs() < 2e-2 * (1.0 + numeric.abs()),
                 "probe {probe}"

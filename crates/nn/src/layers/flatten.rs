@@ -25,8 +25,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let dims =
-            self.input_dims.take().ok_or(NnError::MissingCache { layer: "flatten" })?;
+        let dims = self.input_dims.take().ok_or(NnError::MissingCache { layer: "flatten" })?;
         Ok(grad_out.reshape(&dims)?)
     }
 

@@ -59,10 +59,9 @@ impl Layer for Linear {
         }
         let mut y = x.matmul(&self.weight.value)?;
         for i in 0..n {
-            for (j, v) in
-                y.as_mut_slice()[i * self.out_features..(i + 1) * self.out_features]
-                    .iter_mut()
-                    .enumerate()
+            for (j, v) in y.as_mut_slice()[i * self.out_features..(i + 1) * self.out_features]
+                .iter_mut()
+                .enumerate()
             {
                 *v += self.bias.value.as_slice()[j];
             }
@@ -72,10 +71,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let x = self
-            .cached_input
-            .take()
-            .ok_or(NnError::MissingCache { layer: "linear" })?;
+        let x = self.cached_input.take().ok_or(NnError::MissingCache { layer: "linear" })?;
         let (n, _) = grad_out.shape().as_matrix()?;
         // dW += xᵀ × g  — matmul_at treats x as already-transposed.
         let wgrad = matmul::matmul_at(&x, grad_out)?;
@@ -83,8 +79,7 @@ impl Layer for Linear {
         // db += column sums of g.
         for i in 0..n {
             for j in 0..self.out_features {
-                self.bias.grad.as_mut_slice()[j] +=
-                    grad_out.as_slice()[i * self.out_features + j];
+                self.bias.grad.as_mut_slice()[j] += grad_out.as_slice()[i * self.out_features + j];
             }
         }
         // dX = g × Wᵀ.
@@ -143,9 +138,9 @@ mod tests {
             xp.as_mut_slice()[probe] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[probe] -= eps;
-            let numeric =
-                (l.forward(&xp, true).unwrap().sum() - l.forward(&xm, true).unwrap().sum())
-                    / (2.0 * eps);
+            let numeric = (l.forward(&xp, true).unwrap().sum()
+                - l.forward(&xm, true).unwrap().sum())
+                / (2.0 * eps);
             assert!((numeric - gx.as_slice()[probe]).abs() < 1e-2);
         }
     }

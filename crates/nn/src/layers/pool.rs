@@ -103,8 +103,7 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let dims =
-            self.input_dims.take().ok_or(NnError::MissingCache { layer: "avg_pool2d" })?;
+        let dims = self.input_dims.take().ok_or(NnError::MissingCache { layer: "avg_pool2d" })?;
         Ok(pool::avg_pool2d_backward(grad_out, &dims, self.window, self.stride)?)
     }
 

@@ -63,11 +63,21 @@ impl Layer for ResidualBlock {
         Ok(y)
     }
 
+    fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        let h = self.conv1.forward_eval(x)?;
+        let h = self.relu1.forward_eval(&h)?;
+        let h = self.conv2.forward_eval(&h)?;
+        let skip = match &self.shortcut {
+            Some(c) => c.forward_eval(x)?,
+            None => x.clone(),
+        };
+        let pre = h.add(&skip)?;
+        Ok(pre.map(|v| if v > 0.0 { v } else { 0.0 }))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mask = self
-            .final_mask
-            .take()
-            .ok_or(NnError::MissingCache { layer: "residual_block" })?;
+        let mask =
+            self.final_mask.take().ok_or(NnError::MissingCache { layer: "residual_block" })?;
         if grad_out.len() != mask.len() {
             return Err(NnError::BadConfig("residual backward shape mismatch".into()));
         }
@@ -172,9 +182,9 @@ mod tests {
             xp.as_mut_slice()[probe] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[probe] -= eps;
-            let numeric =
-                (rb.forward(&xp, true).unwrap().sum() - rb.forward(&xm, true).unwrap().sum())
-                    / (2.0 * eps);
+            let numeric = (rb.forward(&xp, true).unwrap().sum()
+                - rb.forward(&xm, true).unwrap().sum())
+                / (2.0 * eps);
             assert!(
                 (numeric - gx.as_slice()[probe]).abs() < 5e-2 * (1.0 + numeric.abs()),
                 "probe {probe}: {} vs {}",

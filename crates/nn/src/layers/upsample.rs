@@ -36,6 +36,10 @@ impl Layer for UpsampleNearest {
         Ok(pool::upsample_nearest(x, self.factor)?)
     }
 
+    fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        Ok(pool::upsample_nearest(x, self.factor)?)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         if !self.did_forward {
             return Err(NnError::MissingCache { layer: "upsample_nearest" });

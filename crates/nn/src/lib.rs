@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod functional;
 pub mod layer;
 pub mod layers;
 pub mod loss;

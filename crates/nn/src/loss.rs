@@ -58,10 +58,7 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
     let (n, k) = logits.shape().as_matrix()?;
     if labels.len() != n {
-        return Err(NnError::BadConfig(format!(
-            "{} labels for batch of {n}",
-            labels.len()
-        )));
+        return Err(NnError::BadConfig(format!("{} labels for batch of {n}", labels.len())));
     }
     let probs = softmax(logits)?;
     let mut loss = 0.0f32;

@@ -162,6 +162,17 @@ impl Model {
         self.seq.forward(x, false)
     }
 
+    /// Immutable inference pass: evaluates the model on scratch buffers
+    /// without touching backward caches, so a shared `&Model` can serve
+    /// predictions concurrently (`Model` is `Sync`; see [`crate::Layer`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn predict(&self, x: &Tensor) -> Result<Tensor> {
+        self.seq.forward_eval(x)
+    }
+
     /// Runs the prefix up to (and including) boundary `id`.
     ///
     /// # Errors
@@ -201,11 +212,7 @@ impl Model {
     /// Propagates layer errors.
     pub fn activations_at_cuts(&mut self, x: &Tensor) -> Result<Vec<(BoundaryId, Tensor)>> {
         let outs = self.seq.forward_collect(x, false)?;
-        Ok(self
-            .cut_points
-            .iter()
-            .map(|cp| (cp.id, outs[cp.seq_end - 1].clone()))
-            .collect())
+        Ok(self.cut_points.iter().map(|cp| (cp.id, outs[cp.seq_end - 1].clone())).collect())
     }
 
     /// Splits the model at `id` into independent (prefix, suffix) stacks
@@ -258,12 +265,7 @@ impl ZooConfig {
 
 /// Builds a VGG-style model from a plan string of channel counts and
 /// `M` (max-pool) markers.
-fn build_vgg(
-    name: &str,
-    plan: &[VggItem],
-    hidden: usize,
-    cfg: &ZooConfig,
-) -> Result<Model> {
+fn build_vgg(name: &str, plan: &[VggItem], hidden: usize, cfg: &ZooConfig) -> Result<Model> {
     let mut seq = Sequential::new();
     let mut cuts = Vec::new();
     let mut in_ch = 3usize;
@@ -312,11 +314,24 @@ enum VggItem {
 pub fn vgg16(cfg: &ZooConfig) -> Result<Model> {
     use VggItem::{Conv, Pool};
     let plan = [
-        Conv(64), Conv(64), Pool,
-        Conv(128), Conv(128), Pool,
-        Conv(256), Conv(256), Conv(256), Pool,
-        Conv(512), Conv(512), Conv(512), Pool,
-        Conv(512), Conv(512), Conv(512), Pool,
+        Conv(64),
+        Conv(64),
+        Pool,
+        Conv(128),
+        Conv(128),
+        Pool,
+        Conv(256),
+        Conv(256),
+        Conv(256),
+        Pool,
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Pool,
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Pool,
     ];
     build_vgg("vgg16", &plan, 512, cfg)
 }
@@ -330,11 +345,27 @@ pub fn vgg16(cfg: &ZooConfig) -> Result<Model> {
 pub fn vgg19(cfg: &ZooConfig) -> Result<Model> {
     use VggItem::{Conv, Pool};
     let plan = [
-        Conv(64), Conv(64), Pool,
-        Conv(128), Conv(128), Pool,
-        Conv(256), Conv(256), Conv(256), Conv(256), Pool,
-        Conv(512), Conv(512), Conv(512), Conv(512), Pool,
-        Conv(512), Conv(512), Conv(512), Conv(512), Pool,
+        Conv(64),
+        Conv(64),
+        Pool,
+        Conv(128),
+        Conv(128),
+        Pool,
+        Conv(256),
+        Conv(256),
+        Conv(256),
+        Conv(256),
+        Pool,
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Pool,
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Conv(512),
+        Pool,
     ];
     build_vgg("vgg19", &plan, 512, cfg)
 }
@@ -349,10 +380,17 @@ pub fn vgg19(cfg: &ZooConfig) -> Result<Model> {
 pub fn alexnet(cfg: &ZooConfig) -> Result<Model> {
     use VggItem::{Conv, Pool};
     let plan = [
-        Conv(64), Pool,
-        Conv(192), Pool,
-        Conv(384), Conv(256), Conv(256), Pool,
-        Conv(256), Conv(256), Pool,
+        Conv(64),
+        Pool,
+        Conv(192),
+        Pool,
+        Conv(384),
+        Conv(256),
+        Conv(256),
+        Pool,
+        Conv(256),
+        Conv(256),
+        Pool,
     ];
     build_vgg("alexnet", &plan, 512, cfg)
 }
@@ -464,9 +502,26 @@ mod tests {
         assert_eq!(acts.len(), m.cut_points().len());
         // Spot check: the relu(1) activation matches forward_to_cut.
         let direct = m.forward_to_cut(BoundaryId::relu(1), &x).unwrap();
-        let from_table =
-            &acts.iter().find(|(id, _)| *id == BoundaryId::relu(1)).unwrap().1;
+        let from_table = &acts.iter().find(|(id, _)| *id == BoundaryId::relu(1)).unwrap().1;
         assert_eq!(&direct, from_table);
+    }
+
+    #[test]
+    fn predict_is_immutable_and_shareable_across_threads() {
+        let mut m = alexnet(&tiny_cfg()).unwrap();
+        let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 8);
+        let stateful = m.forward(&x).unwrap();
+        m.seq_mut().clear_cache();
+        let m = m; // freeze: predict needs no mutability
+        let from_threads: Vec<Tensor> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2).map(|_| scope.spawn(|| m.predict(&x).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for y in from_threads {
+            for (a, b) in stateful.as_slice().iter().zip(y.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
     }
 
     #[test]
@@ -479,9 +534,7 @@ mod tests {
     fn width_div_shrinks_parameters() {
         let mut wide = vgg16(&ZooConfig { width_div: 4, ..tiny_cfg() }).unwrap();
         let mut narrow = vgg16(&ZooConfig { width_div: 32, ..tiny_cfg() }).unwrap();
-        let count = |m: &mut Model| -> usize {
-            m.seq_mut().params().iter().map(|p| p.len()).sum()
-        };
+        let count = |m: &mut Model| -> usize { m.seq_mut().params().iter().map(|p| p.len()).sum() };
         assert!(count(&mut wide) > count(&mut narrow));
     }
 }

@@ -95,6 +95,21 @@ impl Sequential {
         Ok(cur)
     }
 
+    /// Immutable inference-mode forward pass: evaluates every layer
+    /// through [`Layer::forward_eval`], leaving backward caches and
+    /// layer state untouched. The path serving uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_eval(&self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward_eval(&cur)?;
+        }
+        Ok(cur)
+    }
+
     /// Full forward pass that also returns the output of every layer
     /// (used to read distillation points and boundary activations).
     ///
@@ -178,10 +193,7 @@ impl Sequential {
         }
         for (p, s) in params.into_iter().zip(state.iter()) {
             if p.value.dims() != s.dims() {
-                return Err(NnError::StateDictMismatch {
-                    expected: p.value.len(),
-                    found: s.len(),
-                });
+                return Err(NnError::StateDictMismatch { expected: p.value.len(), found: s.len() });
             }
             p.value = s.clone();
         }

@@ -1,0 +1,278 @@
+//! Pluggable protocol backends for the PI engine.
+//!
+//! [`PiBackendImpl`] is the extension point the engine dispatches
+//! through: a backend decides how non-linear layers (ReLU, max pool) are
+//! prepared offline and executed online, which protocol runs the linear
+//! layers, and which analytic model prices its offline phase. The two
+//! published systems the paper compares against ship as the two built-in
+//! implementations — [`delphi()`] (garbled circuits) and [`cheetah()`]
+//! (comparison-based with silent correlations) — and a third backend is
+//! a new module implementing this trait, not an engine rewrite.
+//!
+//! Offline material crosses the trait as type-erased [`NlMaterial`]
+//! boxes: each backend defines its own correlation types and downcasts
+//! them back in its online hooks, so backends with novel correlation
+//! shapes need no engine changes.
+
+use crate::cost::OfflineCostModel;
+use crate::engine::PiConfig;
+use crate::report::OpCounts;
+use crate::{PiError, Result};
+use c2pi_mpc::beaver::{linear_client, linear_server};
+use c2pi_mpc::dealer::{Dealer, LinearCorrClient, LinearCorrServer};
+use c2pi_mpc::prg::Prg;
+use c2pi_mpc::ring::RingMatrix;
+use c2pi_mpc::share::ShareVec;
+use c2pi_transport::{Endpoint, Side};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+mod cheetah;
+mod delphi;
+
+pub use cheetah::Cheetah;
+pub use delphi::Delphi;
+
+/// Type-erased per-inference offline material for one non-linear layer.
+/// Backends define the concrete type and downcast in their online hooks.
+pub type NlMaterial = Box<dyn Any + Send>;
+
+/// A protocol suite the engine can execute the crypto prefix with.
+///
+/// The `prepare_*` hooks run in the offline phase (dealer side) and the
+/// `*_online` hooks in the online phase (inside the party threads). The
+/// linear-layer hooks default to the masked-linear protocol both Delphi
+/// and Cheetah share; override them for backends with a different linear
+/// execution.
+pub trait PiBackendImpl: fmt::Debug + Send + Sync {
+    /// Engine name for reports (`delphi` / `cheetah` / yours).
+    fn name(&self) -> &'static str;
+
+    /// The analytic model pricing this backend's offline phase.
+    fn cost_model(&self) -> OfflineCostModel;
+
+    /// Generates offline material for a ReLU over `n` shared elements,
+    /// returning the (client, server) halves and accumulating
+    /// backend-specific counts (AND gates, bit triples).
+    fn prepare_relu(
+        &self,
+        dealer: &mut Dealer,
+        n: usize,
+        cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial);
+
+    /// Generates offline material for a 2×2 max pool over `windows`
+    /// four-element windows.
+    fn prepare_maxpool(
+        &self,
+        dealer: &mut Dealer,
+        windows: usize,
+        cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial);
+
+    /// Online ReLU on a share of `n` elements. `side` says which party
+    /// this thread is; `prg` is the party's local randomness (the
+    /// garbler's wire labels for GC backends).
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol/transport errors, or [`PiError::BadConfig`] when
+    /// `material` is not this backend's type.
+    fn relu_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        share: &ShareVec,
+        material: NlMaterial,
+        cfg: &PiConfig,
+        prg: &mut Prg,
+    ) -> Result<ShareVec>;
+
+    /// Online 2×2 max pool. `quads` holds the gathered window elements
+    /// (`4·windows` values, window-major — the public permutation is
+    /// applied by the engine on both sides); returns one share per
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol/transport errors, or [`PiError::BadConfig`] when
+    /// `material` is not this backend's type.
+    fn maxpool_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        quads: &ShareVec,
+        material: NlMaterial,
+        cfg: &PiConfig,
+        prg: &mut Prg,
+    ) -> Result<ShareVec>;
+
+    /// Offline correlation for a linear layer with server-known weights
+    /// `w` applied to a shared input with `cols` columns. Defaults to
+    /// the shared masked-linear correlation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors.
+    fn prepare_linear(
+        &self,
+        dealer: &mut Dealer,
+        w: &RingMatrix,
+        cols: usize,
+    ) -> Result<(LinearCorrClient, LinearCorrServer)> {
+        Ok(dealer.linear_corr(w, cols)?)
+    }
+
+    /// Client side of the online linear-layer protocol. Defaults to the
+    /// one-flight masked-linear protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or shape errors.
+    fn linear_online_client(
+        &self,
+        ep: &Endpoint,
+        x0: &RingMatrix,
+        corr: &LinearCorrClient,
+    ) -> Result<RingMatrix> {
+        Ok(linear_client(ep, x0, corr)?)
+    }
+
+    /// Server side of the online linear-layer protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or shape errors.
+    fn linear_online_server(
+        &self,
+        ep: &Endpoint,
+        w: &RingMatrix,
+        x1: &RingMatrix,
+        corr: &LinearCorrServer,
+    ) -> Result<RingMatrix> {
+        Ok(linear_server(ep, w, x1, corr)?)
+    }
+}
+
+/// The Delphi-style backend: GC non-linearities, heavyweight HE offline.
+pub fn delphi() -> Arc<dyn PiBackendImpl> {
+    Arc::new(Delphi)
+}
+
+/// The Cheetah-style backend: comparison-based non-linearities with
+/// silent correlations, lean lattice linear layers.
+pub fn cheetah() -> Arc<dyn PiBackendImpl> {
+    Arc::new(Cheetah)
+}
+
+/// The backend registry: resolves a [`crate::PiBackend`] tag to its
+/// implementation. Registering a third built-in backend means adding a
+/// module, a constructor and an arm here — nothing in the engine
+/// changes.
+pub(crate) fn resolve(tag: crate::engine::PiBackend) -> Arc<dyn PiBackendImpl> {
+    match tag {
+        crate::engine::PiBackend::Delphi => delphi(),
+        crate::engine::PiBackend::Cheetah => cheetah(),
+    }
+}
+
+/// Anything that resolves to a backend implementation — lets builder
+/// APIs accept both a [`crate::PiBackend`] tag and a custom
+/// `Arc<dyn PiBackendImpl>`.
+pub trait IntoBackend {
+    /// Resolves to the implementation.
+    fn into_backend(self) -> Arc<dyn PiBackendImpl>;
+}
+
+impl IntoBackend for Arc<dyn PiBackendImpl> {
+    fn into_backend(self) -> Arc<dyn PiBackendImpl> {
+        self
+    }
+}
+
+impl IntoBackend for crate::engine::PiBackend {
+    fn into_backend(self) -> Arc<dyn PiBackendImpl> {
+        self.engine()
+    }
+}
+
+/// Downcast helper with a uniform error for material-type mismatches.
+pub(crate) fn downcast_material<T: 'static>(
+    material: NlMaterial,
+    backend: &'static str,
+) -> Result<Box<T>> {
+    material.downcast::<T>().map_err(|_| {
+        PiError::BadConfig(format!("offline material was not prepared by the {backend} backend"))
+    })
+}
+
+/// Splits the per-window gathered quads (window-major `a b c d` groups)
+/// into four parallel vectors — the layout the tournament-style maxpool
+/// protocols consume.
+pub(crate) fn split_quads(share: &ShareVec) -> [ShareVec; 4] {
+    let n = share.len() / 4;
+    let mut parts: [Vec<u64>; 4] = [
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    ];
+    for (i, &v) in share.as_raw().iter().enumerate() {
+        parts[i % 4].push(v);
+    }
+    let [a, b, c, d] = parts;
+    [ShareVec::from_raw(a), ShareVec::from_raw(b), ShareVec::from_raw(c), ShareVec::from_raw(d)]
+}
+
+/// Chunk sizes covering `n` elements with at most `chunk` per batch.
+pub(crate) fn chunks_of(n: usize, chunk: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut rem = n;
+    while rem > 0 {
+        let c = rem.min(chunk);
+        out.push(c);
+        rem -= c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PiBackend;
+
+    #[test]
+    fn registry_resolves_both_builtins() {
+        assert_eq!(delphi().name(), "delphi");
+        assert_eq!(cheetah().name(), "cheetah");
+        assert_eq!(PiBackend::Delphi.into_backend().name(), "delphi");
+        assert_eq!(PiBackend::Cheetah.into_backend().name(), "cheetah");
+    }
+
+    #[test]
+    fn split_quads_deinterleaves() {
+        let s = ShareVec::from_raw(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let [a, b, c, d] = split_quads(&s);
+        assert_eq!(a.as_raw(), &[1, 5]);
+        assert_eq!(b.as_raw(), &[2, 6]);
+        assert_eq!(c.as_raw(), &[3, 7]);
+        assert_eq!(d.as_raw(), &[4, 8]);
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        assert_eq!(chunks_of(10, 4), vec![4, 4, 2]);
+        assert_eq!(chunks_of(4, 4), vec![4]);
+        assert!(chunks_of(0, 4).is_empty());
+    }
+
+    #[test]
+    fn downcast_mismatch_is_a_config_error() {
+        let boxed: NlMaterial = Box::new(42u32);
+        let err = downcast_material::<String>(boxed, "delphi").unwrap_err();
+        assert!(matches!(err, PiError::BadConfig(_)));
+    }
+}

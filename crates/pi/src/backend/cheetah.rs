@@ -1,0 +1,115 @@
+//! The Cheetah-style backend (Huang et al., USENIX Security 2022):
+//! comparison-based non-linearities consuming silent bit/Beaver triples,
+//! with an online phase two orders of magnitude leaner than garbled
+//! circuits; lean lattice offline modelled by
+//! [`OfflineCostModel::cheetah`].
+
+use super::{downcast_material, split_quads, NlMaterial, PiBackendImpl};
+use crate::cost::OfflineCostModel;
+use crate::engine::PiConfig;
+use crate::report::OpCounts;
+use crate::Result;
+use c2pi_mpc::dealer::{Dealer, TripleShare};
+use c2pi_mpc::ot::BitTriples;
+use c2pi_mpc::prg::Prg;
+use c2pi_mpc::relu::{drelu_bit_triples, max_interactive, relu_interactive};
+use c2pi_mpc::share::ShareVec;
+use c2pi_transport::{Endpoint, Side};
+
+/// One comparison stage's correlations: DReLU bit triples plus the two
+/// Beaver triple sets the multiplexer consumes.
+type Stage = (BitTriples, TripleShare, TripleShare);
+
+/// Offline material for one comparison-based non-linear layer (one
+/// stage for ReLU, three for the 4-way max tournament). Both parties
+/// hold the same shape.
+struct CmpMaterial {
+    stages: Vec<Stage>,
+}
+
+/// The Cheetah-style backend. Stateless: all per-inference state lives
+/// in the prepared material.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cheetah;
+
+fn stage_for(dealer: &mut Dealer, n: usize, counts: &mut OpCounts) -> (Stage, Stage) {
+    let need = n * drelu_bit_triples(63);
+    counts.bit_triples += need as u64;
+    let (b0, b1) = dealer.bit_triples(need);
+    let (ta0, ta1) = dealer.beaver_triples(n);
+    let (tb0, tb1) = dealer.beaver_triples(n);
+    ((b0, ta0, tb0), (b1, ta1, tb1))
+}
+
+impl PiBackendImpl for Cheetah {
+    fn name(&self) -> &'static str {
+        "cheetah"
+    }
+
+    fn cost_model(&self) -> OfflineCostModel {
+        OfflineCostModel::cheetah()
+    }
+
+    fn prepare_relu(
+        &self,
+        dealer: &mut Dealer,
+        n: usize,
+        _cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial) {
+        let (c, s) = stage_for(dealer, n, counts);
+        (Box::new(CmpMaterial { stages: vec![c] }), Box::new(CmpMaterial { stages: vec![s] }))
+    }
+
+    fn prepare_maxpool(
+        &self,
+        dealer: &mut Dealer,
+        windows: usize,
+        _cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial) {
+        let mut stages_c = Vec::with_capacity(3);
+        let mut stages_s = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let (c, s) = stage_for(dealer, windows, counts);
+            stages_c.push(c);
+            stages_s.push(s);
+        }
+        (Box::new(CmpMaterial { stages: stages_c }), Box::new(CmpMaterial { stages: stages_s }))
+    }
+
+    fn relu_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        share: &ShareVec,
+        material: NlMaterial,
+        _cfg: &PiConfig,
+        _prg: &mut Prg,
+    ) -> Result<ShareVec> {
+        let mut mat = downcast_material::<CmpMaterial>(material, "cheetah")?;
+        let (mut bits, ta, tb) = mat.stages.remove(0);
+        let is_client = side == Side::Client;
+        Ok(relu_interactive(ep, is_client, share, &mut bits, &ta, &tb)?)
+    }
+
+    fn maxpool_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        quads: &ShareVec,
+        material: NlMaterial,
+        _cfg: &PiConfig,
+        _prg: &mut Prg,
+    ) -> Result<ShareVec> {
+        let mut mat = downcast_material::<CmpMaterial>(material, "cheetah")?;
+        let is_client = side == Side::Client;
+        let [a, b, c, d] = split_quads(quads);
+        let (mut bt1, ta1, tb1) = mat.stages.remove(0);
+        let m1 = max_interactive(ep, is_client, &a, &b, &mut bt1, &ta1, &tb1)?;
+        let (mut bt2, ta2, tb2) = mat.stages.remove(0);
+        let m2 = max_interactive(ep, is_client, &c, &d, &mut bt2, &ta2, &tb2)?;
+        let (mut bt3, ta3, tb3) = mat.stages.remove(0);
+        Ok(max_interactive(ep, is_client, &m1, &m2, &mut bt3, &ta3, &tb3)?)
+    }
+}

@@ -1,0 +1,159 @@
+//! The Delphi-style backend (Mishra et al., USENIX Security 2020):
+//! garbled-circuit non-linearities prepared from base OTs, heavyweight
+//! HE offline modelled by [`OfflineCostModel::delphi`].
+
+use super::{chunks_of, downcast_material, NlMaterial, PiBackendImpl};
+use crate::cost::OfflineCostModel;
+use crate::engine::PiConfig;
+use crate::report::OpCounts;
+use crate::Result;
+use c2pi_mpc::dealer::{BaseOtReceiver, BaseOtSender, Dealer};
+use c2pi_mpc::ot::KAPPA;
+use c2pi_mpc::prg::Prg;
+use c2pi_mpc::relu::{
+    gc_maxpool4_evaluator, gc_maxpool4_garbler, gc_relu_evaluator, gc_relu_garbler,
+};
+use c2pi_mpc::share::ShareVec;
+use c2pi_transport::{Endpoint, Side};
+
+/// Offline material for one GC non-linear layer, client (evaluator)
+/// side: one base-OT set per circuit chunk.
+struct GcClient {
+    bases: Vec<BaseOtReceiver>,
+}
+
+/// Server (garbler) side of the same.
+struct GcServer {
+    bases: Vec<BaseOtSender>,
+}
+
+/// Max-pool chunks are a quarter of the ReLU chunk (each window feeds
+/// four elements into its circuit).
+fn maxpool_chunk(cfg: &PiConfig) -> usize {
+    cfg.gc_chunk / 4 + 1
+}
+
+/// The Delphi-style backend. Stateless: all per-inference state lives in
+/// the prepared material.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Delphi;
+
+impl PiBackendImpl for Delphi {
+    fn name(&self) -> &'static str {
+        "delphi"
+    }
+
+    fn cost_model(&self) -> OfflineCostModel {
+        OfflineCostModel::delphi()
+    }
+
+    fn prepare_relu(
+        &self,
+        dealer: &mut Dealer,
+        n: usize,
+        cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial) {
+        let ands_per_relu = c2pi_mpc::gc::relu_masked_circuit(1, 64).and_count() as u64;
+        let mut snd = Vec::new();
+        let mut rcv = Vec::new();
+        for chunk in chunks_of(n, cfg.gc_chunk) {
+            let (s, r) = dealer.base_ots(KAPPA);
+            snd.push(s);
+            rcv.push(r);
+            counts.and_gates += chunk as u64 * ands_per_relu;
+        }
+        (Box::new(GcClient { bases: rcv }), Box::new(GcServer { bases: snd }))
+    }
+
+    fn prepare_maxpool(
+        &self,
+        dealer: &mut Dealer,
+        windows: usize,
+        cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial) {
+        let ands_per_window = c2pi_mpc::gc::maxpool4_masked_circuit(1, 64).and_count() as u64;
+        let mut snd = Vec::new();
+        let mut rcv = Vec::new();
+        for chunk in chunks_of(windows, maxpool_chunk(cfg)) {
+            let (s, r) = dealer.base_ots(KAPPA);
+            snd.push(s);
+            rcv.push(r);
+            counts.and_gates += chunk as u64 * ands_per_window;
+        }
+        (Box::new(GcClient { bases: rcv }), Box::new(GcServer { bases: snd }))
+    }
+
+    fn relu_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        share: &ShareVec,
+        material: NlMaterial,
+        cfg: &PiConfig,
+        prg: &mut Prg,
+    ) -> Result<ShareVec> {
+        let n = share.len();
+        let mut out = Vec::with_capacity(n);
+        let mut off = 0usize;
+        match side {
+            Side::Client => {
+                let mat = downcast_material::<GcClient>(material, "delphi")?;
+                for (chunk, base) in chunks_of(n, cfg.gc_chunk).into_iter().zip(mat.bases.iter()) {
+                    let part = ShareVec::from_raw(share.as_raw()[off..off + chunk].to_vec());
+                    out.extend(gc_relu_evaluator(ep, &part, base)?.into_raw());
+                    off += chunk;
+                }
+            }
+            Side::Server => {
+                let mat = downcast_material::<GcServer>(material, "delphi")?;
+                for (chunk, base) in chunks_of(n, cfg.gc_chunk).into_iter().zip(mat.bases.iter()) {
+                    let part = ShareVec::from_raw(share.as_raw()[off..off + chunk].to_vec());
+                    out.extend(gc_relu_garbler(ep, &part, base, prg)?.into_raw());
+                    off += chunk;
+                }
+            }
+        }
+        Ok(ShareVec::from_raw(out))
+    }
+
+    fn maxpool_online(
+        &self,
+        ep: &Endpoint,
+        side: Side,
+        quads: &ShareVec,
+        material: NlMaterial,
+        cfg: &PiConfig,
+        prg: &mut Prg,
+    ) -> Result<ShareVec> {
+        let windows = quads.len() / 4;
+        let mut out = Vec::with_capacity(windows);
+        let mut off = 0usize;
+        match side {
+            Side::Client => {
+                let mat = downcast_material::<GcClient>(material, "delphi")?;
+                for (chunk, base) in
+                    chunks_of(windows, maxpool_chunk(cfg)).into_iter().zip(mat.bases.iter())
+                {
+                    let part =
+                        ShareVec::from_raw(quads.as_raw()[off * 4..(off + chunk) * 4].to_vec());
+                    out.extend(gc_maxpool4_evaluator(ep, &part, base)?.into_raw());
+                    off += chunk;
+                }
+            }
+            Side::Server => {
+                let mat = downcast_material::<GcServer>(material, "delphi")?;
+                for (chunk, base) in
+                    chunks_of(windows, maxpool_chunk(cfg)).into_iter().zip(mat.bases.iter())
+                {
+                    let part =
+                        ShareVec::from_raw(quads.as_raw()[off * 4..(off + chunk) * 4].to_vec());
+                    out.extend(gc_maxpool4_garbler(ep, &part, base, prg)?.into_raw());
+                    off += chunk;
+                }
+            }
+        }
+        Ok(ShareVec::from_raw(out))
+    }
+}

@@ -78,8 +78,7 @@ impl OfflineCostModel {
 
     /// Modelled offline compute seconds.
     pub fn offline_seconds(&self, counts: &OpCounts) -> f64 {
-        counts.macs as f64 * self.sec_per_mac
-            + counts.and_gates as f64 * self.sec_per_and_gate
+        counts.macs as f64 * self.sec_per_mac + counts.and_gates as f64 * self.sec_per_and_gate
     }
 
     /// Charges the modelled traffic onto a live counter as phantom bytes
@@ -123,7 +122,8 @@ mod tests {
 
     #[test]
     fn traffic_scales_with_layer_sizes() {
-        let small = OpCounts { linear_in_elems: vec![100], linear_out_elems: vec![100], ..counts() };
+        let small =
+            OpCounts { linear_in_elems: vec![100], linear_out_elems: vec![100], ..counts() };
         let big = OpCounts {
             linear_in_elems: vec![100_000],
             linear_out_elems: vec![100_000],

@@ -1,33 +1,30 @@
-//! The private-inference engine: runs a model's crypto-layer prefix as a
-//! real two-party protocol between a client thread (holding the input)
-//! and a server thread (holding the weights).
+//! Engine configuration and the one-shot execution entry point.
+//!
+//! The engine's planning, offline and online machinery lives in
+//! [`crate::plan`] and [`crate::session`]; protocol-specific behaviour
+//! is dispatched through the [`crate::backend::PiBackendImpl`] trait, so
+//! this module contains no backend-specific code. [`run_prefix`] is the
+//! single-inference convenience wrapper (compile + preprocess + infer in
+//! one call); serving systems should hold a
+//! [`crate::session::PiSession`] instead and preprocess ahead of
+//! traffic.
 
+use crate::backend::PiBackendImpl;
 use crate::cost::OfflineCostModel;
-use crate::report::{OpCounts, PiReport};
-use crate::{PiError, Result};
-use c2pi_mpc::beaver::{
-    affine_client, affine_server, linear_client, linear_server, truncate_share,
-};
-use c2pi_mpc::dealer::{
-    AffineCorrClient, AffineCorrServer, BaseOtReceiver, BaseOtSender, Dealer, LinearCorrClient,
-    LinearCorrServer, TripleShare,
-};
-use c2pi_mpc::ot::{BitTriples, KAPPA};
-use c2pi_mpc::prg::Prg;
-use c2pi_mpc::relu::{
-    drelu_bit_triples, gc_maxpool4_evaluator, gc_maxpool4_garbler, gc_relu_evaluator,
-    gc_relu_garbler, max_interactive, relu_interactive,
-};
-use c2pi_mpc::ring::{im2col_ring, RingMatrix};
-use c2pi_mpc::share::{share_secret, ShareVec};
+use crate::report::PiReport;
+use crate::session::PiSession;
+use crate::Result;
+use c2pi_mpc::share::ShareVec;
 use c2pi_mpc::FixedPoint;
 use c2pi_nn::{LayerSpec, Sequential};
-use c2pi_tensor::conv::Conv2dGeom;
 use c2pi_tensor::Tensor;
-use c2pi_transport::{channel_pair, Endpoint};
-use std::time::Instant;
+use std::sync::Arc;
 
-/// Which published system the engine emulates.
+/// Which published system the engine emulates. This is the *registry
+/// tag*; the behaviour lives behind [`PiBackendImpl`] and is resolved by
+/// [`PiBackend::engine`]. Custom backends skip the enum entirely and
+/// hand an `Arc<dyn PiBackendImpl>` to
+/// [`PiSession::with_backend`](crate::session::PiSession::with_backend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PiBackend {
     /// Delphi (Mishra et al., USENIX Security 2020): GC non-linearities,
@@ -42,18 +39,18 @@ pub enum PiBackend {
 impl PiBackend {
     /// Engine name for reports.
     pub fn name(&self) -> &'static str {
-        match self {
-            PiBackend::Delphi => "delphi",
-            PiBackend::Cheetah => "cheetah",
-        }
+        self.engine().name()
+    }
+
+    /// Resolves the tag to its implementation (the registry lives in
+    /// [`crate::backend`]).
+    pub fn engine(&self) -> Arc<dyn PiBackendImpl> {
+        crate::backend::resolve(*self)
     }
 
     /// The matching offline cost model.
     pub fn cost_model(&self) -> OfflineCostModel {
-        match self {
-            PiBackend::Delphi => OfflineCostModel::delphi(),
-            PiBackend::Cheetah => OfflineCostModel::cheetah(),
-        }
+        self.engine().cost_model()
     }
 }
 
@@ -64,7 +61,8 @@ pub struct PiConfig {
     pub backend: PiBackend,
     /// Fixed-point format.
     pub fixed: FixedPoint,
-    /// Seed for the trusted dealer and all protocol randomness.
+    /// Master seed for the session's per-inference seed stream (dealer
+    /// and protocol randomness fork from it).
     pub dealer_seed: u64,
     /// Maximum elements per garbled-circuit batch (bounds memory).
     pub gc_chunk: usize,
@@ -108,535 +106,27 @@ impl PiOutcome {
     }
 }
 
-/// Public per-layer execution plan (both parties know the crypto-prefix
-/// architecture; only weights are server-private).
-#[derive(Debug, Clone)]
-enum Step {
-    Conv { c: usize, h: usize, w: usize, geom: Conv2dGeom, oc: usize },
-    Fc { k: usize, out: usize },
-    Relu { n: usize },
-    MaxPool { c: usize, h: usize, w: usize },
-    AvgPool { c: usize, h: usize, w: usize, window: usize, stride: usize },
-    Flatten,
-    Affine,
-}
-
-enum ClientMat {
-    Lin(LinearCorrClient),
-    GcNl(Vec<BaseOtReceiver>),
-    IntNl(Vec<(BitTriples, TripleShare, TripleShare)>),
-    Affine(AffineCorrClient),
-    None,
-}
-
-enum ServerMat {
-    Lin { w: RingMatrix, bias2f: Vec<u64>, corr: LinearCorrServer },
-    GcNl(Vec<BaseOtSender>),
-    IntNl(Vec<(BitTriples, TripleShare, TripleShare)>),
-    Affine { scale: Vec<u64>, shift2f: Vec<u64>, corr: AffineCorrServer },
-    None,
-}
-
 /// Extracts the protocol-facing specs of a layer stack.
 pub fn specs_of(seq: &Sequential) -> Vec<LayerSpec> {
     seq.layers().iter().map(|l| l.spec()).collect()
 }
 
-fn chunks_of(n: usize, chunk: usize) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut rem = n;
-    while rem > 0 {
-        let c = rem.min(chunk);
-        out.push(c);
-        rem -= c;
-    }
-    out
-}
-
-/// Gathers 2×2 window elements of a `[c, h, w]` share into four parallel
-/// index lists (public permutation, applied by both parties).
-fn pool_windows(c: usize, h: usize, w: usize) -> Vec<[usize; 4]> {
-    let mut idx = Vec::with_capacity(c * (h / 2) * (w / 2));
-    for ch in 0..c {
-        let plane = ch * h * w;
-        for oy in 0..h / 2 {
-            for ox in 0..w / 2 {
-                let base = plane + 2 * oy * w + 2 * ox;
-                idx.push([base, base + 1, base + w, base + w + 1]);
-            }
-        }
-    }
-    idx
-}
-
-/// Runs the crypto-layer prefix of a model under the configured backend.
+/// Runs the crypto-layer prefix of a model under the configured backend,
+/// as a one-shot session (compile + preprocess one material set + one
+/// online inference).
 ///
 /// `x` must be a single image `[1, c, h, w]`; the specs are the prefix
 /// layers in order (see [`specs_of`]).
 ///
 /// # Errors
 ///
-/// Returns [`PiError::UnsupportedLayer`] for layers without a secure
-/// execution, [`PiError::BadConfig`] for shape problems, and protocol
-/// errors from the underlying MPC stack.
+/// Returns [`crate::PiError::UnsupportedLayer`] for layers without a
+/// secure execution, [`crate::PiError::BadConfig`] for shape problems,
+/// and protocol errors from the underlying MPC stack.
 pub fn run_prefix(specs: &[LayerSpec], x: &Tensor, cfg: &PiConfig) -> Result<PiOutcome> {
     let (_, c, h, w) = x.shape().as_nchw()?;
-    let fp = cfg.fixed;
-    // ---- plan + dealer materials (offline phase) ----
-    let mut dealer = Dealer::new(cfg.dealer_seed);
-    let mut steps = Vec::with_capacity(specs.len());
-    let mut cmats = Vec::with_capacity(specs.len());
-    let mut smats = Vec::with_capacity(specs.len());
-    let mut counts = OpCounts::default();
-    // Current public shape: Some((c,h,w)) for NCHW, or flat length.
-    let mut cur_chw: Option<(usize, usize, usize)> = Some((c, h, w));
-    let mut cur_flat = c * h * w;
-    for spec in specs {
-        match spec {
-            LayerSpec::Conv2d { weight, bias, geom } => {
-                let (cc, hh, ww) = cur_chw
-                    .ok_or_else(|| PiError::BadConfig("conv after flatten".into()))?;
-                let (oc, ic, k, _) = weight.shape().as_nchw()?;
-                if ic != cc {
-                    return Err(PiError::BadConfig(format!(
-                        "conv expects {ic} channels, activation has {cc}"
-                    )));
-                }
-                let (oh, ow) = geom.output_hw(hh, ww)?;
-                let ckk = ic * k * k;
-                let w_ring = RingMatrix::from_vec(fp.encode_tensor(weight), oc, ckk)?;
-                let (corr_c, corr_s) = dealer.linear_corr(&w_ring, oh * ow)?;
-                let scale2 = fp.scale() * fp.scale();
-                let bias2f: Vec<u64> =
-                    bias.as_slice().iter().map(|&b| (b * scale2).round() as i64 as u64).collect();
-                counts.linear_in_elems.push(cc * hh * ww);
-                counts.linear_out_elems.push(oc * oh * ow);
-                counts.macs += (oc * ckk * oh * ow) as u64;
-                steps.push(Step::Conv { c: cc, h: hh, w: ww, geom: *geom, oc });
-                cmats.push(ClientMat::Lin(corr_c));
-                smats.push(ServerMat::Lin { w: w_ring, bias2f, corr: corr_s });
-                cur_chw = Some((oc, oh, ow));
-                cur_flat = oc * oh * ow;
-            }
-            LayerSpec::Linear { weight, bias } => {
-                let (k_in, out) = weight.shape().as_matrix()?;
-                if k_in != cur_flat {
-                    return Err(PiError::BadConfig(format!(
-                        "linear expects {k_in} features, activation has {cur_flat}"
-                    )));
-                }
-                // Ring weight as [out, in] (transposed for column input).
-                let wt = weight.transpose()?;
-                let w_ring = RingMatrix::from_vec(fp.encode_tensor(&wt), out, k_in)?;
-                let (corr_c, corr_s) = dealer.linear_corr(&w_ring, 1)?;
-                let scale2 = fp.scale() * fp.scale();
-                let bias2f: Vec<u64> =
-                    bias.as_slice().iter().map(|&b| (b * scale2).round() as i64 as u64).collect();
-                counts.linear_in_elems.push(k_in);
-                counts.linear_out_elems.push(out);
-                counts.macs += (k_in * out) as u64;
-                steps.push(Step::Fc { k: k_in, out });
-                cmats.push(ClientMat::Lin(corr_c));
-                smats.push(ServerMat::Lin { w: w_ring, bias2f, corr: corr_s });
-                cur_chw = None;
-                cur_flat = out;
-            }
-            LayerSpec::Relu => {
-                let n = cur_flat;
-                counts.relu_elems += n;
-                steps.push(Step::Relu { n });
-                match cfg.backend {
-                    PiBackend::Delphi => {
-                        let ands_per_relu =
-                            c2pi_mpc::gc::relu_masked_circuit(1, 64).and_count() as u64;
-                        let mut snd = Vec::new();
-                        let mut rcv = Vec::new();
-                        for chunk in chunks_of(n, cfg.gc_chunk) {
-                            let (s, r) = dealer.base_ots(KAPPA);
-                            snd.push(s);
-                            rcv.push(r);
-                            counts.and_gates += chunk as u64 * ands_per_relu;
-                        }
-                        cmats.push(ClientMat::GcNl(rcv));
-                        smats.push(ServerMat::GcNl(snd));
-                    }
-                    PiBackend::Cheetah => {
-                        let need = n * drelu_bit_triples(63);
-                        counts.bit_triples += need as u64;
-                        let (b0, b1) = dealer.bit_triples(need);
-                        let (ta0, ta1) = dealer.beaver_triples(n);
-                        let (tb0, tb1) = dealer.beaver_triples(n);
-                        cmats.push(ClientMat::IntNl(vec![(b0, ta0, tb0)]));
-                        smats.push(ServerMat::IntNl(vec![(b1, ta1, tb1)]));
-                    }
-                }
-            }
-            LayerSpec::MaxPool2d { window, stride } => {
-                let (cc, hh, ww) = cur_chw
-                    .ok_or_else(|| PiError::BadConfig("pool after flatten".into()))?;
-                if *window != 2 || *stride != 2 || hh % 2 != 0 || ww % 2 != 0 {
-                    return Err(PiError::BadConfig(
-                        "secure max pooling supports 2x2 stride-2 on even sizes".into(),
-                    ));
-                }
-                let n_w = cc * (hh / 2) * (ww / 2);
-                counts.pool_windows += n_w;
-                steps.push(Step::MaxPool { c: cc, h: hh, w: ww });
-                match cfg.backend {
-                    PiBackend::Delphi => {
-                        let ands_per_window =
-                            c2pi_mpc::gc::maxpool4_masked_circuit(1, 64).and_count() as u64;
-                        let mut snd = Vec::new();
-                        let mut rcv = Vec::new();
-                        for chunk in chunks_of(n_w, cfg.gc_chunk / 4 + 1) {
-                            let (s, r) = dealer.base_ots(KAPPA);
-                            snd.push(s);
-                            rcv.push(r);
-                            counts.and_gates += chunk as u64 * ands_per_window;
-                        }
-                        cmats.push(ClientMat::GcNl(rcv));
-                        smats.push(ServerMat::GcNl(snd));
-                    }
-                    PiBackend::Cheetah => {
-                        let mut stages_c = Vec::new();
-                        let mut stages_s = Vec::new();
-                        for _ in 0..3 {
-                            let need = n_w * drelu_bit_triples(63);
-                            counts.bit_triples += need as u64;
-                            let (b0, b1) = dealer.bit_triples(need);
-                            let (ta0, ta1) = dealer.beaver_triples(n_w);
-                            let (tb0, tb1) = dealer.beaver_triples(n_w);
-                            stages_c.push((b0, ta0, tb0));
-                            stages_s.push((b1, ta1, tb1));
-                        }
-                        cmats.push(ClientMat::IntNl(stages_c));
-                        smats.push(ServerMat::IntNl(stages_s));
-                    }
-                }
-                cur_chw = Some((cc, hh / 2, ww / 2));
-                cur_flat = cc * (hh / 2) * (ww / 2);
-            }
-            LayerSpec::AvgPool2d { window, stride } => {
-                let (cc, hh, ww) = cur_chw
-                    .ok_or_else(|| PiError::BadConfig("pool after flatten".into()))?;
-                if hh < *window || ww < *window {
-                    return Err(PiError::BadConfig("average pool window too large".into()));
-                }
-                let oh = (hh - window) / stride + 1;
-                let ow = (ww - window) / stride + 1;
-                steps.push(Step::AvgPool { c: cc, h: hh, w: ww, window: *window, stride: *stride });
-                cmats.push(ClientMat::None);
-                smats.push(ServerMat::None);
-                cur_chw = Some((cc, oh, ow));
-                cur_flat = cc * oh * ow;
-            }
-            LayerSpec::Flatten => {
-                steps.push(Step::Flatten);
-                cmats.push(ClientMat::None);
-                smats.push(ServerMat::None);
-                cur_chw = None;
-            }
-            LayerSpec::Affine { scale, shift } => {
-                let (cc, hh, ww) = cur_chw
-                    .ok_or_else(|| PiError::BadConfig("affine after flatten".into()))?;
-                if scale.len() != cc || shift.len() != cc {
-                    return Err(PiError::BadConfig("affine channel mismatch".into()));
-                }
-                let n = cc * hh * ww;
-                // Broadcast per-channel scale/shift over the plane.
-                let plane = hh * ww;
-                let mut scale_ring = Vec::with_capacity(n);
-                let mut shift2f = Vec::with_capacity(n);
-                let scale2 = fp.scale() * fp.scale();
-                for ch in 0..cc {
-                    let s_enc = fp.encode(scale[ch]);
-                    let t_enc = (shift[ch] * scale2).round() as i64 as u64;
-                    for _ in 0..plane {
-                        scale_ring.push(s_enc);
-                        shift2f.push(t_enc);
-                    }
-                }
-                counts.linear_in_elems.push(n);
-                counts.linear_out_elems.push(n);
-                counts.macs += n as u64;
-                let (corr_c, corr_s) = dealer.affine_corr(&scale_ring);
-                let _ = n;
-                steps.push(Step::Affine);
-                cmats.push(ClientMat::Affine(corr_c));
-                smats.push(ServerMat::Affine { scale: scale_ring, shift2f, corr: corr_s });
-            }
-            LayerSpec::Unsupported(d) => return Err(PiError::UnsupportedLayer(d.clone())),
-        }
-    }
-    let out_dims: Vec<usize> = match cur_chw {
-        Some((cc, hh, ww)) => vec![1, cc, hh, ww],
-        None => vec![1, cur_flat],
-    };
-    // ---- online phase: two real threads over a counted channel ----
-    let (cep, sep, counter) = channel_pair();
-    let x_owned = x.clone();
-    let steps_s = steps.clone();
-    let start = Instant::now();
-    let (client_res, server_res) = std::thread::scope(|scope| {
-        let server = scope.spawn(move || server_thread(&sep, &steps_s, smats, cfg));
-        let client = client_thread(&cep, &steps, cmats, &x_owned, cfg);
-        let server = server.join().map_err(|_| PiError::PartyPanic("server"));
-        (client, server)
-    });
-    let online_seconds = start.elapsed().as_secs_f64();
-    let client_share = client_res?;
-    let server_share = server_res??;
-    let online = counter.snapshot();
-    let model = cfg.backend.cost_model();
-    let offline = model.offline_traffic(&counts);
-    let offline_seconds = model.offline_seconds(&counts);
-    Ok(PiOutcome {
-        client_share,
-        server_share,
-        dims: out_dims,
-        report: PiReport {
-            backend: cfg.backend.name(),
-            online,
-            offline,
-            online_seconds,
-            offline_seconds,
-            counts,
-        },
-    })
-}
-
-fn avg_pool_share(
-    share: &ShareVec,
-    c: usize,
-    h: usize,
-    w: usize,
-    window: usize,
-    stride: usize,
-    is_client: bool,
-    fp: FixedPoint,
-) -> ShareVec {
-    let oh = (h - window) / stride + 1;
-    let ow = (w - window) / stride + 1;
-    let coeff = fp.encode(1.0 / (window * window) as f32);
-    let mut out = Vec::with_capacity(c * oh * ow);
-    for ch in 0..c {
-        let plane = ch * h * w;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0u64;
-                for ky in 0..window {
-                    for kx in 0..window {
-                        acc = acc.wrapping_add(
-                            share.as_raw()[plane + (oy * stride + ky) * w + ox * stride + kx],
-                        );
-                    }
-                }
-                out.push(acc.wrapping_mul(coeff));
-            }
-        }
-    }
-    truncate_share(&ShareVec::from_raw(out), is_client, fp)
-}
-
-fn gather(share: &ShareVec, idx: &[[usize; 4]]) -> ShareVec {
-    let mut out = Vec::with_capacity(idx.len() * 4);
-    for quad in idx {
-        for &i in quad {
-            out.push(share.as_raw()[i]);
-        }
-    }
-    ShareVec::from_raw(out)
-}
-
-fn split_quads(share: &ShareVec) -> [ShareVec; 4] {
-    let n = share.len() / 4;
-    let mut parts: [Vec<u64>; 4] = [
-        Vec::with_capacity(n),
-        Vec::with_capacity(n),
-        Vec::with_capacity(n),
-        Vec::with_capacity(n),
-    ];
-    for (i, &v) in share.as_raw().iter().enumerate() {
-        parts[i % 4].push(v);
-    }
-    let [a, b, c, d] = parts;
-    [
-        ShareVec::from_raw(a),
-        ShareVec::from_raw(b),
-        ShareVec::from_raw(c),
-        ShareVec::from_raw(d),
-    ]
-}
-
-fn client_thread(
-    ep: &Endpoint,
-    steps: &[Step],
-    mats: Vec<ClientMat>,
-    x: &Tensor,
-    cfg: &PiConfig,
-) -> Result<ShareVec> {
-    let fp = cfg.fixed;
-    // Share the input: keep x0, send x1.
-    let secret = fp.encode_tensor(x);
-    let mut prg = Prg::from_u64(cfg.dealer_seed ^ 0xC11E_57A9);
-    let (x0, x1) = share_secret(&secret, &mut prg);
-    ep.send_u64s(x1.as_raw())?;
-    let mut cur = x0;
-    for (step, mat) in steps.iter().zip(mats.into_iter()) {
-        match (step, mat) {
-            (Step::Conv { c, h, w, geom, oc: _ }, ClientMat::Lin(corr)) => {
-                let cols = im2col_ring(cur.as_raw(), *c, *h, *w, *geom)?;
-                let y = linear_client(ep, &cols, &corr)?;
-                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), true, fp);
-            }
-            (Step::Fc { k, out: _ }, ClientMat::Lin(corr)) => {
-                let xm = RingMatrix::from_vec(cur.as_raw().to_vec(), *k, 1)?;
-                let y = linear_client(ep, &xm, &corr)?;
-                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), true, fp);
-            }
-            (Step::Relu { n }, ClientMat::GcNl(bases)) => {
-                let mut out = Vec::with_capacity(*n);
-                let mut off = 0usize;
-                for (chunk, base) in chunks_of(*n, cfg.gc_chunk).into_iter().zip(bases.iter()) {
-                    let part = ShareVec::from_raw(cur.as_raw()[off..off + chunk].to_vec());
-                    out.extend(gc_relu_evaluator(ep, &part, base)?.into_raw());
-                    off += chunk;
-                }
-                cur = ShareVec::from_raw(out);
-            }
-            (Step::Relu { n: _ }, ClientMat::IntNl(mut stages)) => {
-                let (mut bits, ta, tb) = stages.remove(0);
-                cur = relu_interactive(ep, true, &cur, &mut bits, &ta, &tb)?;
-            }
-            (Step::MaxPool { c, h, w }, ClientMat::GcNl(bases)) => {
-                let idx = pool_windows(*c, *h, *w);
-                let gathered = gather(&cur, &idx);
-                let n_w = idx.len();
-                let mut out = Vec::with_capacity(n_w);
-                let mut off = 0usize;
-                for (chunk, base) in
-                    chunks_of(n_w, cfg.gc_chunk / 4 + 1).into_iter().zip(bases.iter())
-                {
-                    let part =
-                        ShareVec::from_raw(gathered.as_raw()[off * 4..(off + chunk) * 4].to_vec());
-                    out.extend(gc_maxpool4_evaluator(ep, &part, base)?.into_raw());
-                    off += chunk;
-                }
-                cur = ShareVec::from_raw(out);
-            }
-            (Step::MaxPool { c, h, w }, ClientMat::IntNl(mut stages)) => {
-                let idx = pool_windows(*c, *h, *w);
-                let [a, b, cc, d] = split_quads(&gather(&cur, &idx));
-                let (mut bt1, ta1, tb1) = stages.remove(0);
-                let m1 = max_interactive(ep, true, &a, &b, &mut bt1, &ta1, &tb1)?;
-                let (mut bt2, ta2, tb2) = stages.remove(0);
-                let m2 = max_interactive(ep, true, &cc, &d, &mut bt2, &ta2, &tb2)?;
-                let (mut bt3, ta3, tb3) = stages.remove(0);
-                cur = max_interactive(ep, true, &m1, &m2, &mut bt3, &ta3, &tb3)?;
-            }
-            (Step::AvgPool { c, h, w, window, stride }, ClientMat::None) => {
-                cur = avg_pool_share(&cur, *c, *h, *w, *window, *stride, true, fp);
-            }
-            (Step::Flatten, ClientMat::None) => {}
-            (Step::Affine, ClientMat::Affine(corr)) => {
-                let y = affine_client(ep, &cur, &corr)?;
-                cur = truncate_share(&y, true, fp);
-            }
-            _ => return Err(PiError::BadConfig("plan/material mismatch (client)".into())),
-        }
-    }
-    Ok(cur)
-}
-
-fn server_thread(
-    ep: &Endpoint,
-    steps: &[Step],
-    mats: Vec<ServerMat>,
-    cfg: &PiConfig,
-) -> Result<ShareVec> {
-    let fp = cfg.fixed;
-    let mut prg = Prg::from_u64(cfg.dealer_seed ^ 0x5E2F_E27A);
-    let mut cur = ShareVec::from_raw(ep.recv_u64s()?);
-    for (step, mat) in steps.iter().zip(mats.into_iter()) {
-        match (step, mat) {
-            (Step::Conv { c, h, w, geom, oc }, ServerMat::Lin { w: w_ring, bias2f, corr }) => {
-                let cols = im2col_ring(cur.as_raw(), *c, *h, *w, *geom)?;
-                let mut y = linear_server(ep, &w_ring, &cols, &corr)?;
-                let (oh_ow, _) = (y.cols(), ());
-                for o in 0..*oc {
-                    let b = bias2f[o];
-                    for v in &mut y.as_mut_slice()[o * oh_ow..(o + 1) * oh_ow] {
-                        *v = v.wrapping_add(b);
-                    }
-                }
-                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp);
-            }
-            (Step::Fc { k, out }, ServerMat::Lin { w: w_ring, bias2f, corr }) => {
-                let xm = RingMatrix::from_vec(cur.as_raw().to_vec(), *k, 1)?;
-                let mut y = linear_server(ep, &w_ring, &xm, &corr)?;
-                for o in 0..*out {
-                    y.as_mut_slice()[o] = y.as_slice()[o].wrapping_add(bias2f[o]);
-                }
-                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp);
-            }
-            (Step::Relu { n }, ServerMat::GcNl(bases)) => {
-                let mut out = Vec::with_capacity(*n);
-                let mut off = 0usize;
-                for (chunk, base) in chunks_of(*n, cfg.gc_chunk).into_iter().zip(bases.iter()) {
-                    let part = ShareVec::from_raw(cur.as_raw()[off..off + chunk].to_vec());
-                    out.extend(gc_relu_garbler(ep, &part, base, &mut prg)?.into_raw());
-                    off += chunk;
-                }
-                cur = ShareVec::from_raw(out);
-            }
-            (Step::Relu { n: _ }, ServerMat::IntNl(mut stages)) => {
-                let (mut bits, ta, tb) = stages.remove(0);
-                cur = relu_interactive(ep, false, &cur, &mut bits, &ta, &tb)?;
-            }
-            (Step::MaxPool { c, h, w }, ServerMat::GcNl(bases)) => {
-                let idx = pool_windows(*c, *h, *w);
-                let gathered = gather(&cur, &idx);
-                let n_w = idx.len();
-                let mut out = Vec::with_capacity(n_w);
-                let mut off = 0usize;
-                for (chunk, base) in
-                    chunks_of(n_w, cfg.gc_chunk / 4 + 1).into_iter().zip(bases.iter())
-                {
-                    let part =
-                        ShareVec::from_raw(gathered.as_raw()[off * 4..(off + chunk) * 4].to_vec());
-                    out.extend(gc_maxpool4_garbler(ep, &part, base, &mut prg)?.into_raw());
-                    off += chunk;
-                }
-                cur = ShareVec::from_raw(out);
-            }
-            (Step::MaxPool { c, h, w }, ServerMat::IntNl(mut stages)) => {
-                let idx = pool_windows(*c, *h, *w);
-                let [a, b, cc, d] = split_quads(&gather(&cur, &idx));
-                let (mut bt1, ta1, tb1) = stages.remove(0);
-                let m1 = max_interactive(ep, false, &a, &b, &mut bt1, &ta1, &tb1)?;
-                let (mut bt2, ta2, tb2) = stages.remove(0);
-                let m2 = max_interactive(ep, false, &cc, &d, &mut bt2, &ta2, &tb2)?;
-                let (mut bt3, ta3, tb3) = stages.remove(0);
-                cur = max_interactive(ep, false, &m1, &m2, &mut bt3, &ta3, &tb3)?;
-            }
-            (Step::AvgPool { c, h, w, window, stride }, ServerMat::None) => {
-                cur = avg_pool_share(&cur, *c, *h, *w, *window, *stride, false, fp);
-            }
-            (Step::Flatten, ServerMat::None) => {}
-            (Step::Affine, ServerMat::Affine { scale, shift2f, corr }) => {
-                let y = affine_server(ep, &scale, &cur, &corr)?;
-                let shifted: Vec<u64> = y
-                    .as_raw()
-                    .iter()
-                    .zip(shift2f.iter())
-                    .map(|(&v, &s)| v.wrapping_add(s))
-                    .collect();
-                cur = truncate_share(&ShareVec::from_raw(shifted), false, fp);
-            }
-            _ => return Err(PiError::BadConfig("plan/material mismatch (server)".into())),
-        }
-    }
-    Ok(cur)
+    let mut session = PiSession::new(specs, [c, h, w], *cfg)?;
+    session.infer(x)
 }
 
 #[cfg(test)]
@@ -655,7 +145,11 @@ mod tests {
         s
     }
 
-    fn run_both(seq: &mut Sequential, x: &Tensor, backend: PiBackend) -> (Tensor, Tensor, PiReport) {
+    fn run_both(
+        seq: &mut Sequential,
+        x: &Tensor,
+        backend: PiBackend,
+    ) -> (Tensor, Tensor, PiReport) {
         let plain = seq.forward(x, false).unwrap();
         seq.clear_cache();
         let cfg = PiConfig { backend, ..Default::default() };
@@ -756,7 +250,7 @@ mod tests {
         seq.push(c2pi_nn::layers::UpsampleNearest::new(2));
         let x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, 13);
         let err = run_prefix(&specs_of(&seq), &x, &PiConfig::default());
-        assert!(matches!(err, Err(PiError::UnsupportedLayer(_))));
+        assert!(matches!(err, Err(crate::PiError::UnsupportedLayer(_))));
     }
 
     #[test]
@@ -765,6 +259,6 @@ mod tests {
         seq.push(MaxPool2d::new(3, 3));
         let x = Tensor::rand_uniform(&[1, 1, 9, 9], -1.0, 1.0, 14);
         let err = run_prefix(&specs_of(&seq), &x, &PiConfig::default());
-        assert!(matches!(err, Err(PiError::BadConfig(_))));
+        assert!(matches!(err, Err(crate::PiError::BadConfig(_))));
     }
 }

@@ -23,6 +23,27 @@ pub struct OpCounts {
     pub and_gates: u64,
 }
 
+/// Preprocessing ledger: where the consumed correlated randomness came
+/// from and what it cost to make. `generated_inline > 0` means the
+/// session ran out of preprocessed material and had to pay dealer time
+/// on the critical path — a bench reporting *true online latency*
+/// should check this is zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessLedger {
+    /// Inference material sets generated ahead of time by
+    /// `PiSession::preprocess`.
+    pub generated_offline: u64,
+    /// Material sets generated on demand inside `infer` because the
+    /// pool was empty (lazily, on the critical path).
+    pub generated_inline: u64,
+    /// Material sets consumed by inferences so far.
+    pub consumed: u64,
+    /// Material sets still pooled for future inferences.
+    pub available: u64,
+    /// Wall-clock seconds spent generating material (both kinds).
+    pub generation_seconds: f64,
+}
+
 /// Complete cost profile of one private-inference run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PiReport {
@@ -32,12 +53,15 @@ pub struct PiReport {
     pub online: TrafficSnapshot,
     /// Modelled offline (HE / correlation-setup) traffic.
     pub offline: TrafficSnapshot,
-    /// Wall-clock seconds of the protocol threads (local compute).
+    /// Wall-clock seconds of the protocol threads (online phase only —
+    /// preprocessing time is in [`PiReport::preprocessing`]).
     pub online_seconds: f64,
     /// Modelled offline compute seconds.
     pub offline_seconds: f64,
     /// Operation counts.
     pub counts: OpCounts,
+    /// Consumed-vs-generated preprocessing state at the time of the run.
+    pub preprocessing: PreprocessLedger,
 }
 
 impl PiReport {
@@ -57,7 +81,9 @@ impl PiReport {
         net.latency_seconds(&self.traffic_total(), self.online_seconds + self.offline_seconds)
     }
 
-    /// Merges another report into this one (used to aggregate phases).
+    /// Merges another report into this one (used to aggregate phases or
+    /// batches). The preprocessing ledger keeps the *later* snapshot
+    /// (ledgers are cumulative session state, not per-run deltas).
     pub fn merge(&mut self, other: &PiReport) {
         self.online = self.online.plus(&other.online);
         self.offline = self.offline.plus(&other.offline);
@@ -70,6 +96,7 @@ impl PiReport {
         self.counts.pool_windows += other.counts.pool_windows;
         self.counts.bit_triples += other.counts.bit_triples;
         self.counts.and_gates += other.counts.and_gates;
+        self.preprocessing = other.preprocessing;
     }
 }
 
@@ -90,6 +117,7 @@ mod tests {
             online_seconds: secs,
             offline_seconds: 0.0,
             counts: OpCounts::default(),
+            preprocessing: PreprocessLedger::default(),
         }
     }
 

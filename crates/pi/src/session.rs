@@ -1,0 +1,571 @@
+//! Long-lived private-inference sessions with an explicit offline/online
+//! phase split.
+//!
+//! A [`PiSession`] is the per-deployment object a serving system keeps
+//! alive: it compiles the crypto prefix once (shape inference, ring
+//! encoding of the server's weights), then separates the two protocol
+//! phases the paper's systems are built around:
+//!
+//! * **offline** — [`PiSession::preprocess`] runs the trusted dealer to
+//!   generate correlated randomness (masked-linear correlations, Beaver
+//!   and bit triples, base OTs for garbling) for `n` *future* inferences,
+//!   input-independently;
+//! * **online** — [`PiSession::infer`] / [`PiSession::infer_batch`]
+//!   consume one pooled material set per input and only pay the cheap
+//!   interactive protocol.
+//!
+//! Every [`crate::report::PiReport`] carries a
+//! [`crate::report::PreprocessLedger`] stating whether its run consumed
+//! pooled material or had to generate some inline, so benchmarks can
+//! report true online latency.
+//!
+//! Per-inference randomness is forked from the session master seed with
+//! a domain-separated PRG stream ([`c2pi_mpc::prg::SeedSequence`]), so
+//! batched and sequential execution consume identical seed streams and
+//! every inference gets fresh, reproducible masks.
+
+use crate::backend::{NlMaterial, PiBackendImpl};
+use crate::engine::{PiConfig, PiOutcome};
+use crate::plan::{compile, Plan, Step, StepData};
+use crate::report::{OpCounts, PiReport, PreprocessLedger};
+use crate::{PiError, Result};
+use c2pi_mpc::beaver::truncate_share;
+use c2pi_mpc::dealer::{
+    AffineCorrClient, AffineCorrServer, Dealer, LinearCorrClient, LinearCorrServer,
+};
+use c2pi_mpc::prg::{Prg, SeedSequence};
+use c2pi_mpc::ring::{im2col_ring, RingMatrix};
+use c2pi_mpc::share::{share_secret, ShareVec};
+use c2pi_nn::LayerSpec;
+use c2pi_tensor::Tensor;
+use c2pi_transport::{channel_pair, Endpoint, Side};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Client-side per-inference material for one step.
+enum ClientMat {
+    Lin(LinearCorrClient),
+    Nl(NlMaterial),
+    Affine(AffineCorrClient),
+    None,
+}
+
+/// Server-side per-inference material for one step (weights live in the
+/// compiled plan, not here).
+enum ServerMat {
+    Lin(LinearCorrServer),
+    Nl(NlMaterial),
+    Affine(AffineCorrServer),
+    None,
+}
+
+/// One inference's worth of correlated randomness plus the seed that
+/// derives the parties' local randomness.
+struct InferenceMaterial {
+    seed: u64,
+    cmats: Vec<ClientMat>,
+    smats: Vec<ServerMat>,
+    counts: OpCounts,
+}
+
+/// A long-lived private-inference session over one compiled crypto
+/// prefix. See the [module docs](crate::session) for the phase model.
+pub struct PiSession {
+    plan: Plan,
+    cfg: PiConfig,
+    backend: Arc<dyn PiBackendImpl>,
+    seeds: SeedSequence,
+    pool: VecDeque<InferenceMaterial>,
+    ledger: PreprocessLedger,
+}
+
+impl std::fmt::Debug for PiSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PiSession")
+            .field("backend", &self.backend.name())
+            .field("steps", &self.plan.steps.len())
+            .field("pooled", &self.pool.len())
+            .field("ledger", &self.ledger)
+            .finish()
+    }
+}
+
+impl PiSession {
+    /// Compiles a session for `specs` on `[c, h, w]` inputs, resolving
+    /// the backend from `cfg.backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::UnsupportedLayer`] / [`PiError::BadConfig`]
+    /// for prefixes the engine cannot execute.
+    pub fn new(specs: &[LayerSpec], input_chw: [usize; 3], cfg: PiConfig) -> Result<Self> {
+        let backend = cfg.backend.engine();
+        Self::with_backend(specs, input_chw, cfg, backend)
+    }
+
+    /// Compiles a session with an explicit backend implementation
+    /// (custom backends; `cfg.backend` is ignored for dispatch but still
+    /// seeds defaults).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PiSession::new`].
+    pub fn with_backend(
+        specs: &[LayerSpec],
+        input_chw: [usize; 3],
+        cfg: PiConfig,
+        backend: Arc<dyn PiBackendImpl>,
+    ) -> Result<Self> {
+        let [c, h, w] = input_chw;
+        let plan = compile(specs, (c, h, w), cfg.fixed)?;
+        Ok(PiSession {
+            plan,
+            cfg,
+            backend,
+            seeds: SeedSequence::new(cfg.dealer_seed, b"c2pi/session/dealer"),
+            pool: VecDeque::new(),
+            ledger: PreprocessLedger::default(),
+        })
+    }
+
+    /// The backend's engine name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Engine configuration the session was built with.
+    pub fn config(&self) -> &PiConfig {
+        &self.cfg
+    }
+
+    /// Number of crypto-prefix steps.
+    pub fn step_count(&self) -> usize {
+        self.plan.steps.len()
+    }
+
+    /// Public shape of the boundary activation.
+    pub fn out_dims(&self) -> &[usize] {
+        &self.plan.out_dims
+    }
+
+    /// Material sets currently pooled for future inferences.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Current preprocessing ledger.
+    pub fn ledger(&self) -> PreprocessLedger {
+        let mut l = self.ledger;
+        l.available = self.pool.len() as u64;
+        l
+    }
+
+    /// Offline phase: generates correlated randomness for `n` future
+    /// inferences and pools it. Input-independent; run it ahead of
+    /// traffic so [`PiSession::infer`] stays on the cheap path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors (caller shape bugs).
+    pub fn preprocess(&mut self, n: usize) -> Result<()> {
+        let start = Instant::now();
+        for _ in 0..n {
+            let material = self.generate_material()?;
+            self.pool.push_back(material);
+            self.ledger.generated_offline += 1;
+        }
+        self.ledger.generation_seconds += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn generate_material(&mut self) -> Result<InferenceMaterial> {
+        let seed = self.seeds.next();
+        let mut dealer = Dealer::new(seed);
+        let mut counts = self.plan.base_counts.clone();
+        let mut cmats = Vec::with_capacity(self.plan.steps.len());
+        let mut smats = Vec::with_capacity(self.plan.steps.len());
+        for (step, data) in self.plan.steps.iter().zip(self.plan.data.iter()) {
+            match (step, data) {
+                (Step::Conv { .. } | Step::Fc { .. }, StepData::Lin { w, cols, .. }) => {
+                    let (corr_c, corr_s) = self.backend.prepare_linear(&mut dealer, w, *cols)?;
+                    cmats.push(ClientMat::Lin(corr_c));
+                    smats.push(ServerMat::Lin(corr_s));
+                }
+                (Step::Relu { n }, StepData::None) => {
+                    let (cm, sm) =
+                        self.backend.prepare_relu(&mut dealer, *n, &self.cfg, &mut counts);
+                    cmats.push(ClientMat::Nl(cm));
+                    smats.push(ServerMat::Nl(sm));
+                }
+                (Step::MaxPool { c, h, w }, StepData::None) => {
+                    let windows = c * (h / 2) * (w / 2);
+                    let (cm, sm) =
+                        self.backend.prepare_maxpool(&mut dealer, windows, &self.cfg, &mut counts);
+                    cmats.push(ClientMat::Nl(cm));
+                    smats.push(ServerMat::Nl(sm));
+                }
+                (Step::Affine, StepData::Affine { scale, .. }) => {
+                    let (corr_c, corr_s) = dealer.affine_corr(scale);
+                    cmats.push(ClientMat::Affine(corr_c));
+                    smats.push(ServerMat::Affine(corr_s));
+                }
+                (Step::AvgPool { .. } | Step::Flatten, StepData::None) => {
+                    cmats.push(ClientMat::None);
+                    smats.push(ServerMat::None);
+                }
+                _ => return Err(PiError::BadConfig("plan/data mismatch".into())),
+            }
+        }
+        Ok(InferenceMaterial { seed, cmats, smats, counts })
+    }
+
+    fn take_material(&mut self) -> Result<InferenceMaterial> {
+        if let Some(m) = self.pool.pop_front() {
+            return Ok(m);
+        }
+        // Pool dry: generate on the critical path and say so in the
+        // ledger.
+        let start = Instant::now();
+        let m = self.generate_material()?;
+        self.ledger.generated_inline += 1;
+        self.ledger.generation_seconds += start.elapsed().as_secs_f64();
+        Ok(m)
+    }
+
+    /// Online phase: runs one private inference on a `[1, c, h, w]`
+    /// input, consuming one pooled material set (generating inline if
+    /// the pool is dry).
+    ///
+    /// # Errors
+    ///
+    /// Returns engine, shape or protocol errors.
+    pub fn infer(&mut self, x: &Tensor) -> Result<PiOutcome> {
+        let (_, c, h, w) = x.shape().as_nchw()?;
+        if (c, h, w) != self.plan.in_chw {
+            return Err(PiError::BadConfig(format!(
+                "session compiled for {:?} inputs, got [{c}, {h}, {w}]",
+                self.plan.in_chw
+            )));
+        }
+        let material = self.take_material()?;
+        self.ledger.consumed += 1;
+        let InferenceMaterial { seed, cmats, smats, counts } = material;
+        let (cep, sep, counter) = channel_pair();
+        let plan = &self.plan;
+        let cfg = self.cfg;
+        let backend = &*self.backend;
+        let start = Instant::now();
+        let (client_res, server_res) = std::thread::scope(|scope| {
+            let server = scope.spawn(move || server_thread(&sep, plan, smats, &cfg, backend, seed));
+            let client = client_thread(&cep, plan, cmats, x, &cfg, backend, seed);
+            let server = server.join().map_err(|_| PiError::PartyPanic("server"));
+            (client, server)
+        });
+        let online_seconds = start.elapsed().as_secs_f64();
+        let client_share = client_res?;
+        let server_share = server_res??;
+        let online = counter.snapshot();
+        let model = self.backend.cost_model();
+        let offline = model.offline_traffic(&counts);
+        let offline_seconds = model.offline_seconds(&counts);
+        Ok(PiOutcome {
+            client_share,
+            server_share,
+            dims: self.plan.out_dims.clone(),
+            report: PiReport {
+                backend: self.backend.name(),
+                online,
+                offline,
+                online_seconds,
+                offline_seconds,
+                counts,
+                preprocessing: self.ledger(),
+            },
+        })
+    }
+
+    /// Online phase over a batch: one outcome per input, consuming one
+    /// pooled material set each. Preprocess at least `xs.len()` sets
+    /// first to keep the whole batch on the online path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first erroring inference.
+    pub fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
+        xs.iter().map(|x| self.infer(x)).collect()
+    }
+}
+
+/// Gathers 2×2 window elements of a `[c, h, w]` share into four parallel
+/// index lists (public permutation, applied by both parties).
+fn pool_windows(c: usize, h: usize, w: usize) -> Vec<[usize; 4]> {
+    let mut idx = Vec::with_capacity(c * (h / 2) * (w / 2));
+    for ch in 0..c {
+        let plane = ch * h * w;
+        for oy in 0..h / 2 {
+            for ox in 0..w / 2 {
+                let base = plane + 2 * oy * w + 2 * ox;
+                idx.push([base, base + 1, base + w, base + w + 1]);
+            }
+        }
+    }
+    idx
+}
+
+fn gather(share: &ShareVec, idx: &[[usize; 4]]) -> ShareVec {
+    let mut out = Vec::with_capacity(idx.len() * 4);
+    for quad in idx {
+        for &i in quad {
+            out.push(share.as_raw()[i]);
+        }
+    }
+    ShareVec::from_raw(out)
+}
+
+fn avg_pool_share(
+    share: &ShareVec,
+    (c, h, w): (usize, usize, usize),
+    (window, stride): (usize, usize),
+    is_client: bool,
+    fp: c2pi_mpc::FixedPoint,
+) -> ShareVec {
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let coeff = fp.encode(1.0 / (window * window) as f32);
+    let mut out = Vec::with_capacity(c * oh * ow);
+    for ch in 0..c {
+        let plane = ch * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0u64;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        acc = acc.wrapping_add(
+                            share.as_raw()[plane + (oy * stride + ky) * w + ox * stride + kx],
+                        );
+                    }
+                }
+                out.push(acc.wrapping_mul(coeff));
+            }
+        }
+    }
+    truncate_share(&ShareVec::from_raw(out), is_client, fp)
+}
+
+fn client_thread(
+    ep: &Endpoint,
+    plan: &Plan,
+    mats: Vec<ClientMat>,
+    x: &Tensor,
+    cfg: &PiConfig,
+    backend: &dyn PiBackendImpl,
+    seed: u64,
+) -> Result<ShareVec> {
+    let fp = cfg.fixed;
+    // Share the input: keep x0, send x1.
+    let secret = fp.encode_tensor(x);
+    let mut prg = Prg::from_u64(seed ^ 0xC11E_57A9);
+    let (x0, x1) = share_secret(&secret, &mut prg);
+    ep.send_u64s(x1.as_raw())?;
+    let mut cur = x0;
+    for (step, mat) in plan.steps.iter().zip(mats) {
+        match (step, mat) {
+            (Step::Conv { c, h, w, geom }, ClientMat::Lin(corr)) => {
+                let cols = im2col_ring(cur.as_raw(), *c, *h, *w, *geom)?;
+                let y = backend.linear_online_client(ep, &cols, &corr)?;
+                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), true, fp);
+            }
+            (Step::Fc { k }, ClientMat::Lin(corr)) => {
+                let xm = RingMatrix::from_vec(cur.as_raw().to_vec(), *k, 1)?;
+                let y = backend.linear_online_client(ep, &xm, &corr)?;
+                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), true, fp);
+            }
+            (Step::Relu { n: _ }, ClientMat::Nl(material)) => {
+                cur = backend.relu_online(ep, Side::Client, &cur, material, cfg, &mut prg)?;
+            }
+            (Step::MaxPool { c, h, w }, ClientMat::Nl(material)) => {
+                let idx = pool_windows(*c, *h, *w);
+                let quads = gather(&cur, &idx);
+                cur = backend.maxpool_online(ep, Side::Client, &quads, material, cfg, &mut prg)?;
+            }
+            (Step::AvgPool { c, h, w, window, stride }, ClientMat::None) => {
+                cur = avg_pool_share(&cur, (*c, *h, *w), (*window, *stride), true, fp);
+            }
+            (Step::Flatten, ClientMat::None) => {}
+            (Step::Affine, ClientMat::Affine(corr)) => {
+                let y = c2pi_mpc::beaver::affine_client(ep, &cur, &corr)?;
+                cur = truncate_share(&y, true, fp);
+            }
+            _ => return Err(PiError::BadConfig("plan/material mismatch (client)".into())),
+        }
+    }
+    Ok(cur)
+}
+
+fn server_thread(
+    ep: &Endpoint,
+    plan: &Plan,
+    mats: Vec<ServerMat>,
+    cfg: &PiConfig,
+    backend: &dyn PiBackendImpl,
+    seed: u64,
+) -> Result<ShareVec> {
+    let fp = cfg.fixed;
+    let mut prg = Prg::from_u64(seed ^ 0x5E2F_E27A);
+    let mut cur = ShareVec::from_raw(ep.recv_u64s()?);
+    for ((step, data), mat) in plan.steps.iter().zip(plan.data.iter()).zip(mats) {
+        match (step, data, mat) {
+            (
+                Step::Conv { c, h, w, geom },
+                StepData::Lin { w: w_ring, bias2f, .. },
+                ServerMat::Lin(corr),
+            ) => {
+                let cols = im2col_ring(cur.as_raw(), *c, *h, *w, *geom)?;
+                let mut y = backend.linear_online_server(ep, w_ring, &cols, &corr)?;
+                let oh_ow = y.cols();
+                for (row, &b) in y.as_mut_slice().chunks_exact_mut(oh_ow).zip(bias2f.iter()) {
+                    for v in row {
+                        *v = v.wrapping_add(b);
+                    }
+                }
+                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp);
+            }
+            (Step::Fc { k }, StepData::Lin { w: w_ring, bias2f, .. }, ServerMat::Lin(corr)) => {
+                let xm = RingMatrix::from_vec(cur.as_raw().to_vec(), *k, 1)?;
+                let mut y = backend.linear_online_server(ep, w_ring, &xm, &corr)?;
+                for (v, &b) in y.as_mut_slice().iter_mut().zip(bias2f.iter()) {
+                    *v = v.wrapping_add(b);
+                }
+                cur = truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp);
+            }
+            (Step::Relu { n: _ }, StepData::None, ServerMat::Nl(material)) => {
+                cur = backend.relu_online(ep, Side::Server, &cur, material, cfg, &mut prg)?;
+            }
+            (Step::MaxPool { c, h, w }, StepData::None, ServerMat::Nl(material)) => {
+                let idx = pool_windows(*c, *h, *w);
+                let quads = gather(&cur, &idx);
+                cur = backend.maxpool_online(ep, Side::Server, &quads, material, cfg, &mut prg)?;
+            }
+            (Step::AvgPool { c, h, w, window, stride }, StepData::None, ServerMat::None) => {
+                cur = avg_pool_share(&cur, (*c, *h, *w), (*window, *stride), false, fp);
+            }
+            (Step::Flatten, StepData::None, ServerMat::None) => {}
+            (Step::Affine, StepData::Affine { scale, shift2f }, ServerMat::Affine(corr)) => {
+                let y = c2pi_mpc::beaver::affine_server(ep, scale, &cur, &corr)?;
+                let shifted: Vec<u64> = y
+                    .as_raw()
+                    .iter()
+                    .zip(shift2f.iter())
+                    .map(|(&v, &s)| v.wrapping_add(s))
+                    .collect();
+                cur = truncate_share(&ShareVec::from_raw(shifted), false, fp);
+            }
+            _ => return Err(PiError::BadConfig("plan/material mismatch (server)".into())),
+        }
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{specs_of, PiBackend};
+    use c2pi_nn::layers::{Conv2d, MaxPool2d, Relu};
+    use c2pi_nn::Sequential;
+
+    fn tiny_prefix() -> Sequential {
+        let mut s = Sequential::new();
+        s.push(Conv2d::new(1, 3, 3, 1, 1, 1, 1));
+        s.push(Relu::new());
+        s.push(MaxPool2d::new(2, 2));
+        s
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn preprocessed_and_inline_inferences_agree_with_plaintext() {
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 3);
+        let plain = seq.forward_eval(&x).unwrap();
+        let cfg = PiConfig::default();
+        let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        session.preprocess(1).unwrap();
+        let pooled = session.infer(&x).unwrap();
+        assert_close(&plain, &pooled.reconstruct(cfg.fixed).unwrap(), 0.02);
+        assert_eq!(pooled.report.preprocessing.generated_offline, 1);
+        assert_eq!(pooled.report.preprocessing.generated_inline, 0);
+        // Pool now dry: the next inference generates inline and says so.
+        let inline = session.infer(&x).unwrap();
+        assert_close(&plain, &inline.reconstruct(cfg.fixed).unwrap(), 0.02);
+        assert_eq!(inline.report.preprocessing.generated_inline, 1);
+        assert_eq!(inline.report.preprocessing.consumed, 2);
+    }
+
+    #[test]
+    fn batch_consumes_pool_and_masks_differ_per_inference() {
+        let seq = tiny_prefix();
+        let xs: Vec<Tensor> =
+            (0..3).map(|s| Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, s)).collect();
+        let cfg = PiConfig::default();
+        let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        session.preprocess(3).unwrap();
+        assert_eq!(session.pooled(), 3);
+        let outs = session.infer_batch(&xs).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(session.pooled(), 0);
+        for (x, out) in xs.iter().zip(&outs) {
+            let plain = seq.forward_eval(x).unwrap();
+            assert_close(&plain, &out.reconstruct(cfg.fixed).unwrap(), 0.02);
+        }
+        // The same input twice gets different masks (fresh correlations).
+        let mut session2 = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        session2.preprocess(2).unwrap();
+        let a = session2.infer(&xs[0]).unwrap();
+        let b = session2.infer(&xs[0]).unwrap();
+        assert_ne!(a.client_share.as_raw(), b.client_share.as_raw());
+    }
+
+    #[test]
+    fn batched_and_sequential_runs_share_the_seed_stream() {
+        let seq = tiny_prefix();
+        let xs: Vec<Tensor> =
+            (0..2).map(|s| Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 10 + s)).collect();
+        let cfg = PiConfig::default();
+        let mut batched = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let from_batch = batched.infer_batch(&xs).unwrap();
+        let mut sequential = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let first = sequential.infer(&xs[0]).unwrap();
+        let second = sequential.infer(&xs[1]).unwrap();
+        assert_eq!(from_batch[0].client_share.as_raw(), first.client_share.as_raw());
+        assert_eq!(from_batch[1].client_share.as_raw(), second.client_share.as_raw());
+    }
+
+    #[test]
+    fn delphi_runs_through_the_trait_too() {
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 5);
+        let plain = seq.forward_eval(&x).unwrap();
+        let cfg = PiConfig { backend: PiBackend::Delphi, ..Default::default() };
+        let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        session.preprocess(1).unwrap();
+        let out = session.infer(&x).unwrap();
+        assert_close(&plain, &out.reconstruct(cfg.fixed).unwrap(), 0.02);
+        assert!(out.report.counts.and_gates > 0);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let seq = tiny_prefix();
+        let cfg = PiConfig::default();
+        let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let bad = Tensor::zeros(&[1, 1, 6, 6]);
+        assert!(matches!(session.infer(&bad), Err(PiError::BadConfig(_))));
+    }
+}

@@ -103,8 +103,7 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Result<Tensor> {
                     }
                     let in_row = (ch * h + iy as usize) * w;
                     for ox in 0..ow {
-                        let ix =
-                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        let ix = (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
@@ -150,8 +149,7 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, geom: Conv2dGeom) -> 
                     }
                     let out_row = (ch * h + iy as usize) * w;
                     for ox in 0..ow {
-                        let ix =
-                            (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
+                        let ix = (ox * geom.stride) as isize + (kx * geom.dilation) as isize - pad;
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
@@ -209,8 +207,7 @@ pub fn conv2d_direct(
                                 let iv = input
                                     .at(&[b, ch, iy as usize, ix as usize])
                                     .expect("bounds checked");
-                                let wv =
-                                    weight.at(&[o, ch, ky, kx]).expect("bounds checked");
+                                let wv = weight.at(&[o, ch, ky, kx]).expect("bounds checked");
                                 acc += iv * wv;
                             }
                         }
@@ -282,8 +279,7 @@ mod tests {
     #[test]
     fn im2col_known_values() {
         // 1x1x3x3 input, 2x2 kernel, stride 1, no padding -> 4 patches.
-        let input =
-            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
         let cols = im2col(&input, Conv2dGeom::new(2, 1, 0, 1)).unwrap();
         assert_eq!(cols.dims(), &[4, 4]);
         // Row 0 holds the top-left element of each patch.
@@ -323,8 +319,7 @@ mod tests {
         let lhs: f32 =
             im2col(&x, g).unwrap().as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, 2, 7, 7, g).unwrap();
-        let rhs: f32 =
-            x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
     }
 

@@ -227,7 +227,11 @@ mod tests {
     fn at_variant_matches_plain() {
         let at = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, 5);
         let b = Tensor::rand_uniform(&[5, 9], -1.0, 1.0, 6);
-        assert_close(&matmul_at(&at, &b).unwrap(), &matmul(&at.transpose().unwrap(), &b).unwrap(), 1e-5);
+        assert_close(
+            &matmul_at(&at, &b).unwrap(),
+            &matmul(&at.transpose().unwrap(), &b).unwrap(),
+            1e-5,
+        );
     }
 
     proptest! {

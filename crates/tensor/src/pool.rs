@@ -75,10 +75,7 @@ pub fn max_pool2d_backward(
     input_dims: &[usize],
 ) -> Result<Tensor> {
     if grad_out.len() != argmax.len() {
-        return Err(TensorError::LengthMismatch {
-            expected: argmax.len(),
-            found: grad_out.len(),
-        });
+        return Err(TensorError::LengthMismatch { expected: argmax.len(), found: grad_out.len() });
     }
     let mut grad_in = Tensor::zeros(input_dims);
     for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
@@ -241,7 +238,10 @@ mod tests {
     #[test]
     fn max_pool_known_values() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn max_pool_backward_routes_to_argmax() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -44,10 +44,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if `i >= rank`.
     pub fn dim(&self, i: usize) -> Result<usize> {
-        self.0
-            .get(i)
-            .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index: i, len: self.0.len() })
+        self.0.get(i).copied().ok_or(TensorError::IndexOutOfBounds { index: i, len: self.0.len() })
     }
 
     /// Row-major strides for this shape.

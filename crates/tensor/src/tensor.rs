@@ -58,7 +58,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.volume() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), found: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                found: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -263,12 +266,7 @@ impl Tensor {
     pub fn mse(&self, other: &Tensor) -> Result<f32> {
         self.check_same_shape(other, "mse")?;
         let n = self.data.len().max(1) as f32;
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a - b) * (a - b))
-            .sum::<f32>()
+        Ok(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>()
             / n)
     }
 

@@ -112,12 +112,8 @@ impl TrafficCounter {
     /// ciphertexts of the Delphi/Cheetah offline phases (DESIGN.md §3).
     pub fn charge_phantom(&self, from: Side, bytes: u64, flights: u64) {
         match from {
-            Side::Client => {
-                self.inner.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst)
-            }
-            Side::Server => {
-                self.inner.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst)
-            }
+            Side::Client => self.inner.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst),
+            Side::Server => self.inner.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst),
         };
         self.inner.flights.fetch_add(flights, Ordering::SeqCst);
         if bytes > 0 {
@@ -141,10 +137,8 @@ pub fn channel_pair() -> (Endpoint, Endpoint, TrafficCounter) {
     let (tx_c2s, rx_c2s) = unbounded();
     let (tx_s2c, rx_s2c) = unbounded();
     let stats = Arc::new(StatsInner::default());
-    let client =
-        Endpoint { side: Side::Client, tx: tx_c2s, rx: rx_s2c, stats: Arc::clone(&stats) };
-    let server =
-        Endpoint { side: Side::Server, tx: tx_s2c, rx: rx_c2s, stats: Arc::clone(&stats) };
+    let client = Endpoint { side: Side::Client, tx: tx_c2s, rx: rx_s2c, stats: Arc::clone(&stats) };
+    let server = Endpoint { side: Side::Server, tx: tx_s2c, rx: rx_c2s, stats: Arc::clone(&stats) };
     (client, server, TrafficCounter { inner: stats })
 }
 
@@ -169,19 +163,15 @@ impl Endpoint {
             self.stats.flights.fetch_add(1, Ordering::SeqCst);
         }
         match self.side {
-            Side::Client => self
-                .stats
-                .bytes_client_to_server
-                .fetch_add(data.len() as u64, Ordering::SeqCst),
-            Side::Server => self
-                .stats
-                .bytes_server_to_client
-                .fetch_add(data.len() as u64, Ordering::SeqCst),
+            Side::Client => {
+                self.stats.bytes_client_to_server.fetch_add(data.len() as u64, Ordering::SeqCst)
+            }
+            Side::Server => {
+                self.stats.bytes_server_to_client.fetch_add(data.len() as u64, Ordering::SeqCst)
+            }
         };
         self.stats.messages.fetch_add(1, Ordering::SeqCst);
-        self.tx
-            .send(Bytes::copy_from_slice(data))
-            .map_err(|_| TransportError::Disconnected)
+        self.tx.send(Bytes::copy_from_slice(data)).map_err(|_| TransportError::Disconnected)
     }
 
     /// Receives the next byte frame from the peer (blocking).

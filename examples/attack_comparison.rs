@@ -16,12 +16,9 @@ use c2pi_suite::nn::model::{vgg16, ZooConfig};
 use c2pi_suite::nn::BoundaryId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = SynthDataset::generate(&SynthConfig {
-        classes: 4,
-        per_class: 6,
-        ..Default::default()
-    })
-    .into_dataset();
+    let data =
+        SynthDataset::generate(&SynthConfig { classes: 4, per_class: 6, ..Default::default() })
+            .into_dataset();
     let (train, eval) = data.split(0.7, 3)?;
     let mut model = vgg16(&ZooConfig { width_div: 32, num_classes: 4, ..Default::default() })?;
 

@@ -13,12 +13,9 @@ use c2pi_suite::nn::model::{alexnet, ZooConfig};
 use c2pi_suite::nn::train::{train_classifier, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = SynthDataset::generate(&SynthConfig {
-        classes: 4,
-        per_class: 6,
-        ..Default::default()
-    })
-    .into_dataset();
+    let data =
+        SynthDataset::generate(&SynthConfig { classes: 4, per_class: 6, ..Default::default() })
+            .into_dataset();
     let (train, eval) = data.split(0.7, 3)?;
 
     let mut model = alexnet(&ZooConfig { width_div: 32, num_classes: 4, ..Default::default() })?;
@@ -45,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in &trace.ssim_probes {
         println!("  layer {:>4}: avg SSIM {:.3}", p.id.to_string(), p.avg_ssim);
     }
-    println!("\nphase 2 (noised accuracy checks, baseline {:.1}%):", trace.baseline_accuracy * 100.0);
+    println!(
+        "\nphase 2 (noised accuracy checks, baseline {:.1}%):",
+        trace.baseline_accuracy * 100.0
+    );
     for p in &trace.accuracy_probes {
         println!("  layer {:>4}: accuracy {:.1}%", p.id.to_string(), p.accuracy * 100.0);
     }

@@ -10,22 +10,19 @@
 
 use c2pi_suite::attacks::dina::{Dina, DinaConfig};
 use c2pi_suite::attacks::Idpa;
-use c2pi_suite::core::pipeline::{C2piPipeline, PipelineConfig};
+use c2pi_suite::core::session::C2pi;
 use c2pi_suite::data::metrics::ssim;
 use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
 use c2pi_suite::nn::model::{vgg16, ZooConfig};
 use c2pi_suite::nn::train::{train_classifier, TrainConfig};
 use c2pi_suite::nn::BoundaryId;
-use c2pi_suite::pi::engine::{PiBackend, PiConfig};
+use c2pi_suite::pi::cheetah;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The hospital's training corpus (synthetic stand-in) and model.
-    let corpus = SynthDataset::generate(&SynthConfig {
-        classes: 4,
-        per_class: 8,
-        ..Default::default()
-    })
-    .into_dataset();
+    let corpus =
+        SynthDataset::generate(&SynthConfig { classes: 4, per_class: 8, ..Default::default() })
+            .into_dataset();
     let mut model = vgg16(&ZooConfig { width_div: 32, num_classes: 4, ..Default::default() })?;
     println!("hospital trains its VGG16 diagnostic model...");
     train_classifier(
@@ -38,15 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The patient's private scan (held only by the client).
     let patient_scan = corpus.images()[5].clone();
 
-    // C2PI inference with the boundary at conv 6 and λ = 0.1 noise.
+    // C2PI inference with the boundary at conv 6 and λ = 0.1 noise. The
+    // hospital preprocesses before the patient arrives, so the scan only
+    // pays the online phase.
     let boundary = BoundaryId::relu(6);
-    let cfg = PipelineConfig {
-        pi: PiConfig { backend: PiBackend::Cheetah, ..Default::default() },
-        noise: 0.1,
-        noise_seed: 9,
-    };
-    let mut pipe = C2piPipeline::new(model.clone(), boundary, cfg)?;
-    let result = pipe.infer(&patient_scan)?;
+    let mut session = C2pi::builder(model.clone())
+        .split_at(boundary)
+        .noise(0.1)
+        .noise_seed(9)
+        .backend(cheetah())
+        .build()?;
+    session.preprocess(1)?;
+    let result = session.infer(&patient_scan)?;
     println!(
         "diagnosis class: {} ({:.2} MB of crypto traffic)",
         result.prediction,

@@ -1,0 +1,77 @@
+//! Minimal `crossbeam`-compatible shim for the offline build.
+//!
+//! Only the unbounded MPMC channel surface the transport crate uses is
+//! provided, implemented over `std::sync::mpsc` with a mutex around the
+//! receiver so the handle is `Sync` like crossbeam's.
+
+/// Channel types, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned when the peer end has disconnected during a send.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the peer end has disconnected during a recv.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails when every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().expect("receiver mutex poisoned");
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn round_trip_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        tx.send(41u64).unwrap();
+        assert_eq!(t.join().unwrap(), 41);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(rx2);
+        assert!(tx2.send(1).is_err());
+    }
+}

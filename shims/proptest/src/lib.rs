@@ -1,0 +1,296 @@
+//! Minimal `proptest`-compatible shim for the offline build.
+//!
+//! Implements the strategy surface the workspace's property tests use —
+//! numeric range strategies, `any`, `collection::vec`, `array::uniform4`
+//! and the `proptest!` / `prop_assert*` macros — by sampling random
+//! cases deterministically (seeded from the test name). **No shrinking**:
+//! a failing case panics with its inputs via the standard assert
+//! message instead of being minimised.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Run-count configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim halves that to keep the
+        // heavier crypto property tests inside the debug-profile budget.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A samplable input distribution.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty strategy range");
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (*self.start() as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let span = self.end - self.start;
+        assert!(span > 0, "empty strategy range");
+        self.start + rng.next_u64() % span
+    }
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty, $bits:expr, $mant:expr);*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let unit = (rng.next_u64() >> (64 - $mant)) as $t
+                    / (1u64 << $mant) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, 32, 24; f64, 64, 53);
+
+/// Types with a whole-domain ("arbitrary") distribution.
+pub trait ArbitraryValue: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy handle returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `proptest::prelude::any` strategy constructor.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for vectors with lengths drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// Builds a vector strategy from an element strategy and a length
+    /// range.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.sizes.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies, mirroring `proptest::array`.
+pub mod array {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing `[T; 4]` from one element strategy.
+    pub struct Uniform4<S>(S);
+
+    /// Builds the `[T; 4]` strategy.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; 4] {
+            [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+}
+
+/// Seeds the case generator deterministically from the test path.
+pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32))
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Assertion inside a property body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Case precondition: skips to the next sampled case when `cond` fails
+/// (the shim's bodies are inlined in the case loop, so `continue` is the
+/// rejection).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each function runs `config.cases` sampled
+/// cases as one `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __prop_config = $cfg;
+                for __prop_case in 0..__prop_config.cases {
+                    let mut __prop_rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __prop_case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut __prop_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in -5.0f32..5.0, n in 1usize..10, s in any::<u64>()) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            let _ = s;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_applied(v in crate::collection::vec(0u64..9, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 9));
+        }
+    }
+
+    #[test]
+    fn uniform4_fills_array() {
+        let mut rng = crate::rng_for("uniform4", 0);
+        let arr = crate::Strategy::sample(&crate::array::uniform4(-8i16..8), &mut rng);
+        assert_eq!(arr.len(), 4);
+        assert!(arr.iter().all(|&v| (-8..8).contains(&v)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal `rand`-compatible shim for the offline build.
+//!
+//! Provides the slice of the rand 0.9 API the workspace uses —
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random`] /
+//! [`RngExt::random_range`] and [`seq::SliceRandom::shuffle`] — backed by
+//! xoshiro256++ seeded through splitmix64 (the same construction rand
+//! itself recommends for seeding). Deterministic in the seed.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, matching `rand::SeedableRng`'s `u64` entry
+/// point.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Typed sampling, standing in for rand 0.9's `Rng` extension methods.
+pub trait RngExt: RngCore {
+    /// A uniformly random value of `T` (for `f32`: uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from a half-open range.
+    fn random_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types samplable from the "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types samplable uniformly from a `Range`.
+pub trait UniformRange: Sized {
+    /// Draws one value uniformly from `range`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits give a uniform float in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformRange for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let u = f32::sample(rng);
+        range.start + (range.end - range.start) * u
+    }
+}
+
+impl UniformRange for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let u = f64::sample(rng);
+        range.start + (range.end - range.start) * u
+    }
+}
+
+impl UniformRange for usize {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        let span = range.end - range.start;
+        debug_assert!(span > 0, "empty range");
+        // Rejection-free modulo is fine for the shim's test workloads.
+        range.start + (rng.next_u64() as usize) % span
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ seeded via splitmix64 — the shim's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers, standing in for `rand::seq`.
+pub mod seq {
+    use super::{RngCore, UniformRange};
+
+    /// Fisher–Yates shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random_range(0.0f32..1.0), b.random_range(0.0f32..1.0));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f32 = rng.random_range(-0.5..2.0);
+            assert!((-0.5..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn standard_f32_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v: f32 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal serde facade for the offline build.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types so downstream users can serialize them, but no code path inside
+//! the workspace itself serializes through serde. This shim provides the
+//! two marker traits plus the (no-op) derives so the annotations compile
+//! without network access to crates.io. Swapping in real serde is a
+//! one-line change in each crate's `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//!
+//! Nothing in the workspace serializes through serde (checkpoints use a
+//! hand-rolled binary format in `c2pi-nn::serialize`), so the derives
+//! only need to exist, not to generate code.
+
+use proc_macro::TokenStream;
+
+/// Accepts the standard `#[serde(...)]` helper attribute and emits
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the standard `#[serde(...)]` helper attribute and emits
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

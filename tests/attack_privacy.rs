@@ -7,13 +7,13 @@ use c2pi_suite::attacks::eval::{avg_ssim_at, EvalConfig};
 use c2pi_suite::attacks::inversion::{InaConfig, InversionAttack};
 use c2pi_suite::attacks::mla::{Mla, MlaConfig};
 use c2pi_suite::attacks::Idpa;
-use c2pi_suite::core::pipeline::{C2piPipeline, PipelineConfig};
+use c2pi_suite::core::session::C2pi;
 use c2pi_suite::data::metrics::ssim;
 use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
 use c2pi_suite::data::Dataset;
 use c2pi_suite::nn::model::{alexnet, ZooConfig};
 use c2pi_suite::nn::{BoundaryId, Model};
-use c2pi_suite::pi::engine::{PiBackend, PiConfig};
+use c2pi_suite::pi::cheetah;
 
 fn setup() -> (Model, Dataset) {
     let model =
@@ -34,8 +34,7 @@ fn mla_ssim_decreases_with_depth() {
     let (mut model, data) = setup();
     let cfg = EvalConfig { noise: 0.0, eval_images: 2, ..Default::default() };
     let mut mla = Mla::new(MlaConfig { iterations: 120, lr: 0.08, seed: 1 });
-    let shallow =
-        avg_ssim_at(&mut mla, &mut model, BoundaryId::relu(1), &data, &cfg).unwrap();
+    let shallow = avg_ssim_at(&mut mla, &mut model, BoundaryId::relu(1), &data, &cfg).unwrap();
     let deep = avg_ssim_at(&mut mla, &mut model, BoundaryId::relu(6), &data, &cfg).unwrap();
     assert!(shallow > deep, "shallow {shallow} vs deep {deep}");
 }
@@ -54,10 +53,7 @@ fn trained_inversion_attack_beats_mla_at_mid_depth() {
     eina.prepare(&mut model, id, &train, 0.0).unwrap();
     let eina_ssim = avg_ssim_at(&mut eina, &mut model, id, &eval, &cfg).unwrap();
     // At this miniature scale we only require EINA to be competitive.
-    assert!(
-        eina_ssim > mla_ssim - 0.1,
-        "eina {eina_ssim} should not be far below mla {mla_ssim}"
-    );
+    assert!(eina_ssim > mla_ssim - 0.1, "eina {eina_ssim} should not be far below mla {mla_ssim}");
 }
 
 #[test]
@@ -69,17 +65,14 @@ fn dina_against_real_c2pi_reveal_is_weak_at_deep_boundary() {
     dina.prepare(&mut model, boundary, &data, 0.1).unwrap();
     // Honest client runs the real pipeline.
     let secret = data.images()[1].clone();
-    let mut pipe = C2piPipeline::new(
-        model.clone(),
-        boundary,
-        PipelineConfig {
-            pi: PiConfig { backend: PiBackend::Cheetah, ..Default::default() },
-            noise: 0.1,
-            noise_seed: 77,
-        },
-    )
-    .unwrap();
-    let result = pipe.infer(&secret).unwrap();
+    let mut session = C2pi::builder(model.clone())
+        .split_at(boundary)
+        .noise(0.1)
+        .noise_seed(77)
+        .backend(cheetah())
+        .build()
+        .unwrap();
+    let result = session.infer(&secret).unwrap();
     let revealed = result.revealed_activation.unwrap();
     let rec = dina.recover(&mut model, boundary, &revealed).unwrap();
     let s = ssim(&secret, &rec).unwrap();

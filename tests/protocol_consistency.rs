@@ -2,8 +2,11 @@
 //! random small networks must produce the same activations under both
 //! engines, and the traffic profile must reflect the architecture.
 
+use c2pi_suite::core::session::C2pi;
+use c2pi_suite::core::Split;
 use c2pi_suite::nn::layers::{AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
-use c2pi_suite::nn::Sequential;
+use c2pi_suite::nn::model::{alexnet, ZooConfig};
+use c2pi_suite::nn::{BoundaryId, Sequential};
 use c2pi_suite::pi::engine::{run_prefix, specs_of, PiBackend, PiConfig};
 use c2pi_tensor::Tensor;
 
@@ -101,6 +104,41 @@ fn dealer_seed_changes_transcript_not_result() {
     }
     // Different masks => different transcripts/shares, same plaintext.
     assert_ne!(shares_seen[0], shares_seen[1]);
+}
+
+#[test]
+fn delphi_and_cheetah_sessions_agree_on_the_same_batch() {
+    // Backend parity: the two protocol suites are different crypto for
+    // the same function, so on the same batch they must produce
+    // identical predictions and logits within fixed-point tolerance —
+    // with the boundary in the middle and at the very end.
+    let model =
+        alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, num_classes: 10 }).unwrap();
+    let batch: Vec<Tensor> =
+        (0..3).map(|s| Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 40 + s)).collect();
+    for split in [Split::At(BoundaryId::relu(3)), Split::Full] {
+        let run = |backend: PiBackend| {
+            let mut session = C2pi::builder(model.clone())
+                .split(split)
+                .noise(0.0)
+                .backend(backend)
+                .build()
+                .unwrap();
+            session.preprocess(batch.len()).unwrap();
+            session.infer_batch(&batch).unwrap()
+        };
+        let delphi = run(PiBackend::Delphi);
+        let cheetah = run(PiBackend::Cheetah);
+        for (i, (d, c)) in delphi.iter().zip(cheetah.iter()).enumerate() {
+            assert_eq!(
+                d.prediction, c.prediction,
+                "split {split:?}, image {i}: predictions diverge"
+            );
+            for (a, b) in d.logits.as_slice().iter().zip(c.logits.as_slice()) {
+                assert!((a - b).abs() < 0.05, "split {split:?}, image {i}: logits {a} vs {b}");
+            }
+        }
+    }
 }
 
 #[test]
