@@ -34,7 +34,8 @@ use c2pi_pi::engine::{specs_of, PiConfig};
 use c2pi_pi::report::PreprocessLedger;
 use c2pi_pi::{IntoBackend, PiSession};
 use c2pi_tensor::Tensor;
-use c2pi_transport::TrafficSnapshot;
+use c2pi_transport::{TrafficSnapshot, Transport};
+use std::sync::Arc;
 
 /// Entry point of the builder API.
 pub struct C2pi;
@@ -50,6 +51,7 @@ impl C2pi {
             noise_seed: 53,
             pi: PiConfig::default(),
             backend: None,
+            transport: None,
         }
     }
 }
@@ -62,6 +64,7 @@ pub struct C2piBuilder {
     noise_seed: u64,
     pi: PiConfig,
     backend: Option<std::sync::Arc<dyn c2pi_pi::PiBackendImpl>>,
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl C2piBuilder {
@@ -106,6 +109,16 @@ impl C2piBuilder {
         self
     }
 
+    /// Transport the two party loops talk over: the in-memory default,
+    /// [`c2pi_transport::SimTransport`] for in-line LAN/WAN latency, or
+    /// [`c2pi_transport::TcpLoopbackTransport`] for real TCP framing —
+    /// any [`Transport`] implementation, including an
+    /// `Arc<dyn Transport>`.
+    pub fn transport<T: Transport + 'static>(mut self, transport: T) -> Self {
+        self.transport = Some(Arc::new(transport));
+        self
+    }
+
     /// Fixed-point format for the crypto phase.
     pub fn fixed(mut self, fp: FixedPoint) -> Self {
         self.pi.fixed = fp;
@@ -144,8 +157,11 @@ impl C2piBuilder {
         };
         let backend = self.backend.unwrap_or_else(|| self.pi.backend.engine());
         let input_shape = self.model.input_shape();
-        let pi = PiSession::with_backend(&specs_of(&crypto), input_shape, self.pi, backend)
+        let mut pi = PiSession::with_backend(&specs_of(&crypto), input_shape, self.pi, backend)
             .map_err(C2piError::Pi)?;
+        if let Some(transport) = self.transport {
+            pi = pi.with_transport(transport);
+        }
         Ok(C2piSession {
             pi,
             clear,
@@ -197,6 +213,11 @@ impl C2piSession {
     /// The engine name of the active backend.
     pub fn backend_name(&self) -> &'static str {
         self.pi.backend_name()
+    }
+
+    /// Label of the active transport (`mem`, `sim-wan`, `tcp-loopback`).
+    pub fn transport_label(&self) -> String {
+        self.pi.transport_label()
     }
 
     /// Current consumed-vs-generated preprocessing ledger.
@@ -363,5 +384,32 @@ mod tests {
     fn unknown_boundary_is_rejected() {
         let err = C2pi::builder(tiny_model()).split_at(BoundaryId::conv(99)).build();
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn transports_are_interchangeable_at_the_builder() {
+        use c2pi_transport::{NetModel, SimTransport, TcpLoopbackTransport};
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 4);
+        let mut mem = C2pi::builder(tiny_model()).full_pi().noise(0.0).build().unwrap();
+        assert_eq!(mem.transport_label(), "mem");
+        let want = mem.infer(&x).unwrap();
+        let mut tcp = C2pi::builder(tiny_model())
+            .full_pi()
+            .noise(0.0)
+            .transport(TcpLoopbackTransport)
+            .build()
+            .unwrap();
+        assert_eq!(tcp.transport_label(), "tcp-loopback");
+        let got = tcp.infer(&x).unwrap();
+        assert_eq!(got.prediction, want.prediction);
+        assert_eq!(got.logits.as_slice(), want.logits.as_slice());
+        let mut sim = C2pi::builder(tiny_model())
+            .full_pi()
+            .noise(0.0)
+            .transport(SimTransport::new(NetModel::custom("fast", 1e12, 1e-6)))
+            .build()
+            .unwrap();
+        let got = sim.infer(&x).unwrap();
+        assert_eq!(got.logits.as_slice(), want.logits.as_slice());
     }
 }

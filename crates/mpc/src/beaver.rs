@@ -8,7 +8,7 @@ use crate::gmw::BitShareVec;
 use crate::ring::RingMatrix;
 use crate::share::ShareVec;
 use crate::{MpcError, Result};
-use c2pi_transport::Endpoint;
+use c2pi_transport::Channel;
 
 /// Batched secure elementwise multiplication of two additively shared
 /// vectors using Beaver triples. One simultaneous exchange of the opened
@@ -20,8 +20,8 @@ use c2pi_transport::Endpoint;
 /// # Errors
 ///
 /// Returns transport errors or length mismatches.
-pub fn mul_elementwise(
-    ep: &Endpoint,
+pub fn mul_elementwise<C: Channel + ?Sized>(
+    ep: &C,
     is_initiator: bool,
     x: &ShareVec,
     y: &ShareVec,
@@ -79,8 +79,8 @@ pub fn mul_elementwise(
 /// # Errors
 ///
 /// Returns transport errors or shape mismatches.
-pub fn linear_client(
-    ep: &Endpoint,
+pub fn linear_client<C: Channel + ?Sized>(
+    ep: &C,
     x0: &RingMatrix,
     corr: &LinearCorrClient,
 ) -> Result<RingMatrix> {
@@ -95,8 +95,8 @@ pub fn linear_client(
 /// # Errors
 ///
 /// Returns transport errors or shape mismatches.
-pub fn linear_server(
-    ep: &Endpoint,
+pub fn linear_server<C: Channel + ?Sized>(
+    ep: &C,
     w: &RingMatrix,
     x1: &RingMatrix,
     corr: &LinearCorrServer,
@@ -115,8 +115,8 @@ pub fn linear_server(
 /// # Errors
 ///
 /// Returns transport errors or length mismatches.
-pub fn affine_client(
-    ep: &Endpoint,
+pub fn affine_client<C: Channel + ?Sized>(
+    ep: &C,
     x0: &ShareVec,
     corr: &crate::dealer::AffineCorrClient,
 ) -> Result<ShareVec> {
@@ -135,8 +135,8 @@ pub fn affine_client(
 /// # Errors
 ///
 /// Returns transport errors or length mismatches.
-pub fn affine_server(
-    ep: &Endpoint,
+pub fn affine_server<C: Channel + ?Sized>(
+    ep: &C,
     scale: &[u64],
     x1: &ShareVec,
     corr: &crate::dealer::AffineCorrServer,
@@ -180,8 +180,8 @@ pub fn truncate_share(share: &ShareVec, is_client: bool, fp: FixedPoint) -> Shar
 /// # Errors
 ///
 /// Returns transport errors or length mismatches.
-pub fn b2a(
-    ep: &Endpoint,
+pub fn b2a<C: Channel + ?Sized>(
+    ep: &C,
     is_initiator: bool,
     bits: &BitShareVec,
     triple: &TripleShare,

@@ -5,7 +5,7 @@
 
 use crate::ot::BitTriples;
 use crate::{MpcError, Result};
-use c2pi_transport::Endpoint;
+use c2pi_transport::Channel;
 
 /// XOR-shared bit vector: the secret bits are `mine ⊕ peer` elementwise.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +74,8 @@ fn unpack(bytes: &[u8], n: usize) -> Result<Vec<bool>> {
 /// # Errors
 ///
 /// Returns transport/protocol errors or triple-pool exhaustion.
-pub fn and_batch(
-    ep: &Endpoint,
+pub fn and_batch<C: Channel + ?Sized>(
+    ep: &C,
     is_initiator: bool,
     x: &BitShareVec,
     y: &BitShareVec,
@@ -130,8 +130,8 @@ pub fn and_batch(
 /// # Errors
 ///
 /// Returns transport errors or triple exhaustion.
-pub fn millionaire_batch(
-    ep: &Endpoint,
+pub fn millionaire_batch<C: Channel + ?Sized>(
+    ep: &C,
     is_party0: bool,
     my_values: &[u64],
     bits: u32,
@@ -228,8 +228,8 @@ pub fn millionaire_batch(
 /// # Errors
 ///
 /// Returns transport errors or triple exhaustion.
-pub fn drelu_batch(
-    ep: &Endpoint,
+pub fn drelu_batch<C: Channel + ?Sized>(
+    ep: &C,
     is_party0: bool,
     my_share: &[u64],
     triples: &mut BitTriples,

@@ -11,7 +11,7 @@
 use crate::dealer::{BaseOtReceiver, BaseOtSender};
 use crate::prg::{prf128, Prg};
 use crate::{MpcError, Result};
-use c2pi_transport::Endpoint;
+use c2pi_transport::Channel;
 
 /// Security parameter: number of base OTs / label width in bits.
 pub const KAPPA: usize = 128;
@@ -52,7 +52,11 @@ fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn ot_receive(ep: &Endpoint, base: &BaseOtReceiver, choices: &[bool]) -> Result<Vec<u128>> {
+pub fn ot_receive<C: Channel + ?Sized>(
+    ep: &C,
+    base: &BaseOtReceiver,
+    choices: &[bool],
+) -> Result<Vec<u128>> {
     let m = choices.len();
     if base.seed_pairs.len() != KAPPA {
         return Err(MpcError::BadConfig(format!(
@@ -109,7 +113,11 @@ pub fn ot_receive(ep: &Endpoint, base: &BaseOtReceiver, choices: &[bool]) -> Res
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn ot_send(ep: &Endpoint, base: &BaseOtSender, pairs: &[(u128, u128)]) -> Result<()> {
+pub fn ot_send<C: Channel + ?Sized>(
+    ep: &C,
+    base: &BaseOtSender,
+    pairs: &[(u128, u128)],
+) -> Result<()> {
     let m = pairs.len();
     if base.seeds.len() != KAPPA || base.choices.len() != KAPPA {
         return Err(MpcError::BadConfig(format!(
@@ -211,8 +219,8 @@ impl BitTriples {
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn gen_bit_triples(
-    ep: &Endpoint,
+pub fn gen_bit_triples<C: Channel + ?Sized>(
+    ep: &C,
     is_initiator: bool,
     my_send_base: &BaseOtSender,
     my_recv_base: &BaseOtReceiver,

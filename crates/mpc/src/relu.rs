@@ -21,7 +21,7 @@ use crate::ot::{ot_receive, ot_send, BitTriples};
 use crate::prg::Prg;
 use crate::share::ShareVec;
 use crate::{MpcError, Result};
-use c2pi_transport::Endpoint;
+use c2pi_transport::Channel;
 
 /// Ring width used by the GC ReLU circuit.
 pub const RING_BITS: usize = 64;
@@ -46,8 +46,8 @@ pub fn drelu_bit_triples(bits: usize) -> usize {
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn gc_exec_garbler(
-    ep: &Endpoint,
+pub fn gc_exec_garbler<C: Channel + ?Sized>(
+    ep: &C,
     circuit: &Circuit,
     garbler_bits: &[bool],
     base: &BaseOtSender,
@@ -87,8 +87,8 @@ pub fn gc_exec_garbler(
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn gc_relu_garbler(
-    ep: &Endpoint,
+pub fn gc_relu_garbler<C: Channel + ?Sized>(
+    ep: &C,
     x1_share: &ShareVec,
     base: &BaseOtSender,
     prg: &mut Prg,
@@ -112,8 +112,8 @@ pub fn gc_relu_garbler(
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn gc_exec_evaluator(
-    ep: &Endpoint,
+pub fn gc_exec_evaluator<C: Channel + ?Sized>(
+    ep: &C,
     circuit: &Circuit,
     choices: &[bool],
     base: &BaseOtReceiver,
@@ -155,8 +155,8 @@ pub fn gc_exec_evaluator(
 /// # Errors
 ///
 /// Returns transport or protocol errors.
-pub fn gc_relu_evaluator(
-    ep: &Endpoint,
+pub fn gc_relu_evaluator<C: Channel + ?Sized>(
+    ep: &C,
     x0_share: &ShareVec,
     base: &BaseOtReceiver,
 ) -> Result<ShareVec> {
@@ -181,8 +181,8 @@ pub fn gc_relu_evaluator(
 ///
 /// Returns transport or protocol errors, or a config error when the
 /// input is not a multiple of four.
-pub fn gc_maxpool4_garbler(
-    ep: &Endpoint,
+pub fn gc_maxpool4_garbler<C: Channel + ?Sized>(
+    ep: &C,
     shares: &ShareVec,
     base: &BaseOtSender,
     prg: &mut Prg,
@@ -211,8 +211,8 @@ pub fn gc_maxpool4_garbler(
 ///
 /// Returns transport or protocol errors, or a config error when the
 /// input is not a multiple of four.
-pub fn gc_maxpool4_evaluator(
-    ep: &Endpoint,
+pub fn gc_maxpool4_evaluator<C: Channel + ?Sized>(
+    ep: &C,
     shares: &ShareVec,
     base: &BaseOtReceiver,
 ) -> Result<ShareVec> {
@@ -241,8 +241,8 @@ pub fn gc_maxpool4_evaluator(
 /// # Errors
 ///
 /// Returns transport errors or triple exhaustion.
-pub fn relu_interactive(
-    ep: &Endpoint,
+pub fn relu_interactive<C: Channel + ?Sized>(
+    ep: &C,
     is_party0: bool,
     x_share: &ShareVec,
     bit_triples: &mut BitTriples,
@@ -259,8 +259,8 @@ pub fn relu_interactive(
 /// # Errors
 ///
 /// Returns transport errors or triple exhaustion.
-pub fn max_interactive(
-    ep: &Endpoint,
+pub fn max_interactive<C: Channel + ?Sized>(
+    ep: &C,
     is_party0: bool,
     a: &ShareVec,
     b: &ShareVec,

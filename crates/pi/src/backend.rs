@@ -23,7 +23,7 @@ use c2pi_mpc::dealer::{Dealer, LinearCorrClient, LinearCorrServer};
 use c2pi_mpc::prg::Prg;
 use c2pi_mpc::ring::RingMatrix;
 use c2pi_mpc::share::ShareVec;
-use c2pi_transport::{Endpoint, Side};
+use c2pi_transport::{Channel, Side};
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
@@ -83,7 +83,7 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     /// `material` is not this backend's type.
     fn relu_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         share: &ShareVec,
         material: NlMaterial,
@@ -102,7 +102,7 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     /// `material` is not this backend's type.
     fn maxpool_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         quads: &ShareVec,
         material: NlMaterial,
@@ -134,7 +134,7 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     /// Returns transport or shape errors.
     fn linear_online_client(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         x0: &RingMatrix,
         corr: &LinearCorrClient,
     ) -> Result<RingMatrix> {
@@ -148,7 +148,7 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     /// Returns transport or shape errors.
     fn linear_online_server(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         w: &RingMatrix,
         x1: &RingMatrix,
         corr: &LinearCorrServer,

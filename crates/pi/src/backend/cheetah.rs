@@ -14,7 +14,7 @@ use c2pi_mpc::ot::BitTriples;
 use c2pi_mpc::prg::Prg;
 use c2pi_mpc::relu::{drelu_bit_triples, max_interactive, relu_interactive};
 use c2pi_mpc::share::ShareVec;
-use c2pi_transport::{Endpoint, Side};
+use c2pi_transport::{Channel, Side};
 
 /// One comparison stage's correlations: DReLU bit triples plus the two
 /// Beaver triple sets the multiplexer consumes.
@@ -80,7 +80,7 @@ impl PiBackendImpl for Cheetah {
 
     fn relu_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         share: &ShareVec,
         material: NlMaterial,
@@ -95,7 +95,7 @@ impl PiBackendImpl for Cheetah {
 
     fn maxpool_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         quads: &ShareVec,
         material: NlMaterial,

@@ -14,7 +14,7 @@ use c2pi_mpc::relu::{
     gc_maxpool4_evaluator, gc_maxpool4_garbler, gc_relu_evaluator, gc_relu_garbler,
 };
 use c2pi_mpc::share::ShareVec;
-use c2pi_transport::{Endpoint, Side};
+use c2pi_transport::{Channel, Side};
 
 /// Offline material for one GC non-linear layer, client (evaluator)
 /// side: one base-OT set per circuit chunk.
@@ -87,7 +87,7 @@ impl PiBackendImpl for Delphi {
 
     fn relu_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         share: &ShareVec,
         material: NlMaterial,
@@ -120,7 +120,7 @@ impl PiBackendImpl for Delphi {
 
     fn maxpool_online(
         &self,
-        ep: &Endpoint,
+        ep: &dyn Channel,
         side: Side,
         quads: &ShareVec,
         material: NlMaterial,

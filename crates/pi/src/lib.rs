@@ -67,7 +67,7 @@ pub use backend::{cheetah, delphi, IntoBackend, PiBackendImpl};
 pub use engine::{run_prefix, PiBackend, PiConfig, PiOutcome};
 pub use error::PiError;
 pub use report::{OpCounts, PiReport, PreprocessLedger};
-pub use session::PiSession;
+pub use session::{PartyOutcome, PiSession};
 
 /// Convenience result alias for PI operations.
 pub type Result<T> = std::result::Result<T, PiError>;

@@ -23,6 +23,13 @@
 //! a domain-separated PRG stream ([`c2pi_mpc::prg::SeedSequence`]), so
 //! batched and sequential execution consume identical seed streams and
 //! every inference gets fresh, reproducible masks.
+//!
+//! The parties talk over whatever [`c2pi_transport::Channel`] the
+//! session's [`c2pi_transport::Transport`] produces
+//! ([`PiSession::with_transport`]): the in-memory default, an in-line
+//! simulated LAN/WAN, or TCP framing. For genuinely separate processes,
+//! [`PiSession::infer_client`] / [`PiSession::infer_server`] run a
+//! single party over an externally connected channel.
 
 use crate::backend::{NlMaterial, PiBackendImpl};
 use crate::engine::{PiConfig, PiOutcome};
@@ -38,7 +45,7 @@ use c2pi_mpc::ring::{im2col_ring, RingMatrix};
 use c2pi_mpc::share::{share_secret, ShareVec};
 use c2pi_nn::LayerSpec;
 use c2pi_tensor::Tensor;
-use c2pi_transport::{channel_pair, Endpoint, Side};
+use c2pi_transport::{Channel, MemTransport, Side, Transport};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,6 +82,7 @@ pub struct PiSession {
     plan: Plan,
     cfg: PiConfig,
     backend: Arc<dyn PiBackendImpl>,
+    transport: Arc<dyn Transport>,
     seeds: SeedSequence,
     pool: VecDeque<InferenceMaterial>,
     ledger: PreprocessLedger,
@@ -84,11 +92,26 @@ impl std::fmt::Debug for PiSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PiSession")
             .field("backend", &self.backend.name())
+            .field("transport", &self.transport.label())
             .field("steps", &self.plan.steps.len())
             .field("pooled", &self.pool.len())
             .field("ledger", &self.ledger)
             .finish()
     }
+}
+
+/// One party's result of a transport-split inference
+/// ([`PiSession::infer_client`] / [`PiSession::infer_server`]): this
+/// side's additive share of the boundary activation plus the run's cost
+/// report (traffic as seen by this side's channel counter).
+#[derive(Debug, Clone)]
+pub struct PartyOutcome {
+    /// This party's additive share of the boundary activation.
+    pub share: ShareVec,
+    /// Public shape of the boundary activation.
+    pub dims: Vec<usize>,
+    /// Cost profile of the run.
+    pub report: PiReport,
 }
 
 impl PiSession {
@@ -123,10 +146,26 @@ impl PiSession {
             plan,
             cfg,
             backend,
+            transport: Arc::new(MemTransport),
             seeds: SeedSequence::new(cfg.dealer_seed, b"c2pi/session/dealer"),
             pool: VecDeque::new(),
             ledger: PreprocessLedger::default(),
         })
+    }
+
+    /// Replaces the transport the in-process party threads talk over
+    /// (the default is the in-memory pair). Accepts any
+    /// [`Transport`] — e.g. `SimTransport::new(NetModel::wan())` to put
+    /// WAN latency on the online wall clock, or an
+    /// `Arc<dyn Transport>`.
+    pub fn with_transport<T: Transport + 'static>(mut self, transport: T) -> Self {
+        self.transport = Arc::new(transport);
+        self
+    }
+
+    /// Label of the active transport (`mem`, `sim-wan`, …).
+    pub fn transport_label(&self) -> String {
+        self.transport.label()
     }
 
     /// The backend's engine name.
@@ -251,14 +290,15 @@ impl PiSession {
         let material = self.take_material()?;
         self.ledger.consumed += 1;
         let InferenceMaterial { seed, cmats, smats, counts } = material;
-        let (cep, sep, counter) = channel_pair();
+        let (cep, sep, counter) = self.transport.pair()?;
         let plan = &self.plan;
         let cfg = self.cfg;
         let backend = &*self.backend;
         let start = Instant::now();
         let (client_res, server_res) = std::thread::scope(|scope| {
-            let server = scope.spawn(move || server_thread(&sep, plan, smats, &cfg, backend, seed));
-            let client = client_thread(&cep, plan, cmats, x, &cfg, backend, seed);
+            let server =
+                scope.spawn(move || server_thread(&*sep, plan, smats, &cfg, backend, seed));
+            let client = client_thread(&*cep, plan, cmats, x, &cfg, backend, seed);
             let server = server.join().map_err(|_| PiError::PartyPanic("server"));
             (client, server)
         });
@@ -294,6 +334,87 @@ impl PiSession {
     /// Fails on the first erroring inference.
     pub fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
         xs.iter().map(|x| self.infer(x)).collect()
+    }
+
+    /// Runs only the **client** party of one inference over an external
+    /// channel — the entry point for genuinely separate processes (see
+    /// the `two_party` example binaries, which connect
+    /// [`c2pi_transport::TcpChannel`]s).
+    ///
+    /// Both processes must build the session with identical specs and
+    /// configuration: the deterministic dealer stands in for the
+    /// trusted third party, so equal master seeds make both sides draw
+    /// matching correlated-randomness halves (each keeps its own half
+    /// and discards the other).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the client end,
+    /// plus the engine, shape and protocol errors of
+    /// [`PiSession::infer`].
+    pub fn infer_client(&mut self, ch: &dyn Channel, x: &Tensor) -> Result<PartyOutcome> {
+        if ch.side() != Side::Client {
+            return Err(PiError::BadConfig("infer_client needs the client channel end".into()));
+        }
+        let (_, c, h, w) = x.shape().as_nchw()?;
+        if (c, h, w) != self.plan.in_chw {
+            return Err(PiError::BadConfig(format!(
+                "session compiled for {:?} inputs, got [{c}, {h}, {w}]",
+                self.plan.in_chw
+            )));
+        }
+        let InferenceMaterial { seed, cmats, smats: _, counts } = self.take_material()?;
+        self.ledger.consumed += 1;
+        let before = ch.counter().snapshot();
+        let start = Instant::now();
+        let share = client_thread(ch, &self.plan, cmats, x, &self.cfg, &*self.backend, seed)?;
+        Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
+    }
+
+    /// Runs only the **server** party of one inference over an external
+    /// channel. See [`PiSession::infer_client`] for the two-process
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the server end,
+    /// plus engine and protocol errors.
+    pub fn infer_server(&mut self, ch: &dyn Channel) -> Result<PartyOutcome> {
+        if ch.side() != Side::Server {
+            return Err(PiError::BadConfig("infer_server needs the server channel end".into()));
+        }
+        let InferenceMaterial { seed, cmats: _, smats, counts } = self.take_material()?;
+        self.ledger.consumed += 1;
+        let before = ch.counter().snapshot();
+        let start = Instant::now();
+        let share = server_thread(ch, &self.plan, smats, &self.cfg, &*self.backend, seed)?;
+        Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
+    }
+
+    fn party_outcome(
+        &self,
+        share: ShareVec,
+        counts: OpCounts,
+        ch: &dyn Channel,
+        before: c2pi_transport::TrafficSnapshot,
+        online_seconds: f64,
+    ) -> PartyOutcome {
+        let model = self.backend.cost_model();
+        let offline = model.offline_traffic(&counts);
+        let offline_seconds = model.offline_seconds(&counts);
+        PartyOutcome {
+            share,
+            dims: self.plan.out_dims.clone(),
+            report: PiReport {
+                backend: self.backend.name(),
+                online: ch.counter().snapshot().since(&before),
+                offline,
+                online_seconds,
+                offline_seconds,
+                counts,
+                preprocessing: self.ledger(),
+            },
+        }
     }
 }
 
@@ -354,7 +475,7 @@ fn avg_pool_share(
 }
 
 fn client_thread(
-    ep: &Endpoint,
+    ep: &dyn Channel,
     plan: &Plan,
     mats: Vec<ClientMat>,
     x: &Tensor,
@@ -404,7 +525,7 @@ fn client_thread(
 }
 
 fn server_thread(
-    ep: &Endpoint,
+    ep: &dyn Channel,
     plan: &Plan,
     mats: Vec<ServerMat>,
     cfg: &PiConfig,
@@ -567,5 +688,69 @@ mod tests {
         let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
         let bad = Tensor::zeros(&[1, 1, 6, 6]);
         assert!(matches!(session.infer(&bad), Err(PiError::BadConfig(_))));
+    }
+
+    #[test]
+    fn sim_and_tcp_transports_reproduce_the_mem_path_bit_for_bit() {
+        use c2pi_transport::{NetModel, SimTransport, TcpLoopbackTransport};
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 21);
+        let cfg = PiConfig::default();
+        let mut mem = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let want = mem.infer(&x).unwrap();
+        // A fast simulated network: the protocol transcript (and thus
+        // the shares) must be identical, only the wall clock differs.
+        let mut sim = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg)
+            .unwrap()
+            .with_transport(SimTransport::new(NetModel::custom("fast", 1e12, 1e-5)));
+        assert_eq!(sim.transport_label(), "sim-fast");
+        let got = sim.infer(&x).unwrap();
+        assert_eq!(got.client_share.as_raw(), want.client_share.as_raw());
+        assert_eq!(got.server_share.as_raw(), want.server_share.as_raw());
+        // Real TCP framing over loopback: same story.
+        let mut tcp = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg)
+            .unwrap()
+            .with_transport(TcpLoopbackTransport);
+        let got = tcp.infer(&x).unwrap();
+        assert_eq!(got.client_share.as_raw(), want.client_share.as_raw());
+        assert_eq!(got.server_share.as_raw(), want.server_share.as_raw());
+        assert_eq!(got.report.online.bytes_total(), want.report.online.bytes_total());
+    }
+
+    #[test]
+    fn party_split_inference_matches_the_in_process_path() {
+        use c2pi_transport::tcp_loopback_pair;
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 22);
+        let cfg = PiConfig::default();
+        // Reference: both parties in one session.
+        let mut reference = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let want = reference.infer(&x).unwrap();
+        // Two sessions with identical seeds, one per party, talking TCP.
+        let (cch, sch, _) = tcp_loopback_pair().unwrap();
+        let specs = specs_of(&seq);
+        let specs_srv = specs.clone();
+        let server = std::thread::spawn(move || {
+            let mut s = PiSession::new(&specs_srv, [1, 8, 8], cfg).unwrap();
+            s.infer_server(&sch).unwrap()
+        });
+        let mut c = PiSession::new(&specs, [1, 8, 8], cfg).unwrap();
+        let client_out = c.infer_client(&cch, &x).unwrap();
+        let server_out = server.join().unwrap();
+        assert_eq!(client_out.share.as_raw(), want.client_share.as_raw());
+        assert_eq!(server_out.share.as_raw(), want.server_share.as_raw());
+        assert_eq!(client_out.dims, want.dims);
+    }
+
+    #[test]
+    fn party_split_rejects_the_wrong_channel_end() {
+        use c2pi_transport::tcp_loopback_pair;
+        let seq = tiny_prefix();
+        let cfg = PiConfig::default();
+        let mut session = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap();
+        let (cch, sch, _) = tcp_loopback_pair().unwrap();
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        assert!(matches!(session.infer_client(&sch, &x), Err(PiError::BadConfig(_))));
+        assert!(matches!(session.infer_server(&cch), Err(PiError::BadConfig(_))));
     }
 }

@@ -1,14 +1,22 @@
-//! Byte-counted in-memory duplex channel.
+//! The transport contract: the [`Channel`] trait plus the byte, message
+//! and flight accounting every implementation shares.
+//!
+//! A [`Channel`] is one party's end of a blocking, framed, duplex
+//! connection to its peer. The MPC protocols in `c2pi-mpc` and the PI
+//! engine in `c2pi-pi` are generic over this trait — they never name a
+//! concrete transport — so the same protocol code runs over an
+//! in-memory pair ([`crate::MemChannel`]), an in-line simulated network
+//! ([`crate::SimChannel`]) or a real TCP socket between two OS
+//! processes ([`crate::TcpChannel`]).
 
 use crate::{Result, TransportError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Which end of the channel an [`Endpoint`] is — the MPC code names the
-/// parties after the paper's roles.
+/// Which end of a channel a party is — the MPC code names the parties
+/// after the paper's roles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// The client (holds the inference input `x`).
@@ -25,22 +33,66 @@ impl Side {
             Side::Server => Side::Client,
         }
     }
+
+    /// Sender tag packed into the flight-state word (see [`StatsInner`]).
+    fn tag(self) -> u64 {
+        match self {
+            Side::Client => 1,
+            Side::Server => 2,
+        }
+    }
 }
 
+/// Shared traffic counters. The flight accounting (direction changes)
+/// lives in one packed atomic word — bits 0–1 hold the last sender
+/// (0 = none yet, 1 = client, 2 = server) and the remaining bits the
+/// flight count — so concurrent sends from both sides transition the
+/// state atomically and can never miscount a direction change.
 #[derive(Debug, Default)]
-struct StatsInner {
+pub(crate) struct StatsInner {
     bytes_client_to_server: AtomicU64,
     bytes_server_to_client: AtomicU64,
     messages: AtomicU64,
-    /// Sequential message flights (direction changes). Two flights make
-    /// one protocol round trip.
-    flights: AtomicU64,
-    /// 0 = none yet, 1 = client sent last, 2 = server sent last.
-    last_sender: AtomicU8,
+    /// `flights << 2 | last_sender_tag`.
+    flight_state: AtomicU64,
 }
 
-/// Shared handle for reading the traffic profile of a channel pair.
-#[derive(Debug, Clone)]
+impl StatsInner {
+    /// Records one sent frame: byte and message counts plus one flight
+    /// when the direction changed, in a single atomic state transition.
+    pub(crate) fn record_send(&self, from: Side, bytes: u64) {
+        let me = from.tag();
+        let mut cur = self.flight_state.load(Ordering::SeqCst);
+        loop {
+            let last = cur & 0b11;
+            let flights = cur >> 2;
+            let next_flights = if last == me { flights } else { flights + 1 };
+            let next = (next_flights << 2) | me;
+            match self.flight_state.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+        match from {
+            Side::Client => self.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst),
+            Side::Server => self.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst),
+        };
+        self.messages.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Shared handle for reading the traffic profile of a channel (pair).
+///
+/// For the in-memory and loopback transports both ends share one
+/// counter, so it reflects the whole conversation; a [`crate::TcpChannel`]
+/// talking to a remote process counts sent frames in its own direction
+/// and received frames in the peer's, which yields the same totals.
+#[derive(Debug, Clone, Default)]
 pub struct TrafficCounter {
     inner: Arc<StatsInner>,
 }
@@ -97,98 +149,94 @@ impl TrafficSnapshot {
 }
 
 impl TrafficCounter {
-    /// Reads the current counters.
+    /// A fresh zeroed counter (channel constructors take or create one).
+    pub fn new() -> Self {
+        TrafficCounter::default()
+    }
+
+    pub(crate) fn record_send(&self, from: Side, bytes: u64) {
+        self.inner.record_send(from, bytes);
+    }
+
+    /// Reads the current counters. The flight count and the last-sender
+    /// state are read from one atomic word, so the snapshot can never
+    /// observe a half-applied direction change.
     pub fn snapshot(&self) -> TrafficSnapshot {
+        let state = self.inner.flight_state.load(Ordering::SeqCst);
         TrafficSnapshot {
             bytes_client_to_server: self.inner.bytes_client_to_server.load(Ordering::SeqCst),
             bytes_server_to_client: self.inner.bytes_server_to_client.load(Ordering::SeqCst),
             messages: self.inner.messages.load(Ordering::SeqCst),
-            flights: self.inner.flights.load(Ordering::SeqCst),
+            flights: state >> 2,
         }
     }
 
     /// Charges *phantom* traffic to the counters without moving data —
     /// used to account for the analytically modelled homomorphic
     /// ciphertexts of the Delphi/Cheetah offline phases (DESIGN.md §3).
+    /// Phantom flights do not disturb the live last-sender state.
     pub fn charge_phantom(&self, from: Side, bytes: u64, flights: u64) {
         match from {
-            Side::Client => self.inner.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst),
-            Side::Server => self.inner.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst),
-        };
-        self.inner.flights.fetch_add(flights, Ordering::SeqCst);
+            Side::Client => {
+                self.inner.bytes_client_to_server.fetch_add(bytes, Ordering::SeqCst);
+            }
+            Side::Server => {
+                self.inner.bytes_server_to_client.fetch_add(bytes, Ordering::SeqCst);
+            }
+        }
+        // The count lives above the two sender-tag bits, so a plain add
+        // of `flights << 2` leaves the last-sender state untouched.
+        self.inner.flight_state.fetch_add(flights << 2, Ordering::SeqCst);
         if bytes > 0 {
             self.inner.messages.fetch_add(1, Ordering::SeqCst);
         }
     }
 }
 
-/// One end of a byte-counted duplex channel.
-#[derive(Debug)]
-pub struct Endpoint {
-    side: Side,
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
-    stats: Arc<StatsInner>,
-}
-
-/// Creates a connected (client, server) endpoint pair plus the shared
-/// traffic counter.
-pub fn channel_pair() -> (Endpoint, Endpoint, TrafficCounter) {
-    let (tx_c2s, rx_c2s) = unbounded();
-    let (tx_s2c, rx_s2c) = unbounded();
-    let stats = Arc::new(StatsInner::default());
-    let client = Endpoint { side: Side::Client, tx: tx_c2s, rx: rx_s2c, stats: Arc::clone(&stats) };
-    let server = Endpoint { side: Side::Server, tx: tx_s2c, rx: rx_c2s, stats: Arc::clone(&stats) };
-    (client, server, TrafficCounter { inner: stats })
-}
-
-impl Endpoint {
-    /// Which side this endpoint is.
-    pub fn side(&self) -> Side {
-        self.side
-    }
+/// One party's end of a blocking, framed, duplex transport.
+///
+/// Implementations provide the raw byte-frame operations plus identity
+/// and accounting; the typed frame helpers (`u64`/`f32` sequences, the
+/// wire format of every MPC message in the workspace) are provided
+/// methods so all transports share one codec.
+///
+/// The contract every implementation upholds (exercised by the
+/// conformance suite in `crates/transport/tests/conformance.rs`):
+///
+/// * frames arrive intact, in send order, with their exact length;
+/// * `recv_bytes` blocks until a frame arrives or the peer is gone;
+/// * a dropped/closed peer surfaces as [`TransportError::Disconnected`]
+///   on receive (and on send where the transport can detect it);
+/// * every delivered frame is charged to the shared [`TrafficCounter`].
+pub trait Channel: Send + std::fmt::Debug {
+    /// Which side this end belongs to.
+    fn side(&self) -> Side;
 
     /// Sends a raw byte frame to the peer.
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] when the peer is gone.
-    pub fn send_bytes(&self, data: &[u8]) -> Result<()> {
-        let me = match self.side {
-            Side::Client => 1u8,
-            Side::Server => 2u8,
-        };
-        let prev = self.stats.last_sender.swap(me, Ordering::SeqCst);
-        if prev != me {
-            self.stats.flights.fetch_add(1, Ordering::SeqCst);
-        }
-        match self.side {
-            Side::Client => {
-                self.stats.bytes_client_to_server.fetch_add(data.len() as u64, Ordering::SeqCst)
-            }
-            Side::Server => {
-                self.stats.bytes_server_to_client.fetch_add(data.len() as u64, Ordering::SeqCst)
-            }
-        };
-        self.stats.messages.fetch_add(1, Ordering::SeqCst);
-        self.tx.send(Bytes::copy_from_slice(data)).map_err(|_| TransportError::Disconnected)
-    }
+    /// Returns [`TransportError::Disconnected`] when the peer is gone,
+    /// or [`TransportError::Io`] for transport-level failures.
+    fn send_bytes(&self, data: &[u8]) -> Result<()>;
 
     /// Receives the next byte frame from the peer (blocking).
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] when the peer is gone.
-    pub fn recv_bytes(&self) -> Result<Vec<u8>> {
-        self.rx.recv().map(|b| b.to_vec()).map_err(|_| TransportError::Disconnected)
-    }
+    /// Returns [`TransportError::Disconnected`] when the peer is gone,
+    /// or [`TransportError::Io`] for transport-level failures.
+    fn recv_bytes(&self) -> Result<Vec<u8>>;
+
+    /// Handle to the traffic counters this channel charges.
+    fn counter(&self) -> TrafficCounter;
 
     /// Sends a slice of `u64` ring elements as one little-endian frame.
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] when the peer is gone.
-    pub fn send_u64s(&self, values: &[u64]) -> Result<()> {
+    /// Same as [`Channel::send_bytes`].
+    fn send_u64s(&self, values: &[u64]) -> Result<()> {
         let mut buf = BytesMut::with_capacity(values.len() * 8);
         for &v in values {
             buf.put_u64_le(v);
@@ -201,8 +249,8 @@ impl Endpoint {
     /// # Errors
     ///
     /// Returns a decode error when the frame length is not a multiple of
-    /// 8, or [`TransportError::Disconnected`].
-    pub fn recv_u64s(&self) -> Result<Vec<u64>> {
+    /// 8, or the errors of [`Channel::recv_bytes`].
+    fn recv_u64s(&self) -> Result<Vec<u64>> {
         let raw = self.recv_bytes()?;
         if raw.len() % 8 != 0 {
             return Err(TransportError::Decode(format!(
@@ -222,8 +270,8 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] when the peer is gone.
-    pub fn send_f32s(&self, values: &[f32]) -> Result<()> {
+    /// Same as [`Channel::send_bytes`].
+    fn send_f32s(&self, values: &[f32]) -> Result<()> {
         let mut buf = BytesMut::with_capacity(values.len() * 4);
         for &v in values {
             buf.put_f32_le(v);
@@ -236,8 +284,8 @@ impl Endpoint {
     /// # Errors
     ///
     /// Returns a decode error when the frame length is not a multiple of
-    /// 4, or [`TransportError::Disconnected`].
-    pub fn recv_f32s(&self) -> Result<Vec<f32>> {
+    /// 4, or the errors of [`Channel::recv_bytes`].
+    fn recv_f32s(&self) -> Result<Vec<f32>> {
         let raw = self.recv_bytes()?;
         if raw.len() % 4 != 0 {
             return Err(TransportError::Decode(format!(
@@ -254,75 +302,37 @@ impl Endpoint {
     }
 }
 
+impl<C: Channel + ?Sized> Channel for Box<C> {
+    fn side(&self) -> Side {
+        (**self).side()
+    }
+
+    fn send_bytes(&self, data: &[u8]) -> Result<()> {
+        (**self).send_bytes(data)
+    }
+
+    fn recv_bytes(&self) -> Result<Vec<u8>> {
+        (**self).recv_bytes()
+    }
+
+    fn counter(&self) -> TrafficCounter {
+        (**self).counter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn bytes_round_trip() {
-        let (c, s, _) = channel_pair();
-        c.send_bytes(b"hello").unwrap();
-        assert_eq!(s.recv_bytes().unwrap(), b"hello");
-        s.send_bytes(b"world").unwrap();
-        assert_eq!(c.recv_bytes().unwrap(), b"world");
-    }
-
-    #[test]
-    fn u64_and_f32_frames_round_trip() {
-        let (c, s, _) = channel_pair();
-        c.send_u64s(&[1, u64::MAX, 42]).unwrap();
-        assert_eq!(s.recv_u64s().unwrap(), vec![1, u64::MAX, 42]);
-        s.send_f32s(&[1.5, -2.25]).unwrap();
-        assert_eq!(c.recv_f32s().unwrap(), vec![1.5, -2.25]);
-    }
-
-    #[test]
-    fn byte_counters_are_exact() {
-        let (c, s, counter) = channel_pair();
-        c.send_bytes(&[0u8; 100]).unwrap();
-        s.recv_bytes().unwrap();
-        s.send_bytes(&[0u8; 40]).unwrap();
-        c.recv_bytes().unwrap();
-        let snap = counter.snapshot();
-        assert_eq!(snap.bytes_client_to_server, 100);
-        assert_eq!(snap.bytes_server_to_client, 40);
-        assert_eq!(snap.bytes_total(), 140);
-        assert_eq!(snap.messages, 2);
-    }
-
-    #[test]
-    fn flights_count_direction_changes() {
-        let (c, s, counter) = channel_pair();
-        // Client sends twice in a row: one flight.
-        c.send_bytes(b"a").unwrap();
-        c.send_bytes(b"b").unwrap();
-        s.recv_bytes().unwrap();
-        s.recv_bytes().unwrap();
-        assert_eq!(counter.snapshot().flights, 1);
-        // Server replies: second flight = one round trip.
-        s.send_bytes(b"c").unwrap();
-        c.recv_bytes().unwrap();
-        let snap = counter.snapshot();
-        assert_eq!(snap.flights, 2);
-        assert_eq!(snap.round_trips(), 1);
-    }
-
-    #[test]
-    fn snapshot_difference_isolates_a_phase() {
-        let (c, s, counter) = channel_pair();
-        c.send_bytes(&[0u8; 10]).unwrap();
-        s.recv_bytes().unwrap();
-        let mark = counter.snapshot();
-        s.send_bytes(&[0u8; 30]).unwrap();
-        c.recv_bytes().unwrap();
-        let phase = counter.snapshot().since(&mark);
-        assert_eq!(phase.bytes_total(), 30);
-        assert_eq!(phase.flights, 1);
+    fn side_peer_flips() {
+        assert_eq!(Side::Client.peer(), Side::Server);
+        assert_eq!(Side::Server.peer(), Side::Client);
     }
 
     #[test]
     fn phantom_traffic_is_charged() {
-        let (_c, _s, counter) = channel_pair();
+        let counter = TrafficCounter::new();
         counter.charge_phantom(Side::Server, 1_000_000, 2);
         let snap = counter.snapshot();
         assert_eq!(snap.bytes_server_to_client, 1_000_000);
@@ -330,40 +340,59 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_peer_errors() {
-        let (c, s, _) = channel_pair();
-        drop(s);
-        assert_eq!(c.send_bytes(b"x").unwrap_err(), TransportError::Disconnected);
-        assert_eq!(c.recv_bytes().unwrap_err(), TransportError::Disconnected);
+    fn phantom_flights_preserve_last_sender() {
+        let counter = TrafficCounter::new();
+        counter.record_send(Side::Client, 10);
+        counter.charge_phantom(Side::Server, 100, 4);
+        // Client sends again: still the last live sender, no new flight.
+        counter.record_send(Side::Client, 10);
+        assert_eq!(counter.snapshot().flights, 1 + 4);
     }
 
     #[test]
-    fn decode_rejects_ragged_frames() {
-        let (c, s, _) = channel_pair();
-        c.send_bytes(&[1, 2, 3]).unwrap();
-        assert!(matches!(s.recv_u64s(), Err(TransportError::Decode(_))));
-        c.send_bytes(&[1, 2, 3]).unwrap();
-        assert!(matches!(s.recv_f32s(), Err(TransportError::Decode(_))));
-    }
-
-    #[test]
-    fn threads_can_run_a_protocol() {
-        let (c, s, counter) = channel_pair();
-        let t = std::thread::spawn(move || {
-            // Server echoes incremented values.
-            let v = s.recv_u64s().unwrap();
-            let inc: Vec<u64> = v.iter().map(|x| x + 1).collect();
-            s.send_u64s(&inc).unwrap();
+    fn concurrent_sends_never_miscount_flights() {
+        // Both sides hammer the counter from separate threads. With the
+        // packed state, every observed transition is a real direction
+        // change, so the total flight count is at most the number of
+        // sends and at least 1, and the final snapshot is consistent.
+        let counter = TrafficCounter::new();
+        let c1 = counter.clone();
+        let c2 = counter.clone();
+        let n = 1000;
+        let t1 = std::thread::spawn(move || {
+            for _ in 0..n {
+                c1.record_send(Side::Client, 1);
+            }
         });
-        c.send_u64s(&[10, 20]).unwrap();
-        assert_eq!(c.recv_u64s().unwrap(), vec![11, 21]);
-        t.join().unwrap();
-        assert_eq!(counter.snapshot().round_trips(), 1);
+        let t2 = std::thread::spawn(move || {
+            for _ in 0..n {
+                c2.record_send(Side::Server, 1);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let snap = counter.snapshot();
+        assert_eq!(snap.messages, 2 * n);
+        assert_eq!(snap.bytes_total(), 2 * n);
+        assert!(snap.flights >= 1 && snap.flights <= 2 * n, "flights {}", snap.flights);
     }
 
     #[test]
-    fn side_peer_flips() {
-        assert_eq!(Side::Client.peer(), Side::Server);
-        assert_eq!(Side::Server.peer(), Side::Client);
+    fn snapshot_arithmetic() {
+        let a = TrafficSnapshot {
+            bytes_client_to_server: 10,
+            bytes_server_to_client: 20,
+            messages: 2,
+            flights: 2,
+        };
+        let b = TrafficSnapshot {
+            bytes_client_to_server: 1,
+            bytes_server_to_client: 2,
+            messages: 1,
+            flights: 1,
+        };
+        assert_eq!(a.plus(&b).bytes_total(), 33);
+        assert_eq!(a.since(&b).flights, 1);
+        assert_eq!(a.round_trips(), 1);
     }
 }

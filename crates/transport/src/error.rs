@@ -9,6 +9,8 @@ pub enum TransportError {
     Disconnected,
     /// A received frame could not be decoded as the requested type.
     Decode(String),
+    /// A transport-level I/O failure (socket setup, interrupted stream).
+    Io(String),
 }
 
 impl fmt::Display for TransportError {
@@ -16,6 +18,7 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Disconnected => write!(f, "peer endpoint disconnected"),
             TransportError::Decode(msg) => write!(f, "frame decode failed: {msg}"),
+            TransportError::Io(msg) => write!(f, "transport i/o failed: {msg}"),
         }
     }
 }
@@ -30,6 +33,7 @@ mod tests {
     fn display_is_informative() {
         assert!(TransportError::Disconnected.to_string().contains("disconnected"));
         assert!(TransportError::Decode("bad length".into()).to_string().contains("bad length"));
+        assert!(TransportError::Io("refused".into()).to_string().contains("refused"));
     }
 
     #[test]

@@ -13,11 +13,15 @@ use serde::{Deserialize, Serialize};
 ///
 /// Latency is modelled as
 /// `compute + flights × (RTT / 2) + bytes / bandwidth`, the standard
-/// first-order cost model for secure-computation protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// first-order cost model for secure-computation protocols. The same
+/// parameters drive the in-line simulation of
+/// [`crate::SimChannel`], whose measured wall clock converges on this
+/// estimate (see the consistency test in `tests/conformance.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetModel {
-    /// Human-readable name (`lan`, `wan`, …).
-    pub name: &'static str,
+    /// Human-readable name (`lan`, `wan`, …). Owned, so user-defined
+    /// models need no leaked statics.
+    pub name: String,
     /// Bandwidth in bytes per second.
     pub bandwidth_bytes_per_sec: f64,
     /// Round-trip time in seconds.
@@ -27,12 +31,12 @@ pub struct NetModel {
 impl NetModel {
     /// The paper's LAN setting: 384 MBps, 0.3 ms RTT.
     pub fn lan() -> Self {
-        NetModel { name: "lan", bandwidth_bytes_per_sec: 384e6, rtt_seconds: 0.3e-3 }
+        NetModel { name: "lan".to_string(), bandwidth_bytes_per_sec: 384e6, rtt_seconds: 0.3e-3 }
     }
 
     /// The paper's WAN setting: 44 MBps, 40 ms RTT.
     pub fn wan() -> Self {
-        NetModel { name: "wan", bandwidth_bytes_per_sec: 44e6, rtt_seconds: 40e-3 }
+        NetModel { name: "wan".to_string(), bandwidth_bytes_per_sec: 44e6, rtt_seconds: 40e-3 }
     }
 
     /// A custom model.
@@ -40,10 +44,10 @@ impl NetModel {
     /// # Panics
     ///
     /// Panics if bandwidth is not positive or RTT is negative.
-    pub fn custom(name: &'static str, bandwidth_bytes_per_sec: f64, rtt_seconds: f64) -> Self {
+    pub fn custom(name: impl Into<String>, bandwidth_bytes_per_sec: f64, rtt_seconds: f64) -> Self {
         assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
         assert!(rtt_seconds >= 0.0, "rtt must be non-negative");
-        NetModel { name, bandwidth_bytes_per_sec, rtt_seconds }
+        NetModel { name: name.into(), bandwidth_bytes_per_sec, rtt_seconds }
     }
 
     /// End-to-end latency in seconds for a traffic profile plus local
@@ -76,6 +80,16 @@ mod tests {
         let wan = NetModel::wan();
         assert_eq!(wan.bandwidth_bytes_per_sec, 44e6);
         assert_eq!(wan.rtt_seconds, 40e-3);
+    }
+
+    #[test]
+    fn custom_models_take_owned_names() {
+        // No leaked statics needed: a runtime-built name works.
+        let name = format!("dc-{}", 7);
+        let m = NetModel::custom(name.clone(), 1e9, 1e-3);
+        assert_eq!(m.name, name);
+        let cloned = m.clone();
+        assert_eq!(cloned, m);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Framed TCP transport: length-prefixed frames over
+//! [`std::net::TcpStream`], so client and server run as genuinely
+//! separate OS processes (see the `two_party` example binaries).
+//!
+//! ## Wire format
+//!
+//! Every frame is a 4-byte little-endian length prefix followed by
+//! exactly that many payload bytes. The prefix is capped at
+//! [`MAX_FRAME_BYTES`] so a corrupted or adversarial peer cannot force
+//! an absurd allocation. The codec lives in [`encode_frame`] /
+//! [`decode_frame`] and is property-tested in
+//! `tests/conformance.rs` (round-trip, truncated-frame rejection).
+
+use crate::channel::{Channel, Side, TrafficCounter};
+use crate::{Result, TransportError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Largest accepted frame payload (1 GiB). The MPC protocols' biggest
+/// frames are garbled-circuit tables, well below this.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Encodes one frame: 4-byte little-endian payload length, then the
+/// payload.
+///
+/// # Errors
+///
+/// Returns a decode error when the payload exceeds [`MAX_FRAME_BYTES`].
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>> {
+    check_frame_len(payload.len())?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decodes the first frame of `buf`. Returns `Ok(None)` when the buffer
+/// holds only a truncated frame (more bytes needed), or
+/// `Ok(Some((payload, consumed)))` for a complete frame.
+///
+/// # Errors
+///
+/// Returns a decode error when the length prefix exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    check_frame_len(len)?;
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((buf[4..4 + len].to_vec(), 4 + len)))
+}
+
+/// The single authority on the frame-size cap, shared by the encode,
+/// decode and streaming-read paths.
+fn check_frame_len(len: usize) -> Result<()> {
+    if len > MAX_FRAME_BYTES {
+        return Err(TransportError::Decode(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    Ok(())
+}
+
+fn io_error(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected => TransportError::Disconnected,
+        _ => TransportError::Io(e.to_string()),
+    }
+}
+
+/// One party's end of a framed TCP connection.
+///
+/// Reads and writes are each serialized through an internal mutex so
+/// the handle can be shared like every other [`Channel`] without two
+/// senders interleaving partial frames; the protocols themselves are
+/// single-threaded per party, so there is no contention in practice.
+///
+/// Unlike [`crate::MemChannel`], the two ends usually live in different
+/// processes, so each end owns its *own* [`TrafficCounter`]: sent
+/// frames are charged to this side's direction and received frames to
+/// the peer's, which makes each process's snapshot reflect the whole
+/// conversation it took part in.
+#[derive(Debug)]
+pub struct TcpChannel {
+    side: Side,
+    writer: Mutex<TcpStream>,
+    reader: Mutex<TcpStream>,
+    counter: TrafficCounter,
+    /// Whether received frames are charged to the peer's direction.
+    /// True for a private per-process counter (the remote peer's sends
+    /// would otherwise go unaccounted); false when both ends share one
+    /// counter (loopback pairs), where the peer already charged its own
+    /// sends.
+    charge_peer_on_recv: bool,
+}
+
+impl TcpChannel {
+    /// Wraps an established stream. `side` is this end's role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the stream cannot be
+    /// configured or duplicated.
+    pub fn from_stream(stream: TcpStream, side: Side) -> Result<Self> {
+        let mut ch = Self::from_stream_with_counter(stream, side, TrafficCounter::new())?;
+        ch.charge_peer_on_recv = true;
+        Ok(ch)
+    }
+
+    /// Wraps an established stream, charging traffic to an existing
+    /// counter (used by [`crate::TcpLoopbackTransport`] so both ends of
+    /// an in-process loopback pair share one counter, like
+    /// [`crate::channel_pair`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the stream cannot be
+    /// configured or duplicated.
+    pub fn from_stream_with_counter(
+        stream: TcpStream,
+        side: Side,
+        counter: TrafficCounter,
+    ) -> Result<Self> {
+        stream.set_nodelay(true).map_err(io_error)?;
+        let reader = stream.try_clone().map_err(io_error)?;
+        Ok(TcpChannel {
+            side,
+            writer: Mutex::new(stream),
+            reader: Mutex::new(reader),
+            counter,
+            charge_peer_on_recv: false,
+        })
+    }
+
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs, side: Side) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(io_error)?;
+        Self::from_stream(stream, side)
+    }
+
+    /// Connects to a listening peer, retrying until `timeout` elapses —
+    /// the convenient form for demos and CI where the peer process is
+    /// racing to bind its listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the timeout is exhausted.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        side: Side,
+        timeout: Duration,
+    ) -> Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr.clone(), side) {
+                Ok(ch) => return Ok(ch),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Binds `addr` and accepts exactly one connection (the one-shot
+    /// server pattern of the `two_party` demo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when binding or accepting fails.
+    pub fn serve_once(addr: impl ToSocketAddrs, side: Side) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(io_error)?;
+        let (stream, _peer) = listener.accept().map_err(io_error)?;
+        Self::from_stream(stream, side)
+    }
+}
+
+impl Channel for TcpChannel {
+    fn side(&self) -> Side {
+        self.side
+    }
+
+    fn send_bytes(&self, data: &[u8]) -> Result<()> {
+        check_frame_len(data.len())?;
+        self.counter.record_send(self.side, data.len() as u64);
+        let mut writer = self.writer.lock().expect("tcp writer mutex poisoned");
+        // Small frames coalesce prefix + payload into one write (one
+        // packet under TCP_NODELAY); large frames skip the O(n) copy.
+        if data.len() <= 8192 {
+            let frame = encode_frame(data)?;
+            writer.write_all(&frame).map_err(io_error)
+        } else {
+            writer.write_all(&(data.len() as u32).to_le_bytes()).map_err(io_error)?;
+            writer.write_all(data).map_err(io_error)
+        }
+    }
+
+    fn recv_bytes(&self) -> Result<Vec<u8>> {
+        let mut reader = self.reader.lock().expect("tcp reader mutex poisoned");
+        let mut prefix = [0u8; 4];
+        reader.read_exact(&mut prefix).map_err(io_error)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        check_frame_len(len)?;
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload).map_err(io_error)?;
+        drop(reader);
+        if self.charge_peer_on_recv {
+            self.counter.record_send(self.side.peer(), len as u64);
+        }
+        Ok(payload)
+    }
+
+    fn counter(&self) -> TrafficCounter {
+        self.counter.clone()
+    }
+}
+
+/// Creates a connected (client, server) [`TcpChannel`] pair over an
+/// ephemeral loopback port, sharing one traffic counter — TCP framing
+/// with [`crate::channel_pair`] ergonomics, used by the conformance
+/// suite and the loopback transport.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Io`] when the loopback sockets cannot be
+/// created.
+pub fn tcp_loopback_pair() -> Result<(TcpChannel, TcpChannel, TrafficCounter)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(io_error)?;
+    let addr = listener.local_addr().map_err(io_error)?;
+    // Loopback connects complete against the kernel backlog, so a
+    // single-threaded connect-then-accept cannot deadlock.
+    let client_stream = TcpStream::connect(addr).map_err(io_error)?;
+    let (server_stream, _peer) = listener.accept().map_err(io_error)?;
+    let counter = TrafficCounter::new();
+    let client =
+        TcpChannel::from_stream_with_counter(client_stream, Side::Client, counter.clone())?;
+    let server =
+        TcpChannel::from_stream_with_counter(server_stream, Side::Server, counter.clone())?;
+    Ok((client, server, counter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let frame = encode_frame(b"hello").unwrap();
+        let (payload, consumed) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn codec_reports_truncation() {
+        let frame = encode_frame(&[7u8; 100]).unwrap();
+        for cut in [0, 3, 4, 50, frame.len() - 1] {
+            assert_eq!(decode_frame(&frame[..cut]).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_oversized_prefix() {
+        let mut bad = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(decode_frame(&bad), Err(TransportError::Decode(_))));
+    }
+
+    #[test]
+    fn loopback_pair_round_trips() {
+        let (c, s, counter) = tcp_loopback_pair().unwrap();
+        c.send_u64s(&[1, 2, 3]).unwrap();
+        assert_eq!(s.recv_u64s().unwrap(), vec![1, 2, 3]);
+        s.send_bytes(b"ok").unwrap();
+        assert_eq!(c.recv_bytes().unwrap(), b"ok");
+        let snap = counter.snapshot();
+        assert_eq!(snap.bytes_client_to_server, 24);
+        assert_eq!(snap.bytes_server_to_client, 2);
+        assert_eq!(snap.flights, 2);
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_on_recv() {
+        let (c, s, _) = tcp_loopback_pair().unwrap();
+        drop(s);
+        assert_eq!(c.recv_bytes().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn empty_frames_are_legal() {
+        let (c, s, _) = tcp_loopback_pair().unwrap();
+        c.send_bytes(&[]).unwrap();
+        assert_eq!(s.recv_bytes().unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,152 @@
+//! Transport factories: how a session materialises a connected channel
+//! pair for each inference.
+//!
+//! A [`Transport`] is the deployment-level knob the serving API exposes
+//! (`C2pi::builder(...).transport(...)`): it decides *what kind* of
+//! channel the two party loops talk over without the protocols knowing.
+//! Three implementations ship with the workspace:
+//!
+//! * [`MemTransport`] — the in-memory pair, today's default;
+//! * [`SimTransport`] — in-memory frames with a [`NetModel`]'s LAN/WAN
+//!   delays injected in line;
+//! * [`TcpLoopbackTransport`] — real TCP framing over an ephemeral
+//!   loopback socket (both parties still in-process; for genuinely
+//!   separate processes connect [`crate::TcpChannel`]s directly, as the
+//!   `two_party` example binaries do).
+
+use crate::channel::{Channel, TrafficCounter};
+use crate::mem::channel_pair;
+use crate::netmodel::NetModel;
+use crate::sim::SimChannel;
+use crate::tcp::tcp_loopback_pair;
+use crate::Result;
+use std::sync::Arc;
+
+/// A boxed channel end, as produced by a [`Transport`].
+pub type BoxedChannel = Box<dyn Channel>;
+
+/// Factory for connected (client, server) channel pairs plus their
+/// shared traffic counter. Implementations must be cheap to call per
+/// inference.
+pub trait Transport: std::fmt::Debug + Send + Sync {
+    /// Creates one connected channel pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport-level errors (e.g. socket creation failures).
+    fn pair(&self) -> Result<(BoxedChannel, BoxedChannel, TrafficCounter)>;
+
+    /// Short human-readable label (`mem`, `sim-lan`, `tcp-loopback`, …)
+    /// for reports and bench rows.
+    fn label(&self) -> String;
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn pair(&self) -> Result<(BoxedChannel, BoxedChannel, TrafficCounter)> {
+        (**self).pair()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+/// The in-memory transport: crossbeam queues, zero injected latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemTransport;
+
+impl Transport for MemTransport {
+    fn pair(&self) -> Result<(BoxedChannel, BoxedChannel, TrafficCounter)> {
+        let (c, s, counter) = channel_pair();
+        Ok((Box::new(c), Box::new(s), counter))
+    }
+
+    fn label(&self) -> String {
+        "mem".to_string()
+    }
+}
+
+/// In-memory frames with a [`NetModel`]'s delays injected in line: the
+/// protocol's wall clock now *includes* the network, instead of the
+/// network being reconstructed analytically afterwards.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    model: NetModel,
+}
+
+impl SimTransport {
+    /// Simulates `model`'s bandwidth and RTT.
+    pub fn new(model: NetModel) -> Self {
+        SimTransport { model }
+    }
+
+    /// The simulated model.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+}
+
+impl Transport for SimTransport {
+    fn pair(&self) -> Result<(BoxedChannel, BoxedChannel, TrafficCounter)> {
+        let (c, s, counter) = channel_pair();
+        Ok((
+            Box::new(SimChannel::new(c, self.model.clone())),
+            Box::new(SimChannel::new(s, self.model.clone())),
+            counter,
+        ))
+    }
+
+    fn label(&self) -> String {
+        format!("sim-{}", self.model.name)
+    }
+}
+
+/// Real TCP framing over an ephemeral loopback socket, both ends in one
+/// process — the cheapest way to put the actual wire format on a
+/// session's critical path (tests, benches, CI smoke).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpLoopbackTransport;
+
+impl Transport for TcpLoopbackTransport {
+    fn pair(&self) -> Result<(BoxedChannel, BoxedChannel, TrafficCounter)> {
+        let (c, s, counter) = tcp_loopback_pair()?;
+        Ok((Box::new(c), Box::new(s), counter))
+    }
+
+    fn label(&self) -> String {
+        "tcp-loopback".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(t: &dyn Transport) {
+        let (c, s, counter) = t.pair().unwrap();
+        c.send_u64s(&[5, 6]).unwrap();
+        assert_eq!(s.recv_u64s().unwrap(), vec![5, 6]);
+        assert_eq!(counter.snapshot().bytes_client_to_server, 16);
+    }
+
+    #[test]
+    fn all_factories_produce_working_pairs() {
+        exercise(&MemTransport);
+        exercise(&SimTransport::new(NetModel::custom("fast", 1e12, 0.0)));
+        exercise(&TcpLoopbackTransport);
+    }
+
+    #[test]
+    fn labels_identify_the_transport() {
+        assert_eq!(MemTransport.label(), "mem");
+        assert_eq!(SimTransport::new(NetModel::lan()).label(), "sim-lan");
+        assert_eq!(TcpLoopbackTransport.label(), "tcp-loopback");
+    }
+
+    #[test]
+    fn arc_transport_delegates() {
+        let t: Arc<dyn Transport> = Arc::new(MemTransport);
+        exercise(&t);
+        assert_eq!(t.label(), "mem");
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared setup for the two-process demo binaries.
+//!
+//! Client and server must compile the *same* session: identical model
+//! (the zoo constructors are seed-deterministic), identical
+//! [`PiConfig`] and identical dealer seed, so the deterministic dealer
+//! stands in for the trusted third party and both processes draw
+//! matching halves of the correlated randomness.
+
+use c2pi_suite::nn::model::{alexnet, Model, ZooConfig};
+use c2pi_suite::pi::engine::specs_of;
+use c2pi_suite::pi::{PiBackend, PiConfig, PiSession};
+
+/// Loopback address both binaries default to.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Input shape of the demo model.
+pub const INPUT_CHW: [usize; 3] = [3, 16, 16];
+
+/// Command-line options shared by both binaries.
+pub struct Args {
+    /// Address the server binds / the client connects to.
+    pub addr: String,
+    /// Protocol backend both parties run.
+    pub backend: PiBackend,
+}
+
+/// Parses `--addr <host:port>` and `--backend <cheetah|delphi>`.
+pub fn parse_args() -> Args {
+    let mut args = Args { addr: DEFAULT_ADDR.to_string(), backend: PiBackend::Cheetah };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = it.next().expect("--addr needs a value"),
+            "--backend" => {
+                args.backend = match it.next().expect("--backend needs a value").as_str() {
+                    "cheetah" => PiBackend::Cheetah,
+                    "delphi" => PiBackend::Delphi,
+                    other => panic!("unknown backend {other:?} (use cheetah or delphi)"),
+                }
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+/// The demo model: a narrow AlexNet on 16×16 inputs, deterministic from
+/// its seed so both processes hold identical weights.
+pub fn demo_model() -> Model {
+    alexnet(&ZooConfig { width_div: 32, seed: 3, image_size: 16, ..Default::default() })
+        .expect("demo model builds")
+}
+
+/// Compiles the full-PI session both parties run.
+pub fn build_session(backend: PiBackend) -> PiSession {
+    let model = demo_model();
+    let cfg = PiConfig { backend, ..Default::default() };
+    PiSession::new(&specs_of(model.seq()), INPUT_CHW, cfg).expect("demo prefix compiles")
+}

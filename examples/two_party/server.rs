@@ -1,0 +1,37 @@
+//! Two-process demo, server side: holds the model, serves one private
+//! inference over a framed TCP connection, then reveals its share of
+//! the result to the client.
+//!
+//! ```text
+//! cargo run --release --example two_party_server -- --backend cheetah --addr 127.0.0.1:7878
+//! ```
+//!
+//! Run the matching `two_party_client` in a second terminal (or see the
+//! CI smoke step in `.github/workflows/ci.yml`).
+
+#[path = "common.rs"]
+mod common;
+
+use c2pi_suite::transport::{Channel, Side, TcpChannel};
+
+fn main() {
+    let args = common::parse_args();
+    let mut session = common::build_session(args.backend);
+    println!(
+        "[server] backend {} — listening on {} for one inference",
+        session.backend_name(),
+        args.addr
+    );
+    let ch = TcpChannel::serve_once(&args.addr[..], Side::Server).expect("bind/accept");
+    let outcome = session.infer_server(&ch).expect("server party run");
+    // Full-PI reveal: the server sends its share; only the client learns
+    // the prediction.
+    ch.send_u64s(outcome.share.as_raw()).expect("reveal share");
+    let traffic = ch.counter().snapshot();
+    println!(
+        "[server] done — {:.3} MB online traffic, {} round trips, {:.1} ms",
+        traffic.megabytes(),
+        traffic.round_trips(),
+        outcome.report.online_seconds * 1e3,
+    );
+}
