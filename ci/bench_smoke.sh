@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Bench smoke: runs the serving-relevant criterion benches in quick mode
+# and merges the shim's per-bench JSON into one BENCH_results.json at
+# the repo root — the machine-readable perf trajectory CI uploads as an
+# artifact on every run.
+#
+# Quick mode is the shim's CLI override (see shims/criterion): the
+# bench's programmatic sample sizes are clamped so one run fits a CI
+# budget. Pass different flags via BENCH_SMOKE_FLAGS, e.g.
+#   BENCH_SMOKE_FLAGS="--test" ci/bench_smoke.sh     # one sample per row
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHES=(serving_throughput session_phases transport_matrix)
+FLAGS=${BENCH_SMOKE_FLAGS:---measurement-time 1 --sample-size 3}
+# Absolute path: cargo runs bench binaries with the *package* directory
+# as cwd, so a relative CRITERION_OUT_JSON would land in crates/bench.
+OUT_DIR="$PWD/target/bench-smoke"
+mkdir -p "$OUT_DIR"
+
+json_files=()
+for bench in "${BENCHES[@]}"; do
+    echo "== bench $bench (quick mode: $FLAGS) =="
+    rm -f "$OUT_DIR/$bench.json"
+    # shellcheck disable=SC2086  # FLAGS is intentionally word-split
+    CRITERION_OUT_JSON="$OUT_DIR/$bench.json" \
+        cargo bench -p c2pi-bench --bench "$bench" -- $FLAGS
+    test -s "$OUT_DIR/$bench.json" # the bench must have written results
+    json_files+=("$OUT_DIR/$bench.json")
+done
+
+cargo run --release -p c2pi-bench --bin bench_summary -- "${json_files[@]}" \
+    >BENCH_results.json
+echo "wrote BENCH_results.json:"
+head -3 BENCH_results.json

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Multi-process serving smoke test: real OS processes, real TCP, zero
+# fixed ports. Every server binary binds port 0 and announces the
+# kernel-assigned address as `C2PI_LISTENING <addr>` on stdout; we wait
+# for that line (with a timeout) instead of sleeping and hoping.
+#
+# Covers:
+#   1. the two-process lockstep demo (two_party_server/_client), both
+#      backends — bit-identical to the in-memory path or exit 1;
+#   2. the concurrent serving stack: a live pi_server accept loop
+#      handling a multi_client load generator that checks every
+#      prediction against the clear model.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WAIT_SECS="${SMOKE_WAIT_SECS:-60}"
+CLIENT_TIMEOUT="${SMOKE_CLIENT_TIMEOUT:-300}"
+
+cargo build --release --example two_party_server --example two_party_client \
+    --example pi_server --example multi_client
+
+BIN=target/release/examples
+server_pid=""
+server_log=""
+
+cleanup() {
+    if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+# start_server <logfile> <cmd...> — launches the server in the
+# background of *this* shell (no command substitution: a subshell could
+# not `wait` for it later).
+start_server() {
+    server_log="$1"
+    shift
+    : >"$server_log"
+    "$@" >"$server_log" 2>&1 &
+    server_pid=$!
+}
+
+# wait_for_addr — echoes the address the running server announced, or
+# fails after the timeout.
+wait_for_addr() {
+    local deadline=$((SECONDS + WAIT_SECS))
+    local addr=""
+    while [[ -z "$addr" ]]; do
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "smoke: server died before announcing its address:" >&2
+            cat "$server_log" >&2
+            return 1
+        fi
+        if ((SECONDS >= deadline)); then
+            echo "smoke: server did not announce within ${WAIT_SECS}s" >&2
+            cat "$server_log" >&2
+            return 1
+        fi
+        addr=$(awk '/^C2PI_LISTENING /{print $2; exit}' "$server_log")
+        [[ -n "$addr" ]] || sleep 0.1
+    done
+    echo "$addr"
+}
+
+# finish_server — waits for the backgrounded server and propagates its
+# exit code.
+finish_server() {
+    local pid="$server_pid"
+    server_pid=""
+    wait "$pid"
+}
+
+echo "== two-process lockstep smoke (ephemeral ports) =="
+for backend in cheetah delphi; do
+    echo "-- backend $backend"
+    start_server "target/smoke-two-party-$backend.log" \
+        "$BIN/two_party_server" --backend "$backend" --addr 127.0.0.1:0
+    addr=$(wait_for_addr)
+    timeout "$CLIENT_TIMEOUT" "$BIN/two_party_client" --backend "$backend" --addr "$addr"
+    finish_server
+    cat "$server_log"
+done
+
+echo "== concurrent serving smoke: pi_server + multi_client =="
+CLIENTS=4
+ITERS=2
+for backend in cheetah delphi; do
+    echo "-- backend $backend"
+    start_server "target/smoke-pi-server-$backend.log" \
+        "$BIN/pi_server" --backend "$backend" --addr 127.0.0.1:0 \
+        --serve-n $((CLIENTS * ITERS)) --preprocess 2 --worker-cap "$CLIENTS"
+    addr=$(wait_for_addr)
+    timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend "$backend" --addr "$addr" \
+        --clients "$CLIENTS" --iters "$ITERS"
+    finish_server
+    cat "$server_log"
+done
+
+echo "smoke: OK"

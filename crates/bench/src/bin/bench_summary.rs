@@ -1,0 +1,46 @@
+//! Merges the per-bench JSON files the criterion shim writes (via
+//! `CRITERION_OUT_JSON`) into one machine-readable `BENCH_results.json`
+//! document on stdout.
+//!
+//! ```text
+//! cargo run -p c2pi-bench --bin bench_summary -- target/bench-smoke/*.json > BENCH_results.json
+//! ```
+//!
+//! Each input file is a JSON array of benchmark rows; the output is one
+//! object mapping the bench name (the file stem) to its rows, so CI can
+//! upload a single artifact per run and diff it across commits.
+
+use std::path::Path;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_summary <shim-json>... > BENCH_results.json");
+        std::process::exit(2);
+    }
+    let mut entries = Vec::new();
+    for path in &paths {
+        let stem = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown")
+            .replace(['\\', '"'], "_");
+        match std::fs::read_to_string(path) {
+            Ok(content) => {
+                let content = content.trim();
+                // Sanity check: the shim writes a JSON array; refuse to
+                // embed anything else into the merged document.
+                if !(content.starts_with('[') && content.ends_with(']')) {
+                    eprintln!("bench_summary: {path} is not a JSON array, skipping");
+                    continue;
+                }
+                entries.push(format!("  \"{stem}\": {content}"));
+            }
+            Err(e) => {
+                eprintln!("bench_summary: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{{\n{}\n}}", entries.join(",\n"));
+}

@@ -13,7 +13,11 @@
 //!   with an explicit offline/online phase split (`preprocess` ahead of
 //!   traffic, `infer`/`infer_batch` online);
 //! * [`pipeline`] — the end-to-end flow of Figure 2, plus the deprecated
-//!   pre-session `C2piPipeline` shims.
+//!   pre-session `C2piPipeline` shims;
+//! * [`server`] — concurrent multi-client serving: the [`server::PiServer`]
+//!   TCP accept loop spawns bounded workers over one shared session
+//!   whose material pool a background dealer keeps topped up, and
+//!   [`server::PiClient`] is the matching one-call client.
 //!
 //! ```no_run
 //! use c2pi_core::session::C2pi;
@@ -45,12 +49,14 @@ pub mod defense;
 pub mod error;
 pub mod noise;
 pub mod pipeline;
+pub mod server;
 pub mod session;
 pub mod split_learning;
 
 pub use boundary::{search_boundary, BoundaryConfig, BoundaryTrace};
 pub use error::C2piError;
 pub use pipeline::{plain_prediction, InferenceResult, Split};
+pub use server::{ClientInference, PiClient, PiServer, PiServerConfig};
 pub use session::{C2pi, C2piBuilder, C2piSession};
 
 #[allow(deprecated)]

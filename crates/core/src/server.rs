@@ -1,0 +1,496 @@
+//! Concurrent multi-client PI serving: a TCP accept loop over one
+//! shared session.
+//!
+//! [`PiServer`] is the serving layer the paper implies but never builds:
+//! many concurrent online inferences drawing from **one** shared
+//! material pool that a background dealer keeps topped up. Thread map,
+//! in paper phases:
+//!
+//! * the **accept thread** does no cryptography — it hands each
+//!   connection to a worker, bounded by
+//!   [`PiServerConfig::worker_cap`];
+//! * each **worker thread** runs the *online phase* server party
+//!   ([`SharedPiSession::serve_one`]): it takes one material set from
+//!   the shared [`c2pi_pi::MaterialPool`], deals the set's seed to the
+//!   client (the trusted-dealer stand-in delivering the client's half),
+//!   runs the interactive protocol, and reveals the server's share of
+//!   the result;
+//! * the **replenisher thread** runs the *offline phase*
+//!   ([`c2pi_pi::Replenisher`]): input-independent correlated-randomness
+//!   generation whenever the pool falls below
+//!   [`PiServerConfig::pool_low`], refilled to
+//!   [`PiServerConfig::pool_high`].
+//!
+//! [`PiClient`] is the matching one-call client: connect, receive the
+//! dealt seed, run the client party, reconstruct the prediction from
+//! the revealed share.
+//!
+//! ```no_run
+//! use c2pi_core::server::{PiClient, PiServer, PiServerConfig};
+//! use c2pi_nn::layers::{Conv2d, Relu};
+//! use c2pi_nn::Sequential;
+//! use c2pi_pi::engine::{specs_of, PiConfig};
+//! use c2pi_pi::PiSession;
+//! use c2pi_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), c2pi_core::C2piError> {
+//! let mut prefix = Sequential::new();
+//! prefix.push(Conv2d::new(1, 2, 3, 1, 1, 1, 1));
+//! prefix.push(Relu::new());
+//! let session =
+//!     PiSession::new(&specs_of(&prefix), [1, 8, 8], PiConfig::default())?.into_shared();
+//! // Bind port 0: the kernel picks a free port, no fixed-port races.
+//! let server = PiServer::bind(session.clone(), "127.0.0.1:0", PiServerConfig::default())?;
+//! let addr = server.local_addr();
+//!
+//! // Any number of clients, from this or another process:
+//! let client = PiClient::new(session); // identical specs + config
+//! let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 1);
+//! let result = client.infer(addr, &x)?;
+//! println!("prediction {}", result.prediction);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{C2piError, Result};
+use c2pi_pi::{PartyOutcome, SharedPiSession};
+use c2pi_tensor::Tensor;
+use c2pi_transport::{Channel, Side, TcpChannel, TcpListenerTransport};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`PiServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct PiServerConfig {
+    /// Maximum connections served concurrently; further accepts queue
+    /// until a worker finishes. Size this to the machine's cores — each
+    /// worker runs one online protocol party.
+    pub worker_cap: usize,
+    /// Low watermark: when pooled material drops below this, the
+    /// background replenisher wakes up. `0` disables replenishment
+    /// (every pool miss then pays the dealer inline, visible in the
+    /// ledger).
+    pub pool_low: usize,
+    /// High watermark the replenisher refills to.
+    pub pool_high: usize,
+    /// Per-read timeout on client connections. A stalled or malicious
+    /// client that connects and goes silent would otherwise occupy a
+    /// worker slot (and one consumed material set) forever; after this
+    /// long without a frame the worker errors out and frees its slot.
+    pub client_timeout: Duration,
+}
+
+impl Default for PiServerConfig {
+    fn default() -> Self {
+        PiServerConfig {
+            worker_cap: 4,
+            pool_low: 2,
+            pool_high: 8,
+            client_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent workers.
+struct WorkerSlots {
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl WorkerSlots {
+    fn new(cap: usize) -> Self {
+        WorkerSlots { free: Mutex::new(cap.max(1)), freed: Condvar::new() }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock().expect("worker slot mutex poisoned");
+        while *free == 0 {
+            free = self.freed.wait(free).expect("worker slot mutex poisoned");
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock().expect("worker slot mutex poisoned") += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// A running multi-client PI server: accept loop + bounded workers +
+/// background pool replenisher over one [`SharedPiSession`]. See the
+/// [module docs](crate::server) for the thread/phase map.
+#[derive(Debug)]
+pub struct PiServer {
+    addr: SocketAddr,
+    session: SharedPiSession,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    accept_handle: Option<JoinHandle<()>>,
+    replenisher: Option<c2pi_pi::Replenisher>,
+}
+
+impl PiServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back
+    /// with [`PiServer::local_addr`]) and starts the accept loop plus,
+    /// when `cfg.pool_low > 0`, the background replenisher.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors when binding fails.
+    pub fn bind(
+        session: SharedPiSession,
+        addr: impl ToSocketAddrs,
+        cfg: PiServerConfig,
+    ) -> Result<Self> {
+        let listener = TcpListenerTransport::bind(addr).map_err(|e| C2piError::Pi(e.into()))?;
+        let addr = listener.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let replenisher =
+            (cfg.pool_low > 0).then(|| session.spawn_replenisher(cfg.pool_low, cfg.pool_high));
+        let accept_session = session.clone();
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_served = Arc::clone(&served);
+        let accept_errors = Arc::clone(&errors);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(
+                &listener,
+                &accept_session,
+                cfg,
+                &accept_shutdown,
+                &accept_served,
+                &accept_errors,
+            );
+        });
+        Ok(PiServer {
+            addr,
+            session,
+            shutdown,
+            served,
+            errors,
+            accept_handle: Some(accept_handle),
+            replenisher,
+        })
+    }
+
+    /// The actually-bound address (real port even for a port-0 bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The actually-bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// The shared session this server serves (same pool and ledger).
+    pub fn session(&self) -> &SharedPiSession {
+        &self.session
+    }
+
+    /// Inferences served successfully so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Connections that ended in an error (protocol, transport or a
+    /// client gone away mid-inference).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains in-flight workers, joins the accept loop
+    /// and stops the replenisher. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Idempotent: an explicit shutdown() is followed by Drop, and
+        // the wake-up connect must not run again against a port the
+        // listener has already released.
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept call with a throwaway connection. An
+        // unspecified bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so aim the wake-up at loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let woke = TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok();
+        if let Some(handle) = self.accept_handle.take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wake-up could not connect, leak the accept thread
+            // rather than deadlock shutdown; it exits on its next
+            // accepted connection.
+        }
+        // Dropping the replenisher stops and joins its thread.
+        self.replenisher.take();
+    }
+}
+
+impl Drop for PiServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListenerTransport,
+    session: &SharedPiSession,
+    cfg: PiServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    served: &Arc<AtomicU64>,
+    errors: &Arc<AtomicU64>,
+) {
+    let slots = Arc::new(WorkerSlots::new(cfg.worker_cap));
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let ch = match listener.accept(Side::Server) {
+            _ if shutdown.load(Ordering::SeqCst) => break,
+            Ok(ch) => ch,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                errors.fetch_add(1, Ordering::SeqCst);
+                // Back off: a persistent accept failure (e.g. fd
+                // exhaustion) must not busy-spin a core.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // A silent client must not hold a worker slot (and a consumed
+        // material set) forever.
+        if ch.set_read_timeout(Some(cfg.client_timeout)).is_err() {
+            errors.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        slots.acquire();
+        let session = session.clone();
+        let slots_worker = Arc::clone(&slots);
+        let served = Arc::clone(served);
+        let errors = Arc::clone(errors);
+        workers.push(std::thread::spawn(move || {
+            match serve_connection(&session, &ch) {
+                Ok(_) => served.fetch_add(1, Ordering::SeqCst),
+                Err(_) => errors.fetch_add(1, Ordering::SeqCst),
+            };
+            slots_worker.release();
+        }));
+        // Reap finished workers so the vector stays bounded.
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+/// One worker's whole job: online server party plus the full-PI reveal
+/// (the server sends its share, so only the client learns the result).
+fn serve_connection(session: &SharedPiSession, ch: &TcpChannel) -> Result<PartyOutcome> {
+    let outcome = session.serve_one(ch).map_err(C2piError::Pi)?;
+    ch.send_u64s(outcome.share.as_raw()).map_err(|e| C2piError::Pi(e.into()))?;
+    Ok(outcome)
+}
+
+/// Result of one [`PiClient`] request: the reconstructed logits of the
+/// crypto prefix, the argmax prediction, and the client party's cost
+/// report.
+#[derive(Debug, Clone)]
+pub struct ClientInference {
+    /// Reconstructed boundary activation (the logits under full PI).
+    pub logits: Tensor,
+    /// `argmax` of the logits.
+    pub prediction: usize,
+    /// The client party's outcome (share, dims, report).
+    pub outcome: PartyOutcome,
+}
+
+/// The client side of the dealt serving contract: connects to a
+/// [`PiServer`], runs one online inference per call, reconstructs the
+/// result from the server's revealed share.
+///
+/// Must be built over a session compiled from **identical** specs and
+/// configuration as the server's (only the per-inference seed travels
+/// on the wire). Cloneable and `&self` throughout — one `PiClient` can
+/// drive many threads of concurrent requests.
+#[derive(Debug, Clone)]
+pub struct PiClient {
+    session: SharedPiSession,
+    connect_timeout: Duration,
+}
+
+impl PiClient {
+    /// Wraps a shared session compiled identically to the server's.
+    pub fn new(session: SharedPiSession) -> Self {
+        PiClient { session, connect_timeout: Duration::from_secs(10) }
+    }
+
+    /// How long [`PiClient::infer`] keeps retrying the TCP connect
+    /// (covers server processes still racing to bind).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &SharedPiSession {
+        &self.session
+    }
+
+    /// Runs one private inference against the server at `addr`:
+    /// connect, receive the dealt seed, run the client party, receive
+    /// the revealed server share, reconstruct.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors (server unreachable, connection lost)
+    /// and the engine/shape errors of the client party.
+    pub fn infer(&self, addr: impl ToSocketAddrs + Clone, x: &Tensor) -> Result<ClientInference> {
+        let ch = TcpChannel::connect_retry(addr, Side::Client, self.connect_timeout)
+            .map_err(|e| C2piError::Pi(e.into()))?;
+        let outcome = self.session.request_one(&ch, x).map_err(C2piError::Pi)?;
+        let server_share = c2pi_mpc::share::ShareVec::from_raw(
+            ch.recv_u64s().map_err(|e| C2piError::Pi(e.into()))?,
+        );
+        let raw = c2pi_mpc::share::reconstruct(&outcome.share, &server_share);
+        let fp = self.session.config().fixed;
+        let logits = fp.decode_tensor(&raw, &outcome.dims).map_err(C2piError::Tensor)?;
+        let prediction = logits.argmax().unwrap_or(0);
+        Ok(ClientInference { logits, prediction, outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c2pi_nn::layers::{Conv2d, MaxPool2d, Relu};
+    use c2pi_nn::Sequential;
+    use c2pi_pi::engine::{specs_of, PiConfig};
+    use c2pi_pi::PiSession;
+
+    fn tiny_prefix() -> Sequential {
+        let mut s = Sequential::new();
+        s.push(Conv2d::new(1, 3, 3, 1, 1, 1, 1));
+        s.push(Relu::new());
+        s.push(MaxPool2d::new(2, 2));
+        s
+    }
+
+    fn shared_session() -> SharedPiSession {
+        PiSession::new(&specs_of(&tiny_prefix()), [1, 8, 8], PiConfig::default())
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn server_serves_concurrent_clients_with_correct_predictions() {
+        let serve_session = shared_session();
+        serve_session.preprocess(2).unwrap();
+        let server = PiServer::bind(
+            serve_session,
+            "127.0.0.1:0",
+            PiServerConfig { worker_cap: 3, pool_low: 2, pool_high: 6, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients = 3;
+        let iters = 2;
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                scope.spawn(move || {
+                    let client = PiClient::new(shared_session());
+                    for i in 0..iters {
+                        let x =
+                            Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, (100 * t + i) as u64);
+                        let got = client.infer(addr, &x).unwrap();
+                        let plain = tiny_prefix().forward_eval(&x).unwrap();
+                        for (a, b) in got.logits.as_slice().iter().zip(plain.as_slice()) {
+                            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(server.served(), (clients * iters) as u64);
+        assert_eq!(server.errors(), 0);
+        let ledger = server.session().ledger();
+        assert_eq!(ledger.consumed, (clients * iters) as u64);
+        assert_eq!(
+            ledger.generated_offline + ledger.generated_inline,
+            ledger.consumed + ledger.available
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_shutdown_is_idempotent_and_port_is_ephemeral() {
+        let session = shared_session();
+        let server = PiServer::bind(session, "127.0.0.1:0", PiServerConfig::default()).unwrap();
+        assert_ne!(server.port(), 0);
+        assert_eq!(server.served(), 0);
+        server.shutdown(); // explicit shutdown; Drop must cope with it too
+    }
+
+    #[test]
+    fn silent_client_times_out_and_frees_the_worker() {
+        let session = shared_session();
+        session.preprocess(2).unwrap();
+        let server = PiServer::bind(
+            session,
+            "127.0.0.1:0",
+            PiServerConfig {
+                worker_cap: 1,
+                pool_low: 0,
+                pool_high: 0,
+                client_timeout: Duration::from_millis(200),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // A raw connection that never sends a frame: it receives the
+        // dealt seed, then goes silent.
+        let _silent = std::net::TcpStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.errors() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.errors(), 1, "silent client must time out");
+        // The freed worker slot serves a real client afterwards.
+        let client = PiClient::new(shared_session());
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 7);
+        client.infer(addr, &x).unwrap();
+        assert_eq!(server.served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_surfaces_unreachable_server() {
+        let client =
+            PiClient::new(shared_session()).with_connect_timeout(Duration::from_millis(200));
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        // A bound-then-dropped listener guarantees a dead port.
+        let addr = {
+            let l = TcpListenerTransport::bind("127.0.0.1:0").unwrap();
+            l.local_addr()
+        };
+        assert!(client.infer(addr, &x).is_err());
+    }
+}

@@ -1,7 +1,7 @@
 //! Engine configuration and the one-shot execution entry point.
 //!
 //! The engine's planning, offline and online machinery lives in
-//! [`crate::plan`] and [`crate::session`]; protocol-specific behaviour
+//! the private `plan` module and [`crate::session`]; protocol-specific behaviour
 //! is dispatched through the [`crate::backend::PiBackendImpl`] trait, so
 //! this module contains no backend-specific code. [`run_prefix`] is the
 //! single-inference convenience wrapper (compile + preprocess + infer in

@@ -60,14 +60,16 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 mod plan;
+pub mod pool;
 pub mod report;
 pub mod session;
 
 pub use backend::{cheetah, delphi, IntoBackend, PiBackendImpl};
 pub use engine::{run_prefix, PiBackend, PiConfig, PiOutcome};
 pub use error::PiError;
+pub use pool::{InferenceMaterial, MaterialPool, Replenisher, SessionCore};
 pub use report::{OpCounts, PiReport, PreprocessLedger};
-pub use session::{PartyOutcome, PiSession};
+pub use session::{PartyOutcome, PiSession, SharedPiSession};
 
 /// Convenience result alias for PI operations.
 pub type Result<T> = std::result::Result<T, PiError>;

@@ -1,0 +1,495 @@
+//! The shared half of a serving deployment: the immutable compiled
+//! session core plus a thread-safe pool of per-inference correlated
+//! randomness.
+//!
+//! The paper's performance story rests on the offline/online phase
+//! split: correlated randomness is generated *input-independently*
+//! (offline, by the trusted-dealer stand-in), so the online protocol a
+//! client actually waits for is cheap. This module is that split made
+//! concurrent:
+//!
+//! * [`SessionCore`] — everything about a deployment that never changes
+//!   between inferences (the compiled execution plan, the ring-encoded
+//!   server weights inside it, the engine config, the backend). It is
+//!   `Send + Sync` and shared behind an `Arc` by every worker thread.
+//! * [`MaterialPool`] — the per-inference state, factored out: a
+//!   `Mutex`-guarded queue of ready [`InferenceMaterial`] sets plus the
+//!   deterministic per-inference seed stream and the exact
+//!   [`PreprocessLedger`]. Any number of threads [`MaterialPool::take`]
+//!   concurrently; dealer work always runs *outside* the lock so
+//!   generation parallelises, while seed allocation and ledger
+//!   accounting stay atomic.
+//! * [`Replenisher`] — a background thread running the **offline
+//!   phase**: whenever the pool drops below its low watermark it tops
+//!   the pool back up to the high watermark with the deterministic
+//!   dealer, keeping online inferences off the dealer's critical path.
+//!
+//! Ledger exactness under contention is a hard invariant (and is stress
+//! tested): at every quiescent point,
+//! `generated_offline + generated_inline == consumed + available`.
+
+use crate::backend::{NlMaterial, PiBackendImpl};
+use crate::engine::PiConfig;
+use crate::plan::{Plan, Step, StepData};
+use crate::report::{OpCounts, PreprocessLedger};
+use crate::{PiError, Result};
+use c2pi_mpc::dealer::{AffineCorrClient, AffineCorrServer, Dealer};
+use c2pi_mpc::prg::SeedSequence;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Client-side per-inference material for one step.
+pub(crate) enum ClientMat {
+    Lin(c2pi_mpc::dealer::LinearCorrClient),
+    Nl(NlMaterial),
+    Affine(AffineCorrClient),
+    None,
+}
+
+/// Server-side per-inference material for one step (weights live in the
+/// compiled plan, not here).
+pub(crate) enum ServerMat {
+    Lin(c2pi_mpc::dealer::LinearCorrServer),
+    Nl(NlMaterial),
+    Affine(AffineCorrServer),
+    None,
+}
+
+/// One inference's worth of correlated randomness plus the seed that
+/// derives the parties' local randomness. Everything in here is
+/// consumed by exactly one online inference. Opaque outside the crate —
+/// obtained from [`MaterialPool::take`] and handed straight to a
+/// session's online entry points.
+pub struct InferenceMaterial {
+    pub(crate) seed: u64,
+    pub(crate) cmats: Vec<ClientMat>,
+    pub(crate) smats: Vec<ServerMat>,
+    pub(crate) counts: OpCounts,
+}
+
+impl InferenceMaterial {
+    /// The deterministic per-inference seed this material was dealt
+    /// from (both parties' halves derive from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl std::fmt::Debug for InferenceMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceMaterial")
+            .field("seed", &self.seed)
+            .field("steps", &self.cmats.len())
+            .finish()
+    }
+}
+
+/// The immutable, shareable part of a compiled session: the execution
+/// plan (including the server's ring-encoded weights), the engine
+/// configuration and the protocol backend.
+///
+/// A `SessionCore` is created once per deployment and shared behind an
+/// `Arc` by the material pool, the background replenisher and every
+/// per-connection worker — none of them ever needs to mutate it.
+pub struct SessionCore {
+    pub(crate) plan: Plan,
+    pub(crate) cfg: PiConfig,
+    pub(crate) backend: Arc<dyn PiBackendImpl>,
+}
+
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCore")
+            .field("backend", &self.backend.name())
+            .field("steps", &self.plan.steps.len())
+            .finish()
+    }
+}
+
+impl SessionCore {
+    /// The backend's engine name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Engine configuration the session was compiled with.
+    pub fn config(&self) -> &PiConfig {
+        &self.cfg
+    }
+
+    /// Runs the trusted-dealer stand-in for one inference: walks the
+    /// plan and generates both parties' correlated-randomness halves
+    /// from `seed`. Deterministic in `seed`, input-independent, and
+    /// `&self` — any thread may deal concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors (caller shape bugs).
+    pub(crate) fn deal(&self, seed: u64) -> Result<InferenceMaterial> {
+        let mut dealer = Dealer::new(seed);
+        let mut counts = self.plan.base_counts.clone();
+        let mut cmats = Vec::with_capacity(self.plan.steps.len());
+        let mut smats = Vec::with_capacity(self.plan.steps.len());
+        for (step, data) in self.plan.steps.iter().zip(self.plan.data.iter()) {
+            match (step, data) {
+                (Step::Conv { .. } | Step::Fc { .. }, StepData::Lin { w, cols, .. }) => {
+                    let (corr_c, corr_s) = self.backend.prepare_linear(&mut dealer, w, *cols)?;
+                    cmats.push(ClientMat::Lin(corr_c));
+                    smats.push(ServerMat::Lin(corr_s));
+                }
+                (Step::Relu { n }, StepData::None) => {
+                    let (cm, sm) =
+                        self.backend.prepare_relu(&mut dealer, *n, &self.cfg, &mut counts);
+                    cmats.push(ClientMat::Nl(cm));
+                    smats.push(ServerMat::Nl(sm));
+                }
+                (Step::MaxPool { c, h, w }, StepData::None) => {
+                    let windows = c * (h / 2) * (w / 2);
+                    let (cm, sm) =
+                        self.backend.prepare_maxpool(&mut dealer, windows, &self.cfg, &mut counts);
+                    cmats.push(ClientMat::Nl(cm));
+                    smats.push(ServerMat::Nl(sm));
+                }
+                (Step::Affine, StepData::Affine { scale, .. }) => {
+                    let (corr_c, corr_s) = dealer.affine_corr(scale);
+                    cmats.push(ClientMat::Affine(corr_c));
+                    smats.push(ServerMat::Affine(corr_s));
+                }
+                (Step::AvgPool { .. } | Step::Flatten, StepData::None) => {
+                    cmats.push(ClientMat::None);
+                    smats.push(ServerMat::None);
+                }
+                _ => return Err(PiError::BadConfig("plan/data mismatch".into())),
+            }
+        }
+        Ok(InferenceMaterial { seed, cmats, smats, counts })
+    }
+}
+
+/// Mutable pool state, guarded by one mutex.
+struct PoolState {
+    ready: VecDeque<InferenceMaterial>,
+    seeds: SeedSequence,
+    ledger: PreprocessLedger,
+    shutdown: bool,
+}
+
+/// A thread-safe pool of preprocessed per-inference material over one
+/// [`SessionCore`].
+///
+/// This is the meeting point of the paper's two phases when serving is
+/// concurrent:
+///
+/// * **offline** (dealer side): [`MaterialPool::preprocess`] and the
+///   background [`Replenisher`] push freshly dealt material;
+/// * **online** (per-connection workers): every inference calls
+///   [`MaterialPool::take`], which pops pooled material, or — when the
+///   pool is dry — allocates the next deterministic seed and runs the
+///   dealer *inline on the calling thread*, recording the miss in the
+///   ledger so benchmarks can't mistake dealer time for online latency.
+///
+/// The mutex protects only the queue, the seed stream and the ledger;
+/// dealer work (the expensive part) always runs outside it, so
+/// concurrent takers and the replenisher generate material in parallel.
+/// Seeds are handed out under the lock in a single deterministic
+/// sequence, which makes the *multiset* of consumed material identical
+/// to a sequential run with the same master seed — the property the
+/// `pool_stress` test pins down bit-for-bit.
+pub struct MaterialPool {
+    core: Arc<SessionCore>,
+    state: Mutex<PoolState>,
+    /// Notified on every take and on shutdown; the replenisher waits
+    /// here for the pool to fall below its low watermark.
+    drained: Condvar,
+}
+
+impl std::fmt::Debug for MaterialPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("MaterialPool")
+            .field("pooled", &st.ready.len())
+            .field("ledger", &st.ledger)
+            .finish()
+    }
+}
+
+impl MaterialPool {
+    /// Creates an empty pool whose per-inference seeds fork from
+    /// `core.config().dealer_seed` (the same domain-separated stream a
+    /// single-threaded session uses).
+    pub fn new(core: Arc<SessionCore>) -> Self {
+        let seeds = SeedSequence::new(core.cfg.dealer_seed, b"c2pi/session/dealer");
+        MaterialPool {
+            core,
+            state: Mutex::new(PoolState {
+                ready: VecDeque::new(),
+                seeds,
+                ledger: PreprocessLedger::default(),
+                shutdown: false,
+            }),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// The shared immutable session core this pool deals against.
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().expect("material pool mutex poisoned")
+    }
+
+    /// Material sets currently pooled for future inferences.
+    pub fn pooled(&self) -> usize {
+        self.lock().ready.len()
+    }
+
+    /// Ledger snapshot with `available` filled in.
+    pub fn ledger(&self) -> PreprocessLedger {
+        let st = self.lock();
+        let mut l = st.ledger;
+        l.available = st.ready.len() as u64;
+        l
+    }
+
+    /// Offline phase: deals material for `n` future inferences and
+    /// pools it. Safe to call from any thread, concurrently with takers
+    /// and the replenisher; dealer work runs outside the pool lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors (caller shape bugs).
+    pub fn preprocess(&self, n: usize) -> Result<()> {
+        for _ in 0..n {
+            let seed = self.lock().seeds.next();
+            let start = Instant::now();
+            let material = self.core.deal(seed)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            let mut st = self.lock();
+            st.ready.push_back(material);
+            st.ledger.generated_offline += 1;
+            st.ledger.generation_seconds += elapsed;
+        }
+        Ok(())
+    }
+
+    /// Takes one inference's material: pooled if available, otherwise
+    /// dealt inline on the calling thread (and recorded as
+    /// `generated_inline` — the critical-path miss the offline phase
+    /// exists to avoid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors from the inline path.
+    pub fn take(&self) -> Result<InferenceMaterial> {
+        let mut st = self.lock();
+        if let Some(m) = st.ready.pop_front() {
+            st.ledger.consumed += 1;
+            drop(st);
+            // Wake the replenisher: the pool may now be below watermark.
+            self.drained.notify_all();
+            return Ok(m);
+        }
+        // Pool dry: allocate the next seed atomically, then pay the
+        // dealer outside the lock so concurrent misses generate in
+        // parallel.
+        let seed = st.seeds.next();
+        st.ledger.consumed += 1;
+        st.ledger.generated_inline += 1;
+        drop(st);
+        self.drained.notify_all();
+        let start = Instant::now();
+        let material = self.core.deal(seed)?;
+        self.lock().ledger.generation_seconds += start.elapsed().as_secs_f64();
+        Ok(material)
+    }
+
+    /// Records one externally dealt material set (a client generating
+    /// its half for a server-dealt seed): dealer time on this party's
+    /// critical path, so it counts as consumed + inline.
+    pub(crate) fn note_dealt_inline(&self, seconds: f64) {
+        let mut st = self.lock();
+        st.ledger.consumed += 1;
+        st.ledger.generated_inline += 1;
+        st.ledger.generation_seconds += seconds;
+    }
+
+    /// Signals shutdown to any [`Replenisher`] waiting on this pool.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.drained.notify_all();
+    }
+
+    /// Whether [`MaterialPool::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.lock().shutdown
+    }
+}
+
+/// Handle to the background offline-phase thread that keeps a
+/// [`MaterialPool`] topped up.
+///
+/// The thread sleeps on the pool's condvar while `pooled() >= low`; as
+/// soon as takers drain the pool below the low watermark it deals fresh
+/// material (outside the lock) until the pool reaches the high
+/// watermark again. In paper terms this thread *is* the offline phase,
+/// running concurrently with every online inference. Dropping the
+/// handle (or calling [`Replenisher::stop`]) shuts the thread down and
+/// joins it.
+#[derive(Debug)]
+pub struct Replenisher {
+    pool: Arc<MaterialPool>,
+    handle: Option<JoinHandle<Result<()>>>,
+}
+
+impl Replenisher {
+    /// Spawns the replenisher thread for `pool`. `low` is the watermark
+    /// that triggers a refill, `high` the level it refills to
+    /// (`low < high`; a refill batch is `high - pooled()` sets).
+    pub fn spawn(pool: Arc<MaterialPool>, low: usize, high: usize) -> Replenisher {
+        let high = high.max(low + 1);
+        let worker = Arc::clone(&pool);
+        let handle = std::thread::spawn(move || replenish_loop(&worker, low, high));
+        Replenisher { pool, handle: Some(handle) }
+    }
+
+    /// The pool this replenisher feeds.
+    pub fn pool(&self) -> &Arc<MaterialPool> {
+        &self.pool
+    }
+
+    /// Shuts the background thread down and joins it, returning its
+    /// final result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dealer error that terminated the thread early, or
+    /// [`PiError::PartyPanic`] if it panicked.
+    pub fn stop(mut self) -> Result<()> {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> Result<()> {
+        self.pool.shutdown();
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| PiError::PartyPanic("replenisher"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Replenisher {
+    fn drop(&mut self) {
+        let _ = self.stop_inner();
+    }
+}
+
+fn replenish_loop(pool: &MaterialPool, low: usize, high: usize) -> Result<()> {
+    let mut st = pool.lock();
+    loop {
+        while !st.shutdown && st.ready.len() >= low {
+            st = pool.drained.wait(st).expect("material pool mutex poisoned");
+        }
+        if st.shutdown {
+            return Ok(());
+        }
+        while st.ready.len() < high && !st.shutdown {
+            let seed = st.seeds.next();
+            drop(st);
+            let start = Instant::now();
+            let material = pool.core.deal(seed)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            st = pool.lock();
+            st.ready.push_back(material);
+            st.ledger.generated_offline += 1;
+            st.ledger.generation_seconds += elapsed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::specs_of;
+    use crate::plan::compile;
+    use c2pi_nn::layers::{Conv2d, Relu};
+    use c2pi_nn::Sequential;
+    use std::time::Duration;
+
+    fn tiny_core() -> Arc<SessionCore> {
+        let mut seq = Sequential::new();
+        seq.push(Conv2d::new(1, 2, 3, 1, 1, 1, 1));
+        seq.push(Relu::new());
+        let cfg = PiConfig::default();
+        let plan = compile(&specs_of(&seq), (1, 6, 6), cfg.fixed).unwrap();
+        Arc::new(SessionCore { plan, cfg, backend: cfg.backend.engine() })
+    }
+
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn ledger_tracks_offline_and_inline_paths() {
+        let pool = MaterialPool::new(tiny_core());
+        pool.preprocess(2).unwrap();
+        assert_eq!(pool.pooled(), 2);
+        let _a = pool.take().unwrap();
+        let _b = pool.take().unwrap();
+        let _c = pool.take().unwrap(); // dry → inline
+        let l = pool.ledger();
+        assert_eq!(l.generated_offline, 2);
+        assert_eq!(l.generated_inline, 1);
+        assert_eq!(l.consumed, 3);
+        assert_eq!(l.available, 0);
+        assert_eq!(l.generated_offline + l.generated_inline, l.consumed + l.available);
+    }
+
+    #[test]
+    fn seeds_are_the_sequential_stream_regardless_of_path() {
+        // Pool path and a bare SeedSequence must hand out the same
+        // deterministic seeds in order.
+        let core = tiny_core();
+        let mut reference = SeedSequence::new(core.cfg.dealer_seed, b"c2pi/session/dealer");
+        let want: Vec<u64> = (0..4).map(|_| reference.next()).collect();
+        let pool = MaterialPool::new(core);
+        pool.preprocess(2).unwrap();
+        let got: Vec<u64> = (0..4).map(|_| pool.take().unwrap().seed).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn replenisher_keeps_pool_above_watermark_and_stops_cleanly() {
+        let pool = Arc::new(MaterialPool::new(tiny_core()));
+        let replenisher = Replenisher::spawn(Arc::clone(&pool), 2, 5);
+        // Empty pool is below the watermark: it must fill to `high`.
+        assert!(
+            wait_until(Duration::from_secs(20), || pool.pooled() >= 5),
+            "replenisher never reached the high watermark (pooled {})",
+            pool.pooled()
+        );
+        // Drain below the low watermark; it must recover.
+        for _ in 0..4 {
+            pool.take().unwrap();
+        }
+        assert!(
+            wait_until(Duration::from_secs(20), || pool.pooled() >= 5),
+            "replenisher never recovered the watermark (pooled {})",
+            pool.pooled()
+        );
+        let l = pool.ledger();
+        assert_eq!(l.generated_inline, 0, "replenisher kept takers off the inline path");
+        replenisher.stop().unwrap();
+        assert!(pool.is_shut_down());
+    }
+}

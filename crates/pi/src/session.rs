@@ -14,6 +14,15 @@
 //!   consume one pooled material set per input and only pay the cheap
 //!   interactive protocol.
 //!
+//! Internally a session is two shareable parts (see [`crate::pool`]):
+//! an immutable [`crate::pool::SessionCore`] and a thread-safe
+//! [`MaterialPool`]. [`PiSession`] is the convenient exclusive handle;
+//! [`PiSession::into_shared`] (or [`PiSession::shared`]) yields a
+//! [`SharedPiSession`] — a cheaply cloneable handle whose inference
+//! entry points take `&self`, so any number of threads serve concurrent
+//! online inferences against one pool while a
+//! [`crate::pool::Replenisher`] keeps it topped up in the background.
+//!
 //! Every [`crate::report::PiReport`] carries a
 //! [`crate::report::PreprocessLedger`] stating whether its run consumed
 //! pooled material or had to generate some inline, so benchmarks can
@@ -27,75 +36,52 @@
 //! The parties talk over whatever [`c2pi_transport::Channel`] the
 //! session's [`c2pi_transport::Transport`] produces
 //! ([`PiSession::with_transport`]): the in-memory default, an in-line
-//! simulated LAN/WAN, or TCP framing. For genuinely separate processes,
-//! [`PiSession::infer_client`] / [`PiSession::infer_server`] run a
-//! single party over an externally connected channel.
+//! simulated LAN/WAN, or TCP framing. For genuinely separate processes
+//! there are two contracts:
+//!
+//! * lockstep ([`PiSession::infer_client`] / [`PiSession::infer_server`])
+//!   — both processes hold identical sessions and consume their pools in
+//!   the same order (the `two_party` example binaries);
+//! * dealt ([`SharedPiSession::serve_one`] /
+//!   [`SharedPiSession::request_one`]) — the server's pool decides which
+//!   material each connection gets and *deals* the seed to the client
+//!   first, so many concurrent clients can draw from one pool in any
+//!   order (the `PiServer` accept loop in `c2pi-core`).
 
-use crate::backend::{NlMaterial, PiBackendImpl};
+use crate::backend::PiBackendImpl;
 use crate::engine::{PiConfig, PiOutcome};
 use crate::plan::{compile, Plan, Step, StepData};
-use crate::report::{OpCounts, PiReport, PreprocessLedger};
+use crate::pool::{
+    ClientMat, InferenceMaterial, MaterialPool, Replenisher, ServerMat, SessionCore,
+};
+use crate::report::{OpCounts, PiReport};
 use crate::{PiError, Result};
 use c2pi_mpc::beaver::truncate_share;
-use c2pi_mpc::dealer::{
-    AffineCorrClient, AffineCorrServer, Dealer, LinearCorrClient, LinearCorrServer,
-};
-use c2pi_mpc::prg::{Prg, SeedSequence};
+use c2pi_mpc::prg::Prg;
 use c2pi_mpc::ring::{im2col_ring, RingMatrix};
 use c2pi_mpc::share::{share_secret, ShareVec};
 use c2pi_nn::LayerSpec;
 use c2pi_tensor::Tensor;
 use c2pi_transport::{Channel, MemTransport, Side, Transport};
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Client-side per-inference material for one step.
-enum ClientMat {
-    Lin(LinearCorrClient),
-    Nl(NlMaterial),
-    Affine(AffineCorrClient),
-    None,
-}
-
-/// Server-side per-inference material for one step (weights live in the
-/// compiled plan, not here).
-enum ServerMat {
-    Lin(LinearCorrServer),
-    Nl(NlMaterial),
-    Affine(AffineCorrServer),
-    None,
-}
-
-/// One inference's worth of correlated randomness plus the seed that
-/// derives the parties' local randomness.
-struct InferenceMaterial {
-    seed: u64,
-    cmats: Vec<ClientMat>,
-    smats: Vec<ServerMat>,
-    counts: OpCounts,
-}
-
 /// A long-lived private-inference session over one compiled crypto
-/// prefix. See the [module docs](crate::session) for the phase model.
+/// prefix — the exclusive (`&mut self`) handle. See the
+/// [module docs](crate::session) for the phase model and
+/// [`SharedPiSession`] for the concurrent-serving handle.
 pub struct PiSession {
-    plan: Plan,
-    cfg: PiConfig,
-    backend: Arc<dyn PiBackendImpl>,
-    transport: Arc<dyn Transport>,
-    seeds: SeedSequence,
-    pool: VecDeque<InferenceMaterial>,
-    ledger: PreprocessLedger,
+    shared: SharedPiSession,
 }
 
 impl std::fmt::Debug for PiSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PiSession")
-            .field("backend", &self.backend.name())
-            .field("transport", &self.transport.label())
-            .field("steps", &self.plan.steps.len())
-            .field("pooled", &self.pool.len())
-            .field("ledger", &self.ledger)
+            .field("backend", &self.shared.backend_name())
+            .field("transport", &self.shared.transport_label())
+            .field("steps", &self.shared.step_count())
+            .field("pooled", &self.shared.pooled())
+            .field("ledger", &self.shared.ledger())
             .finish()
     }
 }
@@ -142,15 +128,9 @@ impl PiSession {
     ) -> Result<Self> {
         let [c, h, w] = input_chw;
         let plan = compile(specs, (c, h, w), cfg.fixed)?;
-        Ok(PiSession {
-            plan,
-            cfg,
-            backend,
-            transport: Arc::new(MemTransport),
-            seeds: SeedSequence::new(cfg.dealer_seed, b"c2pi/session/dealer"),
-            pool: VecDeque::new(),
-            ledger: PreprocessLedger::default(),
-        })
+        let core = Arc::new(SessionCore { plan, cfg, backend });
+        let pool = Arc::new(MaterialPool::new(Arc::clone(&core)));
+        Ok(PiSession { shared: SharedPiSession { core, pool, transport: Arc::new(MemTransport) } })
     }
 
     /// Replaces the transport the in-process party threads talk over
@@ -159,45 +139,56 @@ impl PiSession {
     /// WAN latency on the online wall clock, or an
     /// `Arc<dyn Transport>`.
     pub fn with_transport<T: Transport + 'static>(mut self, transport: T) -> Self {
-        self.transport = Arc::new(transport);
+        self.shared = self.shared.with_transport(transport);
         self
+    }
+
+    /// Converts this exclusive handle into the cheaply cloneable
+    /// [`SharedPiSession`] used for concurrent serving. Pooled material
+    /// and the ledger carry over.
+    pub fn into_shared(self) -> SharedPiSession {
+        self.shared
+    }
+
+    /// A shared handle onto the *same* core, pool and ledger as this
+    /// session (clones are cheap `Arc` bumps).
+    pub fn shared(&self) -> SharedPiSession {
+        self.shared.clone()
     }
 
     /// Label of the active transport (`mem`, `sim-wan`, …).
     pub fn transport_label(&self) -> String {
-        self.transport.label()
+        self.shared.transport_label()
     }
 
     /// The backend's engine name.
     pub fn backend_name(&self) -> &'static str {
-        self.backend.name()
+        self.shared.backend_name()
     }
 
     /// Engine configuration the session was built with.
     pub fn config(&self) -> &PiConfig {
-        &self.cfg
+        self.shared.config()
     }
 
     /// Number of crypto-prefix steps.
     pub fn step_count(&self) -> usize {
-        self.plan.steps.len()
+        self.shared.step_count()
     }
 
     /// Public shape of the boundary activation.
     pub fn out_dims(&self) -> &[usize] {
-        &self.plan.out_dims
+        &self.shared.core.plan.out_dims
     }
 
     /// Material sets currently pooled for future inferences.
     pub fn pooled(&self) -> usize {
-        self.pool.len()
+        self.shared.pooled()
     }
 
     /// Current preprocessing ledger.
-    pub fn ledger(&self) -> PreprocessLedger {
-        let mut l = self.ledger;
-        l.available = self.pool.len() as u64;
-        l
+    pub fn ledger(&self) -> crate::report::PreprocessLedger {
+        self.shared.ledger()
     }
 
     /// Offline phase: generates correlated randomness for `n` future
@@ -208,68 +199,7 @@ impl PiSession {
     ///
     /// Propagates dealer errors (caller shape bugs).
     pub fn preprocess(&mut self, n: usize) -> Result<()> {
-        let start = Instant::now();
-        for _ in 0..n {
-            let material = self.generate_material()?;
-            self.pool.push_back(material);
-            self.ledger.generated_offline += 1;
-        }
-        self.ledger.generation_seconds += start.elapsed().as_secs_f64();
-        Ok(())
-    }
-
-    fn generate_material(&mut self) -> Result<InferenceMaterial> {
-        let seed = self.seeds.next();
-        let mut dealer = Dealer::new(seed);
-        let mut counts = self.plan.base_counts.clone();
-        let mut cmats = Vec::with_capacity(self.plan.steps.len());
-        let mut smats = Vec::with_capacity(self.plan.steps.len());
-        for (step, data) in self.plan.steps.iter().zip(self.plan.data.iter()) {
-            match (step, data) {
-                (Step::Conv { .. } | Step::Fc { .. }, StepData::Lin { w, cols, .. }) => {
-                    let (corr_c, corr_s) = self.backend.prepare_linear(&mut dealer, w, *cols)?;
-                    cmats.push(ClientMat::Lin(corr_c));
-                    smats.push(ServerMat::Lin(corr_s));
-                }
-                (Step::Relu { n }, StepData::None) => {
-                    let (cm, sm) =
-                        self.backend.prepare_relu(&mut dealer, *n, &self.cfg, &mut counts);
-                    cmats.push(ClientMat::Nl(cm));
-                    smats.push(ServerMat::Nl(sm));
-                }
-                (Step::MaxPool { c, h, w }, StepData::None) => {
-                    let windows = c * (h / 2) * (w / 2);
-                    let (cm, sm) =
-                        self.backend.prepare_maxpool(&mut dealer, windows, &self.cfg, &mut counts);
-                    cmats.push(ClientMat::Nl(cm));
-                    smats.push(ServerMat::Nl(sm));
-                }
-                (Step::Affine, StepData::Affine { scale, .. }) => {
-                    let (corr_c, corr_s) = dealer.affine_corr(scale);
-                    cmats.push(ClientMat::Affine(corr_c));
-                    smats.push(ServerMat::Affine(corr_s));
-                }
-                (Step::AvgPool { .. } | Step::Flatten, StepData::None) => {
-                    cmats.push(ClientMat::None);
-                    smats.push(ServerMat::None);
-                }
-                _ => return Err(PiError::BadConfig("plan/data mismatch".into())),
-            }
-        }
-        Ok(InferenceMaterial { seed, cmats, smats, counts })
-    }
-
-    fn take_material(&mut self) -> Result<InferenceMaterial> {
-        if let Some(m) = self.pool.pop_front() {
-            return Ok(m);
-        }
-        // Pool dry: generate on the critical path and say so in the
-        // ledger.
-        let start = Instant::now();
-        let m = self.generate_material()?;
-        self.ledger.generated_inline += 1;
-        self.ledger.generation_seconds += start.elapsed().as_secs_f64();
-        Ok(m)
+        self.shared.preprocess(n)
     }
 
     /// Online phase: runs one private inference on a `[1, c, h, w]`
@@ -280,20 +210,181 @@ impl PiSession {
     ///
     /// Returns engine, shape or protocol errors.
     pub fn infer(&mut self, x: &Tensor) -> Result<PiOutcome> {
+        self.shared.infer(x)
+    }
+
+    /// Online phase over a batch: one outcome per input, consuming one
+    /// pooled material set each. Preprocess at least `xs.len()` sets
+    /// first to keep the whole batch on the online path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first erroring inference.
+    pub fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
+        self.shared.infer_batch(xs)
+    }
+
+    /// Runs only the **client** party of one inference over an external
+    /// channel — the entry point for genuinely separate processes (see
+    /// the `two_party` example binaries, which connect
+    /// [`c2pi_transport::TcpChannel`]s).
+    ///
+    /// Both processes must build the session with identical specs and
+    /// configuration: the deterministic dealer stands in for the
+    /// trusted third party, so equal master seeds make both sides draw
+    /// matching correlated-randomness halves (each keeps its own half
+    /// and discards the other). For many concurrent clients against one
+    /// server pool, use the dealt contract
+    /// ([`SharedPiSession::request_one`]) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the client end,
+    /// plus the engine, shape and protocol errors of
+    /// [`PiSession::infer`].
+    pub fn infer_client(&mut self, ch: &dyn Channel, x: &Tensor) -> Result<PartyOutcome> {
+        self.shared.infer_client(ch, x)
+    }
+
+    /// Runs only the **server** party of one inference over an external
+    /// channel. See [`PiSession::infer_client`] for the two-process
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the server end,
+    /// plus engine and protocol errors.
+    pub fn infer_server(&mut self, ch: &dyn Channel) -> Result<PartyOutcome> {
+        self.shared.infer_server(ch)
+    }
+}
+
+/// The concurrent-serving handle onto one compiled session: an
+/// `Arc`-shared immutable [`SessionCore`] plus an `Arc`-shared
+/// [`MaterialPool`].
+///
+/// Clones are cheap and all inference entry points take `&self`, so a
+/// serving system hands one clone to each worker thread; they draw
+/// material from the one pool with exact ledger accounting while a
+/// [`Replenisher`] (spawned via
+/// [`SharedPiSession::spawn_replenisher`]) keeps the pool above its low
+/// watermark. Obtain one with [`PiSession::into_shared`].
+#[derive(Clone)]
+pub struct SharedPiSession {
+    core: Arc<SessionCore>,
+    pool: Arc<MaterialPool>,
+    transport: Arc<dyn Transport>,
+}
+
+impl std::fmt::Debug for SharedPiSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPiSession")
+            .field("backend", &self.backend_name())
+            .field("transport", &self.transport_label())
+            .field("steps", &self.step_count())
+            .field("pooled", &self.pooled())
+            .finish()
+    }
+}
+
+impl SharedPiSession {
+    /// Replaces the transport used by the in-process [`SharedPiSession::infer`]
+    /// path.
+    pub fn with_transport<T: Transport + 'static>(mut self, transport: T) -> Self {
+        self.transport = Arc::new(transport);
+        self
+    }
+
+    /// The shared immutable session core.
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    /// The shared material pool.
+    pub fn pool(&self) -> &Arc<MaterialPool> {
+        &self.pool
+    }
+
+    /// Label of the active transport (`mem`, `sim-wan`, …).
+    pub fn transport_label(&self) -> String {
+        self.transport.label()
+    }
+
+    /// The backend's engine name.
+    pub fn backend_name(&self) -> &'static str {
+        self.core.backend.name()
+    }
+
+    /// Engine configuration the session was built with.
+    pub fn config(&self) -> &PiConfig {
+        &self.core.cfg
+    }
+
+    /// Number of crypto-prefix steps.
+    pub fn step_count(&self) -> usize {
+        self.core.plan.steps.len()
+    }
+
+    /// Public shape of the boundary activation.
+    pub fn out_dims(&self) -> &[usize] {
+        &self.core.plan.out_dims
+    }
+
+    /// Material sets currently pooled for future inferences.
+    pub fn pooled(&self) -> usize {
+        self.pool.pooled()
+    }
+
+    /// Current preprocessing ledger.
+    pub fn ledger(&self) -> crate::report::PreprocessLedger {
+        self.pool.ledger()
+    }
+
+    /// Offline phase for `n` future inferences (thread-safe; see
+    /// [`MaterialPool::preprocess`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer errors.
+    pub fn preprocess(&self, n: usize) -> Result<()> {
+        self.pool.preprocess(n)
+    }
+
+    /// Spawns the background offline-phase thread keeping this
+    /// session's pool between `low` and `high` material sets (see
+    /// [`Replenisher`]). Hold the returned handle for the lifetime of
+    /// the serving loop; dropping it stops the thread.
+    pub fn spawn_replenisher(&self, low: usize, high: usize) -> Replenisher {
+        Replenisher::spawn(Arc::clone(&self.pool), low, high)
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<()> {
         let (_, c, h, w) = x.shape().as_nchw()?;
-        if (c, h, w) != self.plan.in_chw {
+        if (c, h, w) != self.core.plan.in_chw {
             return Err(PiError::BadConfig(format!(
                 "session compiled for {:?} inputs, got [{c}, {h}, {w}]",
-                self.plan.in_chw
+                self.core.plan.in_chw
             )));
         }
-        let material = self.take_material()?;
-        self.ledger.consumed += 1;
+        Ok(())
+    }
+
+    /// Online phase: one private inference on a `[1, c, h, w]` input,
+    /// with both parties running as threads of this process. Safe to
+    /// call from many threads at once — concurrent calls draw from the
+    /// one shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine, shape or protocol errors.
+    pub fn infer(&self, x: &Tensor) -> Result<PiOutcome> {
+        self.check_input(x)?;
+        let material = self.pool.take()?;
         let InferenceMaterial { seed, cmats, smats, counts } = material;
         let (cep, sep, counter) = self.transport.pair()?;
-        let plan = &self.plan;
-        let cfg = self.cfg;
-        let backend = &*self.backend;
+        let plan = &self.core.plan;
+        let cfg = self.core.cfg;
+        let backend = &*self.core.backend;
         let start = Instant::now();
         let (client_res, server_res) = std::thread::scope(|scope| {
             let server =
@@ -306,15 +397,15 @@ impl PiSession {
         let client_share = client_res?;
         let server_share = server_res??;
         let online = counter.snapshot();
-        let model = self.backend.cost_model();
+        let model = self.core.backend.cost_model();
         let offline = model.offline_traffic(&counts);
         let offline_seconds = model.offline_seconds(&counts);
         Ok(PiOutcome {
             client_share,
             server_share,
-            dims: self.plan.out_dims.clone(),
+            dims: self.core.plan.out_dims.clone(),
             report: PiReport {
-                backend: self.backend.name(),
+                backend: self.core.backend.name(),
                 online,
                 offline,
                 online_seconds,
@@ -325,69 +416,132 @@ impl PiSession {
         })
     }
 
-    /// Online phase over a batch: one outcome per input, consuming one
-    /// pooled material set each. Preprocess at least `xs.len()` sets
-    /// first to keep the whole batch on the online path.
+    /// Online phase over a batch: one outcome per input.
     ///
     /// # Errors
     ///
     /// Fails on the first erroring inference.
-    pub fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
+    pub fn infer_batch(&self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
         xs.iter().map(|x| self.infer(x)).collect()
     }
 
-    /// Runs only the **client** party of one inference over an external
-    /// channel — the entry point for genuinely separate processes (see
-    /// the `two_party` example binaries, which connect
-    /// [`c2pi_transport::TcpChannel`]s).
-    ///
-    /// Both processes must build the session with identical specs and
-    /// configuration: the deterministic dealer stands in for the
-    /// trusted third party, so equal master seeds make both sides draw
-    /// matching correlated-randomness halves (each keeps its own half
-    /// and discards the other).
+    /// Lockstep client party over an external channel (see
+    /// [`PiSession::infer_client`]).
     ///
     /// # Errors
     ///
     /// Returns [`PiError::BadConfig`] when `ch` is not the client end,
-    /// plus the engine, shape and protocol errors of
-    /// [`PiSession::infer`].
-    pub fn infer_client(&mut self, ch: &dyn Channel, x: &Tensor) -> Result<PartyOutcome> {
+    /// plus engine, shape and protocol errors.
+    pub fn infer_client(&self, ch: &dyn Channel, x: &Tensor) -> Result<PartyOutcome> {
         if ch.side() != Side::Client {
             return Err(PiError::BadConfig("infer_client needs the client channel end".into()));
         }
-        let (_, c, h, w) = x.shape().as_nchw()?;
-        if (c, h, w) != self.plan.in_chw {
-            return Err(PiError::BadConfig(format!(
-                "session compiled for {:?} inputs, got [{c}, {h}, {w}]",
-                self.plan.in_chw
-            )));
-        }
-        let InferenceMaterial { seed, cmats, smats: _, counts } = self.take_material()?;
-        self.ledger.consumed += 1;
+        self.check_input(x)?;
+        let InferenceMaterial { seed, cmats, smats: _, counts } = self.pool.take()?;
         let before = ch.counter().snapshot();
         let start = Instant::now();
-        let share = client_thread(ch, &self.plan, cmats, x, &self.cfg, &*self.backend, seed)?;
+        let share = client_thread(
+            ch,
+            &self.core.plan,
+            cmats,
+            x,
+            &self.core.cfg,
+            &*self.core.backend,
+            seed,
+        )?;
         Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
     }
 
-    /// Runs only the **server** party of one inference over an external
-    /// channel. See [`PiSession::infer_client`] for the two-process
-    /// contract.
+    /// Lockstep server party over an external channel (see
+    /// [`PiSession::infer_server`]).
     ///
     /// # Errors
     ///
     /// Returns [`PiError::BadConfig`] when `ch` is not the server end,
     /// plus engine and protocol errors.
-    pub fn infer_server(&mut self, ch: &dyn Channel) -> Result<PartyOutcome> {
+    pub fn infer_server(&self, ch: &dyn Channel) -> Result<PartyOutcome> {
         if ch.side() != Side::Server {
             return Err(PiError::BadConfig("infer_server needs the server channel end".into()));
         }
-        let InferenceMaterial { seed, cmats: _, smats, counts } = self.take_material()?;
-        self.ledger.consumed += 1;
+        let InferenceMaterial { seed, cmats: _, smats, counts } = self.pool.take()?;
         let before = ch.counter().snapshot();
         let start = Instant::now();
-        let share = server_thread(ch, &self.plan, smats, &self.cfg, &*self.backend, seed)?;
+        let share =
+            server_thread(ch, &self.core.plan, smats, &self.core.cfg, &*self.core.backend, seed)?;
+        Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
+    }
+
+    /// **Dealt contract, server side**: serves one inference to the
+    /// client on `ch`. Takes one material set from the shared pool,
+    /// *deals* its seed to the client as the first frame (the
+    /// deterministic dealer standing in for the trusted third party
+    /// delivering the client's correlated-randomness half), then runs
+    /// the server party of the online protocol.
+    ///
+    /// This is the entry point a concurrent accept loop (one worker per
+    /// connection) calls against one shared pool — material is assigned
+    /// per connection in pool order, so clients need no coordination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the server end,
+    /// plus engine and protocol errors.
+    pub fn serve_one(&self, ch: &dyn Channel) -> Result<PartyOutcome> {
+        if ch.side() != Side::Server {
+            return Err(PiError::BadConfig("serve_one needs the server channel end".into()));
+        }
+        let material = self.pool.take()?;
+        let before = ch.counter().snapshot();
+        let start = Instant::now();
+        ch.send_u64s(&[material.seed])?;
+        let InferenceMaterial { seed, cmats: _, smats, counts } = material;
+        let share =
+            server_thread(ch, &self.core.plan, smats, &self.core.cfg, &*self.core.backend, seed)?;
+        Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
+    }
+
+    /// **Dealt contract, client side**: requests one inference from a
+    /// server running [`SharedPiSession::serve_one`] on the other end of
+    /// `ch`. Receives the dealt seed, regenerates this party's
+    /// correlated-randomness half from it (dealer time on the client's
+    /// critical path, recorded as inline in this session's ledger), and
+    /// runs the client party of the online protocol.
+    ///
+    /// Both processes must compile their sessions from identical specs
+    /// and configuration — only the *per-inference seed* travels on the
+    /// wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the client end or
+    /// the peer's handshake is malformed, plus engine, shape and
+    /// protocol errors.
+    pub fn request_one(&self, ch: &dyn Channel, x: &Tensor) -> Result<PartyOutcome> {
+        if ch.side() != Side::Client {
+            return Err(PiError::BadConfig("request_one needs the client channel end".into()));
+        }
+        self.check_input(x)?;
+        let before = ch.counter().snapshot();
+        let dealt = ch.recv_u64s()?;
+        let &[seed] = dealt.as_slice() else {
+            return Err(PiError::BadConfig(format!(
+                "dealt-seed handshake expected 1 word, got {}",
+                dealt.len()
+            )));
+        };
+        let deal_start = Instant::now();
+        let InferenceMaterial { seed, cmats, smats: _, counts } = self.core.deal(seed)?;
+        self.pool.note_dealt_inline(deal_start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let share = client_thread(
+            ch,
+            &self.core.plan,
+            cmats,
+            x,
+            &self.core.cfg,
+            &*self.core.backend,
+            seed,
+        )?;
         Ok(self.party_outcome(share, counts, ch, before, start.elapsed().as_secs_f64()))
     }
 
@@ -399,14 +553,14 @@ impl PiSession {
         before: c2pi_transport::TrafficSnapshot,
         online_seconds: f64,
     ) -> PartyOutcome {
-        let model = self.backend.cost_model();
+        let model = self.core.backend.cost_model();
         let offline = model.offline_traffic(&counts);
         let offline_seconds = model.offline_seconds(&counts);
         PartyOutcome {
             share,
-            dims: self.plan.out_dims.clone(),
+            dims: self.core.plan.out_dims.clone(),
             report: PiReport {
-                backend: self.backend.name(),
+                backend: self.core.backend.name(),
                 online: ch.counter().snapshot().since(&before),
                 offline,
                 online_seconds,
@@ -474,7 +628,7 @@ fn avg_pool_share(
     truncate_share(&ShareVec::from_raw(out), is_client, fp)
 }
 
-fn client_thread(
+pub(crate) fn client_thread(
     ep: &dyn Channel,
     plan: &Plan,
     mats: Vec<ClientMat>,
@@ -524,7 +678,7 @@ fn client_thread(
     Ok(cur)
 }
 
-fn server_thread(
+pub(crate) fn server_thread(
     ep: &dyn Channel,
     plan: &Plan,
     mats: Vec<ServerMat>,
@@ -752,5 +906,57 @@ mod tests {
         let x = Tensor::zeros(&[1, 1, 8, 8]);
         assert!(matches!(session.infer_client(&sch, &x), Err(PiError::BadConfig(_))));
         assert!(matches!(session.infer_server(&cch), Err(PiError::BadConfig(_))));
+    }
+
+    #[test]
+    fn dealt_contract_matches_plaintext_and_counts_both_ledgers() {
+        use c2pi_transport::tcp_loopback_pair;
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 31);
+        let plain = seq.forward_eval(&x).unwrap();
+        let cfg = PiConfig::default();
+        let server = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        server.preprocess(1).unwrap();
+        let client = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        let (cch, sch, _) = tcp_loopback_pair().unwrap();
+        let srv = server.clone();
+        let t = std::thread::spawn(move || srv.serve_one(&sch).unwrap());
+        let client_out = client.request_one(&cch, &x).unwrap();
+        let server_out = t.join().unwrap();
+        let raw = c2pi_mpc::share::reconstruct(&client_out.share, &server_out.share);
+        let got = cfg.fixed.decode_tensor(&raw, &client_out.dims).unwrap();
+        assert_close(&plain, &got, 0.02);
+        // Server consumed pooled material; the client dealt inline for
+        // the seed it was handed.
+        assert_eq!(server.ledger().consumed, 1);
+        assert_eq!(server.ledger().generated_inline, 0);
+        assert_eq!(client.ledger().generated_inline, 1);
+    }
+
+    #[test]
+    fn shared_handle_serves_concurrent_inferences_from_one_pool() {
+        let seq = tiny_prefix();
+        let cfg = PiConfig::default();
+        let shared = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        shared.preprocess(4).unwrap();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 40);
+        let plain = tiny_prefix().forward_eval(&x).unwrap();
+        let outs: Vec<PiOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = shared.clone();
+                    let xx = x.clone();
+                    scope.spawn(move || s.infer(&xx).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &outs {
+            assert_close(&plain, &out.reconstruct(cfg.fixed).unwrap(), 0.02);
+        }
+        let ledger = shared.ledger();
+        assert_eq!(ledger.consumed, 4);
+        assert_eq!(ledger.generated_inline, 0);
+        assert_eq!(ledger.available, 0);
     }
 }

@@ -14,7 +14,7 @@
 use crate::channel::{Channel, Side, TrafficCounter};
 use crate::{Result, TransportError};
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -142,6 +142,24 @@ impl TcpChannel {
         })
     }
 
+    /// Caps how long a [`Channel::recv_bytes`] blocks waiting for the
+    /// peer (`None` removes the cap). A timed-out read surfaces as
+    /// [`TransportError::Io`], not `Disconnected` — serving loops use
+    /// this so a stalled or malicious client cannot wedge a worker
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the socket rejects the
+    /// option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.reader
+            .lock()
+            .expect("tcp reader mutex poisoned")
+            .set_read_timeout(timeout)
+            .map_err(io_error)
+    }
+
     /// Connects to a listening peer.
     ///
     /// # Errors
@@ -177,13 +195,85 @@ impl TcpChannel {
     /// Binds `addr` and accepts exactly one connection (the one-shot
     /// server pattern of the `two_party` demo).
     ///
+    /// Prefer binding port 0 through [`TcpListenerTransport`] when the
+    /// peer needs to learn the ephemeral port before connecting — a
+    /// caller-fixed port forces the `sleep`-and-hope race this helper
+    /// was historically used with.
+    ///
     /// # Errors
     ///
     /// Returns [`TransportError::Io`] when binding or accepting fails.
     pub fn serve_once(addr: impl ToSocketAddrs, side: Side) -> Result<Self> {
+        TcpListenerTransport::bind(addr)?.accept(side)
+    }
+}
+
+/// A bound-but-not-yet-connected TCP listener that hands channels to a
+/// serving loop.
+///
+/// The two things this type exists for:
+///
+/// * **ephemeral ports** — bind `"127.0.0.1:0"` and read the
+///   kernel-assigned port back with [`TcpListenerTransport::local_addr`]
+///   / [`TcpListenerTransport::port`], so tests, examples and CI never
+///   race on a fixed port number;
+/// * **accept loops** — [`TcpListenerTransport::accept`] yields one
+///   framed [`TcpChannel`] per client connection, which is what a
+///   multi-client server (e.g. `c2pi-core`'s `PiServer`) spawns a worker
+///   around.
+///
+/// ```no_run
+/// use c2pi_transport::{Side, TcpChannel, TcpListenerTransport};
+/// # fn main() -> c2pi_transport::Result<()> {
+/// let listener = TcpListenerTransport::bind("127.0.0.1:0")?;
+/// let addr = listener.local_addr(); // tell the client out of band
+/// # let _ = addr;
+/// let channel = listener.accept(Side::Server)?; // one client connected
+/// # let _ = channel;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TcpListenerTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpListenerTransport {
+    /// Binds `addr`. Use port 0 for a kernel-assigned ephemeral port and
+    /// read it back via [`TcpListenerTransport::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when binding fails.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self> {
         let listener = TcpListener::bind(addr).map_err(io_error)?;
-        let (stream, _peer) = listener.accept().map_err(io_error)?;
-        Self::from_stream(stream, side)
+        let addr = listener.local_addr().map_err(io_error)?;
+        Ok(TcpListenerTransport { listener, addr })
+    }
+
+    /// The actually-bound address (with the real port even when the bind
+    /// address asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The actually-bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Blocks until one client connects, returning the framed channel
+    /// for it. `side` is *this* end's protocol role (a serving loop
+    /// passes [`Side::Server`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when accepting or configuring the
+    /// stream fails.
+    pub fn accept(&self, side: Side) -> Result<TcpChannel> {
+        let (stream, _peer) = self.listener.accept().map_err(io_error)?;
+        TcpChannel::from_stream(stream, side)
     }
 }
 
@@ -237,12 +327,12 @@ impl Channel for TcpChannel {
 /// Returns [`TransportError::Io`] when the loopback sockets cannot be
 /// created.
 pub fn tcp_loopback_pair() -> Result<(TcpChannel, TcpChannel, TrafficCounter)> {
-    let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(io_error)?;
-    let addr = listener.local_addr().map_err(io_error)?;
+    let listener = TcpListenerTransport::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr();
     // Loopback connects complete against the kernel backlog, so a
     // single-threaded connect-then-accept cannot deadlock.
     let client_stream = TcpStream::connect(addr).map_err(io_error)?;
-    let (server_stream, _peer) = listener.accept().map_err(io_error)?;
+    let (server_stream, _peer) = listener.listener.accept().map_err(io_error)?;
     let counter = TrafficCounter::new();
     let client =
         TcpChannel::from_stream_with_counter(client_stream, Side::Client, counter.clone())?;
@@ -296,6 +386,32 @@ mod tests {
         let (c, s, _) = tcp_loopback_pair().unwrap();
         drop(s);
         assert_eq!(c.recv_bytes().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn listener_reports_ephemeral_port_and_serves_connections() {
+        let listener = TcpListenerTransport::bind("127.0.0.1:0").unwrap();
+        assert_ne!(listener.port(), 0, "kernel assigns a real port");
+        let addr = listener.local_addr();
+        let t = std::thread::spawn(move || {
+            let c = TcpChannel::connect_retry(addr, Side::Client, Duration::from_secs(5)).unwrap();
+            c.send_u64s(&[9]).unwrap();
+            c.recv_u64s().unwrap()
+        });
+        let s = listener.accept(Side::Server).unwrap();
+        assert_eq!(s.recv_u64s().unwrap(), vec![9]);
+        s.send_u64s(&[10]).unwrap();
+        assert_eq!(t.join().unwrap(), vec![10]);
+        // The listener stays usable for the next client.
+        let t = std::thread::spawn(move || {
+            TcpChannel::connect_retry(addr, Side::Client, Duration::from_secs(5))
+                .unwrap()
+                .send_bytes(b"x")
+                .unwrap()
+        });
+        let s = listener.accept(Side::Server).unwrap();
+        assert_eq!(s.recv_bytes().unwrap(), b"x");
+        t.join().unwrap();
     }
 
     #[test]

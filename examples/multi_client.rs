@@ -1,0 +1,178 @@
+//! Multi-client load generator: drives N concurrent clients against a
+//! `PiServer`, verifying every answer against the clear model.
+//!
+//! ```text
+//! # against a live server (see the pi_server example / ci/smoke.sh):
+//! cargo run --release --example multi_client -- --addr 127.0.0.1:PORT --clients 4 --iters 2
+//! # self-contained: spawns an in-process server on an ephemeral port
+//! cargo run --release --example multi_client -- --clients 4 --iters 2
+//! ```
+//!
+//! Each client thread runs `--iters` sequential inferences over its own
+//! connection-per-request `PiClient`. Every reconstructed logit vector
+//! is compared elementwise against the clear model's forward pass, and
+//! the argmax prediction must match whenever the clear top-2 gap is
+//! larger than the fixed-point tolerance. Exits non-zero on any
+//! mismatch or transport failure, so CI can use it as the serving smoke
+//! test. Prints aggregate online throughput at the end.
+
+#[path = "two_party/common.rs"]
+mod common;
+
+use c2pi_suite::core::server::{PiClient, PiServer, PiServerConfig};
+use c2pi_suite::tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Elementwise tolerance between fixed-point and clear logits.
+const TOL: f32 = 0.05;
+/// Clear top-2 gap above which the argmax must agree exactly.
+const GAP: f32 = 3.0 * TOL;
+
+struct Opts {
+    addr: Option<String>,
+    backend: c2pi_suite::pi::PiBackend,
+    clients: usize,
+    iters: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts =
+        Opts { addr: None, backend: c2pi_suite::pi::PiBackend::Cheetah, clients: 4, iters: 2 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("missing value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(val()),
+            "--backend" => opts.backend = common::parse_backend(&val()),
+            "--clients" => opts.clients = val().parse().expect("--clients takes a count"),
+            "--iters" => opts.iters = val().parse().expect("--iters takes a count"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// Top-2 gap of a logit slice.
+fn top2_gap(logits: &[f32]) -> f32 {
+    let mut best = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for &v in logits {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    best - second
+}
+
+fn main() {
+    let opts = parse_opts();
+    let model = common::demo_model();
+    // In-process fallback server so the example is self-contained.
+    let inprocess = if opts.addr.is_none() {
+        let session = common::build_session(opts.backend).into_shared();
+        session.preprocess(opts.clients).expect("initial offline phase");
+        let cfg = PiServerConfig {
+            worker_cap: opts.clients.max(1),
+            pool_low: 2,
+            pool_high: 8,
+            ..Default::default()
+        };
+        Some(PiServer::bind(session, "127.0.0.1:0", cfg).expect("bind in-process server"))
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&opts.addr, &inprocess) {
+        // Resolve via ToSocketAddrs so hostnames work, not just IPs.
+        (Some(a), _) => std::net::ToSocketAddrs::to_socket_addrs(&a.as_str())
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .unwrap_or_else(|| panic!("--addr {a:?} does not resolve to host:port")),
+        (None, Some(server)) => server.local_addr(),
+        (None, None) => unreachable!(),
+    };
+    println!(
+        "[multi_client] {} clients x {} inferences against {addr} ({} backend)",
+        opts.clients,
+        opts.iters,
+        opts.backend.name()
+    );
+
+    let total = opts.clients * opts.iters;
+    let start = Instant::now();
+    let failures: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|t| {
+                let model = &model;
+                let backend = opts.backend;
+                let iters = opts.iters;
+                scope.spawn(move || {
+                    let client = PiClient::new(common::build_session(backend).into_shared())
+                        .with_connect_timeout(Duration::from_secs(30));
+                    let [c, h, w] = common::INPUT_CHW;
+                    let mut failures = 0usize;
+                    for i in 0..iters {
+                        let seed = (1000 * t + i) as u64;
+                        let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, seed);
+                        let clear = match model.seq().forward_eval(&x) {
+                            Ok(y) => y,
+                            Err(e) => {
+                                eprintln!("[client {t}] clear model failed: {e}");
+                                failures += 1;
+                                continue;
+                            }
+                        };
+                        match client.infer(addr, &x) {
+                            Ok(got) => {
+                                let max_diff = got
+                                    .logits
+                                    .as_slice()
+                                    .iter()
+                                    .zip(clear.as_slice())
+                                    .map(|(a, b)| (a - b).abs())
+                                    .fold(0.0f32, f32::max);
+                                let clear_pred = clear.argmax().unwrap_or(0);
+                                let decisive = top2_gap(clear.as_slice()) > GAP;
+                                if max_diff > TOL || (decisive && got.prediction != clear_pred) {
+                                    eprintln!(
+                                        "[client {t}] MISMATCH on inference {i}: \
+                                         max |diff| {max_diff:.4}, prediction {} vs clear {}",
+                                        got.prediction, clear_pred
+                                    );
+                                    failures += 1;
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("[client {t}] inference {i} failed: {e}");
+                                failures += 1;
+                            }
+                        }
+                    }
+                    failures
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "[multi_client] {} / {total} correct in {elapsed:.2}s — {:.2} inferences/s aggregate",
+        total - failures,
+        total as f64 / elapsed
+    );
+    if let Some(server) = inprocess {
+        let ledger = server.session().ledger();
+        println!(
+            "[multi_client] server ledger: {} offline + {} inline = {} consumed + {} pooled",
+            ledger.generated_offline, ledger.generated_inline, ledger.consumed, ledger.available
+        );
+        server.shutdown();
+    }
+    if failures > 0 {
+        eprintln!("[multi_client] FAILED — {failures} of {total} inferences wrong");
+        std::process::exit(1);
+    }
+    println!("[multi_client] OK — every prediction matches the clear model");
+}

@@ -1,0 +1,108 @@
+//! Standalone multi-client PI server: a `PiServer` accept loop over the
+//! shared demo session, serving any number of `multi_client` processes.
+//!
+//! ```text
+//! cargo run --release --example pi_server -- --backend cheetah --addr 127.0.0.1:0 --serve-n 8
+//! ```
+//!
+//! Binds port 0 by default (no fixed-port races) and announces the real
+//! address on stdout as `C2PI_LISTENING <addr>` so a supervisor (the CI
+//! smoke script) can hand it to clients. With `--serve-n N` the server
+//! exits once N connections finished (non-zero if any errored);
+//! otherwise it serves until killed.
+
+#[path = "two_party/common.rs"]
+mod common;
+
+use c2pi_suite::core::server::{PiServer, PiServerConfig};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: String,
+    backend: c2pi_suite::pi::PiBackend,
+    serve_n: u64,
+    preprocess: usize,
+    cfg: PiServerConfig,
+    timeout: Duration,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: "127.0.0.1:0".to_string(),
+        backend: c2pi_suite::pi::PiBackend::Cheetah,
+        serve_n: 0,
+        preprocess: 4,
+        cfg: PiServerConfig::default(),
+        timeout: Duration::from_secs(300),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("missing value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = val(),
+            "--backend" => opts.backend = common::parse_backend(&val()),
+            "--serve-n" => opts.serve_n = val().parse().expect("--serve-n takes a count"),
+            "--preprocess" => opts.preprocess = val().parse().expect("--preprocess takes a count"),
+            "--worker-cap" => {
+                opts.cfg.worker_cap = val().parse().expect("--worker-cap takes a count");
+            }
+            "--pool-low" => opts.cfg.pool_low = val().parse().expect("--pool-low takes a count"),
+            "--pool-high" => opts.cfg.pool_high = val().parse().expect("--pool-high takes a count"),
+            "--timeout-secs" => {
+                opts.timeout = Duration::from_secs(val().parse().expect("--timeout-secs"));
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let session = common::build_session(opts.backend).into_shared();
+    session.preprocess(opts.preprocess).expect("initial offline phase");
+    let server = PiServer::bind(session, &opts.addr[..], opts.cfg).expect("bind server");
+    println!(
+        "[pi_server] backend {} — serving on {} (workers {}, pool {}..{})",
+        server.session().backend_name(),
+        server.local_addr(),
+        opts.cfg.worker_cap,
+        opts.cfg.pool_low,
+        opts.cfg.pool_high,
+    );
+    common::announce_listening(server.local_addr());
+
+    if opts.serve_n == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let start = Instant::now();
+    while server.served() + server.errors() < opts.serve_n {
+        if start.elapsed() > opts.timeout {
+            eprintln!(
+                "[pi_server] TIMEOUT after {} of {} connections",
+                server.served() + server.errors(),
+                opts.serve_n
+            );
+            std::process::exit(2);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let errors = server.errors();
+    let ledger = server.session().ledger();
+    println!(
+        "[pi_server] done — {} served, {} errors; ledger: {} offline + {} inline \
+         = {} consumed + {} pooled",
+        server.served(),
+        errors,
+        ledger.generated_offline,
+        ledger.generated_inline,
+        ledger.consumed,
+        ledger.available,
+    );
+    server.shutdown();
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,10 +1,13 @@
-//! Shared setup for the two-process demo binaries.
+//! Shared setup for the two-process demo binaries (also reused by the
+//! `pi_server` / `multi_client` serving demos, which is why some items
+//! are dead code in any single binary).
 //!
 //! Client and server must compile the *same* session: identical model
 //! (the zoo constructors are seed-deterministic), identical
 //! [`PiConfig`] and identical dealer seed, so the deterministic dealer
 //! stands in for the trusted third party and both processes draw
 //! matching halves of the correlated randomness.
+#![allow(dead_code)]
 
 use c2pi_suite::nn::model::{alexnet, Model, ZooConfig};
 use c2pi_suite::pi::engine::specs_of;
@@ -32,16 +35,29 @@ pub fn parse_args() -> Args {
         match flag.as_str() {
             "--addr" => args.addr = it.next().expect("--addr needs a value"),
             "--backend" => {
-                args.backend = match it.next().expect("--backend needs a value").as_str() {
-                    "cheetah" => PiBackend::Cheetah,
-                    "delphi" => PiBackend::Delphi,
-                    other => panic!("unknown backend {other:?} (use cheetah or delphi)"),
-                }
+                args.backend = parse_backend(&it.next().expect("--backend needs a value"))
             }
             other => panic!("unknown flag {other:?}"),
         }
     }
     args
+}
+
+/// Parses a backend name.
+pub fn parse_backend(name: &str) -> PiBackend {
+    match name {
+        "cheetah" => PiBackend::Cheetah,
+        "delphi" => PiBackend::Delphi,
+        other => panic!("unknown backend {other:?} (use cheetah or delphi)"),
+    }
+}
+
+/// Prints the machine-readable listening line the CI smoke script (and
+/// any other process supervisor) greps for to learn an ephemeral port.
+pub fn announce_listening(addr: impl std::fmt::Display) {
+    use std::io::Write;
+    println!("C2PI_LISTENING {addr}");
+    std::io::stdout().flush().expect("stdout flush");
 }
 
 /// The demo model: a narrow AlexNet on 16×16 inputs, deterministic from

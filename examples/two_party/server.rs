@@ -12,17 +12,22 @@
 #[path = "common.rs"]
 mod common;
 
-use c2pi_suite::transport::{Channel, Side, TcpChannel};
+use c2pi_suite::transport::{Channel, Side, TcpListenerTransport};
 
 fn main() {
     let args = common::parse_args();
     let mut session = common::build_session(args.backend);
+    // Bind first (port 0 gets an ephemeral port), *then* announce the
+    // real address — supervisors wait for the line instead of sleeping
+    // and hoping.
+    let listener = TcpListenerTransport::bind(&args.addr[..]).expect("bind");
     println!(
         "[server] backend {} — listening on {} for one inference",
         session.backend_name(),
-        args.addr
+        listener.local_addr()
     );
-    let ch = TcpChannel::serve_once(&args.addr[..], Side::Server).expect("bind/accept");
+    common::announce_listening(listener.local_addr());
+    let ch = listener.accept(Side::Server).expect("accept");
     let outcome = session.infer_server(&ch).expect("server party run");
     // Full-PI reveal: the server sends its share; only the client learns
     // the prediction.

@@ -3,13 +3,76 @@
 //!
 //! Supports the surface the workspace benches use — `criterion_group!` /
 //! `criterion_main!`, `Criterion::bench_function`, `benchmark_group`
-//! with `sample_size` / `measurement_time` / `bench_with_input` — and
-//! reports mean / min / max wall-clock per iteration. Statistical rigor
-//! (outlier analysis, regression detection) is out of scope; swap in the
-//! real criterion by editing `crates/bench/Cargo.toml` when a registry
-//! is available.
+//! with `sample_size` / `measurement_time` / `bench_with_input` /
+//! `iter_custom` — and reports mean / min / max wall-clock per
+//! iteration. Statistical rigor (outlier analysis, regression
+//! detection) is out of scope; swap in the real criterion by editing
+//! `crates/bench/Cargo.toml` when a registry is available.
+//!
+//! ## CI hooks (shim-specific)
+//!
+//! Two additions the real criterion does differently, used by
+//! `ci/bench_smoke.sh`:
+//!
+//! * CLI quick mode: `--test` runs every benchmark exactly once, and
+//!   `--measurement-time <secs>` / `--sample-size <n>` *override* the
+//!   benches' programmatic settings (real criterion treats the CLI as a
+//!   default instead) — e.g.
+//!   `cargo bench --bench serving_throughput -- --measurement-time 1`.
+//!   Unknown flags are ignored.
+//! * machine-readable results: when `CRITERION_OUT_JSON=<path>` is set,
+//!   a JSON array of `{id, mean_ns, min_ns, max_ns, samples}` rows is
+//!   written there when `criterion_main!`'s `main` returns.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark's summary, collected for the JSON output.
+struct Recorded {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+static RESULTS: Mutex<Vec<Recorded>> = Mutex::new(Vec::new());
+
+fn minimal_json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the collected benchmark summaries as a JSON array to the path
+/// in `CRITERION_OUT_JSON`, if set. Called by `criterion_main!` after
+/// all groups ran; harmless to call repeatedly or with nothing
+/// recorded.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("CRITERION_OUT_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().expect("results mutex poisoned");
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}}}",
+                minimal_json_escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -58,6 +121,23 @@ impl Bencher {
             }
         }
     }
+
+    /// Lets the routine time itself (excluding per-sample setup), as
+    /// `criterion::Bencher::iter_custom`: the closure receives an
+    /// iteration count and returns the measured duration for that many
+    /// iterations. The shim always asks for one iteration per sample.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // One warm-up iteration outside the measurement.
+        black_box(routine(1));
+        let budget_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let d = routine(1);
+            self.samples.push(d);
+            if budget_start.elapsed() > self.target_time {
+                break;
+            }
+        }
+    }
 }
 
 fn report(label: &str, samples: &[Duration]) {
@@ -73,6 +153,53 @@ fn report(label: &str, samples: &[Duration]) {
         "{label:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples)",
         samples.len()
     );
+    RESULTS.lock().expect("results mutex poisoned").push(Recorded {
+        id: label.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: samples.len(),
+    });
+}
+
+/// CLI-driven overrides of the benches' programmatic settings (quick
+/// mode for CI smoke runs).
+#[derive(Debug, Clone, Copy, Default)]
+struct Overrides {
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    test_mode: bool,
+}
+
+impl Overrides {
+    /// Parses the bench binary's arguments, ignoring flags it does not
+    /// know (cargo passes `--bench` etc.).
+    fn from_args() -> Self {
+        let mut o = Overrides::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--test" => o.test_mode = true,
+                "--sample-size" => {
+                    o.sample_size = it.next().and_then(|v| v.parse().ok());
+                }
+                "--measurement-time" => {
+                    o.measurement_time =
+                        it.next().and_then(|v| v.parse::<f64>().ok()).map(Duration::from_secs_f64);
+                }
+                _ => {}
+            }
+        }
+        o
+    }
+
+    /// Effective settings given the bench's programmatic values.
+    fn apply(&self, sample_size: usize, measurement_time: Duration) -> (usize, Duration) {
+        if self.test_mode {
+            return (1, Duration::from_millis(1));
+        }
+        (self.sample_size.unwrap_or(sample_size), self.measurement_time.unwrap_or(measurement_time))
+    }
 }
 
 /// A named group of related benchmarks sharing sampling settings.
@@ -80,6 +207,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    overrides: Overrides,
     _criterion: &'a mut Criterion,
 }
 
@@ -101,11 +229,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            target_samples: self.sample_size,
-            target_time: self.measurement_time,
-        };
+        let (samples, time) = self.overrides.apply(self.sample_size, self.measurement_time);
+        let mut b = Bencher { samples: Vec::new(), target_samples: samples, target_time: time };
         f(&mut b);
         report(&format!("{}/{id}", self.name), &b.samples);
         self
@@ -116,11 +241,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            target_samples: self.sample_size,
-            target_time: self.measurement_time,
-        };
+        let (samples, time) = self.overrides.apply(self.sample_size, self.measurement_time);
+        let mut b = Bencher { samples: Vec::new(), target_samples: samples, target_time: time };
         f(&mut b, input);
         report(&format!("{}/{id}", self.name), &b.samples);
         self
@@ -130,10 +252,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
-/// Benchmark driver, mirroring `criterion::Criterion`.
-#[derive(Default)]
+/// Benchmark driver, mirroring `criterion::Criterion`. `Default`
+/// construction reads the process arguments for the shim's quick-mode
+/// flags (see the [module docs](self)).
 pub struct Criterion {
-    _private: (),
+    overrides: Overrides,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { overrides: Overrides::from_args() }
+    }
 }
 
 impl Criterion {
@@ -142,11 +271,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            target_samples: 20,
-            target_time: Duration::from_secs(3),
-        };
+        let (samples, time) = self.overrides.apply(20, Duration::from_secs(3));
+        let mut b = Bencher { samples: Vec::new(), target_samples: samples, target_time: time };
         f(&mut b);
         report(name, &b.samples);
         self
@@ -154,10 +280,12 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let overrides = self.overrides;
         BenchmarkGroup {
             name: name.into(),
             sample_size: 20,
             measurement_time: Duration::from_secs(3),
+            overrides,
             _criterion: self,
         }
     }
@@ -174,12 +302,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main`, as `criterion::criterion_main!`.
+/// Declares the bench `main`, as `criterion::criterion_main!`. On exit
+/// the collected summaries are written to `CRITERION_OUT_JSON` when
+/// that variable is set (shim-specific CI hook).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_summary();
         }
     };
 }
@@ -208,5 +339,36 @@ mod tests {
     #[test]
     fn benchmark_id_formats_like_criterion() {
         assert_eq!(BenchmarkId::new("conv", 32).to_string(), "conv/32");
+    }
+
+    #[test]
+    fn iter_custom_records_the_reported_durations() {
+        let mut b =
+            Bencher { samples: Vec::new(), target_samples: 4, target_time: Duration::from_secs(1) };
+        b.iter_custom(|iters| {
+            assert_eq!(iters, 1);
+            Duration::from_millis(2)
+        });
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.samples.iter().all(|d| *d == Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn overrides_apply_in_priority_order() {
+        let none = Overrides::default();
+        assert_eq!(none.apply(20, Duration::from_secs(3)), (20, Duration::from_secs(3)));
+        let quick = Overrides {
+            sample_size: Some(3),
+            measurement_time: Some(Duration::from_secs(1)),
+            test_mode: false,
+        };
+        assert_eq!(quick.apply(20, Duration::from_secs(3)), (3, Duration::from_secs(1)));
+        let test = Overrides { test_mode: true, ..quick };
+        assert_eq!(test.apply(20, Duration::from_secs(3)), (1, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn json_rows_escape_quotes() {
+        assert_eq!(minimal_json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
     }
 }
