@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Documentation integrity check.
+#
+# 1. Code fences: every `rust` fence in README.md and docs/*.md is
+#    compiled as a doctest of the umbrella crate (src/lib.rs pulls the
+#    markdown in via #[doc = include_str!(..)] under cfg(doctest)), so
+#    a snippet that drifts from the current API fails the build here.
+# 2. Links: relative markdown links in README.md and docs/*.md must
+#    point at files that exist in the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== doccheck: compile README + docs markdown fences as doctests =="
+cargo test --doc -p c2pi-suite -q
+
+echo "== doccheck: relative markdown links resolve =="
+fail=0
+for md in README.md DESIGN.md docs/*.md; do
+    dir=$(dirname "$md")
+    # Extract ](target) links; ignore absolute URLs and pure anchors.
+    while IFS= read -r target; do
+        target="${target%%#*}"
+        [[ -z "$target" ]] && continue
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        if [[ ! -e "$dir/$target" ]]; then
+            echo "doccheck: broken link in $md -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if ((fail)); then
+    exit 1
+fi
+echo "doccheck: OK"

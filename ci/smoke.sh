@@ -18,7 +18,7 @@ WAIT_SECS="${SMOKE_WAIT_SECS:-60}"
 CLIENT_TIMEOUT="${SMOKE_CLIENT_TIMEOUT:-300}"
 
 cargo build --release --example two_party_server --example two_party_client \
-    --example pi_server --example multi_client
+    --example pi_server --example multi_client --example plan_report
 
 BIN=target/release/examples
 server_pid=""
@@ -98,5 +98,27 @@ for backend in cheetah delphi; do
     finish_server
     cat "$server_log"
 done
+
+echo "== deployment-planner smoke: deterministic plan + round-trip =="
+# plan_report exits non-zero unless every smoke prediction round-trips
+# bit-identically through the top-ranked plan; running it twice and
+# diffing pins the byte-identical-output contract at release speed.
+# Keep stderr (progress + any round-trip mismatch diagnostics) in a
+# log so a failure is debuggable from the CI output.
+run_plan_report() {
+    local out=$1 log=$2
+    if ! "$BIN/plan_report" --seed 47 >"$out" 2>"$log"; then
+        echo "smoke: plan_report failed; its stderr follows" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+run_plan_report target/smoke-plan-a.txt target/smoke-plan-a.log
+run_plan_report target/smoke-plan-b.txt target/smoke-plan-b.log
+diff target/smoke-plan-a.txt target/smoke-plan-b.txt || {
+    echo "smoke: plan_report output is not byte-identical across runs" >&2
+    exit 1
+}
+head -3 target/smoke-plan-a.txt
 
 echo "smoke: OK"

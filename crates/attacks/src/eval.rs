@@ -10,6 +10,7 @@ use crate::{Idpa, Result};
 use c2pi_data::metrics::ssim;
 use c2pi_data::Dataset;
 use c2pi_nn::{BoundaryId, Model};
+use c2pi_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// Evaluation settings.
@@ -44,11 +45,33 @@ pub fn avg_ssim_at(
     eval: &Dataset,
     cfg: &EvalConfig,
 ) -> Result<f32> {
-    let n = cfg.eval_images.min(eval.len()).max(1);
+    avg_ssim_with(attack, model, id, eval, cfg.eval_images, &|act, i| {
+        Ok(noised(act, cfg.noise, cfg.seed ^ ((i as u64) << 16)))
+    })
+}
+
+/// [`avg_ssim_at`] generalised over the defender's perturbation: the
+/// attack observes `perturb(activation, image_index)` instead of the
+/// built-in uniform noise. Boundary auditors hand in arbitrary defenses
+/// (quantisation, dropout, …) with their own seed derivation while
+/// reusing this one measurement loop.
+///
+/// # Errors
+///
+/// Returns attack, metric or perturbation errors.
+pub fn avg_ssim_with(
+    attack: &mut dyn Idpa,
+    model: &mut Model,
+    id: BoundaryId,
+    eval: &Dataset,
+    eval_images: usize,
+    perturb: &dyn Fn(&Tensor, usize) -> Result<Tensor>,
+) -> Result<f32> {
+    let n = eval_images.min(eval.len()).max(1);
     let mut total = 0.0f32;
     for (i, x) in eval.images().iter().take(n).enumerate() {
         let act = model.forward_to_cut(id, x)?;
-        let observed = noised(&act, cfg.noise, cfg.seed ^ ((i as u64) << 16));
+        let observed = perturb(&act, i)?;
         let rec = attack.recover(model, id, &observed)?;
         total += ssim(x, &rec)?;
     }

@@ -15,11 +15,30 @@
 //!   target model, with monotonically increasing loss coefficients
 //!   (Eq. (1));
 //! * [`eval`] — the SSIM-based evaluation harness behind Figures 1 and
-//!   4–6.
+//!   4–6;
+//! * [`probe`] — declarative probe specs ([`ProbeSpec`]) so auditors
+//!   like the deployment planner can assemble attack panels by name and
+//!   budget.
 //!
-//! All attacks implement the [`Idpa`] trait so the boundary-search
-//! algorithm in `c2pi-core` can swap them freely (the paper: *"we are
-//! glad to replace DINA with a more aggressive IDPA"*).
+//! All attacks implement the [`Idpa`] trait so the boundary auditors in
+//! `c2pi-core` can swap them freely (the paper: *"we are glad to
+//! replace DINA with a more aggressive IDPA"*).
+//!
+//! ## Example
+//!
+//! Attacks are usually assembled declaratively through [`probe`]:
+//!
+//! ```
+//! use c2pi_attacks::probe::{quick_panel, ProbeSpec};
+//!
+//! // "family:budget" strings are how CLIs and configs name probes.
+//! let dina = ProbeSpec::parse("dina:6")?;
+//! let attack = dina.build(); // a ready-to-prepare Box<dyn Idpa>
+//! assert_eq!(attack.name(), "dina");
+//! // The planner's default panel mixes gradient and learned probes.
+//! assert!(quick_panel().len() >= 2);
+//! # Ok::<(), c2pi_attacks::AttackError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +48,10 @@ pub mod error;
 pub mod eval;
 pub mod inversion;
 pub mod mla;
+pub mod probe;
 
 pub use error::AttackError;
+pub use probe::{ProbeKind, ProbeSpec};
 
 use c2pi_data::Dataset;
 use c2pi_nn::{BoundaryId, Model};

@@ -1,0 +1,222 @@
+//! Configurable IDPA probes: a declarative layer over the attack
+//! constructors so boundary auditors (the deployment planner in
+//! `c2pi-core`, CLI tools, config files) can name and budget attacks
+//! without knowing each attack's config struct.
+//!
+//! A [`ProbeSpec`] is `(which attack, how hard to try)`; [`ProbeSpec::build`]
+//! instantiates the matching [`Idpa`]. Panels are just `Vec<ProbeSpec>`:
+//! [`quick_panel`] is the planner's default (one gradient-based and two
+//! learned probes at CPU-quick budgets), [`full_panel`] covers all four
+//! attack families at their default budgets.
+//!
+//! ```
+//! use c2pi_attacks::probe::{ProbeKind, ProbeSpec};
+//!
+//! let spec = ProbeSpec::parse("mla:40").unwrap();
+//! assert_eq!(spec.kind, ProbeKind::Mla);
+//! assert_eq!(spec.budget, 40);
+//! let attack = spec.build();
+//! assert_eq!(attack.name(), "mla");
+//! ```
+
+use crate::dina::{Dina, DinaConfig};
+use crate::inversion::{InaConfig, InversionAttack};
+use crate::mla::{Mla, MlaConfig};
+use crate::{AttackError, Idpa, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four IDPA families of the paper (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// Maximum-likelihood attack: gradient descent on the input.
+    Mla,
+    /// Inverse-network attack with plain conv blocks.
+    Ina,
+    /// Enhanced INA: residual decoder blocks.
+    Eina,
+    /// The paper's distillation-based inverse-network attack.
+    Dina,
+}
+
+impl ProbeKind {
+    /// Report name (`mla`, `ina`, `eina`, `dina`), matching
+    /// [`Idpa::name`] of the built attack.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::Mla => "mla",
+            ProbeKind::Ina => "ina",
+            ProbeKind::Eina => "eina",
+            ProbeKind::Dina => "dina",
+        }
+    }
+
+    /// Parses a report name; `None` for anything else.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "mla" => Some(ProbeKind::Mla),
+            "ina" => Some(ProbeKind::Ina),
+            "eina" => Some(ProbeKind::Eina),
+            "dina" => Some(ProbeKind::Dina),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProbeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One configured probe: an attack family plus an effort budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProbeSpec {
+    /// Attack family.
+    pub kind: ProbeKind,
+    /// Effort budget: gradient iterations for MLA, training epochs for
+    /// the learned attacks.
+    pub budget: usize,
+    /// Weight-init / noise seed threaded into the attack config.
+    pub seed: u64,
+}
+
+impl ProbeSpec {
+    /// A CPU-quick budget for the given family (the planner default):
+    /// enough effort to recover early-layer inputs on the synthetic
+    /// datasets, small enough to sweep every candidate boundary.
+    pub fn quick(kind: ProbeKind) -> Self {
+        let budget = match kind {
+            ProbeKind::Mla => 60,
+            ProbeKind::Ina | ProbeKind::Eina => 6,
+            ProbeKind::Dina => 6,
+        };
+        ProbeSpec { kind, budget, seed: 29 }
+    }
+
+    /// The attack family's own default budget (what the figure
+    /// harnesses use at quick scale).
+    pub fn thorough(kind: ProbeKind) -> Self {
+        let budget = match kind {
+            ProbeKind::Mla => MlaConfig::default().iterations,
+            ProbeKind::Ina | ProbeKind::Eina => InaConfig::default().epochs,
+            ProbeKind::Dina => DinaConfig::default().epochs,
+        };
+        ProbeSpec { kind, budget, seed: 29 }
+    }
+
+    /// Parses `name` or `name:budget` (e.g. `dina`, `mla:200`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] for unknown families or
+    /// non-numeric budgets.
+    pub fn parse(s: &str) -> Result<Self> {
+        let (name, budget) = match s.split_once(':') {
+            Some((n, b)) => {
+                let budget = b.parse::<usize>().map_err(|_| {
+                    AttackError::BadConfig(format!("probe budget in {s:?} is not a number"))
+                })?;
+                (n, Some(budget))
+            }
+            None => (s, None),
+        };
+        let kind = ProbeKind::by_name(name)
+            .ok_or_else(|| AttackError::BadConfig(format!("unknown probe family {name:?}")))?;
+        let mut spec = ProbeSpec::quick(kind);
+        if let Some(budget) = budget {
+            spec.budget = budget;
+        }
+        Ok(spec)
+    }
+
+    /// The probe's report label, `name:budget`.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.kind.name(), self.budget)
+    }
+
+    /// Instantiates the configured attack.
+    pub fn build(&self) -> Box<dyn Idpa> {
+        match self.kind {
+            ProbeKind::Mla => Box::new(Mla::new(MlaConfig {
+                iterations: self.budget,
+                seed: self.seed,
+                ..Default::default()
+            })),
+            ProbeKind::Ina => Box::new(InversionAttack::new(InaConfig {
+                arch: crate::inversion::InaArch::Plain,
+                epochs: self.budget,
+                seed: self.seed,
+                ..Default::default()
+            })),
+            ProbeKind::Eina => Box::new(InversionAttack::new(InaConfig {
+                arch: crate::inversion::InaArch::Residual,
+                epochs: self.budget,
+                seed: self.seed,
+                ..Default::default()
+            })),
+            ProbeKind::Dina => Box::new(Dina::new(DinaConfig {
+                epochs: self.budget,
+                seed: self.seed,
+                ..Default::default()
+            })),
+        }
+    }
+}
+
+/// The planner's default probe panel: MLA plus the two strongest
+/// learned attacks (EINA, DINA) at quick budgets. A boundary is only
+/// cleared when *every* panel member fails there.
+pub fn quick_panel() -> Vec<ProbeSpec> {
+    vec![
+        ProbeSpec::quick(ProbeKind::Mla),
+        ProbeSpec::quick(ProbeKind::Eina),
+        ProbeSpec::quick(ProbeKind::Dina),
+    ]
+}
+
+/// All four attack families at their default budgets.
+pub fn full_panel() -> Vec<ProbeSpec> {
+    vec![
+        ProbeSpec::thorough(ProbeKind::Mla),
+        ProbeSpec::thorough(ProbeKind::Ina),
+        ProbeSpec::thorough(ProbeKind::Eina),
+        ProbeSpec::thorough(ProbeKind::Dina),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [ProbeKind::Mla, ProbeKind::Ina, ProbeKind::Eina, ProbeKind::Dina] {
+            assert_eq!(ProbeKind::by_name(kind.name()), Some(kind));
+            assert_eq!(ProbeSpec::quick(kind).build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_budgets_and_rejects_junk() {
+        let spec = ProbeSpec::parse("eina:12").unwrap();
+        assert_eq!(spec.kind, ProbeKind::Eina);
+        assert_eq!(spec.budget, 12);
+        assert_eq!(spec.label(), "eina:12");
+        assert_eq!(
+            ProbeSpec::parse("dina").unwrap().budget,
+            ProbeSpec::quick(ProbeKind::Dina).budget
+        );
+        assert!(ProbeSpec::parse("gan").is_err());
+        assert!(ProbeSpec::parse("mla:lots").is_err());
+    }
+
+    #[test]
+    fn panels_are_nonempty_and_distinct() {
+        let quick = quick_panel();
+        let full = full_panel();
+        assert!(quick.len() >= 2);
+        assert_eq!(full.len(), 4);
+        assert!(quick.iter().all(|s| s.budget <= ProbeSpec::thorough(s.kind).budget));
+    }
+}

@@ -18,8 +18,22 @@
 //! not an A100 + testbed; see DESIGN.md §3); the *shapes* — who wins,
 //! by what factor, where boundaries land — are the reproduction targets,
 //! recorded in EXPERIMENTS.md.
+//!
+//! ## Example
+//!
+//! Every experiment takes a [`Scale`] deciding its budget:
+//!
+//! ```
+//! use c2pi_bench::Scale;
+//!
+//! let quick = Scale::quick();
+//! let paper = Scale::paper();
+//! assert!(quick.width_div > paper.width_div); // quick = narrower models
+//! assert!(paper.eval_images >= 1000); // the paper's evaluation size
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod figures;
 pub mod scale;

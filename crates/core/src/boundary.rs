@@ -6,10 +6,16 @@
 //! it is the potential boundary. Phase 2 then verifies that adding the
 //! defense noise at the boundary keeps accuracy within the agreed
 //! budget, pushing the boundary later until it does.
+//!
+//! [`search_boundary`] is the original single-attack entry point, kept
+//! as a deprecated shim: the walk itself now lives in
+//! [`crate::planner`], which generalises it to configurable probe
+//! panels, arbitrary defenses and cost-ranked deployments. New code
+//! should build a [`crate::planner::DeploymentPlanner`].
 
-use crate::noise::{baseline_accuracy, noised_accuracy};
+use crate::defense::Defense;
+use crate::planner::{gate_accuracy, probe_one, ProbeGate};
 use crate::{C2piError, Result};
-use c2pi_attacks::eval::{avg_ssim_at, EvalConfig};
 use c2pi_attacks::Idpa;
 use c2pi_data::Dataset;
 use c2pi_nn::{BoundaryId, Model};
@@ -76,6 +82,12 @@ pub struct BoundaryTrace {
     pub boundary: BoundaryId,
     /// Noised accuracy at the returned boundary.
     pub boundary_accuracy: f32,
+    /// The defense phase 2 evaluated (recorded so downstream reports
+    /// carry the same label the evaluation used).
+    pub defense: Defense,
+    /// Master seed of the defense draws (the
+    /// [`crate::defense::defense_seed`] stream).
+    pub seed: u64,
 }
 
 /// Runs Algorithm 1 over the given candidate boundaries (defaults to the
@@ -84,10 +96,20 @@ pub struct BoundaryTrace {
 /// `attacker_data` trains the IDPA (the server's own data); `eval_data`
 /// measures recovery SSIM and accuracy.
 ///
+/// The walk is the planner's single-probe machinery with the paper's
+/// uniform-noise defense; build a
+/// [`crate::planner::DeploymentPlanner`] to sweep probe *panels* and
+/// get cost-ranked deployments instead of a bare boundary.
+///
 /// # Errors
 ///
 /// Returns an error when the model has no candidates, datasets are
 /// empty, or the attack fails.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `c2pi_core::planner::DeploymentPlanner`, which generalises this walk \
+            to probe panels and cost-ranked deployments"
+)]
 pub fn search_boundary(
     model: &mut Model,
     attack: &mut dyn Idpa,
@@ -104,56 +126,48 @@ pub fn search_boundary(
     if candidates.is_empty() {
         return Err(C2piError::NoBoundary("model has no candidate boundaries".into()));
     }
-    let eval_cfg = EvalConfig {
-        noise: cfg.noise,
-        ssim_threshold: cfg.ssim_threshold,
-        eval_images: cfg.eval_images,
-        seed: cfg.seed,
-    };
+    let defense = Defense::Uniform { magnitude: cfg.noise };
     // ---- Phase 1 (lines 1-6): sweep from the tail until the attack
     // succeeds (avg_ssim >= sigma). ----
-    let mut ssim_probes = Vec::new();
-    let mut idx = candidates.len(); // one past the last probed index
-    let mut last_success: Option<usize> = None;
-    while idx > 0 {
-        idx -= 1;
-        let id = candidates[idx];
-        attack.prepare(model, id, attacker_data, cfg.noise)?;
-        let s = avg_ssim_at(attack, model, id, eval_data, &eval_cfg)?;
-        ssim_probes.push(SsimProbe { id, avg_ssim: s });
-        if s >= cfg.ssim_threshold {
-            last_success = Some(idx);
-            break;
-        }
-    }
-    // Potential boundary: the candidate after the last success (line 7),
-    // or the earliest candidate when the attack never succeeds.
-    let mut b_idx = match last_success {
-        Some(i) if i + 1 < candidates.len() => i + 1,
-        Some(_) => candidates.len() - 1, // attack succeeds even at the tail
-        None => 0,
-    };
+    let (ssim_probes, first_safe) = probe_one(
+        model,
+        attack,
+        attacker_data,
+        eval_data,
+        &candidates,
+        ProbeGate {
+            defense,
+            ssim_threshold: cfg.ssim_threshold,
+            eval_images: cfg.eval_images,
+            seed: cfg.seed,
+        },
+    )?;
+    // Attack succeeding even at the tail degenerates to (almost) full
+    // PI, as in the original algorithm.
+    let b_idx = first_safe.unwrap_or(candidates.len() - 1);
     // ---- Phase 2 (lines 8-12): push later until accuracy is OK. ----
-    let baseline = baseline_accuracy(model, eval_data)?;
-    let target = baseline - cfg.max_accuracy_drop;
-    let mut accuracy_probes = Vec::new();
-    let mut acc = noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
-    accuracy_probes.push(AccuracyProbe { id: candidates[b_idx], accuracy: acc });
-    while acc < target && b_idx + 1 < candidates.len() {
-        b_idx += 1;
-        acc = noised_accuracy(model, candidates[b_idx], cfg.noise, eval_data, cfg.seed)?;
-        accuracy_probes.push(AccuracyProbe { id: candidates[b_idx], accuracy: acc });
-    }
+    let (baseline, accuracy_probes, chosen_idx, acc) = gate_accuracy(
+        model,
+        &candidates,
+        b_idx,
+        defense,
+        cfg.max_accuracy_drop,
+        eval_data,
+        cfg.seed,
+    )?;
     Ok(BoundaryTrace {
         ssim_probes,
         accuracy_probes,
         baseline_accuracy: baseline,
-        boundary: candidates[b_idx],
+        boundary: candidates[chosen_idx],
         boundary_accuracy: acc,
+        defense,
+        seed: cfg.seed,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's behaviour contract is what's under test
 mod tests {
     use super::*;
     use c2pi_attacks::Result as AttackResult;
@@ -236,6 +250,9 @@ mod tests {
         // Phase 1 probed from the tail (7) down to 4.
         assert_eq!(attack.probes, vec![7, 6, 5, 4]);
         assert_eq!(trace.ssim_probes.len(), 4);
+        // The trace records the defense and seed the walk evaluated.
+        assert_eq!(trace.defense, Defense::Uniform { magnitude: cfg.noise });
+        assert_eq!(trace.seed, cfg.seed);
     }
 
     #[test]

@@ -11,6 +11,17 @@ use c2pi_nn::{BoundaryId, Model};
 use c2pi_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// The one seed derivation every defense evaluation shares: the seed
+/// for item `index` (an evaluation image, or a served inference) under
+/// a master seed. [`defended_accuracy`],
+/// [`crate::noise::noised_accuracy`], the deployment planner's privacy
+/// audits and the serving session's per-inference noise all draw from
+/// this stream, so "same master seed" means "same noise" across every
+/// layer of the stack.
+pub fn defense_seed(master: u64, index: usize) -> u64 {
+    c2pi_mpc::prg::indexed_seed(master, b"c2pi/defense", index as u64)
+}
+
 /// A boundary-activation defense mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Defense {
@@ -53,23 +64,48 @@ impl Defense {
         }
     }
 
-    /// Applies the defense to an activation.
-    pub fn apply(&self, act: &Tensor, seed: u64) -> Tensor {
+    /// Human-readable label with the defense's parameter, for reports
+    /// and plan tables (`uniform(0.100)`, `dropout(0.30)`, …).
+    pub fn label(&self) -> String {
         match *self {
-            Defense::None => act.clone(),
+            Defense::None => "none".to_string(),
+            Defense::Uniform { magnitude } => format!("uniform({magnitude:.3})"),
+            Defense::Gaussian { std } => format!("gaussian({std:.3})"),
+            Defense::Quantize { step } => format!("quantize({step:.3})"),
+            Defense::Dropout { rate } => format!("dropout({rate:.2})"),
+        }
+    }
+
+    /// For *additive* defenses, the perturbation tensor `Δ` such that
+    /// `apply(act, seed) == act + Δ` — the form a C2PI client can apply
+    /// to its own additive share without knowing the activation.
+    /// Returns `None` for non-additive defenses (quantisation, dropout
+    /// depend on the activation's values, which no single share holds).
+    pub fn additive_delta(&self, dims: &[usize], seed: u64) -> Option<Tensor> {
+        match *self {
+            Defense::None => Some(Tensor::zeros(dims)),
             Defense::Uniform { magnitude } => {
                 if magnitude <= 0.0 {
-                    return act.clone();
+                    return Some(Tensor::zeros(dims));
                 }
-                let noise = Tensor::rand_uniform(act.dims(), -magnitude, magnitude, seed);
-                act.add(&noise).expect("same dims")
+                Some(Tensor::rand_uniform(dims, -magnitude, magnitude, seed))
             }
             Defense::Gaussian { std } => {
                 if std <= 0.0 {
-                    return act.clone();
+                    return Some(Tensor::zeros(dims));
                 }
-                let noise = Tensor::rand_normal(act.dims(), 0.0, std, seed);
-                act.add(&noise).expect("same dims")
+                Some(Tensor::rand_normal(dims, 0.0, std, seed))
+            }
+            Defense::Quantize { .. } | Defense::Dropout { .. } => None,
+        }
+    }
+
+    /// Applies the defense to an activation.
+    pub fn apply(&self, act: &Tensor, seed: u64) -> Tensor {
+        match *self {
+            Defense::None | Defense::Uniform { .. } | Defense::Gaussian { .. } => {
+                let delta = self.additive_delta(act.dims(), seed).expect("additive defense");
+                act.add(&delta).expect("same dims")
             }
             Defense::Quantize { step } => {
                 if step <= 0.0 {
@@ -101,6 +137,11 @@ impl Defense {
 /// layer after `id` (the generalisation of
 /// [`crate::noise::noised_accuracy`] to arbitrary defenses).
 ///
+/// Per-image seeds come from the shared [`defense_seed`] stream, so
+/// `defended_accuracy(.., Defense::Uniform { magnitude: l }, .., seed)`
+/// equals `noised_accuracy(.., l, .., seed)` *exactly* — same labels,
+/// same draws (the regression test below pins this).
+///
 /// # Errors
 ///
 /// Returns an error on empty datasets or unknown boundaries.
@@ -117,7 +158,7 @@ pub fn defended_accuracy(
     let mut correct = 0usize;
     for (i, (img, &label)) in data.images().iter().zip(data.labels()).enumerate() {
         let act = model.forward_to_cut(id, img)?;
-        let defended = defense.apply(&act, seed ^ ((i as u64) << 12));
+        let defended = defense.apply(&act, defense_seed(seed, i));
         let logits = model.forward_from_cut(id, &defended)?;
         if logits.argmax().unwrap_or(0) == label {
             correct += 1;
@@ -192,19 +233,42 @@ mod tests {
 
     #[test]
     fn defended_accuracy_matches_noised_accuracy_for_uniform() {
+        // Regression test for the seed-plumbing unification: both
+        // evaluation paths must draw the *same* per-image noise from the
+        // same master seed, including at non-zero magnitudes (they used
+        // to diverge through ad-hoc `seed ^ (i << k)` schemes).
         let mut model =
             alexnet(&ZooConfig { width_div: 32, seed: 3, ..Default::default() }).unwrap();
         let data =
             SynthDataset::generate(&SynthConfig { classes: 3, per_class: 3, ..Default::default() })
                 .into_dataset();
         let id = BoundaryId::relu(3);
-        // Identical noise semantics: both draw U(-l, l); exact seeds
-        // differ, so compare coarse behaviour (both in [0, 1], both exact
-        // under zero noise).
-        let a = defended_accuracy(&mut model, id, Defense::Uniform { magnitude: 0.0 }, &data, 7)
-            .unwrap();
-        let b = crate::noise::noised_accuracy(&mut model, id, 0.0, &data, 7).unwrap();
-        assert_eq!(a, b);
+        for (magnitude, seed) in [(0.0, 7), (0.35, 7), (0.35, 8), (1.2, 9)] {
+            let a = defended_accuracy(&mut model, id, Defense::Uniform { magnitude }, &data, seed)
+                .unwrap();
+            let b = crate::noise::noised_accuracy(&mut model, id, magnitude, &data, seed).unwrap();
+            assert_eq!(a, b, "magnitude {magnitude} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn additive_delta_agrees_with_apply() {
+        let a = act();
+        for d in
+            [Defense::None, Defense::Uniform { magnitude: 0.2 }, Defense::Gaussian { std: 0.3 }]
+        {
+            let delta = d.additive_delta(a.dims(), 5).unwrap();
+            assert_eq!(a.add(&delta).unwrap(), d.apply(&a, 5), "{}", d.label());
+        }
+        assert!(Defense::Quantize { step: 0.1 }.additive_delta(a.dims(), 5).is_none());
+        assert!(Defense::Dropout { rate: 0.1 }.additive_delta(a.dims(), 5).is_none());
+    }
+
+    #[test]
+    fn labels_carry_parameters() {
+        assert_eq!(Defense::Uniform { magnitude: 0.1 }.label(), "uniform(0.100)");
+        assert_eq!(Defense::None.label(), "none");
+        assert!(Defense::Dropout { rate: 0.3 }.label().contains("0.30"));
     }
 
     #[test]

@@ -3,9 +3,17 @@
 //! The paper's primary contribution: **C2PI**, crypto-clear two-party
 //! private inference.
 //!
-//! * [`boundary`] — Algorithm 1: sweep the model from tail to head with
-//!   an IDPA until recovery starts to succeed, then push the boundary
-//!   later until the noised-input accuracy drop is acceptable;
+//! * [`planner`] — the deployment planner: generalises Algorithm 1 to
+//!   a configurable IDPA probe panel, prices every allowed boundary ×
+//!   backend under mem/LAN/WAN network models, and emits a ranked
+//!   [`planner::DeploymentPlan`] that plugs back into the builder
+//!   ([`session::C2piBuilder::plan`]) and into
+//!   [`server::PiServerConfig`] sizing;
+//! * [`boundary`] — Algorithm 1's original single-attack form (now a
+//!   deprecated shim over the planner's probe machinery);
+//! * [`defense`] — boundary defenses beyond uniform noise, with the one
+//!   [`defense::defense_seed`] stream every evaluator and the serving
+//!   session share;
 //! * [`noise`] — the uniform-noise share defense and the
 //!   noised-activation accuracy evaluation (Figures 6–7);
 //! * [`session`] — the serving API: the [`session::C2pi`] builder
@@ -19,27 +27,32 @@
 //!   whose material pool a background dealer keeps topped up, and
 //!   [`server::PiClient`] is the matching one-call client.
 //!
-//! ```no_run
+//! ```
 //! use c2pi_core::session::C2pi;
-//! use c2pi_nn::model::{vgg16, ZooConfig};
+//! use c2pi_nn::model::{alexnet, ZooConfig};
 //! use c2pi_nn::BoundaryId;
 //! use c2pi_pi::cheetah;
 //! use c2pi_tensor::Tensor;
 //!
 //! # fn main() -> Result<(), c2pi_core::C2piError> {
-//! let model = vgg16(&ZooConfig::default())?;
+//! // A width-reduced model keeps this example fast; swap in
+//! // `vgg16(&ZooConfig::default())` for the paper's scale.
+//! let model = alexnet(&ZooConfig { width_div: 32, image_size: 16, ..Default::default() })?;
 //! let mut session = C2pi::builder(model)
-//!     .split_at(BoundaryId::relu(9))
+//!     .split_at(BoundaryId::relu(2))
 //!     .noise(0.1)
 //!     .backend(cheetah())
 //!     .build()?;
-//! session.preprocess(8)?; // offline, input-independent
-//! let x = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, 1);
+//! session.preprocess(1)?; // offline, input-independent
+//! let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 1);
 //! let result = session.infer(&x)?; // online
-//! println!("prediction: {}, comm: {:.1} MB", result.prediction, result.report.comm_mb());
+//! assert!(result.report.comm_mb() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Where should the boundary sit? Let the planner decide — see
+//! [`planner`] for the full attack-calibrated pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,15 +62,21 @@ pub mod defense;
 pub mod error;
 pub mod noise;
 pub mod pipeline;
+pub mod planner;
 pub mod server;
 pub mod session;
 pub mod split_learning;
 
-pub use boundary::{search_boundary, BoundaryConfig, BoundaryTrace};
+pub use boundary::{BoundaryConfig, BoundaryTrace};
+pub use defense::{defense_seed, Defense};
 pub use error::C2piError;
 pub use pipeline::{plain_prediction, InferenceResult, Split};
+pub use planner::{DeploymentPlan, DeploymentPlanner, PlanChoice, PlannerConfig};
 pub use server::{ClientInference, PiClient, PiServer, PiServerConfig};
 pub use session::{C2pi, C2piBuilder, C2piSession};
+
+#[allow(deprecated)]
+pub use boundary::search_boundary;
 
 #[allow(deprecated)]
 pub use pipeline::{C2piPipeline, PipelineConfig};

@@ -24,6 +24,10 @@ pub fn add_uniform_noise(t: &Tensor, magnitude: f32, seed: u64) -> Tensor {
 /// boundary `id` is noised with magnitude `lambda` — the quantity the
 /// paper plots in Figure 7 and thresholds in Algorithm 1 (line 8).
 ///
+/// Equivalent to [`crate::defense::defended_accuracy`] with
+/// `Defense::Uniform { magnitude: lambda }`: both draw per-image seeds
+/// from the shared [`crate::defense::defense_seed`] stream.
+///
 /// # Errors
 ///
 /// Returns an error for unknown boundaries or empty datasets.
@@ -40,7 +44,7 @@ pub fn noised_accuracy(
     let mut correct = 0usize;
     for (i, (img, &label)) in data.images().iter().zip(data.labels()).enumerate() {
         let act = model.forward_to_cut(id, img)?;
-        let noisy = add_uniform_noise(&act, lambda, seed ^ ((i as u64) << 10));
+        let noisy = add_uniform_noise(&act, lambda, crate::defense::defense_seed(seed, i));
         let logits = model.forward_from_cut(id, &noisy)?;
         if logits.argmax().unwrap_or(0) == label {
             correct += 1;

@@ -24,9 +24,9 @@
 //! # }
 //! ```
 
+use crate::defense::{defense_seed, Defense};
 use crate::pipeline::{InferenceResult, Split};
 use crate::{C2piError, Result};
-use c2pi_mpc::prg::SeedSequence;
 use c2pi_mpc::share::ShareVec;
 use c2pi_mpc::FixedPoint;
 use c2pi_nn::{BoundaryId, Model, Sequential};
@@ -47,7 +47,7 @@ impl C2pi {
         C2piBuilder {
             model,
             split: Split::Full,
-            noise: 0.1,
+            defense: Defense::Uniform { magnitude: 0.1 },
             noise_seed: 53,
             pi: PiConfig::default(),
             backend: None,
@@ -60,7 +60,7 @@ impl C2pi {
 pub struct C2piBuilder {
     model: Model,
     split: Split,
-    noise: f32,
+    defense: Defense,
     noise_seed: u64,
     pi: PiConfig,
     backend: Option<std::sync::Arc<dyn c2pi_pi::PiBackendImpl>>,
@@ -88,16 +88,40 @@ impl C2piBuilder {
     }
 
     /// Defense noise magnitude λ added to the client's share before the
-    /// reveal (ignored for [`Split::Full`]).
+    /// reveal (ignored for [`Split::Full`]). Sugar for
+    /// `defense(Defense::Uniform { magnitude: lambda })`.
     pub fn noise(mut self, lambda: f32) -> Self {
-        self.noise = lambda;
+        self.defense = Defense::Uniform { magnitude: lambda };
         self
     }
 
-    /// Master seed for the client's noise draws (per-inference seeds
-    /// fork from it).
+    /// The boundary defense the client applies to its share before the
+    /// reveal (ignored for [`Split::Full`]). Must be *additive*
+    /// ([`Defense::additive_delta`]): the client holds only a share, so
+    /// it can add a perturbation but cannot quantise or drop values it
+    /// never sees — [`C2piBuilder::build`] rejects non-additive
+    /// defenses for split deployments.
+    pub fn defense(mut self, defense: Defense) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Master seed for the client's defense draws. Per-inference seeds
+    /// come from the shared [`defense_seed`] stream, the same
+    /// derivation the accuracy evaluators and the deployment planner
+    /// use.
     pub fn noise_seed(mut self, seed: u64) -> Self {
         self.noise_seed = seed;
+        self
+    }
+
+    /// Applies a deployment-planner choice: boundary, backend and
+    /// defense in one call (see [`crate::planner::DeploymentPlanner`]).
+    pub fn plan(mut self, choice: &crate::planner::PlanChoice) -> Self {
+        self.split = Split::At(choice.boundary);
+        self.defense = choice.defense;
+        self.noise_seed = choice.defense_seed;
+        self.backend = Some(choice.backend.engine());
         self
     }
 
@@ -152,7 +176,15 @@ impl C2piBuilder {
     /// engine cannot execute.
     pub fn build(self) -> Result<C2piSession> {
         let (crypto, clear) = match self.split {
-            Split::At(boundary) => self.model.split_at(boundary).map_err(C2piError::Nn)?,
+            Split::At(boundary) => {
+                if self.defense.additive_delta(&[1], 0).is_none() {
+                    return Err(C2piError::BadConfig(format!(
+                        "defense {} is not additive: the client cannot apply it to its share",
+                        self.defense.label()
+                    )));
+                }
+                self.model.split_at(boundary).map_err(C2piError::Nn)?
+            }
             Split::Full => (self.model.seq().clone(), Sequential::new()),
         };
         let backend = self.backend.unwrap_or_else(|| self.pi.backend.engine());
@@ -166,8 +198,9 @@ impl C2piBuilder {
             pi,
             clear,
             split: self.split,
-            noise: self.noise,
-            noise_seeds: SeedSequence::new(self.noise_seed, b"c2pi/session/noise"),
+            defense: self.defense,
+            defense_master: self.noise_seed,
+            inferences: 0,
         })
     }
 }
@@ -180,8 +213,9 @@ pub struct C2piSession {
     pi: PiSession,
     clear: Sequential,
     split: Split,
-    noise: f32,
-    noise_seeds: SeedSequence,
+    defense: Defense,
+    defense_master: u64,
+    inferences: u64,
 }
 
 impl C2piSession {
@@ -198,6 +232,16 @@ impl C2piSession {
     /// The split position.
     pub fn split(&self) -> Split {
         self.split
+    }
+
+    /// The boundary defense this session applies before the reveal.
+    pub fn defense(&self) -> Defense {
+        self.defense
+    }
+
+    /// The defense's report label (e.g. `uniform(0.100)`).
+    pub fn defense_label(&self) -> String {
+        self.defense.label()
     }
 
     /// Number of layers executed under MPC.
@@ -231,7 +275,8 @@ impl C2piSession {
     ///
     /// Returns engine or shape errors.
     pub fn infer(&mut self, x: &Tensor) -> Result<InferenceResult> {
-        let noise_seed = self.noise_seeds.next();
+        let noise_seed = defense_seed(self.defense_master, self.inferences as usize);
+        self.inferences += 1;
         let fp = self.pi.config().fixed;
         let outcome = self.pi.infer(x).map_err(C2piError::Pi)?;
         let mut report = outcome.report.clone();
@@ -252,14 +297,18 @@ impl C2piSession {
                 Ok(InferenceResult { logits, prediction, revealed_activation: None, report })
             }
             Split::At(_) => {
-                // Client noises its share and reveals it (Figure 2c).
-                let noise_ring: Vec<u64> = if self.noise > 0.0 {
-                    let delta =
-                        Tensor::rand_uniform(&outcome.dims, -self.noise, self.noise, noise_seed);
-                    fp.encode_tensor(&delta)
-                } else {
-                    vec![0u64; outcome.client_share.len()]
-                };
+                // Client applies the additive defense to its share and
+                // reveals it (Figure 2c). The delta is the same tensor
+                // `Defense::apply` would add to the activation, drawn
+                // from the same seed stream the accuracy evaluators use.
+                let delta =
+                    self.defense.additive_delta(&outcome.dims, noise_seed).ok_or_else(|| {
+                        C2piError::BadConfig(format!(
+                            "defense {} is not additive",
+                            self.defense.label()
+                        ))
+                    })?;
+                let noise_ring: Vec<u64> = fp.encode_tensor(&delta);
                 let noised_share = ShareVec::from_raw(
                     outcome
                         .client_share

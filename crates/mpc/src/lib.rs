@@ -18,6 +18,26 @@
 //! | [`relu`] | the two secure ReLU protocols (GC-based à la Delphi, comparison-based à la Cheetah/CrypTFlow2) and secure max-pooling |
 //!
 //! The semi-honest threat model of the paper is assumed throughout.
+//!
+//! ## Example
+//!
+//! Additive secret sharing over `Z_2^64`, the substrate every protocol
+//! builds on:
+//!
+//! ```
+//! use c2pi_mpc::prg::Prg;
+//! use c2pi_mpc::share::{reconstruct, share_secret};
+//! use c2pi_mpc::FixedPoint;
+//!
+//! let fp = FixedPoint::default();
+//! let secret = vec![fp.encode(1.5), fp.encode(-0.25)];
+//! let mut prg = Prg::from_u64(7);
+//! let (client, server) = share_secret(&secret, &mut prg);
+//! // Each share alone is uniformly random; together they reconstruct.
+//! let raw = reconstruct(&client, &server);
+//! assert_eq!(fp.decode(raw[0]), 1.5);
+//! assert_eq!(fp.decode(raw[1]), -0.25);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

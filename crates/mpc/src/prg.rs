@@ -180,6 +180,54 @@ impl SeedSequence {
     }
 }
 
+/// Stateless random-access companion of [`SeedSequence`]: the seed for
+/// position `index` of the `(master, domain)` stream, without walking
+/// the sequence. Evaluation loops that visit items by index (per-image
+/// defense draws, per-inference session noise) derive their seeds here
+/// so that every consumer of the same `(master, domain, index)` triple
+/// sees the same seed — the unification behind
+/// `c2pi-core`'s defense plumbing.
+///
+/// ```
+/// use c2pi_mpc::prg::indexed_seed;
+/// // Deterministic and domain separated:
+/// assert_eq!(indexed_seed(7, b"defense", 3), indexed_seed(7, b"defense", 3));
+/// assert_ne!(indexed_seed(7, b"defense", 3), indexed_seed(7, b"defense", 4));
+/// assert_ne!(indexed_seed(7, b"defense", 3), indexed_seed(7, b"dealer", 3));
+/// // Domains longer than the 16 direct key bytes still separate —
+/// // including permutations a naive positional fold would collide:
+/// assert_ne!(
+///     indexed_seed(7, b"c2pi/long-domain/alpha", 0),
+///     indexed_seed(7, b"c2pi/long-domain/beta", 0),
+/// );
+/// assert_ne!(
+///     indexed_seed(7, b"AxxxxxxxxxxxxxxxB", 0),
+///     indexed_seed(7, b"BxxxxxxxxxxxxxxxA", 0),
+/// );
+/// ```
+pub fn indexed_seed(master: u64, domain: &[u8], index: u64) -> u64 {
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&master.to_le_bytes());
+    if domain.len() <= 16 {
+        key[8..8 + domain.len()].copy_from_slice(domain);
+    } else {
+        // Compress long domains to a 16-byte digest through the PRG: a
+        // position-dependent polynomial fold seeds one ChaCha block.
+        // (A plain positional xor would be commutative per slot and let
+        // crafted domains collide.)
+        let mut dkey = [0u8; 32];
+        for (i, &b) in domain.iter().enumerate() {
+            dkey[i % 32] = dkey[i % 32].wrapping_mul(31).wrapping_add(b);
+        }
+        dkey[31] ^= domain.len() as u8;
+        let mut digest = [0u8; 16];
+        Prg::from_seed(dkey).fill_bytes(&mut digest);
+        key[8..24].copy_from_slice(&digest);
+    }
+    key[24..32].copy_from_slice(&index.to_le_bytes());
+    Prg::from_seed(key).next_u64()
+}
+
 /// Fixed-key PRF used for garbling and OT hashing:
 /// `H(key, tweak) -> u128`.
 ///

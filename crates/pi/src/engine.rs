@@ -18,6 +18,7 @@ use c2pi_mpc::share::ShareVec;
 use c2pi_mpc::FixedPoint;
 use c2pi_nn::{LayerSpec, Sequential};
 use c2pi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which published system the engine emulates. This is the *registry
@@ -25,7 +26,7 @@ use std::sync::Arc;
 /// [`PiBackend::engine`]. Custom backends skip the enum entirely and
 /// hand an `Arc<dyn PiBackendImpl>` to
 /// [`PiSession::with_backend`](crate::session::PiSession::with_backend).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PiBackend {
     /// Delphi (Mishra et al., USENIX Security 2020): GC non-linearities,
     /// heavyweight HE offline.
@@ -51,6 +52,22 @@ impl PiBackend {
     /// The matching offline cost model.
     pub fn cost_model(&self) -> OfflineCostModel {
         self.engine().cost_model()
+    }
+
+    /// Resolves a backend tag from its report name (`delphi`,
+    /// `cheetah`); `None` for anything else.
+    ///
+    /// ```
+    /// use c2pi_pi::PiBackend;
+    /// assert_eq!(PiBackend::by_name("cheetah"), Some(PiBackend::Cheetah));
+    /// assert_eq!(PiBackend::by_name("gazelle"), None);
+    /// ```
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "delphi" => Some(PiBackend::Delphi),
+            "cheetah" => Some(PiBackend::Cheetah),
+            _ => None,
+        }
     }
 }
 

@@ -35,6 +35,10 @@
 //! let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 2);
 //! let outcome = session.infer(&x)?;
 //! assert_eq!(outcome.report.preprocessing.generated_inline, 0);
+//! // For concurrent serving, convert to the cheaply cloneable handle
+//! // whose inference entry points take `&self`:
+//! let shared = session.into_shared();
+//! assert_eq!(shared.backend_name(), "cheetah");
 //! # Ok(())
 //! # }
 //! ```
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod calibrate;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -65,6 +70,7 @@ pub mod report;
 pub mod session;
 
 pub use backend::{cheetah, delphi, IntoBackend, PiBackendImpl};
+pub use calibrate::{Calibrator, OnlineCostModel};
 pub use engine::{run_prefix, PiBackend, PiConfig, PiOutcome};
 pub use error::PiError;
 pub use pool::{InferenceMaterial, MaterialPool, Replenisher, SessionCore};

@@ -39,6 +39,32 @@ impl NetModel {
         NetModel { name: "wan".to_string(), bandwidth_bytes_per_sec: 44e6, rtt_seconds: 40e-3 }
     }
 
+    /// The degenerate in-process setting: effectively infinite
+    /// bandwidth and zero RTT, so [`NetModel::latency_seconds`] reduces
+    /// to the compute term. The deployment planner sweeps this model
+    /// alongside [`NetModel::lan`] / [`NetModel::wan`] so its tables
+    /// always contain the network-free baseline column.
+    pub fn mem() -> Self {
+        NetModel { name: "mem".to_string(), bandwidth_bytes_per_sec: 1e15, rtt_seconds: 0.0 }
+    }
+
+    /// Resolves one of the built-in settings by name (`mem`, `lan`,
+    /// `wan`); `None` for anything else.
+    ///
+    /// ```
+    /// use c2pi_transport::NetModel;
+    /// assert_eq!(NetModel::by_name("wan"), Some(NetModel::wan()));
+    /// assert_eq!(NetModel::by_name("dc"), None);
+    /// ```
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "mem" => Some(NetModel::mem()),
+            "lan" => Some(NetModel::lan()),
+            "wan" => Some(NetModel::wan()),
+            _ => None,
+        }
+    }
+
     /// A custom model.
     ///
     /// # Panics
@@ -70,6 +96,22 @@ mod tests {
             messages: 1,
             flights,
         }
+    }
+
+    #[test]
+    fn mem_model_is_compute_only() {
+        let m = NetModel::mem();
+        let t = traffic(100_000_000, 50);
+        // Network terms vanish below double precision next to compute.
+        assert!((m.latency_seconds(&t, 2.0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn by_name_covers_the_builtins() {
+        for name in ["mem", "lan", "wan"] {
+            assert_eq!(NetModel::by_name(name).unwrap().name, name);
+        }
+        assert!(NetModel::by_name("tachyon").is_none());
     }
 
     #[test]

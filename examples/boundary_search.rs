@@ -1,13 +1,17 @@
-//! Runs Algorithm 1 end to end: DINA sweeps the model from the tail,
-//! finds the first layer where recovery succeeds, then the accuracy
-//! check finalises the crypto-clear boundary.
+//! Runs the boundary audit end to end on the deployment-planner API:
+//! a DINA probe sweeps the model from the tail, finds the first layer
+//! where recovery fails, then the defended-accuracy gate finalises the
+//! crypto-clear boundary (Algorithm 1, generalised).
 //!
 //! ```text
 //! cargo run --release --example boundary_search
 //! ```
+//!
+//! For the full planner — probe panels, backend/network cost ranking,
+//! serving-ready plans — see `examples/plan_report.rs`.
 
-use c2pi_suite::attacks::dina::{Dina, DinaConfig};
-use c2pi_suite::core::boundary::{search_boundary, BoundaryConfig};
+use c2pi_suite::attacks::probe::{ProbeKind, ProbeSpec};
+use c2pi_suite::core::planner::{DeploymentPlanner, PlannerConfig};
 use c2pi_suite::data::synth::{SynthConfig, SynthDataset};
 use c2pi_suite::nn::model::{alexnet, ZooConfig};
 use c2pi_suite::nn::train::{train_classifier, TrainConfig};
@@ -27,33 +31,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &TrainConfig { epochs: 20, batch_size: 8, lr: 0.02, momentum: 0.9, seed: 1 },
     )?;
 
-    println!("running Algorithm 1 with DINA (sigma=0.3, lambda=0.1, delta=2.5%)...\n");
-    let mut dina = Dina::new(DinaConfig { epochs: 15, ..Default::default() });
-    let trace = search_boundary(
-        &mut model,
-        &mut dina,
-        &train,
-        &eval,
-        &[],
-        &BoundaryConfig { eval_images: 3, ..Default::default() },
-    )?;
+    println!("running the boundary audit with DINA (sigma=0.3, lambda=0.1, delta=2.5%)...\n");
+    let cfg = PlannerConfig {
+        probes: vec![ProbeSpec { kind: ProbeKind::Dina, budget: 15, seed: 29 }],
+        eval_images: 3,
+        ..Default::default()
+    };
+    let mut planner = DeploymentPlanner::new(&mut model, &train, &eval, cfg);
+    let plan = planner.plan()?;
 
-    println!("phase 1 (tail-to-head DINA probes):");
-    for p in &trace.ssim_probes {
-        println!("  layer {:>4}: avg SSIM {:.3}", p.id.to_string(), p.avg_ssim);
+    println!("privacy audit (worst probe SSIM per candidate):");
+    for audit in &plan.audits {
+        for probe in &audit.probes {
+            println!(
+                "  layer {:>4}: {} avg SSIM {:.3}",
+                audit.boundary.to_string(),
+                probe.probe,
+                probe.avg_ssim
+            );
+        }
     }
-    println!(
-        "\nphase 2 (noised accuracy checks, baseline {:.1}%):",
-        trace.baseline_accuracy * 100.0
-    );
-    for p in &trace.accuracy_probes {
-        println!("  layer {:>4}: accuracy {:.1}%", p.id.to_string(), p.accuracy * 100.0);
+    println!("\naccuracy gate (baseline {:.1}%):", plan.baseline_accuracy * 100.0);
+    for audit in plan.audits.iter().filter(|a| a.private) {
+        if let Some(acc) = audit.defended_accuracy {
+            println!("  layer {:>4}: accuracy {:.1}%", audit.boundary.to_string(), acc * 100.0);
+        }
     }
+    let best = plan.best().ok_or("no allowed deployment")?;
     println!(
-        "\nboundary: layer {} (noised accuracy {:.1}%)",
-        trace.boundary,
-        trace.boundary_accuracy * 100.0
+        "\nboundary: layer {} (defended accuracy {:.1}%, defense {})",
+        best.boundary,
+        best.defended_accuracy * 100.0,
+        best.defense.label()
     );
-    println!("layers after {} can run in the clear on the server.", trace.boundary);
+    println!("layers after {} can run in the clear on the server.", best.boundary);
     Ok(())
 }

@@ -1,4 +1,20 @@
-//! Umbrella crate re-exporting the C2PI workspace for examples/tests.
+//! # c2pi-suite
+//!
+//! Umbrella crate re-exporting the whole C2PI workspace under one
+//! namespace, for examples, integration tests and downstream users who
+//! want a single dependency.
+//!
+//! Start with [`core`] (the serving API and the deployment planner) and
+//! `docs/ARCHITECTURE.md` (how the nine crates fit together).
+//!
+//! ```
+//! // Every crate is reachable through its re-export:
+//! let lan = c2pi_suite::transport::NetModel::lan();
+//! assert_eq!(lan.name, "lan");
+//! let probe = c2pi_suite::attacks::ProbeSpec::parse("mla:40").unwrap();
+//! assert_eq!(probe.kind.name(), "mla");
+//! ```
+
 pub use c2pi_attacks as attacks;
 pub use c2pi_core as core;
 pub use c2pi_data as data;
@@ -7,3 +23,16 @@ pub use c2pi_nn as nn;
 pub use c2pi_pi as pi;
 pub use c2pi_tensor as tensor;
 pub use c2pi_transport as transport;
+
+/// Compile-checks the README's `rust` code fences as doctests: every
+/// fenced block must build against the current API (run by
+/// `cargo test --doc -p c2pi-suite`, wired into CI via `ci/doccheck.sh`).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
+/// Compile-checks `docs/ARCHITECTURE.md`'s `rust` code fences as
+/// doctests, same contract as [`readme_doctests`].
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+mod architecture_doctests {}
