@@ -12,12 +12,21 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(serving_throughput session_phases transport_matrix planner_sweep)
+BENCHES=(serving_throughput session_phases transport_matrix planner_sweep gc_throughput)
 FLAGS=${BENCH_SMOKE_FLAGS:---measurement-time 1 --sample-size 3}
 # Absolute path: cargo runs bench binaries with the *package* directory
 # as cwd, so a relative CRITERION_OUT_JSON would land in crates/bench.
 OUT_DIR="$PWD/target/bench-smoke"
 mkdir -p "$OUT_DIR"
+
+# The regression baseline is the *committed* BENCH_results.json (HEAD),
+# not the working-tree file — otherwise a second run would compare
+# against its own output and a regression could ratchet past the gate
+# in sub-limit steps. Fall back to the tree file outside a git checkout.
+BASELINE="$OUT_DIR/BENCH_results.baseline.json"
+if ! git show HEAD:BENCH_results.json >"$BASELINE" 2>/dev/null; then
+    cp BENCH_results.json "$BASELINE"
+fi
 
 json_files=()
 for bench in "${BENCHES[@]}"; do
@@ -34,3 +43,11 @@ cargo run --release -p c2pi-bench --bin bench_summary -- "${json_files[@]}" \
     >BENCH_results.json
 echo "wrote BENCH_results.json:"
 head -3 BENCH_results.json
+
+# Regression gate on the hot protocol path: the Delphi online phase must
+# not regress more than 25% against the committed baseline of the same
+# run configuration. Override the limit (or disable with a huge value)
+# via BENCH_GUARD_RATIO when a machine swap invalidates the baseline.
+GUARD_RATIO=${BENCH_GUARD_RATIO:-1.25}
+cargo run --release -p c2pi-bench --bin bench_guard -- \
+    "$BASELINE" BENCH_results.json session_phases/online/delphi "$GUARD_RATIO"

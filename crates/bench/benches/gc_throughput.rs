@@ -1,0 +1,47 @@
+//! Garbled-circuit kernel throughput: nanoseconds per AND gate for
+//! garbling (the offline phase) and evaluation (the Delphi online
+//! phase), serial vs fanned out across cores via the rayon shim.
+//!
+//! The `serial` rows use one band covering the whole batch (no
+//! fan-out); the `parallel` rows use a small band so every available
+//! worker gets work. Each iteration processes a fixed batch of masked
+//! ReLU items, so ns/AND = mean_ns / (items × ands_per_item) — the
+//! per-gate figures are printed for the human log and the raw rows are
+//! merged into BENCH_results.json by `bench_summary`.
+
+use c2pi_mpc::gcpre::{eval_pregarbled, pregarble, MaskedOp};
+use c2pi_mpc::prg::Prg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ITEMS: usize = 256;
+const PAR_BAND: usize = 16;
+
+fn bench_gc_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let op = MaskedOp::Relu;
+    let ands = (ITEMS * op.ands_per_item()) as f64;
+    for (mode, band) in [("serial", ITEMS), ("parallel", PAR_BAND)] {
+        group.bench_with_input(BenchmarkId::new("garble", mode), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut prg = Prg::from_u64(1);
+                pregarble(op, ITEMS, &mut prg, band)
+            })
+        });
+        let mut prg = Prg::from_u64(1);
+        let (cmat, smat) = pregarble(op, ITEMS, &mut prg, band);
+        let g: Vec<u64> = (0..smat.inputs() as u64).collect();
+        let labels = smat.select_garbler_labels(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval", mode), &(), |bench, ()| {
+            bench.iter(|| eval_pregarbled(&cmat, &labels, band).unwrap())
+        });
+    }
+    group.finish();
+    // Rough per-gate figures for the human-readable log (the JSON rows
+    // carry the exact per-iteration times).
+    println!("  [gc_throughput] batch = {ITEMS} relu items, {ands} AND gates per iteration");
+}
+
+criterion_group!(benches, bench_gc_throughput);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! input labels and bit-triple generation).
 
 use c2pi_mpc::dealer::Dealer;
-use c2pi_mpc::ot::{gen_bit_triples, ot_receive, ot_send, KAPPA};
+use c2pi_mpc::ot::{gen_bit_triples, ot_receive, ot_send, OtExtReceiver, OtExtSender, KAPPA};
 use c2pi_mpc::prg::Prg;
 use c2pi_transport::channel_pair;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -22,6 +22,31 @@ fn bench_ot(c: &mut Criterion) {
                 let got = ot_receive(&client, &rcv, &choices).unwrap();
                 t.join().unwrap();
                 got
+            })
+        });
+        // Session-long extension: the base OTs are dealt once and four
+        // rounds extend from them — the amortisation the backends'
+        // per-session base-OT accounting models.
+        group.bench_with_input(BenchmarkId::new("extension_reuse_x4", m), &m, |bench, &m| {
+            bench.iter(|| {
+                let mut dealer = Dealer::new(5);
+                let (snd, rcv) = dealer.base_ots(KAPPA);
+                let (client, server, _) = channel_pair();
+                let pairs = vec![(1u128, 2u128); m];
+                let choices = vec![false; m];
+                let t = std::thread::spawn(move || {
+                    let mut snd = OtExtSender::new(snd);
+                    for _ in 0..4 {
+                        snd.extend(&server, &pairs).unwrap();
+                    }
+                });
+                let mut rcv = OtExtReceiver::new(rcv);
+                let mut last = Vec::new();
+                for _ in 0..4 {
+                    last = rcv.extend(&client, &choices).unwrap();
+                }
+                t.join().unwrap();
+                last
             })
         });
         group.bench_with_input(BenchmarkId::new("bit_triples_iknp", m), &m, |bench, &m| {

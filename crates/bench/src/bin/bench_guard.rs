@@ -1,0 +1,67 @@
+//! Bench regression guard: compares one benchmark row's `mean_ns`
+//! between a baseline `BENCH_results.json` and a freshly generated one,
+//! failing (exit 1) when the new mean regresses past the allowed
+//! factor.
+//!
+//! ```text
+//! bench_guard <baseline.json> <new.json> <row-id> <max-ratio>
+//! bench_guard BENCH_results.baseline.json BENCH_results.json \
+//!     session_phases/online/delphi 1.25
+//! ```
+//!
+//! A row missing from the *baseline* passes (first run of a new bench);
+//! a row missing from the *new* file fails (the bench silently
+//! disappeared). The files are the `bench_summary` output: flat JSON
+//! with one `{"id": ..., "mean_ns": N, ...}` row per line, which is all
+//! the parser relies on.
+
+fn mean_ns_for(content: &str, id: &str) -> Option<f64> {
+    let needle = format!("\"id\": \"{id}\"");
+    for line in content.lines() {
+        if !line.contains(&needle) {
+            continue;
+        }
+        let rest = line.split("\"mean_ns\":").nth(1)?;
+        let num: String =
+            rest.trim_start().chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        return num.parse().ok();
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, new_path, id, max_ratio] = args.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <new.json> <row-id> <max-ratio>");
+        std::process::exit(2);
+    };
+    let max_ratio: f64 = max_ratio.parse().unwrap_or_else(|_| {
+        eprintln!("bench_guard: max-ratio {max_ratio:?} is not a number");
+        std::process::exit(2);
+    });
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let fresh = read(new_path);
+    let Some(new_mean) = mean_ns_for(&fresh, id) else {
+        eprintln!("bench_guard: row {id:?} missing from {new_path}");
+        std::process::exit(1);
+    };
+    let Some(old_mean) = mean_ns_for(&baseline, id) else {
+        println!("bench_guard: {id}: no baseline row in {baseline_path}, passing (first run)");
+        return;
+    };
+    let ratio = new_mean / old_mean;
+    println!(
+        "bench_guard: {id}: baseline {old_mean:.0} ns -> new {new_mean:.0} ns \
+         (ratio {ratio:.3}, limit {max_ratio:.3})"
+    );
+    if ratio > max_ratio {
+        eprintln!("bench_guard: FAIL — {id} regressed by more than the allowed factor");
+        std::process::exit(1);
+    }
+}

@@ -160,6 +160,14 @@ impl Dealer {
         (BaseOtSender { choices, seeds: chosen }, BaseOtReceiver { seed_pairs: pairs })
     }
 
+    /// Forks an independent PRG off the dealer stream — the garbling
+    /// randomness of an offline-garbled layer is drawn from such a
+    /// fork, so dealing stays a pure function of the dealer seed while
+    /// per-layer garbling can proceed without holding the dealer.
+    pub fn fork_prg(&mut self) -> Prg {
+        self.prg.fork()
+    }
+
     /// Fresh shares of a uniformly random vector (used as re-masking
     /// randomness in layer hand-offs).
     pub fn random_shared(&mut self, n: usize) -> (ShareVec, ShareVec) {

@@ -15,6 +15,7 @@
 
 use crate::prg::{prf128_pair, Prg};
 use crate::{MpcError, Result};
+use std::sync::OnceLock;
 
 /// Index of a wire in a [`Circuit`].
 pub type WireId = usize;
@@ -318,6 +319,26 @@ pub fn maxpool4_masked_circuit(n: usize, bits: usize) -> Circuit {
     b.build()
 }
 
+/// Ring width of the cached unit circuits (the session ring).
+pub const UNIT_BITS: usize = 64;
+
+/// The single-element 64-bit masked-ReLU circuit, built once per
+/// process. Both the batched circuits and the offline-garbling path are
+/// element-independent, so every consumer (AND-gate counting in the
+/// backends' `prepare_*` hooks, per-element garbling and evaluation)
+/// shares this one topology instead of rebuilding it per call.
+pub fn relu_unit_circuit() -> &'static Circuit {
+    static CIRCUIT: OnceLock<Circuit> = OnceLock::new();
+    CIRCUIT.get_or_init(|| relu_masked_circuit(1, UNIT_BITS))
+}
+
+/// The single-window 64-bit masked 4-way-max circuit, built once per
+/// process (see [`relu_unit_circuit`]).
+pub fn maxpool4_unit_circuit() -> &'static Circuit {
+    static CIRCUIT: OnceLock<Circuit> = OnceLock::new();
+    CIRCUIT.get_or_init(|| maxpool4_masked_circuit(1, UNIT_BITS))
+}
+
 /// The garbler's artifacts for one circuit.
 #[derive(Debug, Clone)]
 pub struct Garbled {
@@ -331,19 +352,40 @@ pub struct Garbled {
     pub output_decode: Vec<bool>,
 }
 
-/// Garbles `circuit` with the garbler's input bits fixed.
+/// A garbling whose *inputs are still open*: label pairs for every
+/// input wire on both sides, so neither party's bits need to be known
+/// at garble time. This is the offline-phase artifact: the circuit can
+/// be garbled input-independently (during preprocessing) and the active
+/// labels selected with [`select_labels`] once the online values exist.
+#[derive(Debug, Clone)]
+pub struct OpenGarbled {
+    /// Four-row tables for each AND gate, in gate order.
+    pub tables: Vec<[u128; 4]>,
+    /// Label pairs for the garbler's input wires.
+    pub garbler_label_pairs: Vec<(u128, u128)>,
+    /// Label pairs for the evaluator's input wires.
+    pub evaluator_label_pairs: Vec<(u128, u128)>,
+    /// Permute bit of each output wire's zero label (for decoding).
+    pub output_decode: Vec<bool>,
+}
+
+/// Selects the active labels for `bits` from per-wire label pairs.
 ///
-/// # Errors
+/// # Panics
 ///
-/// Returns an error when `garbler_bits` length disagrees.
-pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result<Garbled> {
-    if garbler_bits.len() != circuit.garbler_inputs.len() {
-        return Err(MpcError::BadConfig(format!(
-            "garbler has {} bits for {} input wires",
-            garbler_bits.len(),
-            circuit.garbler_inputs.len()
-        )));
-    }
+/// Panics when the lengths disagree (a caller bug).
+pub fn select_labels(pairs: &[(u128, u128)], bits: &[bool]) -> Vec<u128> {
+    assert_eq!(pairs.len(), bits.len(), "label pair / bit count mismatch");
+    pairs.iter().zip(bits.iter()).map(|(&(l0, l1), &b)| if b { l1 } else { l0 }).collect()
+}
+
+/// Garbles `circuit` without fixing any input bits, returning label
+/// pairs for every input wire (see [`OpenGarbled`]).
+///
+/// Draws from `prg` in the same order as [`garble`], so fixing the
+/// garbler bits of an open garbling afterwards reproduces [`garble`]
+/// bit for bit.
+pub fn garble_open(circuit: &Circuit, prg: &mut Prg) -> OpenGarbled {
     let delta = prg.next_u128() | 1; // low bit set: permute bit offset
     let mut zero = vec![0u128; circuit.n_wires];
     for &w in circuit.garbler_inputs.iter().chain(circuit.evaluator_inputs.iter()) {
@@ -371,16 +413,35 @@ pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result
             }
         }
     }
+    let garbler_label_pairs =
+        circuit.garbler_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
     let evaluator_label_pairs =
         circuit.evaluator_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
-    let garbler_labels = circuit
-        .garbler_inputs
-        .iter()
-        .zip(garbler_bits.iter())
-        .map(|(&w, &bit)| zero[w] ^ if bit { delta } else { 0 })
-        .collect();
     let output_decode = circuit.outputs.iter().map(|&w| zero[w] & 1 == 1).collect();
-    Ok(Garbled { tables, evaluator_label_pairs, garbler_labels, output_decode })
+    OpenGarbled { tables, garbler_label_pairs, evaluator_label_pairs, output_decode }
+}
+
+/// Garbles `circuit` with the garbler's input bits fixed.
+///
+/// # Errors
+///
+/// Returns an error when `garbler_bits` length disagrees.
+pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result<Garbled> {
+    if garbler_bits.len() != circuit.garbler_inputs.len() {
+        return Err(MpcError::BadConfig(format!(
+            "garbler has {} bits for {} input wires",
+            garbler_bits.len(),
+            circuit.garbler_inputs.len()
+        )));
+    }
+    let open = garble_open(circuit, prg);
+    let garbler_labels = select_labels(&open.garbler_label_pairs, garbler_bits);
+    Ok(Garbled {
+        tables: open.tables,
+        evaluator_label_pairs: open.evaluator_label_pairs,
+        garbler_labels,
+        output_decode: open.output_decode,
+    })
 }
 
 /// Evaluates a garbled circuit given the active input labels, returning
@@ -565,6 +626,52 @@ mod tests {
         for v in [0u64, 1, 42, u64::MAX, 1 << 63] {
             assert_eq!(from_bits(&to_bits(v, 64)), v);
         }
+    }
+
+    #[test]
+    fn open_garbling_fixed_afterwards_equals_direct_garbling() {
+        // garble() is garble_open() + select_labels(); both must draw
+        // the PRG identically so offline and lockstep paths agree.
+        let c = relu_masked_circuit(1, 16);
+        let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|i| i % 3 == 0).collect();
+        let direct = garble(&c, &g_bits, &mut Prg::from_u64(77)).unwrap();
+        let open = garble_open(&c, &mut Prg::from_u64(77));
+        assert_eq!(direct.tables, open.tables);
+        assert_eq!(direct.evaluator_label_pairs, open.evaluator_label_pairs);
+        assert_eq!(direct.output_decode, open.output_decode);
+        assert_eq!(direct.garbler_labels, select_labels(&open.garbler_label_pairs, &g_bits));
+    }
+
+    #[test]
+    fn open_garbling_evaluates_for_any_late_bound_inputs() {
+        let c = relu_masked_circuit(1, 16);
+        let open = garble_open(&c, &mut Prg::from_u64(78));
+        let mut prg = Prg::from_u64(79);
+        for _ in 0..4 {
+            let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|_| prg.next_bool()).collect();
+            let e_bits: Vec<bool> =
+                (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
+            let out = evaluate(
+                &c,
+                &open.tables,
+                &select_labels(&open.garbler_label_pairs, &g_bits),
+                &select_labels(&open.evaluator_label_pairs, &e_bits),
+                &open.output_decode,
+            )
+            .unwrap();
+            assert_eq!(out, c.eval_plain(&g_bits, &e_bits).unwrap());
+        }
+    }
+
+    #[test]
+    fn unit_circuits_are_cached_and_match_fresh_builds() {
+        assert!(std::ptr::eq(relu_unit_circuit(), relu_unit_circuit()));
+        assert!(std::ptr::eq(maxpool4_unit_circuit(), maxpool4_unit_circuit()));
+        assert_eq!(relu_unit_circuit().and_count(), relu_masked_circuit(1, UNIT_BITS).and_count());
+        assert_eq!(
+            maxpool4_unit_circuit().and_count(),
+            maxpool4_masked_circuit(1, UNIT_BITS).and_count()
+        );
     }
 
     proptest! {

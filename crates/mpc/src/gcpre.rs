@@ -1,0 +1,493 @@
+//! Offline-garbled masked non-linearities — the Delphi phase split done
+//! properly: **no garbling, no base OTs and no table transfer on the
+//! online path**.
+//!
+//! The trick (Mishra et al., USENIX Security 2020) is to make the
+//! *evaluator's* circuit input a value that exists before the input
+//! does. During preprocessing the dealer samples a uniform mask `m` per
+//! input element and an output mask `r` per item, garbles the masked
+//! circuit ([`crate::gc::garble_open`]) and fixes everything that is
+//! already known:
+//!
+//! * the evaluator's active labels for the bits of `m` (with a trusted
+//!   dealer these are dealt directly; a real deployment transfers them
+//!   with the session-long IKNP extension of [`crate::ot`], whose
+//!   traffic the engine charges to the offline phase);
+//! * the garbler's active labels for the output-mask input `−r`;
+//! * the AND tables and output-decode bits, handed to the evaluator.
+//!
+//! Only the garbler's *value-dependent* input wires stay open: their
+//! label **pairs** go into the garbler's half. Online, per layer:
+//!
+//! 1. evaluator → garbler: `δ = x₀ − m` (one frame, 8 bytes/element);
+//! 2. garbler → evaluator: the active labels for `g = x₁ + δ = x − m`
+//!    (one frame, 16 bytes/label) — selecting labels is an XOR, the
+//!    garbler does no cryptographic work;
+//! 3. the evaluator evaluates every item (fanned out across the
+//!    available cores) and decodes its output share `f(x) − r`; the
+//!    garbler's share is `r`.
+//!
+//! `δ` is uniform (masked by `m`) and the labels reveal exactly one
+//! circuit path, so the online messages leak nothing beyond the
+//! standard garbled-circuit guarantees. One round trip per layer, total.
+//!
+//! Items (one ReLU element, one 4-way max window) are garbled and
+//! evaluated **independently** against the process-wide unit circuits
+//! ([`crate::gc::relu_unit_circuit`] / [`crate::gc::maxpool4_unit_circuit`]),
+//! which is what makes both phases embarrassingly parallel and
+//! deterministic: per-item garbling seeds are drawn sequentially from
+//! the dealer PRG, then the band size only controls parallelism, never
+//! the result.
+
+use crate::gc::{
+    evaluate, from_bits, garble_open, maxpool4_unit_circuit, relu_unit_circuit, select_labels,
+    to_bits, Circuit, UNIT_BITS,
+};
+use crate::prg::Prg;
+use crate::share::ShareVec;
+use crate::{MpcError, Result};
+use c2pi_transport::Channel;
+use rayon::prelude::*;
+
+/// Which masked unit circuit a pre-garbled batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskedOp {
+    /// `relu(x) − r` over one 64-bit ring element per item.
+    Relu,
+    /// `max(v₀..v₃) − r` over one 2×2 pool window (four elements) per
+    /// item.
+    Maxpool4,
+}
+
+impl MaskedOp {
+    /// The cached single-item circuit topology.
+    pub fn unit_circuit(&self) -> &'static Circuit {
+        match self {
+            MaskedOp::Relu => relu_unit_circuit(),
+            MaskedOp::Maxpool4 => maxpool4_unit_circuit(),
+        }
+    }
+
+    /// Ring elements fed into one item (1 for ReLU, 4 for a window).
+    pub fn in_elems(&self) -> usize {
+        match self {
+            MaskedOp::Relu => 1,
+            MaskedOp::Maxpool4 => 4,
+        }
+    }
+
+    /// AND gates garbled per item.
+    pub fn ands_per_item(&self) -> usize {
+        self.unit_circuit().and_count()
+    }
+}
+
+/// The evaluator's (client's) half of an offline-garbled batch: its
+/// input masks, the tables, its active input labels, the garbler's
+/// already-fixed output-mask labels and the decode bits. Everything in
+/// here is input-independent.
+#[derive(Debug, Clone)]
+pub struct PreGarbledClient {
+    op: MaskedOp,
+    /// Input masks `m`, one per input element (item-major).
+    masks: Vec<u64>,
+    /// AND tables, item-major.
+    tables: Vec<[u128; 4]>,
+    /// Active evaluator labels for the bits of `m`, item-major.
+    eval_labels: Vec<u128>,
+    /// Active garbler labels for the `−r` output-mask inputs.
+    fixed_labels: Vec<u128>,
+    /// Output permute bits.
+    decode: Vec<bool>,
+}
+
+/// The garbler's (server's) half: label pairs for its value-dependent
+/// input wires plus its dealt output share `r`.
+#[derive(Debug, Clone)]
+pub struct PreGarbledServer {
+    op: MaskedOp,
+    /// Label pairs for the garbler's online inputs (`x − m` bits),
+    /// item-major.
+    pairs: Vec<(u128, u128)>,
+    /// The garbler's output share, one element per item.
+    out_share: Vec<u64>,
+}
+
+impl PreGarbledClient {
+    /// The masked op this batch was garbled for.
+    pub fn op(&self) -> MaskedOp {
+        self.op
+    }
+
+    /// Number of items in the batch.
+    pub fn items(&self) -> usize {
+        self.decode.len() / UNIT_BITS
+    }
+
+    /// Number of input ring elements (`items × in_elems`).
+    pub fn inputs(&self) -> usize {
+        self.masks.len()
+    }
+}
+
+impl PreGarbledServer {
+    /// The masked op this batch was garbled for.
+    pub fn op(&self) -> MaskedOp {
+        self.op
+    }
+
+    /// Number of items in the batch.
+    pub fn items(&self) -> usize {
+        self.out_share.len()
+    }
+
+    /// Number of input ring elements (`items × in_elems`).
+    pub fn inputs(&self) -> usize {
+        self.pairs.len() / UNIT_BITS
+    }
+
+    /// Selects the active labels for the garbler's online input values
+    /// `g` (item-major ring elements) — the garbler's entire online
+    /// compute: one XOR-select per bit, no PRF.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error when `g` disagrees with the material.
+    pub fn select_garbler_labels(&self, g: &[u64]) -> Result<Vec<u128>> {
+        if g.len() != self.inputs() {
+            return Err(MpcError::Protocol(format!(
+                "pre-garbled material for {} inputs, got {}",
+                self.inputs(),
+                g.len()
+            )));
+        }
+        let mut labels = Vec::with_capacity(self.pairs.len());
+        for (e, &v) in g.iter().enumerate() {
+            let pairs = &self.pairs[e * UNIT_BITS..(e + 1) * UNIT_BITS];
+            for (bit, &(l0, l1)) in pairs.iter().enumerate() {
+                labels.push(if (v >> bit) & 1 == 1 { l1 } else { l0 });
+            }
+        }
+        Ok(labels)
+    }
+}
+
+/// One *band's* garbled artifacts, produced inside the parallel
+/// fan-out and concatenated afterwards. Accumulating per band (not per
+/// item) keeps allocations at five exact-sized vectors per worker band
+/// and makes the final flatten a handful of bulk copies.
+#[derive(Debug, Default, Clone)]
+struct BandGarbling {
+    tables: Vec<[u128; 4]>,
+    eval_labels: Vec<u128>,
+    fixed_labels: Vec<u128>,
+    decode: Vec<bool>,
+    pairs: Vec<(u128, u128)>,
+}
+
+/// Garbles `items` instances of `op`'s masked unit circuit with fresh
+/// input masks and output shares, fanning the per-item garbling out in
+/// bands of `par_band` items. The result is a pure function of the
+/// `prg` state — the band size only controls parallelism.
+pub fn pregarble(
+    op: MaskedOp,
+    items: usize,
+    prg: &mut Prg,
+    par_band: usize,
+) -> (PreGarbledClient, PreGarbledServer) {
+    let in_elems = op.in_elems();
+    let ands = op.ands_per_item();
+    let inputs = items * in_elems;
+    let masks = prg.next_u64s(inputs);
+    let out_share = prg.next_u64s(items);
+    let seeds: Vec<[u8; 32]> = (0..items)
+        .map(|_| {
+            let mut s = [0u8; 32];
+            prg.fill_bytes(&mut s);
+            s
+        })
+        .collect();
+    let circuit = op.unit_circuit();
+    let online_wires = in_elems * UNIT_BITS;
+    let band = par_band.max(1);
+    let mut bands: Vec<BandGarbling> = vec![BandGarbling::default(); items.div_ceil(band).max(1)];
+    {
+        let masks = &masks;
+        let out_share = &out_share;
+        let seeds = &seeds;
+        // One-slot chunks: the rayon shim only offers par_chunks_mut,
+        // so this is its spelling of `bands.par_iter_mut()` — the `1`
+        // is not a tuning knob; band sizing happens via `band` above.
+        bands.par_chunks_mut(1).enumerate().for_each(|(bi, chunk)| {
+            let slot = &mut chunk[0];
+            let start = bi * band;
+            let end = (start + band).min(items);
+            slot.tables.reserve_exact((end - start) * ands);
+            slot.eval_labels.reserve_exact((end - start) * online_wires);
+            slot.fixed_labels.reserve_exact((end - start) * UNIT_BITS);
+            slot.decode.reserve_exact((end - start) * UNIT_BITS);
+            slot.pairs.reserve_exact((end - start) * online_wires);
+            for i in start..end {
+                let open = garble_open(circuit, &mut Prg::from_seed(seeds[i]));
+                for (w, &(l0, l1)) in open.evaluator_label_pairs.iter().enumerate() {
+                    let m = masks[i * in_elems + w / UNIT_BITS];
+                    slot.eval_labels.push(if (m >> (w % UNIT_BITS)) & 1 == 1 { l1 } else { l0 });
+                }
+                let mask_bits = to_bits(out_share[i].wrapping_neg(), UNIT_BITS);
+                slot.fixed_labels
+                    .extend(select_labels(&open.garbler_label_pairs[online_wires..], &mask_bits));
+                slot.pairs.extend_from_slice(&open.garbler_label_pairs[..online_wires]);
+                slot.tables.extend(open.tables);
+                slot.decode.extend(open.output_decode);
+            }
+        });
+    }
+    let mut client = PreGarbledClient {
+        op,
+        masks,
+        tables: Vec::with_capacity(items * ands),
+        eval_labels: Vec::with_capacity(inputs * UNIT_BITS),
+        fixed_labels: Vec::with_capacity(items * UNIT_BITS),
+        decode: Vec::with_capacity(items * UNIT_BITS),
+    };
+    let mut pairs = Vec::with_capacity(inputs * UNIT_BITS);
+    for slot in bands {
+        client.tables.extend(slot.tables);
+        client.eval_labels.extend(slot.eval_labels);
+        client.fixed_labels.extend(slot.fixed_labels);
+        client.decode.extend(slot.decode);
+        pairs.extend(slot.pairs);
+    }
+    (client, PreGarbledServer { op, pairs, out_share })
+}
+
+fn pack_labels(labels: &[u128]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(labels.len() * 16);
+    for l in labels {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out
+}
+
+fn unpack_labels(raw: &[u8]) -> Result<Vec<u128>> {
+    if !raw.len().is_multiple_of(16) {
+        return Err(MpcError::Protocol(format!("label frame of {} bytes", raw.len())));
+    }
+    Ok(raw.chunks_exact(16).map(|c| u128::from_le_bytes(c.try_into().expect("16 bytes"))).collect())
+}
+
+/// Garbler (server) side of the online phase over one pre-garbled
+/// layer: receives `δ`, selects the active labels for `x₁ + δ` (pure
+/// XOR — no garbling, no OT), sends them back, and returns the dealt
+/// output share `r`.
+///
+/// # Errors
+///
+/// Returns transport errors, or a protocol error when the share length
+/// disagrees with the material.
+pub fn pre_gc_garbler<C: Channel + ?Sized>(
+    ep: &C,
+    mat: &PreGarbledServer,
+    share: &ShareVec,
+) -> Result<ShareVec> {
+    if share.len() != mat.inputs() {
+        return Err(MpcError::Protocol(format!(
+            "pre-garbled material for {} inputs, share has {}",
+            mat.inputs(),
+            share.len()
+        )));
+    }
+    let delta = ep.recv_u64s().map_err(MpcError::from)?;
+    if delta.len() != mat.inputs() {
+        return Err(MpcError::Protocol(format!(
+            "expected {} masked inputs, got {}",
+            mat.inputs(),
+            delta.len()
+        )));
+    }
+    let g: Vec<u64> =
+        share.as_raw().iter().zip(delta.iter()).map(|(&x1, &d)| x1.wrapping_add(d)).collect();
+    let labels = mat.select_garbler_labels(&g)?;
+    ep.send_bytes(&pack_labels(&labels)).map_err(MpcError::from)?;
+    Ok(ShareVec::from_raw(mat.out_share.clone()))
+}
+
+/// Evaluator (client) side of the online phase: sends `δ = x₀ − m`,
+/// receives the garbler's active labels, evaluates every item (fanned
+/// out in bands of `par_band` items) and returns its output share
+/// `f(x) − r`.
+///
+/// # Errors
+///
+/// Returns transport errors, or a protocol error when frame sizes or
+/// the share length disagree with the material.
+pub fn pre_gc_evaluator<C: Channel + ?Sized>(
+    ep: &C,
+    mat: &PreGarbledClient,
+    share: &ShareVec,
+    par_band: usize,
+) -> Result<ShareVec> {
+    if share.len() != mat.inputs() {
+        return Err(MpcError::Protocol(format!(
+            "pre-garbled material for {} inputs, share has {}",
+            mat.inputs(),
+            share.len()
+        )));
+    }
+    let delta: Vec<u64> =
+        share.as_raw().iter().zip(mat.masks.iter()).map(|(&x0, &m)| x0.wrapping_sub(m)).collect();
+    ep.send_u64s(&delta).map_err(MpcError::from)?;
+    let garbler_labels = unpack_labels(&ep.recv_bytes().map_err(MpcError::from)?)?;
+    if garbler_labels.len() != mat.inputs() * UNIT_BITS {
+        return Err(MpcError::Protocol(format!(
+            "expected {} garbler labels, got {}",
+            mat.inputs() * UNIT_BITS,
+            garbler_labels.len()
+        )));
+    }
+    eval_pregarbled(mat, &garbler_labels, par_band)
+}
+
+/// Evaluates a pre-garbled batch given the garbler's active online
+/// labels (exposed separately for benchmarking the evaluation kernel).
+///
+/// # Errors
+///
+/// Returns a protocol error when the label count disagrees with the
+/// material.
+pub fn eval_pregarbled(
+    mat: &PreGarbledClient,
+    garbler_labels: &[u128],
+    par_band: usize,
+) -> Result<ShareVec> {
+    let items = mat.items();
+    let in_elems = mat.op.in_elems();
+    let ands = mat.op.ands_per_item();
+    if garbler_labels.len() != items * in_elems * UNIT_BITS
+        || mat.tables.len() != items * ands
+        || mat.eval_labels.len() != items * in_elems * UNIT_BITS
+        || mat.fixed_labels.len() != items * UNIT_BITS
+    {
+        return Err(MpcError::Protocol("pre-garbled artifact counts disagree".into()));
+    }
+    let circuit = mat.op.unit_circuit();
+    let online_wires = in_elems * UNIT_BITS;
+    let mut out = vec![0u64; items];
+    let band = par_band.max(1);
+    out.par_chunks_mut(band).enumerate().for_each(|(bi, chunk)| {
+        let mut garbler = vec![0u128; online_wires + UNIT_BITS];
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let i = bi * band + k;
+            garbler[..online_wires]
+                .copy_from_slice(&garbler_labels[i * online_wires..(i + 1) * online_wires]);
+            garbler[online_wires..]
+                .copy_from_slice(&mat.fixed_labels[i * UNIT_BITS..(i + 1) * UNIT_BITS]);
+            let bits = evaluate(
+                circuit,
+                &mat.tables[i * ands..(i + 1) * ands],
+                &garbler,
+                &mat.eval_labels[i * online_wires..(i + 1) * online_wires],
+                &mat.decode[i * UNIT_BITS..(i + 1) * UNIT_BITS],
+            )
+            .expect("lengths validated above");
+            *slot = from_bits(&bits);
+        }
+    });
+    Ok(ShareVec::from_raw(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedPoint;
+    use crate::share::{reconstruct, share_secret};
+    use c2pi_transport::channel_pair;
+
+    fn run_layer(
+        op: MaskedOp,
+        values: &[f32],
+        seed: u64,
+        par_band: usize,
+    ) -> (Vec<u64>, c2pi_transport::TrafficSnapshot) {
+        let fp = FixedPoint::default();
+        let secret: Vec<u64> = values.iter().map(|&v| fp.encode(v)).collect();
+        let mut prg = Prg::from_u64(seed);
+        let (x0, x1) = share_secret(&secret, &mut prg);
+        let items = values.len() / op.in_elems();
+        let (cmat, smat) = pregarble(op, items, &mut prg, par_band);
+        let (client, server, counter) = channel_pair();
+        let t = std::thread::spawn(move || pre_gc_garbler(&server, &smat, &x1).unwrap());
+        let y0 = pre_gc_evaluator(&client, &cmat, &x0, par_band).unwrap();
+        let y1 = t.join().unwrap();
+        (reconstruct(&y0, &y1), counter.snapshot())
+    }
+
+    #[test]
+    fn offline_garbled_relu_matches_plaintext() {
+        let fp = FixedPoint::default();
+        let values = vec![-3.0f32, -0.5, -0.001, 0.0, 0.001, 0.5, 3.0, 10.0];
+        let (y, traffic) = run_layer(MaskedOp::Relu, &values, 5, 3);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(y[i], fp.encode(v.max(0.0)), "relu({v})");
+        }
+        // The whole layer is one round trip: δ up, labels down.
+        assert_eq!(traffic.flights, 2);
+        assert_eq!(traffic.messages, 2);
+        assert_eq!(traffic.bytes_client_to_server, 8 * values.len() as u64);
+        assert_eq!(traffic.bytes_server_to_client, 16 * 64 * values.len() as u64);
+    }
+
+    #[test]
+    fn offline_garbled_maxpool_matches_plaintext() {
+        let fp = FixedPoint::default();
+        let values = vec![1.0f32, -2.0, 0.5, 0.75, -1.0, -2.0, -3.0, -0.25];
+        let (y, traffic) = run_layer(MaskedOp::Maxpool4, &values, 7, 1);
+        assert_eq!(y.len(), 2);
+        assert_eq!(y[0], fp.encode(1.0));
+        assert_eq!(y[1], fp.encode(-0.25));
+        assert_eq!(traffic.flights, 2);
+    }
+
+    #[test]
+    fn band_size_does_not_change_the_material_or_the_result() {
+        // Parallel fan-out must be invisible: the per-item seeds are
+        // drawn sequentially, so any band size garbles identically.
+        let values: Vec<f32> = (0..13).map(|i| i as f32 - 6.0).collect();
+        let (a, _) = run_layer(MaskedOp::Relu, &values, 11, 1);
+        let (b, _) = run_layer(MaskedOp::Relu, &values, 11, 4);
+        let (c, _) = run_layer(MaskedOp::Relu, &values, 11, 64);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let mut prg_x = Prg::from_u64(19);
+        let mut prg_y = Prg::from_u64(19);
+        let (cx, sx) = pregarble(MaskedOp::Relu, 5, &mut prg_x, 2);
+        let (cy, sy) = pregarble(MaskedOp::Relu, 5, &mut prg_y, 5);
+        assert_eq!(cx.tables, cy.tables);
+        assert_eq!(cx.eval_labels, cy.eval_labels);
+        assert_eq!(sx.pairs, sy.pairs);
+        assert_eq!(sx.out_share, sy.out_share);
+    }
+
+    #[test]
+    fn mismatched_share_lengths_are_rejected() {
+        let mut prg = Prg::from_u64(23);
+        let (cmat, smat) = pregarble(MaskedOp::Relu, 4, &mut prg, 2);
+        let (client, server, _) = channel_pair();
+        let bad = ShareVec::from_raw(vec![1, 2, 3]);
+        assert!(pre_gc_evaluator(&client, &cmat, &bad, 2).is_err());
+        assert!(pre_gc_garbler(&server, &smat, &bad).is_err());
+    }
+
+    #[test]
+    fn delta_is_uniformly_masked() {
+        // The one value-dependent message the evaluator sends is δ =
+        // x₀ − m; for a constant input it must not be constant.
+        let mut prg = Prg::from_u64(29);
+        let (cmat, _) = pregarble(MaskedOp::Relu, 32, &mut prg, 8);
+        let x0 = ShareVec::from_raw(vec![42u64; 32]);
+        let deltas: Vec<u64> =
+            x0.as_raw().iter().zip(cmat.masks.iter()).map(|(&x, &m)| x.wrapping_sub(m)).collect();
+        let distinct: std::collections::HashSet<&u64> = deltas.iter().collect();
+        assert!(distinct.len() > 16, "δ looks non-uniform: {distinct:?}");
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`gmw`] | boolean sharing, batched AND, log-depth comparison, DReLU |
 //! | [`beaver`] | arithmetic multiplication / matmul with triples + truncation |
 //! | [`gc`] | Yao garbled circuits with free-XOR and point-and-permute |
+//! | [`gcpre`] | offline-garbled masked non-linearities: input-independent garbling in the offline phase, a one-round-trip label exchange online |
 //! | [`relu`] | the two secure ReLU protocols (GC-based à la Delphi, comparison-based à la Cheetah/CrypTFlow2) and secure max-pooling |
 //!
 //! The semi-honest threat model of the paper is assumed throughout.
@@ -47,6 +48,7 @@ pub mod dealer;
 pub mod error;
 pub mod fixed;
 pub mod gc;
+pub mod gcpre;
 pub mod gmw;
 pub mod ot;
 pub mod prg;

@@ -7,6 +7,14 @@
 //! correction matrix (the dominant 16 bytes/OT of traffic), the
 //! correlation-robust hash, and the masked message pairs — all moving
 //! through the byte-counted channel.
+//!
+//! One set of [`KAPPA`] base OTs per *session* is enough: the stateful
+//! [`OtExtSender`] / [`OtExtReceiver`] pair stretches it to any number
+//! of label transfers across any number of extension rounds, deriving
+//! each round's matrix expansion from a fresh PRG nonce (both sides
+//! advance the tweak in lockstep). This replaces the old
+//! one-base-OT-set-per-batch pattern — base OTs are the expensive,
+//! amortised setup; extensions are the cheap repeatable part.
 
 use crate::dealer::{BaseOtReceiver, BaseOtSender};
 use crate::prg::{prf128, Prg};
@@ -16,8 +24,8 @@ use c2pi_transport::Channel;
 /// Security parameter: number of base OTs / label width in bits.
 pub const KAPPA: usize = 128;
 
-fn expand_bits(seed: &[u8; 32], n: usize) -> Vec<bool> {
-    let mut prg = Prg::from_seed(*seed);
+fn expand_bits(seed: &[u8; 32], tweak: u64, n: usize) -> Vec<bool> {
+    let mut prg = Prg::from_seed_nonce(*seed, tweak);
     let mut out = Vec::with_capacity(n);
     let mut word = 0u64;
     for i in 0..n {
@@ -49,12 +57,25 @@ fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
 /// Runs the receiver side of an IKNP extension for `choices.len()`
 /// message-pair OTs, returning the chosen 128-bit messages.
 ///
+/// Single-shot form (expansion tweak 0): correct for base-OT material
+/// used once. When one base set serves many rounds, go through
+/// [`OtExtReceiver`], which advances the tweak per round.
+///
 /// # Errors
 ///
 /// Returns transport or protocol errors.
 pub fn ot_receive<C: Channel + ?Sized>(
     ep: &C,
     base: &BaseOtReceiver,
+    choices: &[bool],
+) -> Result<Vec<u128>> {
+    ot_receive_tweaked(ep, base, 0, choices)
+}
+
+fn ot_receive_tweaked<C: Channel + ?Sized>(
+    ep: &C,
+    base: &BaseOtReceiver,
+    tweak: u64,
     choices: &[bool],
 ) -> Result<Vec<u128>> {
     let m = choices.len();
@@ -68,8 +89,8 @@ pub fn ot_receive<C: Channel + ?Sized>(
     let mut t_rows: Vec<Vec<bool>> = Vec::with_capacity(KAPPA);
     let mut u_frame: Vec<u8> = Vec::with_capacity(KAPPA * m.div_ceil(8));
     for (k0, k1) in &base.seed_pairs {
-        let t = expand_bits(k0, m);
-        let g1 = expand_bits(k1, m);
+        let t = expand_bits(k0, tweak, m);
+        let g1 = expand_bits(k1, tweak, m);
         let u: Vec<bool> = t
             .iter()
             .zip(g1.iter())
@@ -110,12 +131,24 @@ pub fn ot_receive<C: Channel + ?Sized>(
 /// Runs the sender side of an IKNP extension, transferring one of each
 /// 128-bit message pair according to the receiver's choices.
 ///
+/// Single-shot form (expansion tweak 0); see [`OtExtSender`] for the
+/// multi-round stateful counterpart.
+///
 /// # Errors
 ///
 /// Returns transport or protocol errors.
 pub fn ot_send<C: Channel + ?Sized>(
     ep: &C,
     base: &BaseOtSender,
+    pairs: &[(u128, u128)],
+) -> Result<()> {
+    ot_send_tweaked(ep, base, 0, pairs)
+}
+
+fn ot_send_tweaked<C: Channel + ?Sized>(
+    ep: &C,
+    base: &BaseOtSender,
+    tweak: u64,
     pairs: &[(u128, u128)],
 ) -> Result<()> {
     let m = pairs.len();
@@ -141,7 +174,7 @@ pub fn ot_send<C: Channel + ?Sized>(
         if base.choices[i] {
             s_word |= 1u128 << i;
         }
-        let g = expand_bits(&base.seeds[i], m);
+        let g = expand_bits(&base.seeds[i], tweak, m);
         let u = unpack_bits(&u_frame[i * row_bytes..(i + 1) * row_bytes], m);
         for j in 0..m {
             let qij = g[j] ^ (base.choices[i] & u[j]);
@@ -159,6 +192,93 @@ pub fn ot_send<C: Channel + ?Sized>(
     }
     ep.send_bytes(&pads)?;
     Ok(())
+}
+
+/// Stateful sender side of a session-long IKNP extension: one set of
+/// [`KAPPA`] base OTs stretched across any number of
+/// [`OtExtSender::extend`] rounds. Each round expands the base seeds
+/// under a fresh PRG nonce, so rounds are independent; both parties
+/// must make their rounds in the same order (the tweaks advance in
+/// lockstep).
+///
+/// Deliberately not `Clone`: two live copies would expand the same
+/// `(seed, nonce)` stream for different payloads, which is exactly the
+/// reuse the per-round nonce exists to prevent. Likewise, a round that
+/// returns an error must not be retried on the same state — the peer's
+/// counter may or may not have advanced; wrap fresh base-OT material
+/// instead.
+#[derive(Debug)]
+pub struct OtExtSender {
+    base: BaseOtSender,
+    tweak: u64,
+}
+
+/// Stateful receiver side of a session-long IKNP extension (see
+/// [`OtExtSender`], including the no-`Clone`/no-retry contract).
+#[derive(Debug)]
+pub struct OtExtReceiver {
+    base: BaseOtReceiver,
+    tweak: u64,
+}
+
+/// First tweak the stateful extension wrappers use: tweak 0 is reserved
+/// for the single-shot [`ot_send`]/[`ot_receive`] form, so a base set
+/// that served one single-shot transfer and is then wrapped can never
+/// reuse a `(seed, nonce)` expansion across different payloads.
+const FIRST_ROUND_TWEAK: u64 = 1;
+
+impl OtExtSender {
+    /// Wraps the session's base-OT material.
+    pub fn new(base: BaseOtSender) -> Self {
+        OtExtSender { base, tweak: FIRST_ROUND_TWEAK }
+    }
+
+    /// Extension rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.tweak - FIRST_ROUND_TWEAK
+    }
+
+    /// Transfers one of each message pair according to the peer
+    /// receiver's choices, then advances to the next round. The round
+    /// counter only advances on success, so both sides stay in lockstep
+    /// over *completed* rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors. After an error this
+    /// extension state is poisoned for the channel (the peer's round
+    /// counter is indeterminate) — do not retry on it.
+    pub fn extend<C: Channel + ?Sized>(&mut self, ep: &C, pairs: &[(u128, u128)]) -> Result<()> {
+        ot_send_tweaked(ep, &self.base, self.tweak, pairs)?;
+        self.tweak += 1;
+        Ok(())
+    }
+}
+
+impl OtExtReceiver {
+    /// Wraps the session's base-OT material.
+    pub fn new(base: BaseOtReceiver) -> Self {
+        OtExtReceiver { base, tweak: FIRST_ROUND_TWEAK }
+    }
+
+    /// Extension rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.tweak - FIRST_ROUND_TWEAK
+    }
+
+    /// Receives the chosen message of each pair the peer sender offers,
+    /// then advances to the next round (on success only — see
+    /// [`OtExtSender::extend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors. After an error this
+    /// extension state is poisoned for the channel — do not retry on it.
+    pub fn extend<C: Channel + ?Sized>(&mut self, ep: &C, choices: &[bool]) -> Result<Vec<u128>> {
+        let out = ot_receive_tweaked(ep, &self.base, self.tweak, choices)?;
+        self.tweak += 1;
+        Ok(out)
+    }
 }
 
 /// One party's share of a batch of boolean AND (bit Beaver) triples:
@@ -256,6 +376,10 @@ mod tests {
     use crate::dealer::Dealer;
     use c2pi_transport::channel_pair;
 
+    /// One extension round's inputs: the sender's pairs and the
+    /// receiver's choices.
+    type Round = (Vec<(u128, u128)>, Vec<bool>);
+
     #[test]
     fn pack_unpack_round_trip() {
         let bits = vec![true, false, true, true, false, false, false, true, true, false];
@@ -263,10 +387,88 @@ mod tests {
     }
 
     #[test]
-    fn expand_bits_is_deterministic() {
+    fn expand_bits_is_deterministic_and_tweak_separated() {
         let seed = [3u8; 32];
-        assert_eq!(expand_bits(&seed, 100), expand_bits(&seed, 100));
-        assert_ne!(expand_bits(&seed, 100), expand_bits(&[4u8; 32], 100));
+        assert_eq!(expand_bits(&seed, 0, 100), expand_bits(&seed, 0, 100));
+        assert_ne!(expand_bits(&seed, 0, 100), expand_bits(&[4u8; 32], 0, 100));
+        // Distinct tweaks give independent expansions of the same seed —
+        // what lets one base-OT set serve many extension rounds.
+        assert_ne!(expand_bits(&seed, 0, 100), expand_bits(&seed, 1, 100));
+    }
+
+    #[test]
+    fn one_base_set_serves_many_extension_rounds() {
+        let mut dealer = Dealer::new(29);
+        let (snd_base, rcv_base) = dealer.base_ots(KAPPA);
+        let (client, server, _) = channel_pair();
+        let mut prg = Prg::from_u64(31);
+        let rounds: Vec<Round> = (0..3)
+            .map(|r| {
+                let m = 50 + 17 * r;
+                let pairs: Vec<(u128, u128)> =
+                    (0..m).map(|_| (prg.next_u128(), prg.next_u128())).collect();
+                let choices: Vec<bool> = (0..m).map(|_| prg.next_bool()).collect();
+                (pairs, choices)
+            })
+            .collect();
+        let send_rounds: Vec<Vec<(u128, u128)>> = rounds.iter().map(|(p, _)| p.clone()).collect();
+        let t = std::thread::spawn(move || {
+            let mut snd = OtExtSender::new(snd_base);
+            for pairs in &send_rounds {
+                snd.extend(&server, pairs).unwrap();
+            }
+            assert_eq!(snd.rounds(), 3);
+        });
+        let mut rcv = OtExtReceiver::new(rcv_base);
+        for (pairs, choices) in &rounds {
+            let got = rcv.extend(&client, choices).unwrap();
+            let want: Vec<u128> = pairs
+                .iter()
+                .zip(choices.iter())
+                .map(|(&(m0, m1), &c)| if c { m1 } else { m0 })
+                .collect();
+            assert_eq!(got, want);
+        }
+        t.join().unwrap();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn extension_rounds_are_correct_for_random_choices(
+            seed in proptest::prelude::any::<u64>(),
+            lens in proptest::collection::vec(1usize..80, 1..4),
+        ) {
+            let mut dealer = Dealer::new(seed);
+            let (snd_base, rcv_base) = dealer.base_ots(KAPPA);
+            let (client, server, _) = channel_pair();
+            let mut prg = Prg::from_u64(seed ^ 0x0BAD_CAFE);
+            let rounds: Vec<Round> = lens
+                .iter()
+                .map(|&m| {
+                    let pairs: Vec<(u128, u128)> =
+                        (0..m).map(|_| (prg.next_u128(), prg.next_u128())).collect();
+                    let choices: Vec<bool> = (0..m).map(|_| prg.next_bool()).collect();
+                    (pairs, choices)
+                })
+                .collect();
+            let send_rounds: Vec<Vec<(u128, u128)>> =
+                rounds.iter().map(|(p, _)| p.clone()).collect();
+            let t = std::thread::spawn(move || {
+                let mut snd = OtExtSender::new(snd_base);
+                for pairs in &send_rounds {
+                    snd.extend(&server, pairs).unwrap();
+                }
+            });
+            let mut rcv = OtExtReceiver::new(rcv_base);
+            for (pairs, choices) in &rounds {
+                let got = rcv.extend(&client, choices).unwrap();
+                for (j, (&(m0, m1), &c)) in pairs.iter().zip(choices.iter()).enumerate() {
+                    proptest::prop_assert_eq!(got[j], if c { m1 } else { m0 });
+                }
+            }
+            t.join().unwrap();
+        }
     }
 
     #[test]

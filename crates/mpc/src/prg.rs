@@ -73,6 +73,16 @@ impl Prg {
         Prg { key, nonce: 0, counter: 0, buf: [0; 16], pos: 16 }
     }
 
+    /// Creates a generator from a 256-bit seed and an explicit stream
+    /// nonce. Distinct nonces under the same seed yield independent
+    /// streams — how the OT extension re-derives fresh expansions from
+    /// one set of base-OT seeds per session.
+    pub fn from_seed_nonce(seed: [u8; 32], nonce: u64) -> Self {
+        let mut prg = Prg::from_seed(seed);
+        prg.nonce = nonce;
+        prg
+    }
+
     /// Creates a generator from a 128-bit seed (zero-padded), the label
     /// size used by the garbled-circuit module.
     pub fn from_seed128(seed: u128) -> Self {
@@ -248,10 +258,23 @@ pub fn prf128(key: u128, tweak: u64) -> u128 {
 
 /// PRF variant keyed by *two* labels, used by AND-gate garbling:
 /// `H(a, b, tweak)`.
+///
+/// The two 128-bit labels fill the 256-bit ChaCha key exactly, so the
+/// pair PRF costs a single block — the per-AND-gate cost driver of both
+/// garbling (four rows) and evaluation (one row).
 pub fn prf128_pair(a: u128, b: u128, tweak: u64) -> u128 {
-    // Davies–Meyer-style combination: key with a, absorb b via the tweak
-    // stream, then mix once more with the gate tweak.
-    prf128(a ^ prf128(b, tweak ^ 0xA5A5_A5A5_5A5A_5A5A), tweak)
+    let mut k = [0u32; 8];
+    let ab = a.to_le_bytes();
+    let bb = b.to_le_bytes();
+    for i in 0..4 {
+        k[i] = u32::from_le_bytes(ab[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        k[i + 4] = u32::from_le_bytes(bb[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let block = chacha_block(&k, 1, tweak);
+    (block[0] as u128)
+        | ((block[1] as u128) << 32)
+        | ((block[2] as u128) << 64)
+        | ((block[3] as u128) << 96)
 }
 
 #[cfg(test)]

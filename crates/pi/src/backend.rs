@@ -52,6 +52,17 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     /// The analytic model pricing this backend's offline phase.
     fn cost_model(&self) -> OfflineCostModel;
 
+    /// Per-inference session setup, run once before the per-layer
+    /// `prepare_*` hooks: account (and deal) the correlations every
+    /// layer shares. The built-in backends charge one KAPPA-sized
+    /// base-OT set here — the setup their session-long OT extension
+    /// amortises across all label transfers / silent correlations —
+    /// instead of one set per circuit chunk as before the
+    /// offline-garbling refactor.
+    fn prepare_session(&self, dealer: &mut Dealer, counts: &mut OpCounts) {
+        let _ = (dealer, counts);
+    }
+
     /// Generates offline material for a ReLU over `n` shared elements,
     /// returning the (client, server) halves and accumulating
     /// backend-specific counts (AND gates, bit triples).
@@ -227,18 +238,6 @@ pub(crate) fn split_quads(share: &ShareVec) -> [ShareVec; 4] {
     [ShareVec::from_raw(a), ShareVec::from_raw(b), ShareVec::from_raw(c), ShareVec::from_raw(d)]
 }
 
-/// Chunk sizes covering `n` elements with at most `chunk` per batch.
-pub(crate) fn chunks_of(n: usize, chunk: usize) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut rem = n;
-    while rem > 0 {
-        let c = rem.min(chunk);
-        out.push(c);
-        rem -= c;
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,13 +259,6 @@ mod tests {
         assert_eq!(b.as_raw(), &[2, 6]);
         assert_eq!(c.as_raw(), &[3, 7]);
         assert_eq!(d.as_raw(), &[4, 8]);
-    }
-
-    #[test]
-    fn chunks_cover_exactly() {
-        assert_eq!(chunks_of(10, 4), vec![4, 4, 2]);
-        assert_eq!(chunks_of(4, 4), vec![4]);
-        assert!(chunks_of(0, 4).is_empty());
     }
 
     #[test]

@@ -50,6 +50,15 @@ impl PiBackendImpl for Cheetah {
         OfflineCostModel::cheetah()
     }
 
+    fn prepare_session(&self, dealer: &mut Dealer, counts: &mut OpCounts) {
+        // One KAPPA-sized base-OT set per inference: the setup of the
+        // silent-OT expansion the dealt bit triples stand in for (the
+        // extension itself ships only seeds, so it carries no per-triple
+        // traffic — see `OfflineCostModel::cheetah`).
+        let _ = dealer.base_ots(c2pi_mpc::ot::KAPPA);
+        counts.base_ots += c2pi_mpc::ot::KAPPA as u64;
+    }
+
     fn prepare_relu(
         &self,
         dealer: &mut Dealer,

@@ -1,42 +1,84 @@
 //! The Delphi-style backend (Mishra et al., USENIX Security 2020):
-//! garbled-circuit non-linearities prepared from base OTs, heavyweight
-//! HE offline modelled by [`OfflineCostModel::delphi`].
+//! garbled-circuit non-linearities with the garbling done **offline**
+//! ([`c2pi_mpc::gcpre`]) — `prepare_*` garbles the masked circuits and
+//! fixes every input-independent label during preprocessing, so the
+//! online phase is one `δ`/label round trip per layer plus local
+//! evaluation. Heavyweight HE offline (plus the garbled tables and the
+//! session OT extension's label transfers) modelled by
+//! [`OfflineCostModel::delphi`].
 
-use super::{chunks_of, downcast_material, NlMaterial, PiBackendImpl};
+use super::{downcast_material, NlMaterial, PiBackendImpl};
 use crate::cost::OfflineCostModel;
 use crate::engine::PiConfig;
 use crate::report::OpCounts;
 use crate::Result;
-use c2pi_mpc::dealer::{BaseOtReceiver, BaseOtSender, Dealer};
+use c2pi_mpc::dealer::Dealer;
+use c2pi_mpc::gc::UNIT_BITS;
+use c2pi_mpc::gcpre::{
+    pre_gc_evaluator, pre_gc_garbler, pregarble, MaskedOp, PreGarbledClient, PreGarbledServer,
+};
 use c2pi_mpc::ot::KAPPA;
 use c2pi_mpc::prg::Prg;
-use c2pi_mpc::relu::{
-    gc_maxpool4_evaluator, gc_maxpool4_garbler, gc_relu_evaluator, gc_relu_garbler,
-};
 use c2pi_mpc::share::ShareVec;
 use c2pi_transport::{Channel, Side};
 
-/// Offline material for one GC non-linear layer, client (evaluator)
-/// side: one base-OT set per circuit chunk.
+/// Client (evaluator) half of one offline-garbled non-linear layer.
 struct GcClient {
-    bases: Vec<BaseOtReceiver>,
+    mat: PreGarbledClient,
 }
 
-/// Server (garbler) side of the same.
+/// Server (garbler) half of the same.
 struct GcServer {
-    bases: Vec<BaseOtSender>,
-}
-
-/// Max-pool chunks are a quarter of the ReLU chunk (each window feeds
-/// four elements into its circuit).
-fn maxpool_chunk(cfg: &PiConfig) -> usize {
-    cfg.gc_chunk / 4 + 1
+    mat: PreGarbledServer,
 }
 
 /// The Delphi-style backend. Stateless: all per-inference state lives in
 /// the prepared material.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Delphi;
+
+impl Delphi {
+    /// Garbles one layer's masked circuits offline and accounts the
+    /// AND gates plus the extension-transferred evaluator labels.
+    fn prepare_layer(
+        &self,
+        dealer: &mut Dealer,
+        op: MaskedOp,
+        items: usize,
+        cfg: &PiConfig,
+        counts: &mut OpCounts,
+    ) -> (NlMaterial, NlMaterial) {
+        counts.and_gates += (items * op.ands_per_item()) as u64;
+        // The evaluator's masked-input labels ride the session OT
+        // extension (one transfer per input bit).
+        counts.ext_ots += (items * op.in_elems() * UNIT_BITS) as u64;
+        let mut prg = dealer.fork_prg();
+        let (cmat, smat) = pregarble(op, items, &mut prg, cfg.gc_chunk.max(1));
+        (Box::new(GcClient { mat: cmat }), Box::new(GcServer { mat: smat }))
+    }
+
+    /// Shared online path of both non-linear hooks: one `δ`/label round
+    /// trip, then parallel evaluation on the client.
+    fn nl_online(
+        &self,
+        ep: &dyn Channel,
+        side: Side,
+        share: &ShareVec,
+        material: NlMaterial,
+        cfg: &PiConfig,
+    ) -> Result<ShareVec> {
+        match side {
+            Side::Client => {
+                let mat = downcast_material::<GcClient>(material, "delphi")?;
+                Ok(pre_gc_evaluator(ep, &mat.mat, share, cfg.gc_chunk.max(1))?)
+            }
+            Side::Server => {
+                let mat = downcast_material::<GcServer>(material, "delphi")?;
+                Ok(pre_gc_garbler(ep, &mat.mat, share)?)
+            }
+        }
+    }
+}
 
 impl PiBackendImpl for Delphi {
     fn name(&self) -> &'static str {
@@ -47,6 +89,13 @@ impl PiBackendImpl for Delphi {
         OfflineCostModel::delphi()
     }
 
+    fn prepare_session(&self, dealer: &mut Dealer, counts: &mut OpCounts) {
+        // One KAPPA-sized base-OT set per inference; the offline label
+        // transfers of every layer extend from it.
+        let _ = dealer.base_ots(KAPPA);
+        counts.base_ots += KAPPA as u64;
+    }
+
     fn prepare_relu(
         &self,
         dealer: &mut Dealer,
@@ -54,16 +103,7 @@ impl PiBackendImpl for Delphi {
         cfg: &PiConfig,
         counts: &mut OpCounts,
     ) -> (NlMaterial, NlMaterial) {
-        let ands_per_relu = c2pi_mpc::gc::relu_masked_circuit(1, 64).and_count() as u64;
-        let mut snd = Vec::new();
-        let mut rcv = Vec::new();
-        for chunk in chunks_of(n, cfg.gc_chunk) {
-            let (s, r) = dealer.base_ots(KAPPA);
-            snd.push(s);
-            rcv.push(r);
-            counts.and_gates += chunk as u64 * ands_per_relu;
-        }
-        (Box::new(GcClient { bases: rcv }), Box::new(GcServer { bases: snd }))
+        self.prepare_layer(dealer, MaskedOp::Relu, n, cfg, counts)
     }
 
     fn prepare_maxpool(
@@ -73,16 +113,7 @@ impl PiBackendImpl for Delphi {
         cfg: &PiConfig,
         counts: &mut OpCounts,
     ) -> (NlMaterial, NlMaterial) {
-        let ands_per_window = c2pi_mpc::gc::maxpool4_masked_circuit(1, 64).and_count() as u64;
-        let mut snd = Vec::new();
-        let mut rcv = Vec::new();
-        for chunk in chunks_of(windows, maxpool_chunk(cfg)) {
-            let (s, r) = dealer.base_ots(KAPPA);
-            snd.push(s);
-            rcv.push(r);
-            counts.and_gates += chunk as u64 * ands_per_window;
-        }
-        (Box::new(GcClient { bases: rcv }), Box::new(GcServer { bases: snd }))
+        self.prepare_layer(dealer, MaskedOp::Maxpool4, windows, cfg, counts)
     }
 
     fn relu_online(
@@ -92,30 +123,9 @@ impl PiBackendImpl for Delphi {
         share: &ShareVec,
         material: NlMaterial,
         cfg: &PiConfig,
-        prg: &mut Prg,
+        _prg: &mut Prg,
     ) -> Result<ShareVec> {
-        let n = share.len();
-        let mut out = Vec::with_capacity(n);
-        let mut off = 0usize;
-        match side {
-            Side::Client => {
-                let mat = downcast_material::<GcClient>(material, "delphi")?;
-                for (chunk, base) in chunks_of(n, cfg.gc_chunk).into_iter().zip(mat.bases.iter()) {
-                    let part = ShareVec::from_raw(share.as_raw()[off..off + chunk].to_vec());
-                    out.extend(gc_relu_evaluator(ep, &part, base)?.into_raw());
-                    off += chunk;
-                }
-            }
-            Side::Server => {
-                let mat = downcast_material::<GcServer>(material, "delphi")?;
-                for (chunk, base) in chunks_of(n, cfg.gc_chunk).into_iter().zip(mat.bases.iter()) {
-                    let part = ShareVec::from_raw(share.as_raw()[off..off + chunk].to_vec());
-                    out.extend(gc_relu_garbler(ep, &part, base, prg)?.into_raw());
-                    off += chunk;
-                }
-            }
-        }
-        Ok(ShareVec::from_raw(out))
+        self.nl_online(ep, side, share, material, cfg)
     }
 
     fn maxpool_online(
@@ -125,35 +135,8 @@ impl PiBackendImpl for Delphi {
         quads: &ShareVec,
         material: NlMaterial,
         cfg: &PiConfig,
-        prg: &mut Prg,
+        _prg: &mut Prg,
     ) -> Result<ShareVec> {
-        let windows = quads.len() / 4;
-        let mut out = Vec::with_capacity(windows);
-        let mut off = 0usize;
-        match side {
-            Side::Client => {
-                let mat = downcast_material::<GcClient>(material, "delphi")?;
-                for (chunk, base) in
-                    chunks_of(windows, maxpool_chunk(cfg)).into_iter().zip(mat.bases.iter())
-                {
-                    let part =
-                        ShareVec::from_raw(quads.as_raw()[off * 4..(off + chunk) * 4].to_vec());
-                    out.extend(gc_maxpool4_evaluator(ep, &part, base)?.into_raw());
-                    off += chunk;
-                }
-            }
-            Side::Server => {
-                let mat = downcast_material::<GcServer>(material, "delphi")?;
-                for (chunk, base) in
-                    chunks_of(windows, maxpool_chunk(cfg)).into_iter().zip(mat.bases.iter())
-                {
-                    let part =
-                        ShareVec::from_raw(quads.as_raw()[off * 4..(off + chunk) * 4].to_vec());
-                    out.extend(gc_maxpool4_garbler(ep, &part, base, prg)?.into_raw());
-                    off += chunk;
-                }
-            }
-        }
-        Ok(ShareVec::from_raw(out))
+        self.nl_online(ep, side, quads, material, cfg)
     }
 }

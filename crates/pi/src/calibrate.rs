@@ -55,13 +55,17 @@ pub struct OnlineCostModel {
 }
 
 impl OnlineCostModel {
-    /// Default Delphi-like coefficients: garbled-circuit ReLU dominates
-    /// the online phase.
+    /// Default Delphi-like coefficients. Since the offline-garbling
+    /// refactor the online phase only *evaluates* pre-garbled circuits
+    /// (one PRF per AND gate; garbling, tables and OT moved offline),
+    /// so the per-element cost sits roughly 5× under the old
+    /// garble-online figures — still well above Cheetah's
+    /// comparison-based path.
     pub fn delphi() -> Self {
         OnlineCostModel {
             sec_per_mac: 4.0e-9,
-            sec_per_relu_elem: 2.5e-6,
-            sec_per_pool_window: 1.0e-5,
+            sec_per_relu_elem: 5.0e-7,
+            sec_per_pool_window: 2.0e-6,
             base_seconds: 1.0e-3,
         }
     }

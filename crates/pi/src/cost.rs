@@ -28,12 +28,24 @@ pub struct OfflineCostModel {
     /// Garbling + transfer time per AND gate shipped offline, seconds
     /// (zero when the backend has no GC component).
     pub sec_per_and_gate: f64,
+    /// Bytes per AND gate shipped offline: the four-row table plus the
+    /// amortised decode/fixed-label material of the offline-garbled
+    /// circuits (zero when the backend has no GC component).
+    pub bytes_per_and_gate: f64,
+    /// Bytes per base OT of the per-session setup the IKNP extension
+    /// amortises (public keys / seed commitments).
+    pub bytes_per_base_ot: f64,
+    /// Bytes per extended OT: the `u`-matrix column plus the masked
+    /// message pair of one IKNP label transfer (zero for silent-OT
+    /// backends, whose extension ships only seeds).
+    pub bytes_per_ext_ot: f64,
 }
 
 impl OfflineCostModel {
     /// Delphi-like parameters: SEAL BFV at n=8192 — 128 KiB ciphertexts,
     /// 4096 slots, slow rotation-heavy convolutions, garbled circuits
-    /// prepared offline.
+    /// garbled *and shipped* offline (tables down, extension-transferred
+    /// evaluator labels via IKNP).
     pub fn delphi() -> Self {
         OfflineCostModel {
             ct_bytes: 131_072,
@@ -41,13 +53,19 @@ impl OfflineCostModel {
             sec_per_mac: 2.0e-7,
             bytes_per_bit_triple: 0.0,
             sec_per_and_gate: 2.0e-7,
+            // 64 B of table rows plus ~6 B of amortised decode bits and
+            // fixed-input labels per AND gate.
+            bytes_per_and_gate: 70.0,
+            bytes_per_base_ot: 64.0,
+            // 16 B u-matrix column + 32 B masked message pair.
+            bytes_per_ext_ot: 48.0,
         }
     }
 
     /// Cheetah-like parameters: leaner lattice encoding without
     /// rotations — smaller ciphertexts and roughly 10× faster
     /// homomorphic linear algebra; silent-OT setup for the non-linear
-    /// correlations.
+    /// correlations (base OTs real, extension traffic seed-sized).
     pub fn cheetah() -> Self {
         OfflineCostModel {
             ct_bytes: 32_768,
@@ -55,24 +73,40 @@ impl OfflineCostModel {
             sec_per_mac: 2.0e-8,
             bytes_per_bit_triple: 0.125,
             sec_per_and_gate: 0.0,
+            bytes_per_and_gate: 0.0,
+            bytes_per_base_ot: 64.0,
+            bytes_per_ext_ot: 0.0,
         }
     }
 
     /// Modelled offline traffic for the accumulated operation counts.
     /// Ciphertexts flow both ways for each linear layer (`Enc(r)` up,
-    /// `Enc(W·r − s)` down).
+    /// `Enc(W·r − s)` down); garbled tables and extension pads flow
+    /// garbler→evaluator (down), the extension's `u`-matrix
+    /// evaluator→garbler (up).
     pub fn offline_traffic(&self, counts: &OpCounts) -> TrafficSnapshot {
         let cts_up: u64 =
             counts.linear_in_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
         let cts_down: u64 =
             counts.linear_out_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
         let triple_bytes = (counts.bit_triples as f64 * self.bytes_per_bit_triple) as u64;
+        let gc_bytes = (counts.and_gates as f64 * self.bytes_per_and_gate) as u64;
+        let base_ot_bytes = (counts.base_ots as f64 * self.bytes_per_base_ot) as u64;
+        let ext_down = (counts.ext_ots as f64 * self.bytes_per_ext_ot * 2.0 / 3.0) as u64;
+        let ext_up = (counts.ext_ots as f64 * self.bytes_per_ext_ot / 3.0) as u64;
+        let ot_flights = if counts.base_ots + counts.ext_ots > 0 { 2 } else { 0 };
         TrafficSnapshot {
-            bytes_client_to_server: cts_up * self.ct_bytes,
-            bytes_server_to_client: cts_down * self.ct_bytes + triple_bytes,
-            messages: cts_up + cts_down,
-            // One round trip per linear layer's ciphertext exchange.
-            flights: 2 * counts.linear_in_elems.len() as u64,
+            bytes_client_to_server: cts_up * self.ct_bytes + ext_up,
+            bytes_server_to_client: cts_down * self.ct_bytes
+                + triple_bytes
+                + gc_bytes
+                + base_ot_bytes
+                + ext_down,
+            messages: cts_up + cts_down + ot_flights,
+            // One round trip per linear layer's ciphertext exchange,
+            // plus one for the whole session's garbling/OT-extension
+            // shipment (layer-batched).
+            flights: 2 * counts.linear_in_elems.len() as u64 + ot_flights,
         }
     }
 
@@ -108,6 +142,8 @@ mod tests {
             pool_windows: 512,
             bit_triples: 2048 * 187,
             and_gates: 0,
+            base_ots: 128,
+            ext_ots: 0,
         }
     }
 

@@ -130,6 +130,9 @@ impl SessionCore {
     pub(crate) fn deal(&self, seed: u64) -> Result<InferenceMaterial> {
         let mut dealer = Dealer::new(seed);
         let mut counts = self.plan.base_counts.clone();
+        // Session-wide correlations first (the per-inference base-OT
+        // set the backend's extension amortises across layers).
+        self.backend.prepare_session(&mut dealer, &mut counts);
         let mut cmats = Vec::with_capacity(self.plan.steps.len());
         let mut smats = Vec::with_capacity(self.plan.steps.len());
         for (step, data) in self.plan.steps.iter().zip(self.plan.data.iter()) {
@@ -269,9 +272,11 @@ impl MaterialPool {
             let material = self.core.deal(seed)?;
             let elapsed = start.elapsed().as_secs_f64();
             let mut st = self.lock();
-            st.ready.push_back(material);
             st.ledger.generated_offline += 1;
             st.ledger.generation_seconds += elapsed;
+            st.ledger.base_ots += material.counts.base_ots;
+            st.ledger.extended_ots += material.counts.ext_ots;
+            st.ready.push_back(material);
         }
         Ok(())
     }
@@ -303,18 +308,24 @@ impl MaterialPool {
         self.drained.notify_all();
         let start = Instant::now();
         let material = self.core.deal(seed)?;
-        self.lock().ledger.generation_seconds += start.elapsed().as_secs_f64();
+        let mut st = self.lock();
+        st.ledger.generation_seconds += start.elapsed().as_secs_f64();
+        st.ledger.base_ots += material.counts.base_ots;
+        st.ledger.extended_ots += material.counts.ext_ots;
+        drop(st);
         Ok(material)
     }
 
     /// Records one externally dealt material set (a client generating
     /// its half for a server-dealt seed): dealer time on this party's
     /// critical path, so it counts as consumed + inline.
-    pub(crate) fn note_dealt_inline(&self, seconds: f64) {
+    pub(crate) fn note_dealt_inline(&self, seconds: f64, counts: &OpCounts) {
         let mut st = self.lock();
         st.ledger.consumed += 1;
         st.ledger.generated_inline += 1;
         st.ledger.generation_seconds += seconds;
+        st.ledger.base_ots += counts.base_ots;
+        st.ledger.extended_ots += counts.ext_ots;
     }
 
     /// Signals shutdown to any [`Replenisher`] waiting on this pool.
@@ -403,9 +414,11 @@ fn replenish_loop(pool: &MaterialPool, low: usize, high: usize) -> Result<()> {
             let material = pool.core.deal(seed)?;
             let elapsed = start.elapsed().as_secs_f64();
             st = pool.lock();
-            st.ready.push_back(material);
             st.ledger.generated_offline += 1;
             st.ledger.generation_seconds += elapsed;
+            st.ledger.base_ots += material.counts.base_ots;
+            st.ledger.extended_ots += material.counts.ext_ots;
+            st.ready.push_back(material);
         }
     }
 }

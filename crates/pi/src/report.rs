@@ -19,8 +19,15 @@ pub struct OpCounts {
     pub pool_windows: usize,
     /// Bit triples consumed (comparison-based backends).
     pub bit_triples: u64,
-    /// AND gates garbled (GC backends).
+    /// AND gates garbled (GC backends). Since the offline-garbling
+    /// refactor these are garbled in the *offline* phase.
     pub and_gates: u64,
+    /// Base OTs dealt per inference (one KAPPA-sized set per session —
+    /// the setup the IKNP extension amortises).
+    pub base_ots: u64,
+    /// Label transfers carried by the session's OT extension (offline
+    /// for GC backends: the evaluator's masked-input labels).
+    pub ext_ots: u64,
 }
 
 /// Preprocessing ledger: where the consumed correlated randomness came
@@ -42,6 +49,12 @@ pub struct PreprocessLedger {
     pub available: u64,
     /// Wall-clock seconds spent generating material (both kinds).
     pub generation_seconds: f64,
+    /// Base OTs dealt across all generated material (KAPPA per set for
+    /// extension-based backends).
+    pub base_ots: u64,
+    /// Labels transferred through the offline OT extension across all
+    /// generated material.
+    pub extended_ots: u64,
 }
 
 /// Complete cost profile of one private-inference run.
@@ -96,6 +109,8 @@ impl PiReport {
         self.counts.pool_windows += other.counts.pool_windows;
         self.counts.bit_triples += other.counts.bit_triples;
         self.counts.and_gates += other.counts.and_gates;
+        self.counts.base_ots += other.counts.base_ots;
+        self.counts.ext_ots += other.counts.ext_ots;
         self.preprocessing = other.preprocessing;
     }
 }

@@ -531,7 +531,7 @@ impl SharedPiSession {
         };
         let deal_start = Instant::now();
         let InferenceMaterial { seed, cmats, smats: _, counts } = self.core.deal(seed)?;
-        self.pool.note_dealt_inline(deal_start.elapsed().as_secs_f64());
+        self.pool.note_dealt_inline(deal_start.elapsed().as_secs_f64(), &counts);
         let start = Instant::now();
         let share = client_thread(
             ch,

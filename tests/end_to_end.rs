@@ -107,7 +107,14 @@ fn full_pi_costs_more_than_every_c2pi_boundary() {
 
 #[test]
 fn delphi_is_heavier_than_cheetah_end_to_end() {
-    // The Table II asymmetry must survive the full pipeline.
+    // The Table II asymmetry must survive the full pipeline: Delphi
+    // moves an order of magnitude more bytes (garbled tables, HE
+    // ciphertexts), which dominates wherever bandwidth or compute is
+    // the constraint (total comm, LAN latency). On WAN the picture
+    // legitimately inverts since the offline-garbling refactor:
+    // Delphi's online phase is one round trip per non-linear layer,
+    // while Cheetah's comparison tree pays hundreds of RTTs — so we pin
+    // the flight asymmetry rather than the WAN wall clock.
     let model = tiny_model();
     let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, 10);
     let boundary = BoundaryId::relu(3);
@@ -119,12 +126,13 @@ fn delphi_is_heavier_than_cheetah_end_to_end() {
             .build()
             .unwrap();
         let r = session.infer(&x).unwrap().report;
-        (r.comm_mb(), r.latency_seconds(&NetModel::wan()))
+        (r.comm_mb(), r.latency_seconds(&NetModel::lan()), r.online.flights)
     };
-    let (delphi_mb, delphi_wan) = run(PiBackend::Delphi);
-    let (cheetah_mb, cheetah_wan) = run(PiBackend::Cheetah);
+    let (delphi_mb, delphi_lan, delphi_flights) = run(PiBackend::Delphi);
+    let (cheetah_mb, cheetah_lan, cheetah_flights) = run(PiBackend::Cheetah);
     assert!(delphi_mb > 2.0 * cheetah_mb, "comm: {delphi_mb} vs {cheetah_mb}");
-    assert!(delphi_wan > cheetah_wan, "wan: {delphi_wan} vs {cheetah_wan}");
+    assert!(delphi_lan > cheetah_lan, "lan: {delphi_lan} vs {cheetah_lan}");
+    assert!(delphi_flights * 5 < cheetah_flights, "flights: {delphi_flights} vs {cheetah_flights}");
 }
 
 #[test]

@@ -142,6 +142,122 @@ fn delphi_and_cheetah_sessions_agree_on_the_same_batch() {
 }
 
 #[test]
+fn offline_garbled_relu_is_bit_identical_to_the_lockstep_gc_path() {
+    // The offline-garbling refactor moved Delphi's garbling, tables and
+    // label transfer into preprocessing; the *function* computed online
+    // must be exactly the one the pre-refactor lockstep protocol
+    // (`gc_relu_garbler`/`gc_relu_evaluator`, garbling online with OT)
+    // computes. ReLU over the ring is exact, so the reconstructed
+    // outputs must agree bit for bit on every input, including the
+    // negative/zero boundary.
+    use c2pi_suite::mpc::dealer::Dealer;
+    use c2pi_suite::mpc::gcpre::{pre_gc_evaluator, pre_gc_garbler, pregarble, MaskedOp};
+    use c2pi_suite::mpc::ot::KAPPA;
+    use c2pi_suite::mpc::prg::Prg;
+    use c2pi_suite::mpc::relu::{gc_relu_evaluator, gc_relu_garbler};
+    use c2pi_suite::mpc::share::{reconstruct, share_secret};
+    use c2pi_suite::transport::channel_pair;
+
+    let fp = c2pi_suite::mpc::FixedPoint::default();
+    let values = [-7.5f32, -1.0, -0.001, 0.0, 0.001, 0.25, 3.0, 100.0];
+    let secret: Vec<u64> = values.iter().map(|&v| fp.encode(v)).collect();
+    let mut prg = Prg::from_u64(901);
+    let (x0, x1) = share_secret(&secret, &mut prg);
+
+    // Pre-refactor lockstep path: garble + transfer + OT online.
+    let mut dealer = Dealer::new(902);
+    let (snd_base, rcv_base) = dealer.base_ots(KAPPA);
+    let (client, server, _) = channel_pair();
+    let x1_lockstep = x1.clone();
+    let t = std::thread::spawn(move || {
+        let mut gprg = Prg::from_u64(903);
+        gc_relu_garbler(&server, &x1_lockstep, &snd_base, &mut gprg).unwrap()
+    });
+    let y0 = gc_relu_evaluator(&client, &x0, &rcv_base).unwrap();
+    let y1 = t.join().unwrap();
+    let lockstep = reconstruct(&y0, &y1);
+
+    // Offline-garbled path: one δ/label round trip online.
+    let mut gprg = Prg::from_u64(904);
+    let (cmat, smat) = pregarble(MaskedOp::Relu, values.len(), &mut gprg, 4);
+    let (client, server, counter) = channel_pair();
+    let t = std::thread::spawn(move || pre_gc_garbler(&server, &smat, &x1).unwrap());
+    let y0 = pre_gc_evaluator(&client, &cmat, &x0, 4).unwrap();
+    let y1 = t.join().unwrap();
+    let offline = reconstruct(&y0, &y1);
+
+    assert_eq!(lockstep, offline, "offline-garbled ReLU diverges from the lockstep path");
+    // And the online phase is exactly one round trip.
+    assert_eq!(counter.snapshot().flights, 2);
+}
+
+#[test]
+fn offline_garbled_maxpool_is_bit_identical_to_the_lockstep_gc_path() {
+    use c2pi_suite::mpc::dealer::Dealer;
+    use c2pi_suite::mpc::gcpre::{pre_gc_evaluator, pre_gc_garbler, pregarble, MaskedOp};
+    use c2pi_suite::mpc::ot::KAPPA;
+    use c2pi_suite::mpc::prg::Prg;
+    use c2pi_suite::mpc::relu::{gc_maxpool4_evaluator, gc_maxpool4_garbler};
+    use c2pi_suite::mpc::share::{reconstruct, share_secret};
+    use c2pi_suite::transport::channel_pair;
+
+    let fp = c2pi_suite::mpc::FixedPoint::default();
+    // Three windows of four values each.
+    let values = vec![1.0f32, -2.0, 0.5, 0.75, -1.0, -2.0, -3.0, -0.25, 4.0, 4.0, -4.0, 0.0];
+    let secret: Vec<u64> = values.iter().map(|&v| fp.encode(v)).collect();
+    let mut prg = Prg::from_u64(911);
+    let (x0, x1) = share_secret(&secret, &mut prg);
+
+    let mut dealer = Dealer::new(912);
+    let (snd_base, rcv_base) = dealer.base_ots(KAPPA);
+    let (client, server, _) = channel_pair();
+    let x1_lockstep = x1.clone();
+    let t = std::thread::spawn(move || {
+        let mut gprg = Prg::from_u64(913);
+        gc_maxpool4_garbler(&server, &x1_lockstep, &snd_base, &mut gprg).unwrap()
+    });
+    let y0 = gc_maxpool4_evaluator(&client, &x0, &rcv_base).unwrap();
+    let y1 = t.join().unwrap();
+    let lockstep = reconstruct(&y0, &y1);
+
+    let mut gprg = Prg::from_u64(914);
+    let (cmat, smat) = pregarble(MaskedOp::Maxpool4, values.len() / 4, &mut gprg, 2);
+    let (client, server, counter) = channel_pair();
+    let t = std::thread::spawn(move || pre_gc_garbler(&server, &smat, &x1).unwrap());
+    let y0 = pre_gc_evaluator(&client, &cmat, &x0, 2).unwrap();
+    let y1 = t.join().unwrap();
+    let offline = reconstruct(&y0, &y1);
+
+    assert_eq!(lockstep, offline, "offline-garbled maxpool diverges from the lockstep path");
+    assert_eq!(counter.snapshot().flights, 2);
+}
+
+#[test]
+fn delphi_online_flights_are_layer_batched() {
+    // One δ/label round trip per non-linear layer — and since the δ
+    // frame travels in the same direction as the client's preceding
+    // linear-layer messages, it merges into that flight: a conv+relu
+    // prefix costs exactly ONE extra online flight (the label
+    // response) over the linear-only prefix, no matter how many
+    // elements the layer holds (before the refactor a single ReLU
+    // layer cost five frames per gc_chunk).
+    let x = Tensor::rand_uniform(&[1, 2, 8, 8], -1.0, 1.0, 77);
+    let cfg = PiConfig { backend: PiBackend::Delphi, ..Default::default() };
+    let mut with_relu = Sequential::new();
+    with_relu.push(Conv2d::new(2, 4, 3, 1, 1, 1, 78));
+    with_relu.push(Relu::new());
+    let mut without_relu = Sequential::new();
+    without_relu.push(Conv2d::new(2, 4, 3, 1, 1, 1, 78));
+    let a = run_prefix(&specs_of(&with_relu), &x, &cfg).unwrap();
+    let b = run_prefix(&specs_of(&without_relu), &x, &cfg).unwrap();
+    assert_eq!(
+        a.report.online.flights,
+        b.report.online.flights + 1,
+        "relu layer should cost exactly one extra online flight"
+    );
+}
+
+#[test]
 fn client_share_alone_reveals_nothing_obvious() {
     // Sanity privacy check: the client share of a constant activation is
     // not constant (it is uniformly masked).
