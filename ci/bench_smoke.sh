@@ -51,3 +51,14 @@ head -3 BENCH_results.json
 GUARD_RATIO=${BENCH_GUARD_RATIO:-1.25}
 cargo run --release -p c2pi-bench --bin bench_guard -- \
     "$BASELINE" BENCH_results.json session_phases/online/delphi "$GUARD_RATIO"
+
+# Append a dated snapshot to the committed history log so the perf
+# trajectory survives in-repo (one JSONL line per run: date, commit,
+# full results object). BENCH_results.json is a single JSON document;
+# collapse it to one line so the history stays line-oriented.
+DATE_UTC=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+RESULTS_ONE_LINE=$(tr -d '\n' <BENCH_results.json | tr -s ' ')
+printf '{"date":"%s","commit":"%s","results":%s}\n' \
+    "$DATE_UTC" "$COMMIT" "$RESULTS_ONE_LINE" >>BENCH_history.jsonl
+echo "appended run to BENCH_history.jsonl ($(wc -l <BENCH_history.jsonl) entries)"

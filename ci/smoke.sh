@@ -99,6 +99,51 @@ for backend in cheetah delphi; do
     cat "$server_log"
 done
 
+echo "== crash-recovery smoke: kill -9 the server, warm-boot from the store =="
+# First life: attach a persistent MaterialStore, preprocess 6 sets with
+# the replenisher disabled (--pool-low 0), serve 2 clients, then SIGKILL
+# the process — no drain, no flush. Second life: same store, zero
+# preprocessing, and it must announce that the 4 unconsumed sets came
+# back (C2PI_WARMBOOT restored=4) and serve 2 more clients from them.
+STORE=target/smoke-material-store.bin
+rm -f "$STORE"
+start_server target/smoke-warmboot-1.log \
+    "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
+    --persist "$STORE" --preprocess 6 --pool-low 0 --pool-high 0 --worker-cap 2
+addr=$(wait_for_addr)
+grep -q '^C2PI_WARMBOOT restored=0 ' target/smoke-warmboot-1.log || {
+    echo "smoke: first life did not announce an empty warm boot" >&2
+    cat target/smoke-warmboot-1.log >&2
+    exit 1
+}
+timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
+    --clients 2 --iters 1
+kill -9 "$server_pid" 2>/dev/null
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+cat target/smoke-warmboot-1.log
+
+start_server target/smoke-warmboot-2.log \
+    "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
+    --persist "$STORE" --preprocess 0 --pool-low 0 --pool-high 0 --worker-cap 2 \
+    --serve-n 2
+addr=$(wait_for_addr)
+grep -q '^C2PI_WARMBOOT restored=4 ' target/smoke-warmboot-2.log || {
+    echo "smoke: restart did not restore the 4 unconsumed sets from the store" >&2
+    cat target/smoke-warmboot-2.log >&2
+    exit 1
+}
+timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
+    --clients 2 --iters 1
+finish_server
+cat target/smoke-warmboot-2.log
+# Serving 2 clients from 4 restored sets must not have dealt inline.
+grep -q ' 0 inline ' target/smoke-warmboot-2.log || {
+    echo "smoke: warm-booted server fell back to inline dealing" >&2
+    exit 1
+}
+rm -f "$STORE"
+
 echo "== deployment-planner smoke: deterministic plan + round-trip =="
 # plan_report exits non-zero unless every smoke prediction round-trips
 # bit-identically through the top-ranked plan; running it twice and

@@ -175,6 +175,12 @@ pub struct CostRow {
     pub online_compute_seconds: f64,
     /// Offline compute seconds from the offline cost model.
     pub offline_compute_seconds: f64,
+    /// Bytes the dealer actually ships per inference under
+    /// seed-compressed dealing (the compact `DealtSeed` artifact).
+    pub dealt_bytes: u64,
+    /// Bytes of correlated material each party expands locally from the
+    /// dealt seed — what classic expanded dealing would have shipped.
+    pub expanded_bytes: u64,
 }
 
 /// One ranked deployment: a boundary, backend and defense priced under
@@ -333,13 +339,20 @@ impl DeploymentPlan {
         let _ = writeln!(out, "\nmeasured deployments (allowed boundaries x backends):");
         let _ = writeln!(
             out,
-            "  {:>8}  {:>8}  {:>6}  {:>10}  {:>10}  {:>8}",
-            "boundary", "backend", "layers", "online-MB", "offln-MB", "flights"
+            "  {:>8}  {:>8}  {:>6}  {:>10}  {:>10}  {:>8}  {:>8}  {:>9}",
+            "boundary",
+            "backend",
+            "layers",
+            "online-MB",
+            "offln-MB",
+            "flights",
+            "dealt-B",
+            "expand-MB"
         );
         for r in &self.costs {
             let _ = writeln!(
                 out,
-                "  {:>8}  {:>8}  {:>3}/{:<2}  {:>10.3}  {:>10.3}  {:>8}",
+                "  {:>8}  {:>8}  {:>3}/{:<2}  {:>10.3}  {:>10.3}  {:>8}  {:>8}  {:>9.3}",
                 r.boundary.to_string(),
                 r.backend.name(),
                 r.crypto_layers,
@@ -347,6 +360,8 @@ impl DeploymentPlan {
                 r.online_bytes as f64 / 1e6,
                 r.offline_bytes as f64 / 1e6,
                 r.online_flights,
+                r.dealt_bytes,
+                r.expanded_bytes as f64 / 1e6,
             );
         }
         let _ = writeln!(out, "\nranked deployments (cheapest first per net):");
@@ -410,10 +425,10 @@ impl DeploymentPlan {
         for (i, r) in self.costs.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "    {{\"boundary\": \"{}\", \"backend\": \"{}\", \"crypto_layers\": {}, \"clear_layers\": {}, \"online_bytes\": {}, \"online_flights\": {}, \"offline_bytes\": {}, \"offline_flights\": {}, \"online_compute_seconds\": {:.9}, \"offline_compute_seconds\": {:.9}}}{}",
+                "    {{\"boundary\": \"{}\", \"backend\": \"{}\", \"crypto_layers\": {}, \"clear_layers\": {}, \"online_bytes\": {}, \"online_flights\": {}, \"offline_bytes\": {}, \"offline_flights\": {}, \"online_compute_seconds\": {:.9}, \"offline_compute_seconds\": {:.9}, \"dealt_bytes\": {}, \"expanded_bytes\": {}}}{}",
                 r.boundary, r.backend.name(), r.crypto_layers, r.clear_layers, r.online_bytes,
                 r.online_flights, r.offline_bytes, r.offline_flights, r.online_compute_seconds,
-                r.offline_compute_seconds,
+                r.offline_compute_seconds, r.dealt_bytes, r.expanded_bytes,
                 if i + 1 < self.costs.len() { "," } else { "" }
             );
         }
@@ -714,6 +729,8 @@ impl<'a> DeploymentPlanner<'a> {
                     offline_flights: report.offline.flights,
                     online_compute_seconds: online_model.online_seconds(&report.counts),
                     offline_compute_seconds: report.offline_seconds,
+                    dealt_bytes: report.counts.seed_bytes,
+                    expanded_bytes: report.counts.expanded_bytes,
                 });
             }
         }

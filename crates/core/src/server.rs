@@ -54,17 +54,18 @@
 //! ```
 
 use crate::{C2piError, Result};
-use c2pi_pi::{PartyOutcome, SharedPiSession};
+use c2pi_pi::{PartyOutcome, RestoreReport, SharedPiSession};
 use c2pi_tensor::Tensor;
 use c2pi_transport::{Channel, Side, TcpChannel, TcpListenerTransport};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Tuning knobs of a [`PiServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PiServerConfig {
     /// Maximum connections served concurrently; further accepts queue
     /// until a worker finishes. Size this to the machine's cores — each
@@ -82,6 +83,13 @@ pub struct PiServerConfig {
     /// worker slot (and one consumed material set) forever; after this
     /// long without a frame the worker errors out and frees its slot.
     pub client_timeout: Duration,
+    /// Path of the persistent [`c2pi_pi::MaterialStore`]. When set,
+    /// [`PiServer::bind`] warm-boots the pool from whatever a previous
+    /// process left there (restored sets are served without
+    /// re-preprocessing), every deal/consume is persisted from then on,
+    /// and a graceful shutdown flushes the log. `None` (default) keeps
+    /// the pool in memory only.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for PiServerConfig {
@@ -91,6 +99,7 @@ impl Default for PiServerConfig {
             pool_low: 2,
             pool_high: 8,
             client_timeout: Duration::from_secs(60),
+            persist_path: None,
         }
     }
 }
@@ -132,6 +141,7 @@ pub struct PiServer {
     errors: Arc<AtomicU64>,
     accept_handle: Option<JoinHandle<()>>,
     replenisher: Option<c2pi_pi::Replenisher>,
+    warm_boot: Option<RestoreReport>,
 }
 
 impl PiServer {
@@ -139,14 +149,25 @@ impl PiServer {
     /// with [`PiServer::local_addr`]) and starts the accept loop plus,
     /// when `cfg.pool_low > 0`, the background replenisher.
     ///
+    /// When `cfg.persist_path` is set, the pool's [`c2pi_pi::MaterialStore`]
+    /// is attached first: the pool warm-boots from whatever a previous
+    /// process persisted (summary in [`PiServer::warm_boot`]) before any
+    /// replenishment or serving starts.
+    ///
     /// # Errors
     ///
-    /// Returns transport errors when binding fails.
+    /// Returns transport errors when binding fails, and store errors
+    /// (I/O, corruption, a file from a different deployment) when the
+    /// persistence path cannot be attached.
     pub fn bind(
         session: SharedPiSession,
         addr: impl ToSocketAddrs,
         cfg: PiServerConfig,
     ) -> Result<Self> {
+        let warm_boot = match &cfg.persist_path {
+            Some(path) => Some(session.pool().attach_store(path).map_err(C2piError::Pi)?),
+            None => None,
+        };
         let listener = TcpListenerTransport::bind(addr).map_err(|e| C2piError::Pi(e.into()))?;
         let addr = listener.local_addr();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -176,7 +197,14 @@ impl PiServer {
             errors,
             accept_handle: Some(accept_handle),
             replenisher,
+            warm_boot,
         })
+    }
+
+    /// What the warm boot from `cfg.persist_path` restored; `None` when
+    /// the server runs without persistence.
+    pub fn warm_boot(&self) -> Option<&RestoreReport> {
+        self.warm_boot.as_ref()
     }
 
     /// The actually-bound address (real port even for a port-0 bind).
@@ -239,6 +267,10 @@ impl PiServer {
         }
         // Dropping the replenisher stops and joins its thread.
         self.replenisher.take();
+        // Graceful drain: flush the persistent store so the unconsumed
+        // material survives the restart with a durable final snapshot.
+        // Best-effort — shutdown must not fail on a full disk.
+        let _ = self.session.pool().flush_store();
     }
 }
 
@@ -461,6 +493,7 @@ mod tests {
                 pool_low: 0,
                 pool_high: 0,
                 client_timeout: Duration::from_millis(200),
+                persist_path: None,
             },
         )
         .unwrap();
@@ -486,6 +519,54 @@ mod tests {
         }
         assert_eq!(server.served(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn server_warm_boots_from_persisted_store_without_repreprocessing() {
+        let path =
+            std::env::temp_dir().join(format!("c2pi-server-warmboot-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = PiServerConfig {
+            worker_cap: 2,
+            pool_low: 0,
+            pool_high: 0,
+            persist_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 55);
+
+        // First life: bind (attaches the store), preprocess 3, serve 1,
+        // graceful shutdown (flushes).
+        {
+            let session = shared_session();
+            let server = PiServer::bind(session.clone(), "127.0.0.1:0", cfg.clone()).unwrap();
+            assert_eq!(server.warm_boot().unwrap().restored, 0);
+            session.preprocess(3).unwrap();
+            let client = PiClient::new(shared_session());
+            client.infer(server.local_addr(), &x).unwrap();
+            server.shutdown();
+        }
+
+        // Second life: same deployment, same path — the two unconsumed
+        // sets must come back and serve without any new generation.
+        let session = shared_session();
+        let server = PiServer::bind(session.clone(), "127.0.0.1:0", cfg).unwrap();
+        let boot = server.warm_boot().unwrap();
+        assert_eq!(boot.restored, 2, "unconsumed material survives the restart");
+        let client = PiClient::new(shared_session());
+        client.infer(server.local_addr(), &x).unwrap();
+        client.infer(server.local_addr(), &x).unwrap();
+        let ledger = session.ledger();
+        assert_eq!(ledger.generated_offline, 3, "never re-preprocessed");
+        assert_eq!(ledger.generated_inline, 0, "restored sets covered all serving");
+        assert_eq!(ledger.consumed, 3);
+        assert_eq!(ledger.restored, 2);
+        assert_eq!(
+            ledger.generated_offline + ledger.generated_inline,
+            ledger.consumed + ledger.available
+        );
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -15,7 +15,99 @@
 use crate::prg::Prg;
 use crate::ring::RingMatrix;
 use crate::share::{share_secret, ShareVec};
-use crate::Result;
+use crate::{MpcError, Result};
+
+/// The compact artifact a seed-compressed dealer actually ships per
+/// inference: a PRG seed, a session nonce and the per-step item counts
+/// the expansion will walk. Both parties expand their
+/// correlated-randomness halves locally from the same `DealtSeed`
+/// (deterministically, via [`Dealer::for_dealt`]), so the dealt bytes on
+/// the wire are this struct's encoding — tens to hundreds of bytes —
+/// instead of the megabytes of expanded triples, labels and tables.
+///
+/// The nonce is a fingerprint of the deployment (backend, plan shape,
+/// master configuration) mixed into the expansion PRG: the same 64-bit
+/// seed dealt under two different deployments expands to unrelated
+/// correlations, so persisted seeds cannot be replayed across sessions.
+/// The step metadata lets the receiving party validate that the peer's
+/// plan shape matches its own before expanding anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DealtSeed {
+    /// Per-inference PRG seed both parties expand locally.
+    pub seed: u64,
+    /// Session nonce (deployment fingerprint) domain-separating the
+    /// expansion — see the type docs.
+    pub nonce: u64,
+    /// Per-step `(kind, items)` metadata of the plan the expansion
+    /// walks.
+    pub steps: Vec<(u8, u32)>,
+}
+
+const DEALT_MAGIC: u16 = 0xD517;
+const DEALT_VERSION: u8 = 1;
+/// Fixed wire overhead of [`DealtSeed::encode`]: magic, version,
+/// reserved byte, seed, nonce, step count.
+const DEALT_HEADER_BYTES: usize = 2 + 1 + 1 + 8 + 8 + 2;
+
+impl DealtSeed {
+    /// Serializes to the wire format (little-endian, versioned).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes() as usize);
+        out.extend_from_slice(&DEALT_MAGIC.to_le_bytes());
+        out.push(DEALT_VERSION);
+        out.push(0);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&(self.steps.len() as u16).to_le_bytes());
+        for &(kind, items) in &self.steps {
+            out.push(kind);
+            out.extend_from_slice(&items.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the wire format produced by [`DealtSeed::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::Protocol`] for truncated, oversized or
+    /// wrong-version input.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let fail = |why: &str| MpcError::Protocol(format!("dealt seed: {why}"));
+        if bytes.len() < DEALT_HEADER_BYTES {
+            return Err(fail("truncated header"));
+        }
+        if u16::from_le_bytes([bytes[0], bytes[1]]) != DEALT_MAGIC {
+            return Err(fail("bad magic"));
+        }
+        if bytes[2] != DEALT_VERSION {
+            return Err(fail("unsupported version"));
+        }
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[4..12]);
+        let seed = u64::from_le_bytes(w);
+        w.copy_from_slice(&bytes[12..20]);
+        let nonce = u64::from_le_bytes(w);
+        let count = u16::from_le_bytes([bytes[20], bytes[21]]) as usize;
+        if bytes.len() != DEALT_HEADER_BYTES + 5 * count {
+            return Err(fail("step metadata length mismatch"));
+        }
+        let mut steps = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = DEALT_HEADER_BYTES + 5 * i;
+            let mut items = [0u8; 4];
+            items.copy_from_slice(&bytes[at + 1..at + 5]);
+            steps.push((bytes[at], u32::from_le_bytes(items)));
+        }
+        Ok(DealtSeed { seed, nonce, steps })
+    }
+
+    /// Size of the encoded form — the bytes a seed-compressed dealer
+    /// actually ships per inference.
+    pub fn wire_bytes(&self) -> u64 {
+        (DEALT_HEADER_BYTES + 5 * self.steps.len()) as u64
+    }
+}
 
 /// A scalar/elementwise Beaver triple share: `(a, b, c)` with
 /// `c = a·b` reconstructed across parties.
@@ -86,21 +178,56 @@ pub struct BaseOtReceiver {
 }
 
 /// The trusted dealer.
+///
+/// Alongside generating correlations, the dealer tallies how many bytes
+/// the generated material occupies in expanded form ([`Dealer::expanded_bytes`]).
+/// Under seed-compressed dealing nothing of that size ever crosses the
+/// wire — the tally is what the pre-compression dealer *would* have
+/// shipped, and the ledger/cost model report it next to the actual
+/// [`DealtSeed`] wire bytes.
 #[derive(Debug)]
 pub struct Dealer {
     prg: Prg,
+    expanded: u64,
 }
 
 impl Dealer {
     /// Creates a dealer from a seed. All correlations are deterministic
     /// in this seed.
     pub fn new(seed: u64) -> Self {
-        Dealer { prg: Prg::from_u64(seed ^ 0xDEA1_DEA1_DEA1_DEA1) }
+        Dealer { prg: Prg::from_u64(seed ^ 0xDEA1_DEA1_DEA1_DEA1), expanded: 0 }
+    }
+
+    /// Creates the expansion dealer for a [`DealtSeed`]: the PRG key
+    /// mixes the per-inference seed with a fixed domain label, and the
+    /// session nonce enters as the stream nonce — so equal seeds under
+    /// different deployments (different nonce) expand to unrelated
+    /// correlations.
+    pub fn for_dealt(dealt: &DealtSeed) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&dealt.seed.to_le_bytes());
+        key[8..24].copy_from_slice(b"c2pi/dealt-seed!");
+        Dealer { prg: Prg::from_seed_nonce(key, dealt.nonce), expanded: 0 }
+    }
+
+    /// Records `bytes` of expanded material generated outside the
+    /// dealer's own methods (e.g. pre-garbled tables drawn from a
+    /// [`Dealer::fork_prg`] stream).
+    pub fn note_expanded(&mut self, bytes: u64) {
+        self.expanded += bytes;
+    }
+
+    /// Total bytes the correlations generated so far occupy expanded —
+    /// what dealing would have shipped without seed compression.
+    pub fn expanded_bytes(&self) -> u64 {
+        self.expanded
     }
 
     /// Generates `n` elementwise Beaver triples, returning the
     /// (client, server) halves.
     pub fn beaver_triples(&mut self, n: usize) -> (TripleShare, TripleShare) {
+        // Six share vectors of n words across the two halves.
+        self.expanded += 48 * n as u64;
         let a: Vec<u64> = self.prg.next_u64s(n);
         let b: Vec<u64> = self.prg.next_u64s(n);
         let c: Vec<u64> = a.iter().zip(b.iter()).map(|(&x, &y)| x.wrapping_mul(y)).collect();
@@ -122,6 +249,8 @@ impl Dealer {
         n: usize,
     ) -> Result<(LinearCorrClient, LinearCorrServer)> {
         let k = w.cols();
+        // Mask A [k, n] plus the two W·A shares [m, n].
+        self.expanded += 8 * (k * n + 2 * w.rows() * n) as u64;
         let mask = RingMatrix::from_vec(self.prg.next_u64s(k * n), k, n)?;
         let wa = w.matmul(&mask)?;
         let (c0, c1) = share_secret(wa.as_slice(), &mut self.prg);
@@ -133,6 +262,8 @@ impl Dealer {
     /// Generates the masked-affine correlation for a server-known scale
     /// vector (per-channel batch-norm folding, average-pool scaling).
     pub fn affine_corr(&mut self, scale: &[u64]) -> (AffineCorrClient, AffineCorrServer) {
+        // Mask plus the two s⊙a shares.
+        self.expanded += 24 * scale.len() as u64;
         let mask: Vec<u64> = self.prg.next_u64s(scale.len());
         let sa: Vec<u64> =
             scale.iter().zip(mask.iter()).map(|(&s, &a)| s.wrapping_mul(a)).collect();
@@ -144,6 +275,8 @@ impl Dealer {
     /// sender (who will transmit extended messages) receives chosen
     /// seeds; the extension receiver holds both seeds per OT.
     pub fn base_ots(&mut self, kappa: usize) -> (BaseOtSender, BaseOtReceiver) {
+        // Chosen seeds (32κ), seed pairs (64κ) and the choice bits.
+        self.expanded += 96 * kappa as u64 + kappa.div_ceil(8) as u64;
         let mut choices = Vec::with_capacity(kappa);
         let mut chosen = Vec::with_capacity(kappa);
         let mut pairs = Vec::with_capacity(kappa);
@@ -171,6 +304,8 @@ impl Dealer {
     /// Fresh shares of a uniformly random vector (used as re-masking
     /// randomness in layer hand-offs).
     pub fn random_shared(&mut self, n: usize) -> (ShareVec, ShareVec) {
+        // Two share vectors of n words.
+        self.expanded += 16 * n as u64;
         let secret: Vec<u64> = self.prg.next_u64s(n);
         share_secret(&secret, &mut self.prg)
     }
@@ -181,6 +316,8 @@ impl Dealer {
     /// IKNP-generated alternative lives in [`crate::ot::gen_bit_triples`]
     /// and is benchmarked as an ablation).
     pub fn bit_triples(&mut self, n: usize) -> (crate::ot::BitTriples, crate::ot::BitTriples) {
+        // Six bit vectors, bit-packed.
+        self.expanded += (6 * n).div_ceil(8) as u64;
         let mut gen_bits =
             |k: usize| -> Vec<bool> { (0..k).map(|_| self.prg.next_bool()).collect() };
         let a0 = gen_bits(n);
@@ -263,5 +400,54 @@ mod tests {
         let (a0, _) = Dealer::new(7).beaver_triples(4);
         let (b0, _) = Dealer::new(7).beaver_triples(4);
         assert_eq!(a0.a.as_raw(), b0.a.as_raw());
+    }
+
+    fn sample_dealt() -> DealtSeed {
+        DealtSeed { seed: 41, nonce: 0xFEED_F00D, steps: vec![(1, 108), (3, 72), (6, 0)] }
+    }
+
+    #[test]
+    fn dealt_seed_roundtrips_and_stays_compact() {
+        let ds = sample_dealt();
+        let wire = ds.encode();
+        assert_eq!(wire.len() as u64, ds.wire_bytes());
+        assert!(wire.len() < 100, "dealt seed should be tens of bytes, got {}", wire.len());
+        assert_eq!(DealtSeed::decode(&wire).unwrap(), ds);
+    }
+
+    #[test]
+    fn dealt_seed_decode_rejects_malformed_input() {
+        let wire = sample_dealt().encode();
+        assert!(DealtSeed::decode(&wire[..10]).is_err(), "truncated header");
+        assert!(DealtSeed::decode(&wire[..wire.len() - 1]).is_err(), "truncated steps");
+        let mut bad_magic = wire.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(DealtSeed::decode(&bad_magic).is_err(), "bad magic");
+        let mut bad_version = wire.clone();
+        bad_version[2] += 1;
+        assert!(DealtSeed::decode(&bad_version).is_err(), "bad version");
+    }
+
+    #[test]
+    fn for_dealt_is_deterministic_and_nonce_separated() {
+        let ds = sample_dealt();
+        let (a0, _) = Dealer::for_dealt(&ds).beaver_triples(8);
+        let (b0, _) = Dealer::for_dealt(&ds).beaver_triples(8);
+        assert_eq!(a0.a.as_raw(), b0.a.as_raw(), "same dealt seed must expand identically");
+        let other = DealtSeed { nonce: ds.nonce ^ 1, ..ds };
+        let (c0, _) = Dealer::for_dealt(&other).beaver_triples(8);
+        assert_ne!(a0.a.as_raw(), c0.a.as_raw(), "nonce must domain-separate expansion");
+    }
+
+    #[test]
+    fn expanded_bytes_tally_what_dealing_would_have_shipped() {
+        let mut dealer = Dealer::new(11);
+        assert_eq!(dealer.expanded_bytes(), 0);
+        dealer.beaver_triples(10);
+        assert_eq!(dealer.expanded_bytes(), 480);
+        dealer.base_ots(128);
+        assert_eq!(dealer.expanded_bytes(), 480 + 96 * 128 + 16);
+        dealer.note_expanded(1000);
+        assert_eq!(dealer.expanded_bytes(), 480 + 96 * 128 + 16 + 1000);
     }
 }

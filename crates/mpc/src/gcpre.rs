@@ -128,6 +128,16 @@ impl PreGarbledClient {
     pub fn inputs(&self) -> usize {
         self.masks.len()
     }
+
+    /// Serialized size of this half — what an expanded (pre
+    /// seed-compression) dealer would ship to the evaluator.
+    pub fn expanded_bytes(&self) -> u64 {
+        (self.masks.len() * 8
+            + self.tables.len() * 64
+            + self.eval_labels.len() * 16
+            + self.fixed_labels.len() * 16
+            + self.decode.len().div_ceil(8)) as u64
+    }
 }
 
 impl PreGarbledServer {
@@ -144,6 +154,12 @@ impl PreGarbledServer {
     /// Number of input ring elements (`items × in_elems`).
     pub fn inputs(&self) -> usize {
         self.pairs.len() / UNIT_BITS
+    }
+
+    /// Serialized size of this half — what an expanded (pre
+    /// seed-compression) dealer would ship to the garbler.
+    pub fn expanded_bytes(&self) -> u64 {
+        (self.pairs.len() * 32 + self.out_share.len() * 8) as u64
     }
 
     /// Selects the active labels for the garbler's online input values

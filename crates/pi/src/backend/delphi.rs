@@ -54,6 +54,10 @@ impl Delphi {
         counts.ext_ots += (items * op.in_elems() * UNIT_BITS) as u64;
         let mut prg = dealer.fork_prg();
         let (cmat, smat) = pregarble(op, items, &mut prg, cfg.gc_chunk.max(1));
+        // The pre-garbled halves are drawn from a forked PRG, so the
+        // dealer can't see their size itself — report it for the
+        // seed-vs-expanded accounting.
+        dealer.note_expanded(cmat.expanded_bytes() + smat.expanded_bytes());
         (Box::new(GcClient { mat: cmat }), Box::new(GcServer { mat: smat }))
     }
 

@@ -79,12 +79,40 @@ impl OfflineCostModel {
         }
     }
 
-    /// Modelled offline traffic for the accumulated operation counts.
-    /// Ciphertexts flow both ways for each linear layer (`Enc(r)` up,
-    /// `Enc(W·r − s)` down); garbled tables and extension pads flow
-    /// garbler→evaluator (down), the extension's `u`-matrix
-    /// evaluator→garbler (up).
+    /// Modelled offline traffic for the accumulated operation counts
+    /// under **seed-compressed dealing**: ciphertexts still flow both
+    /// ways for each linear layer (`Enc(r)` up, `Enc(W·r − s)` down) and
+    /// the base-OT setup is still shipped, but the triples, garbled
+    /// tables and extension-transferred labels now travel as a compact
+    /// `DealtSeed` (`counts.seed_bytes`, dealer→parties, charged down)
+    /// that each party expands locally. What the expanded correlations
+    /// would have cost on the wire is in
+    /// [`OfflineCostModel::expanded_traffic`].
     pub fn offline_traffic(&self, counts: &OpCounts) -> TrafficSnapshot {
+        let cts_up: u64 =
+            counts.linear_in_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
+        let cts_down: u64 =
+            counts.linear_out_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
+        let base_ot_bytes = (counts.base_ots as f64 * self.bytes_per_base_ot) as u64;
+        let setup_flights = if counts.base_ots > 0 || counts.seed_bytes > 0 { 2 } else { 0 };
+        TrafficSnapshot {
+            bytes_client_to_server: cts_up * self.ct_bytes,
+            bytes_server_to_client: cts_down * self.ct_bytes + base_ot_bytes + counts.seed_bytes,
+            messages: cts_up + cts_down + setup_flights,
+            // One round trip per linear layer's ciphertext exchange,
+            // plus one for the whole session's base-OT/seed shipment
+            // (layer-batched).
+            flights: 2 * counts.linear_in_elems.len() as u64 + setup_flights,
+        }
+    }
+
+    /// What the same correlations would have cost on the wire under the
+    /// pre-compression expanded dealing: triples, garbled tables and
+    /// extension pads garbler→evaluator (down), the extension's
+    /// `u`-matrix evaluator→garbler (up), on top of the ciphertext and
+    /// base-OT flows. Reported next to [`OfflineCostModel::offline_traffic`]
+    /// so the planner can show the compression win.
+    pub fn expanded_traffic(&self, counts: &OpCounts) -> TrafficSnapshot {
         let cts_up: u64 =
             counts.linear_in_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
         let cts_down: u64 =
@@ -103,9 +131,6 @@ impl OfflineCostModel {
                 + base_ot_bytes
                 + ext_down,
             messages: cts_up + cts_down + ot_flights,
-            // One round trip per linear layer's ciphertext exchange,
-            // plus one for the whole session's garbling/OT-extension
-            // shipment (layer-batched).
             flights: 2 * counts.linear_in_elems.len() as u64 + ot_flights,
         }
     }
@@ -144,6 +169,8 @@ mod tests {
             and_gates: 0,
             base_ots: 128,
             ext_ots: 0,
+            seed_bytes: 64,
+            expanded_bytes: 0,
         }
     }
 
@@ -174,6 +201,26 @@ mod tests {
         let zero = OpCounts::default();
         let m = OfflineCostModel::cheetah();
         assert_eq!(m.offline_traffic(&zero).bytes_total(), 0);
+        assert_eq!(m.expanded_traffic(&zero).bytes_total(), 0);
         assert_eq!(m.offline_seconds(&zero), 0.0);
+    }
+
+    #[test]
+    fn seed_compression_collapses_correlation_traffic() {
+        // A GC-heavy count set: under expanded dealing the tables and
+        // extension labels dominate; under seed-compressed dealing only
+        // the DealtSeed bytes remain of them.
+        let c = OpCounts { and_gates: 500_000, ext_ots: 100_000, ..counts() };
+        let m = OfflineCostModel::delphi();
+        let dealt = m.offline_traffic(&c);
+        let expanded = m.expanded_traffic(&c);
+        let correlation_dealt = dealt.bytes_total() - m.offline_traffic(&counts()).bytes_total();
+        let correlation_expanded =
+            expanded.bytes_total() - m.offline_traffic(&counts()).bytes_total();
+        assert!(
+            correlation_expanded > 50 * correlation_dealt.max(1),
+            "expanded {correlation_expanded} vs dealt {correlation_dealt}"
+        );
+        assert!(expanded.bytes_total() > dealt.bytes_total());
     }
 }

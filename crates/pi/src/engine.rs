@@ -242,13 +242,16 @@ mod tests {
         // The paper's Table-II asymmetry. Since the offline-garbling
         // refactor Delphi's tables ship in the offline phase, so the
         // gap lives in *total* traffic; online, Delphi still pays the
-        // per-bit label transfer Cheetah avoids.
+        // per-bit label transfer Cheetah avoids. Seed-compressed
+        // dealing removed the garbled tables from the dealt wire bytes
+        // on both sides, so the remaining gap is the HE ciphertext
+        // asymmetry (~4× at this shape) — pin >3×.
         let mut seq = tiny_prefix();
         let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 11);
         let (_, _, delphi) = run_both(&mut seq, &x, PiBackend::Delphi);
         let (_, _, cheetah) = run_both(&mut seq, &x, PiBackend::Cheetah);
         assert!(
-            delphi.traffic_total().bytes_total() > 5 * cheetah.traffic_total().bytes_total(),
+            delphi.traffic_total().bytes_total() > 3 * cheetah.traffic_total().bytes_total(),
             "delphi {} vs cheetah {}",
             delphi.traffic_total().bytes_total(),
             cheetah.traffic_total().bytes_total()

@@ -20,6 +20,9 @@ pub enum PiError {
     BadConfig(String),
     /// One of the party threads panicked.
     PartyPanic(&'static str),
+    /// The persistent material store failed (I/O, corruption, or a
+    /// fingerprint mismatch with the session it was opened for).
+    Store(String),
 }
 
 impl fmt::Display for PiError {
@@ -31,6 +34,7 @@ impl fmt::Display for PiError {
             PiError::UnsupportedLayer(d) => write!(f, "no secure execution for layer {d}"),
             PiError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             PiError::PartyPanic(side) => write!(f, "{side} thread panicked"),
+            PiError::Store(msg) => write!(f, "material store: {msg}"),
         }
     }
 }

@@ -32,10 +32,12 @@ use crate::backend::{NlMaterial, PiBackendImpl};
 use crate::engine::PiConfig;
 use crate::plan::{Plan, Step, StepData};
 use crate::report::{OpCounts, PreprocessLedger};
+use crate::store::{MaterialStore, RecordKind, RestoreReport};
 use crate::{PiError, Result};
-use c2pi_mpc::dealer::{AffineCorrClient, AffineCorrServer, Dealer};
+use c2pi_mpc::dealer::{AffineCorrClient, AffineCorrServer, Dealer, DealtSeed};
 use c2pi_mpc::prg::SeedSequence;
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -119,16 +121,74 @@ impl SessionCore {
         &self.cfg
     }
 
+    /// Per-step `(kind, items)` metadata of the plan — the shape a
+    /// [`DealtSeed`] carries so the receiving party can validate that
+    /// both sides expand the same stream.
+    fn step_meta(&self) -> Vec<(u8, u32)> {
+        self.plan
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Conv { c, h, w, .. } => (1u8, (c * h * w) as u32),
+                Step::Fc { k } => (2, *k as u32),
+                Step::Relu { n } => (3, *n as u32),
+                Step::MaxPool { c, h, w } => (4, (c * (h / 2) * (w / 2)) as u32),
+                Step::AvgPool { c, h, w, .. } => (5, (c * h * w) as u32),
+                Step::Flatten => (6, 0),
+                Step::Affine => (7, 0),
+            })
+            .collect()
+    }
+
+    /// Stable fingerprint of this deployment: backend, master dealer
+    /// seed, fixed-point format and plan shape (FNV-1a). Used as the
+    /// [`DealtSeed`] nonce — so a seed dealt under one deployment never
+    /// expands under another — and as the [`MaterialStore`] header
+    /// fingerprint so a store file is only ever warm-booted by the
+    /// deployment that wrote it. Deliberately excludes knobs documented
+    /// as result-invariant (`gc_chunk`).
+    pub fn session_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(b"c2pi/session-fingerprint/v1");
+        eat(self.backend.name().as_bytes());
+        eat(&self.cfg.dealer_seed.to_le_bytes());
+        eat(&self.cfg.fixed.frac_bits().to_le_bytes());
+        for (kind, items) in self.step_meta() {
+            eat(&[kind]);
+            eat(&items.to_le_bytes());
+        }
+        h
+    }
+
+    /// The compact dealt artifact for per-inference seed `seed` — what
+    /// the server actually ships to the client instead of expanded
+    /// correlations.
+    pub(crate) fn dealt_seed(&self, seed: u64) -> DealtSeed {
+        DealtSeed { seed, nonce: self.session_fingerprint(), steps: self.step_meta() }
+    }
+
     /// Runs the trusted-dealer stand-in for one inference: walks the
-    /// plan and generates both parties' correlated-randomness halves
-    /// from `seed`. Deterministic in `seed`, input-independent, and
-    /// `&self` — any thread may deal concurrently.
+    /// plan and expands both parties' correlated-randomness halves from
+    /// the compact [`DealtSeed`] for `seed`. Deterministic in `seed`
+    /// (and the session fingerprint), input-independent, and `&self` —
+    /// any thread may deal concurrently.
+    ///
+    /// The returned counts carry the seed-compression shape: how many
+    /// bytes the dealt artifact occupies on the wire (`seed_bytes`) and
+    /// how many the expansion occupies locally (`expanded_bytes`).
     ///
     /// # Errors
     ///
     /// Propagates dealer errors (caller shape bugs).
     pub(crate) fn deal(&self, seed: u64) -> Result<InferenceMaterial> {
-        let mut dealer = Dealer::new(seed);
+        let dealt = self.dealt_seed(seed);
+        let mut dealer = Dealer::for_dealt(&dealt);
         let mut counts = self.plan.base_counts.clone();
         // Session-wide correlations first (the per-inference base-OT
         // set the backend's extension amortises across layers).
@@ -167,6 +227,8 @@ impl SessionCore {
                 _ => return Err(PiError::BadConfig("plan/data mismatch".into())),
             }
         }
+        counts.seed_bytes += dealt.wire_bytes();
+        counts.expanded_bytes += dealer.expanded_bytes();
         Ok(InferenceMaterial { seed, cmats, smats, counts })
     }
 }
@@ -177,6 +239,31 @@ struct PoolState {
     seeds: SeedSequence,
     ledger: PreprocessLedger,
     shutdown: bool,
+    /// Seeds drawn from `seeds` so far — the stream position, persisted
+    /// with every store record so a warm boot can fast-forward.
+    drawn: u64,
+    /// Material sets ever pushed into `ready` (monotone). Lets blocking
+    /// takers distinguish a genuine restock from a spurious condvar
+    /// wakeup.
+    produced: u64,
+    /// Persistent spill target; `None` for in-memory-only pools.
+    store: Option<MaterialStore>,
+}
+
+/// Result of the pooled-only take paths ([`MaterialPool::try_take`],
+/// [`MaterialPool::take_blocking`]), which — unlike
+/// [`MaterialPool::take`] — never fall back to inline dealing, so they
+/// must say explicitly why no material came back.
+#[derive(Debug)]
+pub enum PoolTake {
+    /// A pooled material set.
+    Material(Box<InferenceMaterial>),
+    /// The pool is currently empty but still live (more material may be
+    /// preprocessed or replenished).
+    Empty,
+    /// The pool has been shut down and drained: no material will ever
+    /// come back.
+    ShutDown,
 }
 
 /// A thread-safe pool of preprocessed per-inference material over one
@@ -206,6 +293,9 @@ pub struct MaterialPool {
     /// Notified on every take and on shutdown; the replenisher waits
     /// here for the pool to fall below its low watermark.
     drained: Condvar,
+    /// Notified on every push (and on shutdown); blocking takers wait
+    /// here, checking the `produced` counter against spurious wakeups.
+    restocked: Condvar,
 }
 
 impl std::fmt::Debug for MaterialPool {
@@ -231,8 +321,12 @@ impl MaterialPool {
                 seeds,
                 ledger: PreprocessLedger::default(),
                 shutdown: false,
+                drawn: 0,
+                produced: 0,
+                store: None,
             }),
             drained: Condvar::new(),
+            restocked: Condvar::new(),
         }
     }
 
@@ -264,21 +358,36 @@ impl MaterialPool {
     ///
     /// # Errors
     ///
-    /// Propagates dealer errors (caller shape bugs).
+    /// Propagates dealer errors (caller shape bugs) and store append
+    /// failures.
     pub fn preprocess(&self, n: usize) -> Result<()> {
         for _ in 0..n {
-            let seed = self.lock().seeds.next();
+            let seed = draw_seed(&mut self.lock());
             let start = Instant::now();
             let material = self.core.deal(seed)?;
             let elapsed = start.elapsed().as_secs_f64();
             let mut st = self.lock();
             st.ledger.generated_offline += 1;
-            st.ledger.generation_seconds += elapsed;
-            st.ledger.base_ots += material.counts.base_ots;
-            st.ledger.extended_ots += material.counts.ext_ots;
-            st.ready.push_back(material);
+            credit_generation(&mut st.ledger, &material.counts, elapsed);
+            push_ready(&mut st, material)?;
+            drop(st);
+            self.restocked.notify_all();
         }
         Ok(())
+    }
+
+    /// Pops pooled material under the held lock, doing the consumed
+    /// accounting and the store append (so a concurrent taker can never
+    /// observe the pop before the store records it).
+    fn pop_ready(&self, st: &mut MutexGuard<'_, PoolState>) -> Result<Option<InferenceMaterial>> {
+        match st.ready.pop_front() {
+            Some(m) => {
+                st.ledger.consumed += 1;
+                persist(st, RecordKind::Consumed, m.seed)?;
+                Ok(Some(m))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Takes one inference's material: pooled if available, otherwise
@@ -288,11 +397,11 @@ impl MaterialPool {
     ///
     /// # Errors
     ///
-    /// Propagates dealer errors from the inline path.
+    /// Propagates dealer errors from the inline path and store append
+    /// failures.
     pub fn take(&self) -> Result<InferenceMaterial> {
         let mut st = self.lock();
-        if let Some(m) = st.ready.pop_front() {
-            st.ledger.consumed += 1;
+        if let Some(m) = self.pop_ready(&mut st)? {
             drop(st);
             // Wake the replenisher: the pool may now be below watermark.
             self.drained.notify_all();
@@ -301,19 +410,66 @@ impl MaterialPool {
         // Pool dry: allocate the next seed atomically, then pay the
         // dealer outside the lock so concurrent misses generate in
         // parallel.
-        let seed = st.seeds.next();
+        let seed = draw_seed(&mut st);
         st.ledger.consumed += 1;
         st.ledger.generated_inline += 1;
         drop(st);
         self.drained.notify_all();
         let start = Instant::now();
         let material = self.core.deal(seed)?;
+        let elapsed = start.elapsed().as_secs_f64();
         let mut st = self.lock();
-        st.ledger.generation_seconds += start.elapsed().as_secs_f64();
-        st.ledger.base_ots += material.counts.base_ots;
-        st.ledger.extended_ots += material.counts.ext_ots;
+        credit_generation(&mut st.ledger, &material.counts, elapsed);
+        persist(&mut st, RecordKind::Consumed, seed)?;
         drop(st);
         Ok(material)
+    }
+
+    /// Non-blocking pooled-only take. Pops ready material even during
+    /// shutdown (draining), and reports [`PoolTake::ShutDown`] only once
+    /// the pool is both shut down and empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn try_take(&self) -> Result<PoolTake> {
+        let mut st = self.lock();
+        if let Some(m) = self.pop_ready(&mut st)? {
+            drop(st);
+            self.drained.notify_all();
+            return Ok(PoolTake::Material(Box::new(m)));
+        }
+        Ok(if st.shutdown { PoolTake::ShutDown } else { PoolTake::Empty })
+    }
+
+    /// Blocking pooled-only take: waits until material is pushed or the
+    /// pool shuts down. A condvar wakeup alone is not trusted — the
+    /// `produced` counter must have advanced (or shutdown must be set)
+    /// before the queue is re-examined, so a spurious wakeup can neither
+    /// return [`PoolTake::ShutDown`] on a live pool nor spin hot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn take_blocking(&self) -> Result<PoolTake> {
+        let mut st = self.lock();
+        loop {
+            if let Some(m) = self.pop_ready(&mut st)? {
+                drop(st);
+                self.drained.notify_all();
+                return Ok(PoolTake::Material(Box::new(m)));
+            }
+            if st.shutdown {
+                return Ok(PoolTake::ShutDown);
+            }
+            let produced_before = st.produced;
+            st = self.restocked.wait(st).expect("material pool mutex poisoned");
+            if st.produced == produced_before && !st.shutdown {
+                // Spurious wakeup: nothing was produced and nothing shut
+                // down — keep waiting rather than re-deciding.
+                continue;
+            }
+        }
     }
 
     /// Records one externally dealt material set (a client generating
@@ -323,20 +479,134 @@ impl MaterialPool {
         let mut st = self.lock();
         st.ledger.consumed += 1;
         st.ledger.generated_inline += 1;
-        st.ledger.generation_seconds += seconds;
-        st.ledger.base_ots += counts.base_ots;
-        st.ledger.extended_ots += counts.ext_ots;
+        credit_generation(&mut st.ledger, counts, seconds);
     }
 
-    /// Signals shutdown to any [`Replenisher`] waiting on this pool.
+    /// Attaches a persistent [`MaterialStore`] at `path`, warm-booting
+    /// the pool from whatever a previous process left there: the seed
+    /// stream is fast-forwarded past every seed the previous process
+    /// drew, the ledger resumes from its last persisted snapshot, and
+    /// every dealt-but-unconsumed seed is re-expanded into the pool
+    /// (counted in `ledger.restored`, *not* as new offline generation —
+    /// nothing is re-preprocessed). From then on every deal and consume
+    /// is appended to the store.
+    ///
+    /// Must be called on a fresh pool, before any preprocessing or
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// [`PiError::Store`] on I/O failure or when the file belongs to a
+    /// different deployment (fingerprint mismatch); [`PiError::BadConfig`]
+    /// when the pool already has a store or has already been used.
+    pub fn attach_store(&self, path: impl AsRef<Path>) -> Result<RestoreReport> {
+        let (store, scan) = MaterialStore::open(path.as_ref(), self.core.session_fingerprint())?;
+        let mut st = self.lock();
+        if st.store.is_some() {
+            return Err(PiError::BadConfig("material store already attached".into()));
+        }
+        if st.drawn != 0 || st.ledger != PreprocessLedger::default() {
+            return Err(PiError::BadConfig(
+                "attach_store requires a fresh pool (attach before preprocessing or serving)"
+                    .into(),
+            ));
+        }
+        for _ in 0..scan.drawn {
+            st.seeds.next();
+        }
+        st.drawn = scan.drawn;
+        st.ledger = scan.ledger;
+        st.ledger.restored += scan.pending.len() as u64;
+        let report = RestoreReport {
+            restored: scan.pending.len(),
+            drawn: scan.drawn,
+            records: scan.records,
+            truncated_tail: scan.truncated,
+        };
+        // Re-expand the surviving seeds into ready material. Boot-time
+        // work under the lock is fine: nothing serves yet.
+        for &seed in &scan.pending {
+            let material = self.core.deal(seed)?;
+            st.ready.push_back(material);
+            st.produced += 1;
+        }
+        st.store = Some(store);
+        drop(st);
+        self.restocked.notify_all();
+        Ok(report)
+    }
+
+    /// Whether a persistent store is attached.
+    pub fn has_store(&self) -> bool {
+        self.lock().store.is_some()
+    }
+
+    /// Graceful-drain flush: appends a flush marker carrying the final
+    /// ledger snapshot and fsyncs the store. No-op without a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn flush_store(&self) -> Result<()> {
+        let mut st = self.lock();
+        if st.store.is_some() {
+            persist(&mut st, RecordKind::Flush, 0)?;
+            st.store.as_mut().expect("store checked above").sync()?;
+        }
+        Ok(())
+    }
+
+    /// Signals shutdown to any [`Replenisher`] or blocking taker
+    /// waiting on this pool.
     pub fn shutdown(&self) {
         self.lock().shutdown = true;
         self.drained.notify_all();
+        self.restocked.notify_all();
     }
 
     /// Whether [`MaterialPool::shutdown`] has been called.
     pub fn is_shut_down(&self) -> bool {
         self.lock().shutdown
+    }
+}
+
+/// Allocates the next deterministic per-inference seed, advancing the
+/// persisted stream position with it.
+fn draw_seed(st: &mut MutexGuard<'_, PoolState>) -> u64 {
+    st.drawn += 1;
+    st.seeds.next()
+}
+
+/// Folds one dealt material set's generation shape into the ledger
+/// (time, OT counts, seed-compression bytes) — everything except the
+/// offline/inline/consumed attribution, which differs per path.
+fn credit_generation(ledger: &mut PreprocessLedger, counts: &OpCounts, seconds: f64) {
+    ledger.generation_seconds += seconds;
+    ledger.base_ots += counts.base_ots;
+    ledger.extended_ots += counts.ext_ots;
+    ledger.seed_bytes += counts.seed_bytes;
+    ledger.expanded_bytes += counts.expanded_bytes;
+}
+
+/// Pushes dealt material into the ready queue and appends the matching
+/// store record under the same lock hold, so no taker can consume
+/// material the store has not yet recorded as dealt.
+fn push_ready(st: &mut MutexGuard<'_, PoolState>, material: InferenceMaterial) -> Result<()> {
+    let seed = material.seed;
+    st.ready.push_back(material);
+    st.produced += 1;
+    persist(st, RecordKind::Dealt, seed)
+}
+
+/// Appends one record (seed + stream position + ledger snapshot with
+/// `available` filled) to the attached store, if any.
+fn persist(st: &mut MutexGuard<'_, PoolState>, kind: RecordKind, seed: u64) -> Result<()> {
+    let drawn = st.drawn;
+    let mut ledger = st.ledger;
+    ledger.available = st.ready.len() as u64;
+    match st.store.as_mut() {
+        Some(store) => store.append(kind, seed, drawn, &ledger),
+        None => Ok(()),
     }
 }
 
@@ -408,17 +678,18 @@ fn replenish_loop(pool: &MaterialPool, low: usize, high: usize) -> Result<()> {
             return Ok(());
         }
         while st.ready.len() < high && !st.shutdown {
-            let seed = st.seeds.next();
+            let seed = draw_seed(&mut st);
             drop(st);
             let start = Instant::now();
             let material = pool.core.deal(seed)?;
             let elapsed = start.elapsed().as_secs_f64();
             st = pool.lock();
             st.ledger.generated_offline += 1;
-            st.ledger.generation_seconds += elapsed;
-            st.ledger.base_ots += material.counts.base_ots;
-            st.ledger.extended_ots += material.counts.ext_ots;
-            st.ready.push_back(material);
+            credit_generation(&mut st.ledger, &material.counts, elapsed);
+            push_ready(&mut st, material)?;
+            drop(st);
+            pool.restocked.notify_all();
+            st = pool.lock();
         }
     }
 }
@@ -504,5 +775,65 @@ mod tests {
         assert_eq!(l.generated_inline, 0, "replenisher kept takers off the inline path");
         replenisher.stop().unwrap();
         assert!(pool.is_shut_down());
+    }
+
+    #[test]
+    fn ledger_accounts_seed_and_expanded_bytes() {
+        let pool = MaterialPool::new(tiny_core());
+        pool.preprocess(2).unwrap();
+        let l = pool.ledger();
+        assert!(l.seed_bytes > 0, "dealt seeds have a wire size");
+        assert!(l.expanded_bytes > l.seed_bytes, "expansion must outweigh the seed");
+        // Per-set seed bytes are tens of bytes, not megabytes.
+        assert!(l.seed_bytes / 2 < 1024, "per-set seed bytes {}", l.seed_bytes / 2);
+    }
+
+    #[test]
+    fn try_take_reports_empty_then_material_then_shutdown() {
+        let pool = MaterialPool::new(tiny_core());
+        assert!(matches!(pool.try_take().unwrap(), PoolTake::Empty));
+        pool.preprocess(2).unwrap();
+        assert!(matches!(pool.try_take().unwrap(), PoolTake::Material(_)));
+        pool.shutdown();
+        // Draining: pooled material still comes back after shutdown.
+        assert!(matches!(pool.try_take().unwrap(), PoolTake::Material(_)));
+        assert!(matches!(pool.try_take().unwrap(), PoolTake::ShutDown));
+    }
+
+    #[test]
+    fn take_blocking_distinguishes_restock_from_shutdown() {
+        // A blocked taker must come back with material when the pool is
+        // restocked, and with ShutDown when the pool shuts down — and a
+        // notification that produced nothing (shutdown's own notify on a
+        // pool that then restocks) must not confuse it.
+        let pool = Arc::new(MaterialPool::new(tiny_core()));
+        let taker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.take_blocking().unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        pool.preprocess(1).unwrap();
+        assert!(matches!(taker.join().unwrap(), PoolTake::Material(_)));
+
+        let blocked = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.take_blocking().unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        pool.shutdown();
+        assert!(matches!(blocked.join().unwrap(), PoolTake::ShutDown));
+        let l = pool.ledger();
+        assert_eq!(l.generated_offline + l.generated_inline, l.consumed + l.available);
+    }
+
+    #[test]
+    fn session_fingerprint_separates_deployments() {
+        let a = tiny_core();
+        let b = tiny_core();
+        assert_eq!(a.session_fingerprint(), b.session_fingerprint(), "same deployment");
+        let mut cfg = a.cfg;
+        cfg.dealer_seed += 1;
+        let c = Arc::new(SessionCore { plan: a.plan.clone(), cfg, backend: a.backend.clone() });
+        assert_ne!(a.session_fingerprint(), c.session_fingerprint(), "seed must enter");
     }
 }

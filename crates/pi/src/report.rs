@@ -28,6 +28,12 @@ pub struct OpCounts {
     /// Label transfers carried by the session's OT extension (offline
     /// for GC backends: the evaluator's masked-input labels).
     pub ext_ots: u64,
+    /// Bytes of the compact [`DealtSeed`](c2pi_mpc::dealer::DealtSeed)
+    /// artifacts actually shipped by the seed-compressed dealer.
+    pub seed_bytes: u64,
+    /// Bytes the dealt correlations occupy once expanded locally from
+    /// the seed — what pre-compression dealing used to ship.
+    pub expanded_bytes: u64,
 }
 
 /// Preprocessing ledger: where the consumed correlated randomness came
@@ -55,6 +61,16 @@ pub struct PreprocessLedger {
     /// Labels transferred through the offline OT extension across all
     /// generated material.
     pub extended_ots: u64,
+    /// Bytes of compact dealt-seed artifacts shipped across all
+    /// generated material (the seed-compressed dealing cost).
+    pub seed_bytes: u64,
+    /// Bytes the same material occupies expanded — what dealing would
+    /// have shipped before seed compression.
+    pub expanded_bytes: u64,
+    /// Material sets recovered from a persistent
+    /// [`MaterialStore`](crate::store::MaterialStore) at warm boot
+    /// (re-expanded from their recorded seeds, not newly dealt).
+    pub restored: u64,
 }
 
 /// Complete cost profile of one private-inference run.
@@ -111,6 +127,8 @@ impl PiReport {
         self.counts.and_gates += other.counts.and_gates;
         self.counts.base_ots += other.counts.base_ots;
         self.counts.ext_ots += other.counts.ext_ots;
+        self.counts.seed_bytes += other.counts.seed_bytes;
+        self.counts.expanded_bytes += other.counts.expanded_bytes;
         self.preprocessing = other.preprocessing;
     }
 }

@@ -57,6 +57,7 @@ use crate::pool::{
 use crate::report::{OpCounts, PiReport};
 use crate::{PiError, Result};
 use c2pi_mpc::beaver::truncate_share;
+use c2pi_mpc::dealer::DealtSeed;
 use c2pi_mpc::prg::Prg;
 use c2pi_mpc::ring::{im2col_ring, RingMatrix};
 use c2pi_mpc::share::{share_secret, ShareVec};
@@ -473,10 +474,12 @@ impl SharedPiSession {
 
     /// **Dealt contract, server side**: serves one inference to the
     /// client on `ch`. Takes one material set from the shared pool,
-    /// *deals* its seed to the client as the first frame (the
-    /// deterministic dealer standing in for the trusted third party
-    /// delivering the client's correlated-randomness half), then runs
-    /// the server party of the online protocol.
+    /// *deals* its compact [`DealtSeed`] to the client as the first
+    /// frame (the deterministic dealer standing in for the trusted
+    /// third party delivering the client's correlated-randomness half —
+    /// seed-compressed, so the frame is tens of bytes regardless of how
+    /// large the expanded material is), then runs the server party of
+    /// the online protocol.
     ///
     /// This is the entry point a concurrent accept loop (one worker per
     /// connection) calls against one shared pool — material is assigned
@@ -493,7 +496,7 @@ impl SharedPiSession {
         let material = self.pool.take()?;
         let before = ch.counter().snapshot();
         let start = Instant::now();
-        ch.send_u64s(&[material.seed])?;
+        ch.send_bytes(&self.core.dealt_seed(material.seed).encode())?;
         let InferenceMaterial { seed, cmats: _, smats, counts } = material;
         let share =
             server_thread(ch, &self.core.plan, smats, &self.core.cfg, &*self.core.backend, seed)?;
@@ -502,14 +505,15 @@ impl SharedPiSession {
 
     /// **Dealt contract, client side**: requests one inference from a
     /// server running [`SharedPiSession::serve_one`] on the other end of
-    /// `ch`. Receives the dealt seed, regenerates this party's
-    /// correlated-randomness half from it (dealer time on the client's
-    /// critical path, recorded as inline in this session's ledger), and
-    /// runs the client party of the online protocol.
+    /// `ch`. Receives the compact [`DealtSeed`], validates that it was
+    /// dealt for this exact deployment (nonce and plan shape), expands
+    /// this party's correlated-randomness half from it (dealer time on
+    /// the client's critical path, recorded as inline in this session's
+    /// ledger), and runs the client party of the online protocol.
     ///
     /// Both processes must compile their sessions from identical specs
-    /// and configuration — only the *per-inference seed* travels on the
-    /// wire.
+    /// and configuration — only the seed-compressed dealt artifact
+    /// travels on the wire.
     ///
     /// # Errors
     ///
@@ -522,15 +526,16 @@ impl SharedPiSession {
         }
         self.check_input(x)?;
         let before = ch.counter().snapshot();
-        let dealt = ch.recv_u64s()?;
-        let &[seed] = dealt.as_slice() else {
-            return Err(PiError::BadConfig(format!(
-                "dealt-seed handshake expected 1 word, got {}",
-                dealt.len()
-            )));
-        };
+        let dealt = DealtSeed::decode(&ch.recv_bytes()?)?;
+        if dealt != self.core.dealt_seed(dealt.seed) {
+            return Err(PiError::BadConfig(
+                "dealt seed was not produced for this deployment (backend, plan shape \
+                 or master configuration differ)"
+                    .into(),
+            ));
+        }
         let deal_start = Instant::now();
-        let InferenceMaterial { seed, cmats, smats: _, counts } = self.core.deal(seed)?;
+        let InferenceMaterial { seed, cmats, smats: _, counts } = self.core.deal(dealt.seed)?;
         self.pool.note_dealt_inline(deal_start.elapsed().as_secs_f64(), &counts);
         let start = Instant::now();
         let share = client_thread(

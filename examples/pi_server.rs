@@ -10,6 +10,12 @@
 //! smoke script) can hand it to clients. With `--serve-n N` the server
 //! exits once N connections finished (non-zero if any errored);
 //! otherwise it serves until killed.
+//!
+//! With `--persist <path>` the server attaches a crash-safe
+//! [`MaterialStore`](c2pi_suite::pi::MaterialStore) before preprocessing
+//! and announces the warm-boot outcome as
+//! `C2PI_WARMBOOT restored=<n> drawn=<n> truncated=<bool>` — a restarted
+//! server resumes the unconsumed pool without re-preprocessing.
 
 #[path = "two_party/common.rs"]
 mod common;
@@ -48,6 +54,7 @@ fn parse_opts() -> Opts {
             }
             "--pool-low" => opts.cfg.pool_low = val().parse().expect("--pool-low takes a count"),
             "--pool-high" => opts.cfg.pool_high = val().parse().expect("--pool-high takes a count"),
+            "--persist" => opts.cfg.persist_path = Some(val().into()),
             "--timeout-secs" => {
                 opts.timeout = Duration::from_secs(val().parse().expect("--timeout-secs"));
             }
@@ -60,8 +67,20 @@ fn parse_opts() -> Opts {
 fn main() {
     let opts = parse_opts();
     let session = common::build_session(opts.backend).into_shared();
-    session.preprocess(opts.preprocess).expect("initial offline phase");
-    let server = PiServer::bind(session, &opts.addr[..], opts.cfg).expect("bind server");
+    // A persistent store must attach to a fresh pool, so when persisting
+    // the server binds (which attaches) before the initial offline phase
+    // tops the pool up past what the store restored.
+    if opts.cfg.persist_path.is_none() {
+        session.preprocess(opts.preprocess).expect("initial offline phase");
+    }
+    let server = PiServer::bind(session, &opts.addr[..], opts.cfg.clone()).expect("bind server");
+    if let Some(boot) = server.warm_boot() {
+        println!(
+            "C2PI_WARMBOOT restored={} drawn={} truncated={}",
+            boot.restored, boot.drawn, boot.truncated_tail
+        );
+        server.session().preprocess(opts.preprocess).expect("initial offline phase");
+    }
     println!(
         "[pi_server] backend {} — serving on {} (workers {}, pool {}..{})",
         server.session().backend_name(),
