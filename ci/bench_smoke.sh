@@ -52,6 +52,16 @@ GUARD_RATIO=${BENCH_GUARD_RATIO:-1.25}
 cargo run --release -p c2pi-bench --bin bench_guard -- \
     "$BASELINE" BENCH_results.json session_phases/online/delphi "$GUARD_RATIO"
 
+# Serving-throughput gate: the 256-client reactor burst row times how
+# fast the serving loop disposes of an over-capacity connection wave
+# (accept, park, dispatch, serve 16, shed 240) — a regression here means
+# the reactor, not the protocol, got slower. Burst waves are noisier
+# than the protocol rows, so the limit is looser; override via
+# BENCH_GUARD_THROUGHPUT_RATIO.
+THROUGHPUT_RATIO=${BENCH_GUARD_THROUGHPUT_RATIO:-1.6}
+cargo run --release -p c2pi-bench --bin bench_guard -- \
+    "$BASELINE" BENCH_results.json serving_throughput/reactor/cheetah/256 "$THROUGHPUT_RATIO"
+
 # Append a dated snapshot to the committed history log so the perf
 # trajectory survives in-repo (one JSONL line per run: date, commit,
 # full results object). BENCH_results.json is a single JSON document;

@@ -7,9 +7,12 @@
 # Covers:
 #   1. the two-process lockstep demo (two_party_server/_client), both
 #      backends — bit-identical to the in-memory path or exit 1;
-#   2. the concurrent serving stack: a live pi_server accept loop
-#      handling a multi_client load generator that checks every
-#      prediction against the clear model.
+#   2. the concurrent serving stack: a live reactor pi_server handling a
+#      multi_client load generator that checks every prediction against
+#      the clear model;
+#   3. crash recovery over the sharded store segments (kill -9, warm
+#      boot) and the backpressure path: a deliberately starved pool
+#      shedding typed BUSY frames that retrying clients ride out.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,7 +94,7 @@ for backend in cheetah delphi; do
     echo "-- backend $backend"
     start_server "target/smoke-pi-server-$backend.log" \
         "$BIN/pi_server" --backend "$backend" --addr 127.0.0.1:0 \
-        --serve-n $((CLIENTS * ITERS)) --preprocess 2 --worker-cap "$CLIENTS"
+        --serve-n $((CLIENTS * ITERS)) --preprocess 2 --workers "$CLIENTS" --shards 2
     addr=$(wait_for_addr)
     timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend "$backend" --addr "$addr" \
         --clients "$CLIENTS" --iters "$ITERS"
@@ -100,16 +103,17 @@ for backend in cheetah delphi; do
 done
 
 echo "== crash-recovery smoke: kill -9 the server, warm-boot from the store =="
-# First life: attach a persistent MaterialStore, preprocess 6 sets with
-# the replenisher disabled (--pool-low 0), serve 2 clients, then SIGKILL
-# the process — no drain, no flush. Second life: same store, zero
-# preprocessing, and it must announce that the 4 unconsumed sets came
-# back (C2PI_WARMBOOT restored=4) and serve 2 more clients from them.
+# First life: attach one persistent MaterialStore segment per shard
+# ($STORE.shard0, $STORE.shard1), preprocess 6 sets with the replenisher
+# disabled (--pool-low 0), serve 2 clients, then SIGKILL the process —
+# no drain, no flush. Second life: same segments, zero preprocessing,
+# and it must announce that the 4 unconsumed sets came back
+# (C2PI_WARMBOOT restored=4) and serve 2 more clients from them.
 STORE=target/smoke-material-store.bin
-rm -f "$STORE"
+rm -f "$STORE"*
 start_server target/smoke-warmboot-1.log \
     "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
-    --persist "$STORE" --preprocess 6 --pool-low 0 --pool-high 0 --worker-cap 2
+    --persist "$STORE" --preprocess 6 --pool-low 0 --pool-high 0 --workers 2 --shards 2
 addr=$(wait_for_addr)
 grep -q '^C2PI_WARMBOOT restored=0 ' target/smoke-warmboot-1.log || {
     echo "smoke: first life did not announce an empty warm boot" >&2
@@ -125,7 +129,7 @@ cat target/smoke-warmboot-1.log
 
 start_server target/smoke-warmboot-2.log \
     "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
-    --persist "$STORE" --preprocess 0 --pool-low 0 --pool-high 0 --worker-cap 2 \
+    --persist "$STORE" --preprocess 0 --pool-low 0 --pool-high 0 --workers 2 --shards 2 \
     --serve-n 2
 addr=$(wait_for_addr)
 grep -q '^C2PI_WARMBOOT restored=4 ' target/smoke-warmboot-2.log || {
@@ -142,7 +146,35 @@ grep -q ' 0 inline ' target/smoke-warmboot-2.log || {
     echo "smoke: warm-booted server fell back to inline dealing" >&2
     exit 1
 }
-rm -f "$STORE"
+rm -f "$STORE"*
+
+echo "== backpressure smoke: starved pool sheds, clients retry, graceful drain =="
+# The server announces its address *before* dealing any material
+# (--preprocess-delay-ms), so every early inference request is answered
+# with a typed BUSY frame carrying the 50ms retry hint. The clients ride
+# the hint (--retries) until the delayed offline phase lands, after
+# which all four inferences must verify against the clear model; the
+# server then drains gracefully (exit 0 via --serve-n). The shed counter
+# in its final reactor line proves the backpressure path actually fired,
+# and the ledger line proves nothing was dealt inline to paper over the
+# starvation.
+start_server target/smoke-backpressure.log \
+    "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
+    --preprocess 4 --preprocess-delay-ms 500 --retry-after-ms 50 \
+    --pool-low 0 --pool-high 0 --workers 2 --shards 2 --serve-n 4
+addr=$(wait_for_addr)
+timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
+    --clients 4 --iters 1 --retries 100 --stats
+finish_server
+cat target/smoke-backpressure.log
+grep -Eq '^\[pi_server\] reactor: accepted=[0-9]+ shed=[1-9]' target/smoke-backpressure.log || {
+    echo "smoke: starved server never shed a request with a BUSY frame" >&2
+    exit 1
+}
+grep -q ' 0 inline ' target/smoke-backpressure.log || {
+    echo "smoke: starved server dealt inline instead of shedding" >&2
+    exit 1
+}
 
 echo "== deployment-planner smoke: deterministic plan + round-trip =="
 # plan_report exits non-zero unless every smoke prediction round-trips

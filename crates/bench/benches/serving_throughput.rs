@@ -21,18 +21,40 @@
 //! on a multi-core serving box (each in-flight inference alternates two
 //! party threads, so it occupies about one core); a single-core runner
 //! shows ~1× because the online protocol is CPU-bound there. The
-//! summary printed at the end states the measured ratio.
+//! summary printed at the end states the measured ratio, and the 4v1
+//! ratios are also recorded as `ratio_4v1/...` metric rows (×1000) in
+//! `BENCH_results.json`.
+//!
+//! The `reactor/...` rows measure the readiness-driven serving surface
+//! under burst: 64 and 256 *simultaneous* one-shot clients against a
+//! `ReactorServer` whose pool is deliberately stocked with only
+//! [`BURST_POOL`] sets — each wave serves exactly that many inferences
+//! and sheds the rest with typed `BUSY` frames, so the row times how
+//! fast the reactor disposes of an over-capacity connection wave
+//! (accept → park → dispatch → serve/shed). The shed and work-steal
+//! totals land as `shed_total`/`steal_total` metric rows.
 
+use c2pi_core::reactor::{ReactorClient, ReactorConfig, ReactorReply, ReactorServer};
 use c2pi_core::server::{PiClient, PiServer, PiServerConfig};
 use c2pi_nn::model::{alexnet, ZooConfig};
 use c2pi_pi::engine::{specs_of, PiBackend, PiConfig};
 use c2pi_pi::{PiSession, SharedPiSession};
 use c2pi_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, report_metric, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const TOTAL_INFERENCES: usize = 8;
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Client counts of the reactor burst rows — the high-concurrency
+/// regime a thread-per-connection accept loop cannot reach.
+const BURST_CLIENTS: [usize; 2] = [64, 256];
+/// Material preloaded per burst run. Deliberately smaller than the
+/// burst, so most of the wave exercises the typed-backpressure shed
+/// path (`served == BURST_POOL`, the rest answered `BUSY`).
+const BURST_POOL: usize = 16;
 
 fn shared_session(backend: PiBackend) -> SharedPiSession {
     let model =
@@ -100,6 +122,39 @@ fn run_tcp(
         }
     });
     start.elapsed()
+}
+
+/// Fires `clients` one-shot requests at a reactor server
+/// simultaneously (no retries). With the pool preloaded below the
+/// client count the wave exercises the serve and shed paths together;
+/// returns the wall time of the whole wave plus the served/busy split.
+fn run_burst(
+    addr: std::net::SocketAddr,
+    client_session: &SharedPiSession,
+    clients: usize,
+    x: &Tensor,
+) -> (Duration, usize, usize) {
+    let served = AtomicUsize::new(0);
+    let busy = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let client = ReactorClient::new(client_session.clone());
+            let xx = x.clone();
+            let served = &served;
+            let busy = &busy;
+            scope.spawn(move || match client.request(addr, &xx) {
+                Ok(ReactorReply::Served(_)) => {
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(ReactorReply::Busy { .. }) => {
+                    busy.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("burst request failed: {e}"),
+            });
+        }
+    });
+    (start.elapsed(), served.load(Ordering::Relaxed), busy.load(Ordering::Relaxed))
 }
 
 fn bench_serving(c: &mut Criterion) {
@@ -183,15 +238,81 @@ fn bench_serving(c: &mut Criterion) {
             ratio_report.push((format!("tcp/{name}"), t1 / t4));
         }
     }
+    // --- reactor burst: 64/256 simultaneous one-shot clients against a
+    // readiness-driven server whose pool holds only BURST_POOL sets.
+    // Replenishment off and queue_depth at the burst size, so the
+    // serve/shed split is exact and the row is pure wave-disposal time.
+    // Cheetah only: the reactor path is backend-agnostic above the
+    // session, so one backend bounds the CI time.
+    let serve_session = shared_session(PiBackend::Cheetah);
+    let server = ReactorServer::bind(
+        Arc::clone(serve_session.core()),
+        "127.0.0.1:0",
+        ReactorConfig {
+            workers: 8,
+            shards: 8,
+            max_clients: 1024,
+            queue_depth: *BURST_CLIENTS.iter().max().unwrap(),
+            pool_low: 0,
+            pool_high: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let client_session = shared_session(PiBackend::Cheetah);
+    let wave_served = AtomicUsize::new(0);
+    for clients in BURST_CLIENTS {
+        group.bench_with_input(
+            BenchmarkId::new("reactor/cheetah", clients),
+            &clients,
+            |b, &clients| {
+                b.iter_custom(|_| {
+                    server.preprocess(BURST_POOL).unwrap();
+                    let (d, served, busy) = run_burst(addr, &client_session, clients, &x);
+                    assert_eq!(served, BURST_POOL, "each pooled set serves exactly once per wave");
+                    assert_eq!(busy, clients - BURST_POOL, "the rest must shed with BUSY frames");
+                    wave_served.fetch_add(served, Ordering::Relaxed);
+                    d
+                })
+            },
+        );
+    }
+    // The worker's served increment lands just after the reply hits the
+    // socket, so the last wave's bookkeeping can trail the clients by a
+    // beat — settle before snapshotting.
+    let expected = wave_served.load(Ordering::Relaxed) as u64;
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut snap = server.metrics_snapshot();
+    while snap.served < expected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        snap = server.metrics_snapshot();
+    }
+    assert_eq!(snap.served, expected, "server served count must match the client-side total");
+    assert_eq!(snap.errors, 0, "burst waves must not error");
+    assert_eq!(snap.shards.len(), 8, "one metrics row per shard");
+    let consumed: u64 = snap.shards.iter().map(|s| s.consumed).sum();
+    assert_eq!(consumed, snap.served, "per-shard consumption must sum to the served total");
+    report_metric("serving_throughput/reactor/cheetah/shed_total", snap.shed as f64);
+    report_metric("serving_throughput/reactor/cheetah/steal_total", snap.steals as f64);
+    server.drain().unwrap();
+
     group.finish();
     println!("\n  aggregate online throughput, 4 concurrent clients vs 1 sequential:");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for (label, ratio) in ratio_report {
         println!("    {label:<16} {ratio:.2}x");
+        // Machine-readable twin of the printed ratio (×1000, rows are
+        // integers) so bench_guard / BENCH_history.jsonl can track it.
+        report_metric(&format!("serving_throughput/ratio_4v1/{label}_x1000"), ratio * 1000.0);
+        if cores >= 4 {
+            assert!(
+                ratio > 0.5,
+                "4-client aggregate throughput collapsed vs sequential: {label} at {ratio:.2}x"
+            );
+        }
     }
-    println!(
-        "    (cores available: {})",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    println!("    (cores available: {cores})");
 }
 
 criterion_group!(benches, bench_serving);

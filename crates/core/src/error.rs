@@ -6,6 +6,7 @@ use c2pi_nn::NnError;
 use c2pi_pi::PiError;
 use c2pi_tensor::TensorError;
 use std::fmt;
+use std::time::Duration;
 
 /// Error returned by fallible C2PI operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,16 @@ pub enum C2piError {
     NoBoundary(String),
     /// Invalid configuration.
     BadConfig(String),
+    /// The serving layer shed this request with a typed backpressure
+    /// frame (every pool shard starved, or the server is draining) and
+    /// the client's retry budget ran out.
+    Overloaded {
+        /// The server's suggested backoff before the next retry.
+        retry_after: Duration,
+        /// Whether the server was draining (a retry against the same
+        /// server will keep failing; target another replica).
+        draining: bool,
+    },
 }
 
 impl fmt::Display for C2piError {
@@ -36,6 +47,11 @@ impl fmt::Display for C2piError {
             C2piError::Pi(e) => write!(f, "private inference error: {e}"),
             C2piError::NoBoundary(msg) => write!(f, "no boundary satisfies constraints: {msg}"),
             C2piError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            C2piError::Overloaded { retry_after, draining } => write!(
+                f,
+                "server overloaded ({}); suggested retry-after {retry_after:?}",
+                if *draining { "draining" } else { "all pool shards empty" }
+            ),
         }
     }
 }

@@ -25,7 +25,12 @@
 //! * [`server`] — concurrent multi-client serving: the [`server::PiServer`]
 //!   TCP accept loop spawns bounded workers over one shared session
 //!   whose material pool a background dealer keeps topped up, and
-//!   [`server::PiClient`] is the matching one-call client.
+//!   [`server::PiClient`] is the matching one-call client;
+//! * [`reactor`] — serving at scale: the [`reactor::ReactorServer`]
+//!   multiplexes thousands of connections over a readiness loop and a
+//!   fixed worker set drawing from per-core material shards, sheds
+//!   overload with typed backpressure frames, and answers `STATS`
+//!   requests with Prometheus-style metrics.
 //!
 //! ```
 //! use c2pi_core::session::C2pi;
@@ -63,6 +68,7 @@ pub mod error;
 pub mod noise;
 pub mod pipeline;
 pub mod planner;
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod split_learning;
@@ -72,6 +78,7 @@ pub use defense::{defense_seed, Defense};
 pub use error::C2piError;
 pub use pipeline::{plain_prediction, InferenceResult, Split};
 pub use planner::{DeploymentPlan, DeploymentPlanner, PlanChoice, PlannerConfig};
+pub use reactor::{ReactorClient, ReactorConfig, ReactorReply, ReactorServer};
 pub use server::{ClientInference, PiClient, PiServer, PiServerConfig};
 pub use session::{C2pi, C2piBuilder, C2piSession};
 

@@ -70,6 +70,7 @@ use c2pi_transport::{NetModel, Transport};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Planner parameters: what to sweep and what to gate on.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -284,6 +285,40 @@ impl DeploymentPlan {
             .clamp(1.0, 64.0) as usize;
         let pool_low = (worker_cap * ratio).max(1);
         PiServerConfig { worker_cap, pool_low, pool_high: pool_low * 2, ..defaults }
+    }
+
+    /// A [`ReactorConfig`] sized from the plan's best deployment, for
+    /// the readiness-driven server. Same offline/online compute-ratio
+    /// argument as [`DeploymentPlan::server_config`], but the
+    /// watermarks are **per shard** (one shard and one replenisher per
+    /// worker), and the suggested `BUSY` retry-after is priced at one
+    /// offline material-generation interval — the soonest a retrying
+    /// client can expect fresh stock.
+    pub fn reactor_config(&self, workers: usize) -> crate::reactor::ReactorConfig {
+        let defaults = crate::reactor::ReactorConfig::default();
+        let workers = workers.max(1);
+        let Some(best) = self.best() else {
+            return crate::reactor::ReactorConfig { workers, ..defaults };
+        };
+        let row =
+            self.costs.iter().find(|r| r.boundary == best.boundary && r.backend == best.backend);
+        let ratio = row
+            .map(|r| (r.offline_compute_seconds / r.online_compute_seconds.max(1e-9)).ceil())
+            .unwrap_or(1.0)
+            .clamp(1.0, 64.0) as usize;
+        // Per-shard watermarks: each worker homes on its own shard, so
+        // a shard buffers the burst absorption for one worker.
+        let pool_low = ratio.max(1);
+        let retry_after = row
+            .map(|r| Duration::from_secs_f64(r.offline_compute_seconds.clamp(0.005, 5.0)))
+            .unwrap_or(defaults.retry_after);
+        crate::reactor::ReactorConfig {
+            workers,
+            pool_low,
+            pool_high: pool_low * 2,
+            retry_after,
+            ..defaults
+        }
     }
 
     /// Renders the paper-style boundary/cost/privacy table. The output

@@ -1,0 +1,315 @@
+//! The reactor's observability surface: lock-free counters, an
+//! online-latency histogram, and the Prometheus-style text exposition
+//! served on the `STATS` frame.
+//!
+//! Counters are plain relaxed atomics — serving workers bump them on
+//! the hot path, so nothing here takes a lock or allocates. The
+//! rendered exposition follows the Prometheus text format closely
+//! enough to scrape (`# HELP`/`# TYPE` comments, `_total` counters,
+//! cumulative `_bucket{le=…}` histogram lines), and closely enough to
+//! grep in CI, which is the consumer this repo actually has.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in milliseconds. Chosen to bracket
+/// the measured online latencies (Cheetah ~22 ms, Delphi ~67 ms in
+/// memory; hundreds of ms under load or simulated WAN).
+pub const LATENCY_BUCKETS_MS: [u64; 13] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000];
+
+/// Fixed-bucket latency histogram (log-spaced bounds plus +Inf).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// One counter per bound in [`LATENCY_BUCKETS_MS`] plus a final
+    /// +Inf bucket. Non-cumulative internally; the exposition
+    /// accumulates.
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let ms = latency.as_millis() as u64;
+        let at =
+            LATENCY_BUCKETS_MS.iter().position(|&b| ms <= b).unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[at].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts; the last entry is +Inf.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub sum_seconds: f64,
+}
+
+/// Shared serving counters, updated lock-free by the reactor and every
+/// worker.
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    /// Connections accepted by the reactor.
+    pub(crate) accepted: AtomicU64,
+    /// Inferences served to completion.
+    pub(crate) served: AtomicU64,
+    /// Requests shed with a typed backpressure frame (pool starved,
+    /// dispatch queue full, or draining).
+    pub(crate) shed: AtomicU64,
+    /// Connections that failed mid-protocol.
+    pub(crate) errors: AtomicU64,
+    /// Connections closed by the peer before a request arrived.
+    pub(crate) hangups: AtomicU64,
+    /// `STATS` requests answered.
+    pub(crate) stats_served: AtomicU64,
+    /// Connections currently registered, queued or in service.
+    pub(crate) active: AtomicU64,
+    /// Whether the server is draining (set once, never cleared).
+    pub(crate) draining: AtomicBool,
+    /// Online latency of served inferences (take → share revealed).
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ReactorMetrics {
+    pub(crate) fn add(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_done(&self) {
+        // `active` can transiently race to 0 during shutdown teardown;
+        // saturate rather than wrap.
+        let _ = self
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+}
+
+/// One shard's slice of a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Ready material sets pooled right now.
+    pub depth: usize,
+    /// Material consumed through this shard (its own takes plus steals
+    /// against it).
+    pub consumed: u64,
+    /// Sets dealt offline into this shard.
+    pub generated_offline: u64,
+    /// Sets restored from this shard's store segment at warm boot.
+    pub restored: u64,
+}
+
+/// Point-in-time view of the whole serving surface — what the `STATS`
+/// frame carries, rendered by [`MetricsSnapshot::render_prometheus`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Worker threads.
+    pub workers: usize,
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Inferences served.
+    pub served: u64,
+    /// Requests shed with backpressure frames.
+    pub shed: u64,
+    /// Mid-protocol failures.
+    pub errors: u64,
+    /// Peer hang-ups before a request.
+    pub hangups: u64,
+    /// `STATS` requests answered.
+    pub stats_served: u64,
+    /// Connections currently registered, queued or in service.
+    pub active: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Cross-shard work steals.
+    pub steals: u64,
+    /// Material restored from store segments at warm boot.
+    pub restored: u64,
+    /// Per-shard pool state.
+    pub shards: Vec<ShardSnapshot>,
+    /// Online-latency histogram of served inferences.
+    pub latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn gather(
+        metrics: &ReactorMetrics,
+        workers: usize,
+        steals: u64,
+        shards: Vec<ShardSnapshot>,
+    ) -> MetricsSnapshot {
+        let restored = shards.iter().map(|s| s.restored).sum();
+        MetricsSnapshot {
+            workers,
+            accepted: metrics.accepted.load(Ordering::Relaxed),
+            served: metrics.served.load(Ordering::Relaxed),
+            shed: metrics.shed.load(Ordering::Relaxed),
+            errors: metrics.errors.load(Ordering::Relaxed),
+            hangups: metrics.hangups.load(Ordering::Relaxed),
+            stats_served: metrics.stats_served.load(Ordering::Relaxed),
+            active: metrics.active.load(Ordering::Relaxed),
+            draining: metrics.draining.load(Ordering::Relaxed),
+            steals,
+            restored,
+            shards,
+            latency: metrics.latency.snapshot(),
+        }
+    }
+
+    /// Total pooled material across shards.
+    pub fn pooled(&self) -> usize {
+        self.shards.iter().map(|s| s.depth).sum()
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("c2pi_accepted_total", "Connections accepted by the reactor.", self.accepted);
+        counter("c2pi_served_total", "Online inferences served to completion.", self.served);
+        counter("c2pi_shed_total", "Requests shed with typed backpressure frames.", self.shed);
+        counter("c2pi_errors_total", "Connections that failed mid-protocol.", self.errors);
+        counter("c2pi_hangups_total", "Peers gone before sending a request.", self.hangups);
+        counter("c2pi_stats_requests_total", "STATS requests answered.", self.stats_served);
+        counter("c2pi_pool_steals_total", "Cross-shard work-stealing takes.", self.steals);
+        counter(
+            "c2pi_pool_restored_total",
+            "Material restored from store segments.",
+            self.restored,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_active_connections Connections registered, queued or in service."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_active_connections gauge");
+        let _ = writeln!(out, "c2pi_active_connections {}", self.active);
+        let _ =
+            writeln!(out, "# HELP c2pi_draining Whether the server is draining (1) or live (0).");
+        let _ = writeln!(out, "# TYPE c2pi_draining gauge");
+        let _ = writeln!(out, "c2pi_draining {}", u64::from(self.draining));
+        let _ = writeln!(out, "# HELP c2pi_workers Serving worker threads.");
+        let _ = writeln!(out, "# TYPE c2pi_workers gauge");
+        let _ = writeln!(out, "c2pi_workers {}", self.workers);
+        let _ = writeln!(out, "# HELP c2pi_shard_pool_depth Ready material sets pooled per shard.");
+        let _ = writeln!(out, "# TYPE c2pi_shard_pool_depth gauge");
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "c2pi_shard_pool_depth{{shard=\"{i}\"}} {}", s.depth);
+        }
+        let _ = writeln!(out, "# HELP c2pi_shard_consumed_total Material consumed per shard.");
+        let _ = writeln!(out, "# TYPE c2pi_shard_consumed_total counter");
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "c2pi_shard_consumed_total{{shard=\"{i}\"}} {}", s.consumed);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_online_latency_seconds Online latency of served inferences."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_online_latency_seconds histogram");
+        let mut cumulative = 0u64;
+        for (bound_ms, n) in LATENCY_BUCKETS_MS.iter().zip(&self.latency.buckets) {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "c2pi_online_latency_seconds_bucket{{le=\"{}\"}} {cumulative}",
+                *bound_ms as f64 / 1000.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "c2pi_online_latency_seconds_bucket{{le=\"+Inf\"}} {}",
+            self.latency.count
+        );
+        let _ = writeln!(out, "c2pi_online_latency_seconds_sum {:.6}", self.latency.sum_seconds);
+        let _ = writeln!(out, "c2pi_online_latency_seconds_count {}", self.latency.count);
+        out
+    }
+}
+
+/// Looks up one sample in a Prometheus-style exposition: the value on
+/// the line whose metric name (labels included) is exactly `name`.
+/// The CI smoke harness greps the text; tests use this to assert on it.
+pub fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_accumulate_in_the_exposition() {
+        let metrics = ReactorMetrics::default();
+        metrics.latency.record(Duration::from_millis(3)); // ≤5ms bucket
+        metrics.latency.record(Duration::from_millis(30)); // ≤50ms bucket
+        metrics.latency.record(Duration::from_secs(60)); // +Inf
+        let snap = MetricsSnapshot::gather(&metrics, 2, 0, vec![]);
+        let text = snap.render_prometheus();
+        assert_eq!(
+            metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"0.002\"}"),
+            Some(0.0)
+        );
+        assert_eq!(
+            metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"0.005\"}"),
+            Some(1.0)
+        );
+        assert_eq!(
+            metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"0.05\"}"),
+            Some(2.0)
+        );
+        assert_eq!(metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"10\"}"), Some(2.0));
+        assert_eq!(
+            metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"+Inf\"}"),
+            Some(3.0)
+        );
+        assert_eq!(metric_value(&text, "c2pi_online_latency_seconds_count"), Some(3.0));
+        assert!(snap.latency.sum_seconds > 60.0);
+    }
+
+    #[test]
+    fn exposition_carries_counters_and_per_shard_depths() {
+        let metrics = ReactorMetrics::default();
+        metrics.add(&metrics.served);
+        metrics.add(&metrics.served);
+        metrics.add(&metrics.shed);
+        let shards = vec![
+            ShardSnapshot { depth: 4, consumed: 7, generated_offline: 9, restored: 2 },
+            ShardSnapshot { depth: 1, consumed: 3, generated_offline: 4, restored: 0 },
+        ];
+        let snap = MetricsSnapshot::gather(&metrics, 3, 5, shards);
+        assert_eq!(snap.pooled(), 5);
+        assert_eq!(snap.restored, 2);
+        let text = snap.render_prometheus();
+        assert_eq!(metric_value(&text, "c2pi_served_total"), Some(2.0));
+        assert_eq!(metric_value(&text, "c2pi_shed_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_pool_steals_total"), Some(5.0));
+        assert_eq!(metric_value(&text, "c2pi_shard_pool_depth{shard=\"0\"}"), Some(4.0));
+        assert_eq!(metric_value(&text, "c2pi_shard_pool_depth{shard=\"1\"}"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_shard_consumed_total{shard=\"1\"}"), Some(3.0));
+        assert_eq!(metric_value(&text, "c2pi_workers"), Some(3.0));
+        assert_eq!(metric_value(&text, "c2pi_draining"), Some(0.0));
+        assert_eq!(metric_value(&text, "nonexistent_metric"), None);
+    }
+}

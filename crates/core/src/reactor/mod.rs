@@ -1,0 +1,1067 @@
+//! Readiness-driven serving: one reactor thread multiplexing every
+//! connection over a fixed worker set, per-core material shards with
+//! work stealing, typed backpressure, and a stats endpoint.
+//!
+//! [`crate::server::PiServer`] spawns a thread per connection and
+//! blocks it for the whole protocol; fine for tens of clients, fatal at
+//! thousands (a stack and a scheduler slot per idle socket). The
+//! reactor inverts that:
+//!
+//! * the **reactor thread** owns a nonblocking listener and a
+//!   [`polling::Poller`]. It accepts new connections (bounded by
+//!   [`ReactorConfig::max_clients`]), parks them in the poller until
+//!   their request frame arrives, and dispatches readable connections
+//!   into a **bounded** queue. It never runs cryptography, so one
+//!   thread multiplexes thousands of idle sockets;
+//! * a fixed set of **worker threads** pulls connections off the queue
+//!   and runs the online server party end to end. Worker *w* draws
+//!   material from shard *w mod shards* of a
+//!   [`c2pi_pi::ShardedMaterialPool`] — its own lock in steady state,
+//!   work-stealing from siblings when its shard runs dry;
+//! * one **replenisher per shard** keeps the shards topped up
+//!   (offline phase, input-independent).
+//!
+//! **Backpressure is explicit.** Whenever the server cannot serve — all
+//! shards empty, dispatch queue full, `max_clients` reached, or the
+//! server is draining — the client gets a typed `BUSY` frame carrying a
+//! suggested retry delay and a draining flag, never a hang or a silent
+//! close. [`ReactorClient::infer`] honours it with a bounded retry
+//! loop and surfaces exhaustion as [`C2piError::Overloaded`].
+//!
+//! **Observability is a frame away.** A `STATS` request returns a
+//! Prometheus-style text exposition ([`metrics`]): served/shed/steal
+//! counters, per-shard pool depths, and online-latency histograms.
+//!
+//! ## Wire protocol
+//!
+//! Framing is the transport's usual 4-byte little-endian length prefix.
+//! The client speaks first (a connection that never speaks costs the
+//! reactor one poller slot, not a thread):
+//!
+//! ```text
+//! client → server   REQ   = "C2PQ" ‖ version(u8) ‖ kind(u8: 1=infer, 2=stats)
+//! server → client   OK    = [1]            then the dealt contract runs
+//!                                          (DealtSeed frame, protocol,
+//!                                          revealed server share)
+//!                   BUSY  = [2] ‖ retry_ms(u32 LE) ‖ draining(u8)
+//!                   STATS = [3] ‖ Prometheus-style UTF-8 text
+//! ```
+//!
+//! After `OK` the byte stream is exactly the classic dealt serving
+//! contract ([`c2pi_pi::SessionCore::serve_prepared`] /
+//! [`c2pi_pi::SharedPiSession::request_one`]); the reactor adds one
+//! request/response exchange in front, nothing inside.
+//!
+//! **Determinism.** Sharding never touches material *content*: every
+//! shard draws from the one serialized [`c2pi_pi::SeedAllocator`], so a
+//! sharded deployment consumes a prefix of the same seed stream an
+//! unsharded session walks, and concurrent results are a bit-for-bit
+//! permutation of the sequential run's (DESIGN.md §8).
+//!
+//! ```no_run
+//! use c2pi_core::reactor::{ReactorClient, ReactorConfig, ReactorServer};
+//! use c2pi_nn::layers::{Conv2d, Relu};
+//! use c2pi_nn::Sequential;
+//! use c2pi_pi::engine::{specs_of, PiConfig};
+//! use c2pi_pi::PiSession;
+//! use c2pi_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), c2pi_core::C2piError> {
+//! let mut prefix = Sequential::new();
+//! prefix.push(Conv2d::new(1, 2, 3, 1, 1, 1, 1));
+//! prefix.push(Relu::new());
+//! let session =
+//!     PiSession::new(&specs_of(&prefix), [1, 8, 8], PiConfig::default())?.into_shared();
+//! let server = ReactorServer::bind(
+//!     Arc::clone(session.core()),
+//!     "127.0.0.1:0",
+//!     ReactorConfig { workers: 4, ..Default::default() },
+//! )?;
+//! let client = ReactorClient::new(session); // identical specs + config
+//! let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 1);
+//! let result = client.infer(server.local_addr(), &x)?;
+//! println!("prediction {}", result.prediction);
+//! println!("{}", client.stats(server.local_addr())?);
+//! server.drain()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod metrics;
+
+use crate::server::ClientInference;
+use crate::{C2piError, Result};
+use c2pi_pi::SharedPiSession;
+use c2pi_pi::{PoolTake, Replenisher, RestoreReport, SessionCore, ShardedMaterialPool};
+use c2pi_tensor::Tensor;
+use c2pi_transport::{Channel, Side, TcpChannel, TcpListenerTransport, TransportError};
+use metrics::{MetricsSnapshot, ReactorMetrics, ShardSnapshot};
+use polling::Poller;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Request-frame magic: "C2PI request", version-gated.
+const REQ_MAGIC: [u8; 4] = *b"C2PQ";
+/// Wire-protocol version of the REQ/OK/BUSY/STATS envelope.
+const PROTO_VERSION: u8 = 1;
+/// REQ kind: run one online inference.
+const KIND_INFER: u8 = 1;
+/// REQ kind: return the metrics exposition.
+const KIND_STATS: u8 = 2;
+/// Reply tag: request admitted, dealt contract follows.
+const TAG_OK: u8 = 1;
+/// Reply tag: shed with backpressure (retry_ms u32 LE + draining u8).
+const TAG_BUSY: u8 = 2;
+/// Reply tag: metrics exposition follows as UTF-8 text.
+const TAG_STATS: u8 = 3;
+
+/// How many pending accepts the reactor admits per poll tick.
+const ACCEPT_BATCH: usize = 64;
+/// Poll-tick timeout: the accept latency ceiling while connections idle.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+fn pi_err(e: TransportError) -> C2piError {
+    C2piError::Pi(e.into())
+}
+
+/// Tuning knobs of a [`ReactorServer`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Worker threads running online protocol parties. Size to cores;
+    /// clamped to at least 1.
+    pub workers: usize,
+    /// Material-pool shards. `0` (default) means one per worker —
+    /// worker *w* homes on shard *w mod shards*.
+    pub shards: usize,
+    /// Hard cap on connections the reactor tracks at once (parked,
+    /// queued or in service). Accepts beyond it are shed immediately
+    /// with a `BUSY` frame: bounded memory under any client count.
+    pub max_clients: usize,
+    /// Dispatch-queue depth between reactor and workers. `0` (default)
+    /// means `2 × workers`. A readable connection that finds the queue
+    /// full is shed, not parked — queueing hides overload, shedding
+    /// reports it.
+    pub queue_depth: usize,
+    /// Per-shard low watermark waking that shard's replenisher. `0`
+    /// disables replenishment (the reactor never deals inline, so a
+    /// drained deployment then sheds until `preprocess` is called).
+    pub pool_low: usize,
+    /// Per-shard high watermark the replenisher refills to.
+    pub pool_high: usize,
+    /// Read *and* write timeout on every served connection — a silent
+    /// or stalled client frees its worker after this long.
+    pub client_timeout: Duration,
+    /// Suggested backoff carried in `BUSY` frames. Scale to roughly one
+    /// material-generation interval so a retrying client finds stock.
+    pub retry_after: Duration,
+    /// Base path for persistent material stores; shard `i` persists to
+    /// `<base>.shard<i>`. When set, [`ReactorServer::bind`] warm-boots
+    /// every shard from its segment and [`ReactorServer::drain`]
+    /// flushes them all. `None` keeps material in memory only.
+    pub persist_path: Option<PathBuf>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 4,
+            shards: 0,
+            max_clients: 1024,
+            queue_depth: 0,
+            pool_low: 2,
+            pool_high: 8,
+            client_timeout: Duration::from_secs(60),
+            retry_after: Duration::from_millis(50),
+            persist_path: None,
+        }
+    }
+}
+
+/// What the reactor hands a worker.
+enum Job {
+    /// A connection whose request frame is (at least partly) buffered.
+    Conn(TcpStream),
+    /// Drain: finish queued work, then exit. Enqueued once per worker
+    /// *behind* all in-flight jobs, so FIFO order makes drain graceful.
+    Shutdown,
+}
+
+/// State every thread of the serving surface shares.
+struct Shared {
+    core: Arc<SessionCore>,
+    pool: Arc<ShardedMaterialPool>,
+    metrics: Arc<ReactorMetrics>,
+    workers: usize,
+    max_clients: usize,
+    client_timeout: Duration,
+    retry_after: Duration,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.metrics.draining.load(Ordering::SeqCst)
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let depths = self.pool.depths();
+        let ledgers = self.pool.shard_ledgers();
+        let shards = depths
+            .iter()
+            .zip(&ledgers)
+            .map(|(&depth, l)| ShardSnapshot {
+                depth,
+                consumed: l.consumed,
+                generated_offline: l.generated_offline,
+                restored: l.restored,
+            })
+            .collect();
+        MetricsSnapshot::gather(&self.metrics, self.workers, self.pool.steals(), shards)
+    }
+
+    /// Sheds one connection with a best-effort `BUSY` frame.
+    /// `counted_active` says whether the connection was admitted into
+    /// the active gauge (queue-full and drain sheds) or turned away at
+    /// the door (`max_clients` sheds).
+    fn shed(&self, stream: TcpStream, counted_active: bool) {
+        self.metrics.add(&self.metrics.shed);
+        let frame = busy_frame(self.retry_after, self.draining());
+        // Best-effort: the client may already be gone, and a shed must
+        // never block the reactor — short write timeout, errors ignored.
+        let _ = stream.set_nonblocking(false);
+        if let Ok(ch) = TcpChannel::from_stream(stream, Side::Server) {
+            let _ = ch.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = ch.send_bytes(&frame);
+        }
+        if counted_active {
+            self.metrics.connection_done();
+        }
+    }
+}
+
+fn req_frame(kind: u8) -> [u8; 6] {
+    [REQ_MAGIC[0], REQ_MAGIC[1], REQ_MAGIC[2], REQ_MAGIC[3], PROTO_VERSION, kind]
+}
+
+fn parse_req(frame: &[u8]) -> Option<u8> {
+    if frame.len() != 6 || frame[..4] != REQ_MAGIC || frame[4] != PROTO_VERSION {
+        return None;
+    }
+    matches!(frame[5], KIND_INFER | KIND_STATS).then_some(frame[5])
+}
+
+fn busy_frame(retry_after: Duration, draining: bool) -> [u8; 6] {
+    let ms = (retry_after.as_millis().min(u32::MAX as u128) as u32).to_le_bytes();
+    [TAG_BUSY, ms[0], ms[1], ms[2], ms[3], u8::from(draining)]
+}
+
+/// A running readiness-driven PI server. See the [module docs](self)
+/// for the thread map and wire protocol.
+#[derive(Debug)]
+pub struct ReactorServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    poller: Arc<Poller>,
+    warm_boot: Option<RestoreReport>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    replenishers: Vec<Replenisher>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("workers", &self.workers).finish()
+    }
+}
+
+impl ReactorServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the reactor
+    /// thread, `cfg.workers` worker threads, and — when
+    /// `cfg.pool_low > 0` — one replenisher per shard. When
+    /// `cfg.persist_path` is set, every shard warm-boots from its
+    /// `<base>.shard<i>` store segment first.
+    ///
+    /// `core` must be compiled from the same specs and config the
+    /// clients use (the usual dealt-contract requirement).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors when binding fails; store errors (I/O,
+    /// corruption, foreign deployment) when the persistence segments
+    /// cannot be attached.
+    pub fn bind(
+        core: Arc<SessionCore>,
+        addr: impl ToSocketAddrs,
+        cfg: ReactorConfig,
+    ) -> Result<Self> {
+        let workers = cfg.workers.max(1);
+        let shards = if cfg.shards == 0 { workers } else { cfg.shards };
+        let pool = Arc::new(ShardedMaterialPool::new(Arc::clone(&core), shards));
+        let warm_boot = match &cfg.persist_path {
+            Some(base) => Some(pool.attach_stores(base).map_err(C2piError::Pi)?),
+            None => None,
+        };
+        let listener = TcpListenerTransport::bind(addr).map_err(pi_err)?;
+        listener.set_nonblocking(true).map_err(pi_err)?;
+        let addr = listener.local_addr();
+        let poller = Arc::new(
+            Poller::new()
+                .map_err(|e| C2piError::BadConfig(format!("readiness poller unavailable: {e}")))?,
+        );
+        let shared = Arc::new(Shared {
+            core,
+            pool: Arc::clone(&pool),
+            metrics: Arc::new(ReactorMetrics::default()),
+            workers,
+            max_clients: cfg.max_clients.max(1),
+            client_timeout: cfg.client_timeout,
+            retry_after: cfg.retry_after,
+        });
+        let queue_depth = if cfg.queue_depth == 0 { workers * 2 } else { cfg.queue_depth };
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(w, &rx, &shared))
+            })
+            .collect();
+        let reactor = {
+            let poller = Arc::clone(&poller);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reactor_loop(&listener, &poller, &tx, &shared))
+        };
+        let replenishers = if cfg.pool_low > 0 {
+            pool.spawn_replenishers(cfg.pool_low, cfg.pool_high)
+        } else {
+            Vec::new()
+        };
+        Ok(ReactorServer {
+            addr,
+            shared,
+            poller,
+            warm_boot,
+            reactor: Some(reactor),
+            workers: worker_handles,
+            replenishers,
+        })
+    }
+
+    /// The actually-bound address (real port even for a port-0 bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The actually-bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// The sharded material pool this server serves from.
+    pub fn pool(&self) -> &Arc<ShardedMaterialPool> {
+        &self.shared.pool
+    }
+
+    /// The shared session core (plan + config + backend).
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.shared.core
+    }
+
+    /// What the warm boot from `cfg.persist_path` restored; `None`
+    /// without persistence.
+    pub fn warm_boot(&self) -> Option<&RestoreReport> {
+        self.warm_boot.as_ref()
+    }
+
+    /// Offline phase: deals material for `n` future inferences,
+    /// round-robin across shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dealer and store errors.
+    pub fn preprocess(&self, n: usize) -> Result<()> {
+        self.shared.pool.preprocess(n).map_err(C2piError::Pi)
+    }
+
+    /// Point-in-time metrics (same data the `STATS` frame serves).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Inferences served to completion so far.
+    pub fn served(&self) -> u64 {
+        self.shared.metrics.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with `BUSY` frames so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.metrics.shed.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, answer parked connections with
+    /// `BUSY(draining)`, finish every queued and in-flight inference,
+    /// stop the replenishers, then flush every shard's store segment.
+    /// Also runs on drop (ignoring flush errors there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-flush I/O failures — the one step whose failure
+    /// means persisted material may be missing its durable snapshot.
+    pub fn drain(mut self) -> Result<()> {
+        self.drain_inner()
+    }
+
+    fn drain_inner(&mut self) -> Result<()> {
+        // Idempotent: explicit drain() is followed by Drop.
+        if self.shared.metrics.draining.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Wake the reactor out of its poll sleep so it observes the
+        // flag now, not a tick later.
+        self.poller.notify();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+        // The reactor enqueued one Shutdown per worker behind all
+        // outstanding jobs; joining the workers is the in-flight drain.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Dropping a Replenisher stops and joins its thread.
+        self.replenishers.clear();
+        self.shared.pool.shutdown();
+        self.shared.pool.flush_stores().map_err(C2piError::Pi)
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        let _ = self.drain_inner();
+    }
+}
+
+/// The reactor thread: accept, park, dispatch, shed — no cryptography.
+fn reactor_loop(
+    listener: &TcpListenerTransport,
+    poller: &Poller,
+    tx: &SyncSender<Job>,
+    shared: &Shared,
+) {
+    let mut parked: HashMap<usize, TcpStream> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events = Vec::new();
+    while !shared.draining() {
+        // Admit new connections, up to the batch and the client cap.
+        for _ in 0..ACCEPT_BATCH {
+            match listener.try_accept() {
+                Ok(Some(stream)) => {
+                    shared.metrics.add(&shared.metrics.accepted);
+                    let active = shared.metrics.active.load(Ordering::Relaxed);
+                    if active >= shared.max_clients as u64 {
+                        shared.shed(stream, false);
+                        continue;
+                    }
+                    let key = next_key;
+                    next_key = next_key.wrapping_add(1);
+                    shared.metrics.active.fetch_add(1, Ordering::Relaxed);
+                    if poller.add(&stream, key).is_err() {
+                        shared.metrics.add(&shared.metrics.errors);
+                        shared.metrics.connection_done();
+                        continue;
+                    }
+                    parked.insert(key, stream);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    shared.metrics.add(&shared.metrics.errors);
+                    break;
+                }
+            }
+        }
+        // Park until a request frame arrives somewhere (or the tick
+        // elapses and we look for new accepts again).
+        events.clear();
+        let _ = poller.wait(&mut events, Some(POLL_TICK));
+        for event in &events {
+            let Some(stream) = parked.remove(&event.key) else { continue };
+            poller.delete(event.key);
+            match tx.try_send(Job::Conn(stream)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(Job::Conn(stream))) => shared.shed(stream, true),
+                Err(_) => return, // workers gone; nothing left to serve
+            }
+        }
+    }
+    // Drain: parked connections have not cost material yet — answer
+    // them honestly and close.
+    for (key, stream) in parked.drain() {
+        poller.delete(key);
+        shared.shed(stream, true);
+    }
+    // FIFO behind every dispatched job: workers finish real work first.
+    for _ in 0..shared.workers {
+        if tx.send(Job::Shutdown).is_err() {
+            break;
+        }
+    }
+}
+
+/// One worker thread: pull a connection, run one request to completion.
+fn worker_loop(worker: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let job = { rx.lock().expect("dispatch queue mutex poisoned").recv() };
+        match job {
+            Ok(Job::Conn(stream)) => {
+                serve_connection(worker, stream, shared);
+                shared.metrics.connection_done();
+            }
+            Ok(Job::Shutdown) | Err(_) => break,
+        }
+    }
+}
+
+/// The whole life of one admitted connection: parse REQ, then serve an
+/// inference (dealt contract + revealed share), answer STATS, or shed.
+fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
+    // Poller registration switched the shared file description to
+    // nonblocking; protocol I/O is blocking with timeouts.
+    if stream.set_nonblocking(false).is_err() {
+        shared.metrics.add(&shared.metrics.errors);
+        return;
+    }
+    let ch = match TcpChannel::from_stream(stream, Side::Server) {
+        Ok(ch) => ch,
+        Err(_) => {
+            shared.metrics.add(&shared.metrics.errors);
+            return;
+        }
+    };
+    if ch.set_read_timeout(Some(shared.client_timeout)).is_err()
+        || ch.set_write_timeout(Some(shared.client_timeout)).is_err()
+    {
+        shared.metrics.add(&shared.metrics.errors);
+        return;
+    }
+    // The readiness event may have been an EOF: the peer connected and
+    // left. That is a hangup, not a protocol error.
+    let req = match ch.recv_bytes() {
+        Ok(frame) => frame,
+        Err(_) => {
+            shared.metrics.add(&shared.metrics.hangups);
+            return;
+        }
+    };
+    let Some(kind) = parse_req(&req) else {
+        shared.metrics.add(&shared.metrics.errors);
+        return;
+    };
+    match kind {
+        KIND_STATS => {
+            let text = shared.snapshot().render_prometheus();
+            let mut frame = Vec::with_capacity(1 + text.len());
+            frame.push(TAG_STATS);
+            frame.extend_from_slice(text.as_bytes());
+            match ch.send_bytes(&frame) {
+                Ok(()) => shared.metrics.add(&shared.metrics.stats_served),
+                Err(_) => shared.metrics.add(&shared.metrics.errors),
+            }
+        }
+        _ => match shared.pool.try_take(worker) {
+            Ok(PoolTake::Material(material)) => {
+                if ch.send_bytes(&[TAG_OK]).is_err() {
+                    // The material is consumed (ledger-exact) but the
+                    // client is gone; the set is lost to this error.
+                    shared.metrics.add(&shared.metrics.errors);
+                    return;
+                }
+                let start = Instant::now();
+                let served = shared
+                    .core
+                    .serve_prepared(&ch, *material)
+                    .map_err(C2piError::Pi)
+                    .and_then(|share| ch.send_u64s(share.as_raw()).map_err(pi_err));
+                match served {
+                    Ok(()) => {
+                        shared.metrics.latency.record(start.elapsed());
+                        shared.metrics.add(&shared.metrics.served);
+                    }
+                    Err(_) => shared.metrics.add(&shared.metrics.errors),
+                }
+            }
+            // Starved or shutting down: typed backpressure, no block,
+            // no inline dealing.
+            Ok(PoolTake::Empty) => {
+                shared.metrics.add(&shared.metrics.shed);
+                let frame = busy_frame(shared.retry_after, shared.draining());
+                let _ = ch.send_bytes(&frame);
+            }
+            Ok(PoolTake::ShutDown) => {
+                shared.metrics.add(&shared.metrics.shed);
+                let _ = ch.send_bytes(&busy_frame(shared.retry_after, true));
+            }
+            Err(_) => shared.metrics.add(&shared.metrics.errors),
+        },
+    }
+}
+
+/// One reply from a [`ReactorServer`] to an inference request.
+#[derive(Debug)]
+pub enum ReactorReply {
+    /// The inference ran; the reconstructed result.
+    Served(Box<ClientInference>),
+    /// The server shed the request with a typed backpressure frame.
+    Busy {
+        /// The server's suggested backoff before retrying.
+        retry_after: Duration,
+        /// Whether the server is draining (retries against it are
+        /// pointless; target another replica).
+        draining: bool,
+    },
+}
+
+/// Client for a [`ReactorServer`]: speaks the REQ/OK/BUSY/STATS
+/// envelope, then the classic dealt contract. Must wrap a session
+/// compiled from **identical** specs and config as the server's.
+/// Cloneable and `&self` throughout.
+#[derive(Debug, Clone)]
+pub struct ReactorClient {
+    session: SharedPiSession,
+    connect_timeout: Duration,
+    retries: usize,
+}
+
+impl ReactorClient {
+    /// Wraps a shared session compiled identically to the server's.
+    pub fn new(session: SharedPiSession) -> Self {
+        ReactorClient { session, connect_timeout: Duration::from_secs(10), retries: 8 }
+    }
+
+    /// How long [`ReactorClient::request`] keeps retrying the TCP
+    /// connect (covers server processes still racing to bind).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// How many `BUSY` replies [`ReactorClient::infer`] absorbs
+    /// (sleeping the server-suggested backoff between attempts) before
+    /// giving up with [`C2piError::Overloaded`]. Zero disables retries.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &SharedPiSession {
+        &self.session
+    }
+
+    /// One request, no retries: connect, send REQ, and either run the
+    /// dealt contract to a reconstructed result or report the server's
+    /// backpressure verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, protocol-envelope violations, and the engine
+    /// errors of the client party. A `BUSY` reply is **not** an error
+    /// here — it returns [`ReactorReply::Busy`].
+    pub fn request(&self, addr: impl ToSocketAddrs + Clone, x: &Tensor) -> Result<ReactorReply> {
+        let ch =
+            TcpChannel::connect_retry(addr, Side::Client, self.connect_timeout).map_err(pi_err)?;
+        ch.send_bytes(&req_frame(KIND_INFER)).map_err(pi_err)?;
+        let reply = ch.recv_bytes().map_err(pi_err)?;
+        match reply.as_slice() {
+            [TAG_OK] => {
+                let outcome = self.session.request_one(&ch, x).map_err(C2piError::Pi)?;
+                let server_share =
+                    c2pi_mpc::share::ShareVec::from_raw(ch.recv_u64s().map_err(pi_err)?);
+                let raw = c2pi_mpc::share::reconstruct(&outcome.share, &server_share);
+                let fp = self.session.config().fixed;
+                let logits = fp.decode_tensor(&raw, &outcome.dims).map_err(C2piError::Tensor)?;
+                let prediction = logits.argmax().unwrap_or(0);
+                Ok(ReactorReply::Served(Box::new(ClientInference { logits, prediction, outcome })))
+            }
+            [TAG_BUSY, a, b, c, d, draining] => Ok(ReactorReply::Busy {
+                retry_after: Duration::from_millis(u64::from(u32::from_le_bytes([*a, *b, *c, *d]))),
+                draining: *draining != 0,
+            }),
+            other => Err(C2piError::BadConfig(format!(
+                "unexpected reactor reply ({} bytes, tag {:?})",
+                other.len(),
+                other.first()
+            ))),
+        }
+    }
+
+    /// One private inference with backpressure handling: on `BUSY`,
+    /// sleeps the server-suggested backoff and retries up to the
+    /// configured budget; a draining server short-circuits the loop.
+    ///
+    /// # Errors
+    ///
+    /// [`C2piError::Overloaded`] when every attempt was shed; otherwise
+    /// as [`ReactorClient::request`].
+    pub fn infer(&self, addr: impl ToSocketAddrs + Clone, x: &Tensor) -> Result<ClientInference> {
+        let mut last_busy = None;
+        for attempt in 0..=self.retries {
+            match self.request(addr.clone(), x)? {
+                ReactorReply::Served(result) => return Ok(*result),
+                ReactorReply::Busy { retry_after, draining } => {
+                    last_busy = Some((retry_after, draining));
+                    if draining {
+                        break;
+                    }
+                    if attempt < self.retries {
+                        std::thread::sleep(retry_after);
+                    }
+                }
+            }
+        }
+        let (retry_after, draining) =
+            last_busy.expect("loop ran at least once and every arm either returned or set it");
+        Err(C2piError::Overloaded { retry_after, draining })
+    }
+
+    /// Fetches the server's Prometheus-style metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a malformed reply.
+    pub fn stats(&self, addr: impl ToSocketAddrs + Clone) -> Result<String> {
+        let ch =
+            TcpChannel::connect_retry(addr, Side::Client, self.connect_timeout).map_err(pi_err)?;
+        ch.send_bytes(&req_frame(KIND_STATS)).map_err(pi_err)?;
+        let reply = ch.recv_bytes().map_err(pi_err)?;
+        match reply.split_first() {
+            Some((&TAG_STATS, text)) => String::from_utf8(text.to_vec())
+                .map_err(|_| C2piError::BadConfig("stats reply is not UTF-8".into())),
+            _ => Err(C2piError::BadConfig("unexpected reply to a STATS request".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metrics::metric_value;
+    use super::*;
+    use c2pi_nn::layers::{Conv2d, MaxPool2d, Relu};
+    use c2pi_nn::Sequential;
+    use c2pi_pi::engine::{specs_of, PiConfig};
+    use c2pi_pi::PiSession;
+
+    fn tiny_prefix() -> Sequential {
+        let mut s = Sequential::new();
+        s.push(Conv2d::new(1, 3, 3, 1, 1, 1, 1));
+        s.push(Relu::new());
+        s.push(MaxPool2d::new(2, 2));
+        s
+    }
+
+    fn shared_session() -> SharedPiSession {
+        PiSession::new(&specs_of(&tiny_prefix()), [1, 8, 8], PiConfig::default())
+            .unwrap()
+            .into_shared()
+    }
+
+    fn server_core() -> Arc<SessionCore> {
+        Arc::clone(shared_session().core())
+    }
+
+    #[test]
+    fn reactor_serves_concurrent_clients_with_correct_predictions() {
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 3,
+                shards: 2,
+                pool_low: 2,
+                pool_high: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients = 3;
+        let iters = 2;
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                scope.spawn(move || {
+                    let client = ReactorClient::new(shared_session());
+                    for i in 0..iters {
+                        let x =
+                            Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, (100 * t + i) as u64);
+                        let got = client.infer(addr, &x).unwrap();
+                        let plain = tiny_prefix().forward_eval(&x).unwrap();
+                        for (a, b) in got.logits.as_slice().iter().zip(plain.as_slice()) {
+                            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+                        }
+                    }
+                });
+            }
+        });
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.served, (clients * iters) as u64);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.shards.len(), 2);
+        let ledger = server.pool().ledger();
+        assert!(ledger.consumed >= (clients * iters) as u64);
+        assert_eq!(
+            ledger.generated_offline + ledger.generated_inline,
+            ledger.consumed + ledger.available
+        );
+        assert_eq!(ledger.generated_inline, 0, "the reactor never deals inline");
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn starved_pool_sheds_with_busy_and_retry_succeeds_after_restock() {
+        // pool_low = 0: no replenisher, the pool only holds what we deal.
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 2,
+                pool_low: 0,
+                pool_high: 0,
+                retry_after: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let client = ReactorClient::new(shared_session()).with_retries(1);
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 9);
+
+        // Starved: the typed frame comes back, then the retry budget
+        // runs out as Overloaded (not a hang, not a connection reset).
+        match client.request(addr, &x).unwrap() {
+            ReactorReply::Busy { retry_after, draining } => {
+                assert_eq!(retry_after, Duration::from_millis(5));
+                assert!(!draining);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        match client.infer(addr, &x) {
+            Err(C2piError::Overloaded { draining: false, .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(server.shed() >= 3, "one request + two infer attempts shed");
+
+        // Restock → the same client's retry loop now succeeds.
+        server.preprocess(1).unwrap();
+        client.infer(addr, &x).unwrap();
+        assert_eq!(server.served(), 1);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn stats_endpoint_reports_counters_and_shard_depths() {
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 2,
+                shards: 2,
+                pool_low: 0,
+                pool_high: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        server.preprocess(3).unwrap();
+        let client = ReactorClient::new(shared_session());
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 3);
+        client.infer(server.local_addr(), &x).unwrap();
+        let text = client.stats(server.local_addr()).unwrap();
+        assert_eq!(metric_value(&text, "c2pi_served_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_workers"), Some(2.0));
+        assert_eq!(metric_value(&text, "c2pi_draining"), Some(0.0));
+        let d0 = metric_value(&text, "c2pi_shard_pool_depth{shard=\"0\"}").unwrap();
+        let d1 = metric_value(&text, "c2pi_shard_pool_depth{shard=\"1\"}").unwrap();
+        assert_eq!(d0 + d1, 2.0, "3 dealt, 1 consumed");
+        assert_eq!(
+            metric_value(&text, "c2pi_online_latency_seconds_bucket{le=\"+Inf\"}"),
+            Some(1.0)
+        );
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.stats_served, 1);
+        server.drain().unwrap();
+    }
+
+    #[test]
+    fn drain_flushes_segmented_stores_for_a_warm_boot() {
+        let base =
+            std::env::temp_dir().join(format!("c2pi-reactor-drain-{}.bin", std::process::id()));
+        for i in 0..2 {
+            let _ = std::fs::remove_file(ShardedMaterialPool::segment_path(&base, i));
+        }
+        let cfg = ReactorConfig {
+            workers: 2,
+            shards: 2,
+            pool_low: 0,
+            pool_high: 0,
+            persist_path: Some(base.clone()),
+            ..Default::default()
+        };
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 55);
+
+        // First life: deal 3, serve 1, drain (flushes both segments).
+        {
+            let server = ReactorServer::bind(server_core(), "127.0.0.1:0", cfg.clone()).unwrap();
+            assert_eq!(server.warm_boot().unwrap().restored, 0);
+            server.preprocess(3).unwrap();
+            let client = ReactorClient::new(shared_session());
+            client.infer(server.local_addr(), &x).unwrap();
+            server.drain().unwrap();
+        }
+
+        // Second life: the two unconsumed sets come back across the
+        // segments and serve without any new generation.
+        let server = ReactorServer::bind(server_core(), "127.0.0.1:0", cfg).unwrap();
+        assert_eq!(server.warm_boot().unwrap().restored, 2);
+        let client = ReactorClient::new(shared_session());
+        client.infer(server.local_addr(), &x).unwrap();
+        client.infer(server.local_addr(), &x).unwrap();
+        let ledger = server.pool().ledger();
+        assert_eq!(ledger.generated_offline, 3, "never re-preprocessed");
+        assert_eq!(ledger.generated_inline, 0);
+        assert_eq!(ledger.consumed, 3);
+        assert_eq!(ledger.restored, 2);
+        server.drain().unwrap();
+        for i in 0..2 {
+            std::fs::remove_file(ShardedMaterialPool::segment_path(&base, i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn draining_server_tells_clients_not_to_retry() {
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig { workers: 1, pool_low: 0, pool_high: 0, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        server.drain().unwrap();
+        // The listener is gone after drain; a fresh connect must fail
+        // fast rather than be served.
+        let client =
+            ReactorClient::new(shared_session()).with_connect_timeout(Duration::from_millis(200));
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        assert!(client.request(addr, &x).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_counted_not_fatal() {
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig { workers: 1, pool_low: 0, pool_high: 0, ..Default::default() },
+        )
+        .unwrap();
+        let ch =
+            TcpChannel::connect_retry(server.local_addr(), Side::Client, Duration::from_secs(5))
+                .unwrap();
+        ch.send_bytes(b"not a request").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.metrics_snapshot().errors == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.served, 0);
+        // The server still serves well-formed traffic afterwards.
+        server.preprocess(1).unwrap();
+        let client = ReactorClient::new(shared_session());
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 4);
+        client.infer(server.local_addr(), &x).unwrap();
+        server.drain().unwrap();
+    }
+
+    /// The headline capacity claim: 256 truly concurrent client
+    /// connections against one reactor, all in flight at once. The pool
+    /// holds 32 sets, so the wave splits exactly into 32 serves and 224
+    /// typed sheds, the active-connection gauge returns to zero (no
+    /// connection leaks), and the server stays fully live afterwards.
+    #[test]
+    fn reactor_sustains_256_concurrent_clients() {
+        use std::sync::atomic::AtomicUsize;
+        const CLIENTS: usize = 256;
+        const STOCK: usize = 32;
+        let server = ReactorServer::bind(
+            server_core(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 4,
+                shards: 4,
+                max_clients: 2 * CLIENTS,
+                queue_depth: CLIENTS,
+                pool_low: 0,
+                pool_high: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        server.preprocess(STOCK).unwrap();
+        let session = shared_session();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 9);
+        let served = AtomicUsize::new(0);
+        let busy = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                let session = session.clone();
+                let (served, busy, x) = (&served, &busy, &x);
+                scope.spawn(move || {
+                    let client =
+                        ReactorClient::new(session).with_connect_timeout(Duration::from_secs(60));
+                    match client.request(addr, x).unwrap() {
+                        ReactorReply::Served(_) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ReactorReply::Busy { draining, .. } => {
+                            assert!(!draining, "a live server must not claim to drain");
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(served.load(Ordering::Relaxed), STOCK, "every pooled set served once");
+        assert_eq!(busy.load(Ordering::Relaxed), CLIENTS - STOCK, "the rest shed with BUSY");
+
+        // Server-side bookkeeping trails the last client reply by a
+        // beat; settle before asserting the counters and the gauge.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let expect_shed = (CLIENTS - STOCK) as u64;
+        let mut snap = server.metrics_snapshot();
+        while (snap.served < STOCK as u64 || snap.shed < expect_shed || snap.active > 0)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+            snap = server.metrics_snapshot();
+        }
+        assert_eq!(snap.served, STOCK as u64);
+        assert_eq!(snap.shed, expect_shed);
+        assert_eq!(snap.errors, 0, "a full-capacity wave is not an error");
+        assert_eq!(snap.active, 0, "no connection leaks after the wave");
+        assert_eq!(snap.shards.len(), 4);
+        let consumed: u64 = snap.shards.iter().map(|s| s.consumed).sum();
+        assert_eq!(consumed, STOCK as u64, "shard consumption sums to the served total");
+
+        // The wave left the server healthy: restock and serve again.
+        server.preprocess(1).unwrap();
+        let client = ReactorClient::new(shared_session());
+        client.infer(addr, &x).unwrap();
+        server.drain().unwrap();
+    }
+}

@@ -309,8 +309,11 @@ fn accept_loop(
             break;
         }
         // A silent client must not hold a worker slot (and a consumed
-        // material set) forever.
-        if ch.set_read_timeout(Some(cfg.client_timeout)).is_err() {
+        // material set) forever — in either direction: reads stall when
+        // the client stops sending, writes when it stops draining.
+        if ch.set_read_timeout(Some(cfg.client_timeout)).is_err()
+            || ch.set_write_timeout(Some(cfg.client_timeout)).is_err()
+        {
             errors.fetch_add(1, Ordering::SeqCst);
             continue;
         }

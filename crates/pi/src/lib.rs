@@ -68,15 +68,19 @@ mod plan;
 pub mod pool;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod store;
 
 pub use backend::{cheetah, delphi, IntoBackend, PiBackendImpl};
 pub use calibrate::{Calibrator, OnlineCostModel};
 pub use engine::{run_prefix, PiBackend, PiConfig, PiOutcome};
 pub use error::PiError;
-pub use pool::{InferenceMaterial, MaterialPool, PoolTake, Replenisher, SessionCore};
+pub use pool::{
+    InferenceMaterial, MaterialPool, PoolTake, Replenisher, SeedAllocator, SessionCore,
+};
 pub use report::{OpCounts, PiReport, PreprocessLedger};
 pub use session::{PartyOutcome, PiSession, SharedPiSession};
+pub use shard::ShardedMaterialPool;
 pub use store::{MaterialStore, RestoreReport};
 
 /// Convenience result alias for PI operations.

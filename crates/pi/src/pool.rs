@@ -233,14 +233,77 @@ impl SessionCore {
     }
 }
 
+/// The serialized authority over one deployment's deterministic
+/// per-inference seed stream.
+///
+/// Factored out of the pool so several pool shards can share one
+/// stream: the tiny mutex here guards *only* a PRG step and a position
+/// increment — nanoseconds — while each shard's own lock covers its
+/// queue, ledger and store I/O. That split is what makes the consumed
+/// multiset of a sharded deployment a prefix-permutation of the single
+/// sequential stream (every seed is allocated exactly once, in global
+/// order, no matter which shard asked), killing the one hot global
+/// lock without giving up determinism.
+pub struct SeedAllocator {
+    inner: Mutex<AllocState>,
+}
+
+struct AllocState {
+    seq: SeedSequence,
+    /// Seeds handed out so far — the global stream position, persisted
+    /// with every store record so a warm boot can fast-forward.
+    drawn: u64,
+}
+
+impl std::fmt::Debug for SeedAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeedAllocator").field("drawn", &self.drawn()).finish()
+    }
+}
+
+impl SeedAllocator {
+    /// Allocator over the domain-separated per-inference stream forked
+    /// from `master` (the same stream a single-threaded session uses).
+    pub fn new(master: u64) -> Self {
+        SeedAllocator {
+            inner: Mutex::new(AllocState {
+                seq: SeedSequence::new(master, b"c2pi/session/dealer"),
+                drawn: 0,
+            }),
+        }
+    }
+
+    /// Hands out the next seed with its 1-based stream position.
+    pub fn next(&self) -> (u64, u64) {
+        let mut st = self.inner.lock().expect("seed allocator mutex poisoned");
+        st.drawn += 1;
+        (st.drawn, st.seq.next())
+    }
+
+    /// The stream position: seeds allocated so far.
+    pub fn drawn(&self) -> u64 {
+        self.inner.lock().expect("seed allocator mutex poisoned").drawn
+    }
+
+    /// Advances the stream to `position` (a warm boot discarding every
+    /// seed a previous process already drew). No-op when the stream is
+    /// already at or past it.
+    pub(crate) fn fast_forward_to(&self, position: u64) {
+        let mut st = self.inner.lock().expect("seed allocator mutex poisoned");
+        while st.drawn < position {
+            st.drawn += 1;
+            st.seq.next();
+        }
+    }
+}
+
 /// Mutable pool state, guarded by one mutex.
 struct PoolState {
     ready: VecDeque<InferenceMaterial>,
-    seeds: SeedSequence,
     ledger: PreprocessLedger,
     shutdown: bool,
-    /// Seeds drawn from `seeds` so far — the stream position, persisted
-    /// with every store record so a warm boot can fast-forward.
+    /// Highest global stream position this pool has observed (its own
+    /// draws and its warm-boot scan), persisted with every store record.
     drawn: u64,
     /// Material sets ever pushed into `ready` (monotone). Lets blocking
     /// takers distinguish a genuine restock from a spurious condvar
@@ -289,6 +352,9 @@ pub enum PoolTake {
 /// `pool_stress` test pins down bit-for-bit.
 pub struct MaterialPool {
     core: Arc<SessionCore>,
+    /// Seed stream authority — exclusive to this pool, or shared with
+    /// sibling shards (see [`SeedAllocator`]).
+    alloc: Arc<SeedAllocator>,
     state: Mutex<PoolState>,
     /// Notified on every take and on shutdown; the replenisher waits
     /// here for the pool to fall below its low watermark.
@@ -313,12 +379,19 @@ impl MaterialPool {
     /// `core.config().dealer_seed` (the same domain-separated stream a
     /// single-threaded session uses).
     pub fn new(core: Arc<SessionCore>) -> Self {
-        let seeds = SeedSequence::new(core.cfg.dealer_seed, b"c2pi/session/dealer");
+        let alloc = Arc::new(SeedAllocator::new(core.cfg.dealer_seed));
+        Self::with_allocator(core, alloc)
+    }
+
+    /// Creates an empty pool drawing from an explicit (possibly shared)
+    /// seed allocator — the constructor sharded deployments use so all
+    /// shards consume one global stream.
+    pub fn with_allocator(core: Arc<SessionCore>, alloc: Arc<SeedAllocator>) -> Self {
         MaterialPool {
             core,
+            alloc,
             state: Mutex::new(PoolState {
                 ready: VecDeque::new(),
-                seeds,
                 ledger: PreprocessLedger::default(),
                 shutdown: false,
                 drawn: 0,
@@ -333,6 +406,19 @@ impl MaterialPool {
     /// The shared immutable session core this pool deals against.
     pub fn core(&self) -> &Arc<SessionCore> {
         &self.core
+    }
+
+    /// The seed allocator this pool draws from.
+    pub fn allocator(&self) -> &Arc<SeedAllocator> {
+        &self.alloc
+    }
+
+    /// Allocates the next deterministic per-inference seed, recording
+    /// the stream position in this pool's persisted watermark.
+    fn draw_seed(&self, st: &mut MutexGuard<'_, PoolState>) -> u64 {
+        let (position, seed) = self.alloc.next();
+        st.drawn = st.drawn.max(position);
+        seed
     }
 
     fn lock(&self) -> MutexGuard<'_, PoolState> {
@@ -362,7 +448,7 @@ impl MaterialPool {
     /// failures.
     pub fn preprocess(&self, n: usize) -> Result<()> {
         for _ in 0..n {
-            let seed = draw_seed(&mut self.lock());
+            let seed = self.draw_seed(&mut self.lock());
             let start = Instant::now();
             let material = self.core.deal(seed)?;
             let elapsed = start.elapsed().as_secs_f64();
@@ -410,7 +496,7 @@ impl MaterialPool {
         // Pool dry: allocate the next seed atomically, then pay the
         // dealer outside the lock so concurrent misses generate in
         // parallel.
-        let seed = draw_seed(&mut st);
+        let seed = self.draw_seed(&mut st);
         st.ledger.consumed += 1;
         st.ledger.generated_inline += 1;
         drop(st);
@@ -501,6 +587,28 @@ impl MaterialPool {
     /// when the pool already has a store or has already been used.
     pub fn attach_store(&self, path: impl AsRef<Path>) -> Result<RestoreReport> {
         let (store, scan) = MaterialStore::open(path.as_ref(), self.core.session_fingerprint())?;
+        if self.alloc.drawn() != 0 {
+            return Err(PiError::BadConfig(
+                "attach_store requires a fresh seed stream (attach before preprocessing or \
+                 serving; sharded pools attach through ShardedMaterialPool::attach_stores)"
+                    .into(),
+            ));
+        }
+        self.alloc.fast_forward_to(scan.drawn);
+        self.install_scan(store, scan)
+    }
+
+    /// Installs an already-opened store and its replayed scan into this
+    /// pool: ledger resumed, pending seeds re-expanded into the ready
+    /// queue (counted in `ledger.restored`). The caller is responsible
+    /// for fast-forwarding the seed allocator — exactly once per
+    /// *stream*, which for sharded deployments means once across all
+    /// segments, not once per shard.
+    pub(crate) fn install_scan(
+        &self,
+        store: MaterialStore,
+        scan: crate::store::StoreScan,
+    ) -> Result<RestoreReport> {
         let mut st = self.lock();
         if st.store.is_some() {
             return Err(PiError::BadConfig("material store already attached".into()));
@@ -510,9 +618,6 @@ impl MaterialPool {
                 "attach_store requires a fresh pool (attach before preprocessing or serving)"
                     .into(),
             ));
-        }
-        for _ in 0..scan.drawn {
-            st.seeds.next();
         }
         st.drawn = scan.drawn;
         st.ledger = scan.ledger;
@@ -568,13 +673,6 @@ impl MaterialPool {
     pub fn is_shut_down(&self) -> bool {
         self.lock().shutdown
     }
-}
-
-/// Allocates the next deterministic per-inference seed, advancing the
-/// persisted stream position with it.
-fn draw_seed(st: &mut MutexGuard<'_, PoolState>) -> u64 {
-    st.drawn += 1;
-    st.seeds.next()
 }
 
 /// Folds one dealt material set's generation shape into the ledger
@@ -678,7 +776,7 @@ fn replenish_loop(pool: &MaterialPool, low: usize, high: usize) -> Result<()> {
             return Ok(());
         }
         while st.ready.len() < high && !st.shutdown {
-            let seed = draw_seed(&mut st);
+            let seed = pool.draw_seed(&mut st);
             drop(st);
             let start = Instant::now();
             let material = pool.core.deal(seed)?;

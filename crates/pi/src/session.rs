@@ -577,6 +577,35 @@ impl SharedPiSession {
     }
 }
 
+impl SessionCore {
+    /// **Dealt contract, server side, caller-supplied material**: like
+    /// [`SharedPiSession::serve_one`] but over material the caller
+    /// already took from a pool — the entry point for serving layers
+    /// that separate pool policy (sharding, work stealing, backpressure)
+    /// from protocol execution, such as the `c2pi-core` reactor. Deals
+    /// the compact [`DealtSeed`] as the first frame, then runs the
+    /// server party; returns this side's share of the boundary
+    /// activation (the caller sends it to the client to reconstruct).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] when `ch` is not the server end,
+    /// plus engine and protocol errors. The material is consumed either
+    /// way.
+    pub fn serve_prepared(
+        &self,
+        ch: &dyn Channel,
+        material: InferenceMaterial,
+    ) -> Result<ShareVec> {
+        if ch.side() != Side::Server {
+            return Err(PiError::BadConfig("serve_prepared needs the server channel end".into()));
+        }
+        ch.send_bytes(&self.dealt_seed(material.seed).encode())?;
+        let InferenceMaterial { seed, cmats: _, smats, counts: _ } = material;
+        server_thread(ch, &self.plan, smats, &self.cfg, &*self.backend, seed)
+    }
+}
+
 /// Gathers 2×2 window elements of a `[c, h, w]` share into four parallel
 /// index lists (public permutation, applied by both parties).
 fn pool_windows(c: usize, h: usize, w: usize) -> Vec<[usize; 4]> {

@@ -104,7 +104,11 @@ impl RecordKind {
 pub(crate) struct StoreScan {
     /// Seeds dealt but not consumed, in deal order.
     pub pending: Vec<u64>,
-    /// Seed-stream position after the last record.
+    /// Highest seed-stream position any record carries. For an
+    /// exclusive (unsharded) pool appends are monotone so this is the
+    /// last record's position; a sharded deployment's segments each see
+    /// only a subsequence of the global stream, so the max — not the
+    /// tail — is the honest watermark.
     pub drawn: u64,
     /// Ledger snapshot of the last record.
     pub ledger: PreprocessLedger,
@@ -249,7 +253,7 @@ impl MaterialStore {
                 u64::from_le_bytes(w)
             };
             let seed = word(0);
-            scan.drawn = word(1);
+            scan.drawn = scan.drawn.max(word(1));
             scan.ledger = PreprocessLedger {
                 generated_offline: word(2),
                 generated_inline: word(3),

@@ -160,6 +160,24 @@ impl TcpChannel {
             .map_err(io_error)
     }
 
+    /// Write-side twin of [`TcpChannel::set_read_timeout`]: caps how
+    /// long a [`Channel::send_bytes`] blocks when the peer stops
+    /// draining its receive buffer (`None` removes the cap). Without
+    /// it a stalled client wedges a serving worker mid-send once the
+    /// kernel buffers fill; serving loops set both timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the socket rejects the
+    /// option.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.writer
+            .lock()
+            .expect("tcp writer mutex poisoned")
+            .set_write_timeout(timeout)
+            .map_err(io_error)
+    }
+
     /// Connects to a listening peer.
     ///
     /// # Errors
@@ -274,6 +292,37 @@ impl TcpListenerTransport {
     pub fn accept(&self, side: Side) -> Result<TcpChannel> {
         let (stream, _peer) = self.listener.accept().map_err(io_error)?;
         TcpChannel::from_stream(stream, side)
+    }
+
+    /// Switches the listener between blocking and nonblocking accepts.
+    /// A readiness-driven accept loop (the `c2pi-core` reactor) sets
+    /// nonblocking once and then drains connections with
+    /// [`TcpListenerTransport::try_accept`] on every tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] when the socket rejects the mode.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
+        self.listener.set_nonblocking(nonblocking).map_err(io_error)
+    }
+
+    /// Nonblocking accept: the raw stream of one pending connection, or
+    /// `None` when nothing is queued (`WouldBlock`). Returns the bare
+    /// [`TcpStream`] — a reactor registers it for readiness first and
+    /// only wraps it into a [`TcpChannel`] once a worker takes it over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] on real accept failures (interrupted
+    /// accepts are reported as `None`, like `WouldBlock`).
+    pub fn try_accept(&self) -> Result<Option<TcpStream>> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => Ok(Some(stream)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted => {
+                Ok(None)
+            }
+            Err(e) => Err(io_error(e)),
+        }
     }
 }
 
@@ -412,6 +461,54 @@ mod tests {
         let s = listener.accept(Side::Server).unwrap();
         assert_eq!(s.recv_bytes().unwrap(), b"x");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn write_timeout_unwedges_a_sender_with_a_stalled_peer() {
+        // The peer never reads: our sends land in the kernel buffers
+        // until they fill, at which point an uncapped write would block
+        // forever. With a write timeout the send surfaces an error.
+        let (c, _s, _) = tcp_loopback_pair().unwrap();
+        c.set_write_timeout(Some(Duration::from_millis(100))).unwrap();
+        let chunk = vec![0u8; 1 << 20];
+        let start = Instant::now();
+        let mut result = Ok(());
+        // 64 MiB is far past loopback's combined socket buffering.
+        for _ in 0..64 {
+            result = c.send_bytes(&chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_err(), "send into a stalled peer must time out");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "write timeout must bound the stall, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn nonblocking_listener_reports_empty_then_pending_accepts() {
+        let listener = TcpListenerTransport::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        assert!(listener.try_accept().unwrap().is_none(), "no client yet");
+        let _client = TcpStream::connect(listener.local_addr()).unwrap();
+        // Loopback connects complete against the backlog immediately,
+        // but give a slow kernel a moment.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            if let Some(stream) = listener.try_accept().unwrap() {
+                break stream;
+            }
+            assert!(Instant::now() < deadline, "pending connection never surfaced");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(
+            accepted.peer_addr().unwrap().ip(),
+            listener.local_addr().ip(),
+            "accepted the loopback client"
+        );
     }
 
     #[test]

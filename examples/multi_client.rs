@@ -1,5 +1,5 @@
 //! Multi-client load generator: drives N concurrent clients against a
-//! `PiServer`, verifying every answer against the clear model.
+//! reactor `pi_server`, verifying every answer against the clear model.
 //!
 //! ```text
 //! # against a live server (see the pi_server example / ci/smoke.sh):
@@ -9,18 +9,24 @@
 //! ```
 //!
 //! Each client thread runs `--iters` sequential inferences over its own
-//! connection-per-request `PiClient`. Every reconstructed logit vector
-//! is compared elementwise against the clear model's forward pass, and
-//! the argmax prediction must match whenever the clear top-2 gap is
-//! larger than the fixed-point tolerance. Exits non-zero on any
-//! mismatch or transport failure, so CI can use it as the serving smoke
-//! test. Prints aggregate online throughput at the end.
+//! connection-per-request [`ReactorClient`]. A `BUSY` backpressure frame
+//! is retried up to `--retries` times, sleeping the server-suggested
+//! backoff between attempts — against a deliberately starved pool
+//! (`pi_server --preprocess-delay-ms`) this is the shed-and-retry path
+//! the smoke harness pins down. Every reconstructed logit vector is
+//! compared elementwise against the clear model's forward pass, and the
+//! argmax prediction must match whenever the clear top-2 gap is larger
+//! than the fixed-point tolerance. Exits non-zero on any mismatch or
+//! transport failure, so CI can use it as the serving smoke test.
+//! Prints aggregate online throughput at the end; with `--stats` it also
+//! fetches and prints the server's Prometheus-style metrics exposition.
 
 #[path = "two_party/common.rs"]
 mod common;
 
-use c2pi_suite::core::server::{PiClient, PiServer, PiServerConfig};
+use c2pi_suite::core::reactor::{ReactorClient, ReactorConfig, ReactorServer};
 use c2pi_suite::tensor::Tensor;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Elementwise tolerance between fixed-point and clear logits.
@@ -33,11 +39,19 @@ struct Opts {
     backend: c2pi_suite::pi::PiBackend,
     clients: usize,
     iters: usize,
+    retries: usize,
+    stats: bool,
 }
 
 fn parse_opts() -> Opts {
-    let mut opts =
-        Opts { addr: None, backend: c2pi_suite::pi::PiBackend::Cheetah, clients: 4, iters: 2 };
+    let mut opts = Opts {
+        addr: None,
+        backend: c2pi_suite::pi::PiBackend::Cheetah,
+        clients: 4,
+        iters: 2,
+        retries: 8,
+        stats: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| panic!("missing value"));
@@ -46,6 +60,8 @@ fn parse_opts() -> Opts {
             "--backend" => opts.backend = common::parse_backend(&val()),
             "--clients" => opts.clients = val().parse().expect("--clients takes a count"),
             "--iters" => opts.iters = val().parse().expect("--iters takes a count"),
+            "--retries" => opts.retries = val().parse().expect("--retries takes a count"),
+            "--stats" => opts.stats = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -73,14 +89,16 @@ fn main() {
     // In-process fallback server so the example is self-contained.
     let inprocess = if opts.addr.is_none() {
         let session = common::build_session(opts.backend).into_shared();
-        session.preprocess(opts.clients).expect("initial offline phase");
-        let cfg = PiServerConfig {
-            worker_cap: opts.clients.max(1),
+        let cfg = ReactorConfig {
+            workers: opts.clients.max(1),
             pool_low: 2,
             pool_high: 8,
             ..Default::default()
         };
-        Some(PiServer::bind(session, "127.0.0.1:0", cfg).expect("bind in-process server"))
+        let server = ReactorServer::bind(Arc::clone(session.core()), "127.0.0.1:0", cfg)
+            .expect("bind in-process server");
+        server.preprocess(opts.clients).expect("initial offline phase");
+        Some(server)
     } else {
         None
     };
@@ -94,10 +112,11 @@ fn main() {
         (None, None) => unreachable!(),
     };
     println!(
-        "[multi_client] {} clients x {} inferences against {addr} ({} backend)",
+        "[multi_client] {} clients x {} inferences against {addr} ({} backend, {} retries)",
         opts.clients,
         opts.iters,
-        opts.backend.name()
+        opts.backend.name(),
+        opts.retries
     );
 
     let total = opts.clients * opts.iters;
@@ -108,9 +127,11 @@ fn main() {
                 let model = &model;
                 let backend = opts.backend;
                 let iters = opts.iters;
+                let retries = opts.retries;
                 scope.spawn(move || {
-                    let client = PiClient::new(common::build_session(backend).into_shared())
-                        .with_connect_timeout(Duration::from_secs(30));
+                    let client = ReactorClient::new(common::build_session(backend).into_shared())
+                        .with_connect_timeout(Duration::from_secs(30))
+                        .with_retries(retries);
                     let [c, h, w] = common::INPUT_CHW;
                     let mut failures = 0usize;
                     for i in 0..iters {
@@ -162,13 +183,24 @@ fn main() {
         total - failures,
         total as f64 / elapsed
     );
+    if opts.stats {
+        // Fetch before tearing the in-process server down; against a
+        // --serve-n server this races its graceful drain, so treat a
+        // refused stats connection as informational, not fatal.
+        let client = ReactorClient::new(common::build_session(opts.backend).into_shared())
+            .with_connect_timeout(Duration::from_secs(5));
+        match client.stats(addr) {
+            Ok(text) => print!("{text}"),
+            Err(e) => eprintln!("[multi_client] stats fetch failed: {e}"),
+        }
+    }
     if let Some(server) = inprocess {
-        let ledger = server.session().ledger();
+        let ledger = server.pool().ledger();
         println!(
             "[multi_client] server ledger: {} offline + {} inline = {} consumed + {} pooled",
             ledger.generated_offline, ledger.generated_inline, ledger.consumed, ledger.available
         );
-        server.shutdown();
+        server.drain().expect("graceful drain");
     }
     if failures > 0 {
         eprintln!("[multi_client] FAILED — {failures} of {total} inferences wrong");

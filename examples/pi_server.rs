@@ -1,26 +1,40 @@
-//! Standalone multi-client PI server: a `PiServer` accept loop over the
-//! shared demo session, serving any number of `multi_client` processes.
+//! Standalone multi-client PI server: a readiness-driven
+//! [`ReactorServer`] over the shared demo session, serving any number of
+//! `multi_client` processes.
 //!
 //! ```text
-//! cargo run --release --example pi_server -- --backend cheetah --addr 127.0.0.1:0 --serve-n 8
+//! cargo run --release --example pi_server -- --backend cheetah --addr 127.0.0.1:0 \
+//!     --workers 4 --shards 4 --max-clients 1024 --serve-n 8
 //! ```
+//!
+//! One reactor thread multiplexes every connection; `--workers` threads
+//! run the online protocol, each homed on one of `--shards` material
+//! shards (work-stealing between them); `--max-clients` bounds tracked
+//! connections, everything beyond it is shed with a typed `BUSY` frame.
 //!
 //! Binds port 0 by default (no fixed-port races) and announces the real
 //! address on stdout as `C2PI_LISTENING <addr>` so a supervisor (the CI
 //! smoke script) can hand it to clients. With `--serve-n N` the server
-//! exits once N connections finished (non-zero if any errored);
-//! otherwise it serves until killed.
+//! drains gracefully once N connections finished (non-zero if any
+//! errored); otherwise it serves until killed.
 //!
-//! With `--persist <path>` the server attaches a crash-safe
-//! [`MaterialStore`](c2pi_suite::pi::MaterialStore) before preprocessing
-//! and announces the warm-boot outcome as
+//! With `--persist <base>` every shard attaches a crash-safe
+//! [`MaterialStore`](c2pi_suite::pi::MaterialStore) segment
+//! (`<base>.shard<i>`) before preprocessing and the server announces the
+//! aggregate warm-boot outcome as
 //! `C2PI_WARMBOOT restored=<n> drawn=<n> truncated=<bool>` — a restarted
 //! server resumes the unconsumed pool without re-preprocessing.
+//!
+//! `--preprocess-delay-ms D` starts serving *before* dealing the initial
+//! material: for D milliseconds every inference request is answered with
+//! `BUSY` (clients are expected to honour the retry-after), which is how
+//! the smoke harness exercises the shed-and-retry path deliberately.
 
 #[path = "two_party/common.rs"]
 mod common;
 
-use c2pi_suite::core::server::{PiServer, PiServerConfig};
+use c2pi_suite::core::reactor::{ReactorConfig, ReactorServer};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Opts {
@@ -28,7 +42,8 @@ struct Opts {
     backend: c2pi_suite::pi::PiBackend,
     serve_n: u64,
     preprocess: usize,
-    cfg: PiServerConfig,
+    preprocess_delay: Option<Duration>,
+    cfg: ReactorConfig,
     timeout: Duration,
 }
 
@@ -38,7 +53,8 @@ fn parse_opts() -> Opts {
         backend: c2pi_suite::pi::PiBackend::Cheetah,
         serve_n: 0,
         preprocess: 4,
-        cfg: PiServerConfig::default(),
+        preprocess_delay: None,
+        cfg: ReactorConfig::default(),
         timeout: Duration::from_secs(300),
     };
     let mut it = std::env::args().skip(1);
@@ -49,11 +65,24 @@ fn parse_opts() -> Opts {
             "--backend" => opts.backend = common::parse_backend(&val()),
             "--serve-n" => opts.serve_n = val().parse().expect("--serve-n takes a count"),
             "--preprocess" => opts.preprocess = val().parse().expect("--preprocess takes a count"),
-            "--worker-cap" => {
-                opts.cfg.worker_cap = val().parse().expect("--worker-cap takes a count");
+            "--preprocess-delay-ms" => {
+                opts.preprocess_delay =
+                    Some(Duration::from_millis(val().parse().expect("--preprocess-delay-ms")));
+            }
+            // --worker-cap is the pre-reactor spelling; keep it working.
+            "--workers" | "--worker-cap" => {
+                opts.cfg.workers = val().parse().expect("--workers takes a count");
+            }
+            "--shards" => opts.cfg.shards = val().parse().expect("--shards takes a count"),
+            "--max-clients" => {
+                opts.cfg.max_clients = val().parse().expect("--max-clients takes a count");
             }
             "--pool-low" => opts.cfg.pool_low = val().parse().expect("--pool-low takes a count"),
             "--pool-high" => opts.cfg.pool_high = val().parse().expect("--pool-high takes a count"),
+            "--retry-after-ms" => {
+                opts.cfg.retry_after =
+                    Duration::from_millis(val().parse().expect("--retry-after-ms"));
+            }
             "--persist" => opts.cfg.persist_path = Some(val().into()),
             "--timeout-secs" => {
                 opts.timeout = Duration::from_secs(val().parse().expect("--timeout-secs"));
@@ -67,25 +96,38 @@ fn parse_opts() -> Opts {
 fn main() {
     let opts = parse_opts();
     let session = common::build_session(opts.backend).into_shared();
-    // A persistent store must attach to a fresh pool, so when persisting
-    // the server binds (which attaches) before the initial offline phase
-    // tops the pool up past what the store restored.
-    if opts.cfg.persist_path.is_none() {
-        session.preprocess(opts.preprocess).expect("initial offline phase");
-    }
-    let server = PiServer::bind(session, &opts.addr[..], opts.cfg.clone()).expect("bind server");
+    // The reactor owns its own sharded pool (created inside bind, warm-
+    // booted from the persistent segments when --persist is set), so the
+    // initial offline phase always runs after bind, against that pool.
+    let server = ReactorServer::bind(Arc::clone(session.core()), &opts.addr[..], opts.cfg.clone())
+        .expect("bind server");
     if let Some(boot) = server.warm_boot() {
         println!(
             "C2PI_WARMBOOT restored={} drawn={} truncated={}",
             boot.restored, boot.drawn, boot.truncated_tail
         );
-        server.session().preprocess(opts.preprocess).expect("initial offline phase");
     }
+    match opts.preprocess_delay {
+        // Deliberate starvation window: announce first, deal later, and
+        // let the typed backpressure frames carry the interval.
+        Some(delay) => {
+            let pool = Arc::clone(server.pool());
+            let n = opts.preprocess;
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                pool.preprocess(n).expect("delayed offline phase");
+            });
+        }
+        None => server.preprocess(opts.preprocess).expect("initial offline phase"),
+    }
+    let shards = server.pool().shard_count();
     println!(
-        "[pi_server] backend {} — serving on {} (workers {}, pool {}..{})",
-        server.session().backend_name(),
+        "[pi_server] backend {} — serving on {} (workers {}, shards {shards}, \
+         max-clients {}, pool {}..{} per shard)",
+        session.backend_name(),
         server.local_addr(),
-        opts.cfg.worker_cap,
+        opts.cfg.workers,
+        opts.cfg.max_clients,
         opts.cfg.pool_low,
         opts.cfg.pool_high,
     );
@@ -97,30 +139,39 @@ fn main() {
         }
     }
     let start = Instant::now();
-    while server.served() + server.errors() < opts.serve_n {
+    loop {
+        let snap = server.metrics_snapshot();
+        if snap.served + snap.errors >= opts.serve_n {
+            break;
+        }
         if start.elapsed() > opts.timeout {
             eprintln!(
                 "[pi_server] TIMEOUT after {} of {} connections",
-                server.served() + server.errors(),
+                snap.served + snap.errors,
                 opts.serve_n
             );
             std::process::exit(2);
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    let errors = server.errors();
-    let ledger = server.session().ledger();
+    let snap = server.metrics_snapshot();
+    let ledger = server.pool().ledger();
     println!(
         "[pi_server] done — {} served, {} errors; ledger: {} offline + {} inline \
          = {} consumed + {} pooled",
-        server.served(),
-        errors,
+        snap.served,
+        snap.errors,
         ledger.generated_offline,
         ledger.generated_inline,
         ledger.consumed,
         ledger.available,
     );
-    server.shutdown();
+    println!(
+        "[pi_server] reactor: accepted={} shed={} steals={} hangups={}",
+        snap.accepted, snap.shed, snap.steals, snap.hangups
+    );
+    let errors = snap.errors;
+    server.drain().expect("graceful drain");
     if errors > 0 {
         std::process::exit(1);
     }

@@ -74,6 +74,27 @@ pub fn write_json_summary() {
     }
 }
 
+/// Records one non-timing scalar (a counter, a ratio) as a results row
+/// (shim-specific CI hook; real criterion has no counter channel).
+///
+/// The value lands in the `mean_ns`/`min_ns`/`max_ns` fields of an
+/// ordinary `{id, mean_ns, ...}` row, rounded to an integer, with
+/// `samples: 1` — so downstream tooling (`bench_summary`, `bench_guard`,
+/// the BENCH_history.jsonl trail) handles counters with zero changes.
+/// Scale fractional values before reporting (e.g. a throughput ratio as
+/// `ratio * 1000.0`) and encode the unit in the id.
+pub fn report_metric(id: &str, value: f64) {
+    println!("{id:<40} metric {value:.3}");
+    let v = value.max(0.0).round() as u128;
+    RESULTS.lock().expect("results mutex poisoned").push(Recorded {
+        id: id.to_string(),
+        mean_ns: v,
+        min_ns: v,
+        max_ns: v,
+        samples: 1,
+    });
+}
+
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -370,5 +391,16 @@ mod tests {
     #[test]
     fn json_rows_escape_quotes() {
         assert_eq!(minimal_json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn report_metric_lands_as_an_integer_results_row() {
+        report_metric("shim/test-metric/steals", 12.6);
+        let results = RESULTS.lock().expect("results mutex poisoned");
+        let row = results.iter().find(|r| r.id == "shim/test-metric/steals").expect("recorded");
+        assert_eq!(row.mean_ns, 13);
+        assert_eq!(row.min_ns, 13);
+        assert_eq!(row.max_ns, 13);
+        assert_eq!(row.samples, 1);
     }
 }

@@ -1,0 +1,248 @@
+//! Minimal `polling`-compatible shim for the offline build: socket
+//! readiness over plain `std`, standing in for the real epoll/kqueue
+//! wrapper the reactor would use online (see `shims/README.md` for the
+//! swap-back recipe).
+//!
+//! `std` exposes no fd-multiplexing syscall, so this shim derives
+//! readiness from [`TcpStream::peek`] on nonblocking handles: a peek
+//! that returns `Ok(n)` means buffered bytes (readable), `Ok(0)` means
+//! EOF (readable — the owner must observe the close), `WouldBlock`
+//! means idle, and any other error is surfaced as readable so the owner
+//! reads the failure instead of leaking the connection. [`Poller::wait`]
+//! scans all registered sources in a short-tick loop — O(sources) per
+//! tick rather than O(ready) like real epoll, which is exactly the
+//! trade an offline stand-in may make: same API shape, honest
+//! semantics, no platform code.
+//!
+//! Registration puts the socket into nonblocking mode (the flag lives
+//! on the shared file description, so the caller's handle is affected
+//! too); a worker that takes the connection over for blocking protocol
+//! I/O must switch it back with `set_nonblocking(false)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long one scan pass sleeps before re-peeking every source.
+const TICK: Duration = Duration::from_millis(1);
+
+/// A readiness event for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// Readable: buffered bytes, EOF, or a socket error to collect.
+    pub readable: bool,
+    /// Writability is not modeled by the peek probe; always `false`.
+    pub writable: bool,
+}
+
+impl Event {
+    /// A readable-interest event (parity with the real crate's API).
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+}
+
+struct Source {
+    probe: TcpStream,
+}
+
+/// Readiness poller over registered [`TcpStream`]s.
+///
+/// One thread calls [`Poller::wait`] in a loop; any thread may
+/// [`Poller::add`]/[`Poller::delete`] sources or [`Poller::notify`] the
+/// waiter out of its sleep.
+pub struct Poller {
+    sources: Mutex<BTreeMap<usize, Source>>,
+    notified: AtomicBool,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sources = self.sources.lock().expect("poller mutex poisoned");
+        f.debug_struct("Poller").field("sources", &sources.len()).finish()
+    }
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Self::new().expect("poller construction is infallible in the shim")
+    }
+}
+
+impl Poller {
+    /// Creates an empty poller. (Fallible to match the real crate,
+    /// where this allocates an epoll/kqueue fd; the shim cannot fail.)
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { sources: Mutex::new(BTreeMap::new()), notified: AtomicBool::new(false) })
+    }
+
+    /// Registers `stream` for readable interest under `key`, switching
+    /// the underlying socket to nonblocking mode. The poller keeps its
+    /// own cloned handle; the caller keeps ownership of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone`/`set_nonblocking` failures; rejects a key
+    /// that is already registered.
+    pub fn add(&self, stream: &TcpStream, key: usize) -> io::Result<()> {
+        let probe = stream.try_clone()?;
+        probe.set_nonblocking(true)?;
+        let mut sources = self.sources.lock().expect("poller mutex poisoned");
+        if sources.contains_key(&key) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, format!("key {key}")));
+        }
+        sources.insert(key, Source { probe });
+        Ok(())
+    }
+
+    /// Deregisters `key`. Unknown keys are a no-op (the source may have
+    /// been dispatched concurrently).
+    pub fn delete(&self, key: usize) {
+        self.sources.lock().expect("poller mutex poisoned").remove(&key);
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.lock().expect("poller mutex poisoned").len()
+    }
+
+    /// Whether no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until at least one source is readable, `timeout` elapses
+    /// (`None` waits forever), or [`Poller::notify`] is called; appends
+    /// the ready events to `events` and returns how many were added.
+    /// Level-triggered: a source that stays readable is reported again
+    /// on the next call, so the owner should delete it before handing
+    /// the connection off.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in the shim (signature parity with the real crate).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut buf = [0u8; 1];
+        loop {
+            if self.notified.swap(false, Ordering::SeqCst) {
+                return Ok(0);
+            }
+            let before = events.len();
+            {
+                let sources = self.sources.lock().expect("poller mutex poisoned");
+                for (&key, source) in sources.iter() {
+                    let ready = match source.probe.peek(&mut buf) {
+                        Ok(_) => true, // bytes buffered, or Ok(0) = EOF
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                        Err(_) => true, // surface the error to the owner
+                    };
+                    if ready {
+                        events.push(Event::readable(key));
+                    }
+                }
+            }
+            let added = events.len() - before;
+            if added > 0 {
+                return Ok(added);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(0);
+                    }
+                    std::thread::sleep(TICK.min(d - now));
+                }
+                None => std::thread::sleep(TICK),
+            }
+        }
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] out of its sleep (it returns
+    /// with zero events). Sticky: a notify with no waiter makes the
+    /// next wait return immediately.
+    pub fn notify(&self) {
+        self.notified.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn idle_source_times_out_without_events() {
+        let (_a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 7).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn buffered_bytes_and_eof_are_both_readable() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 1).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events, vec![Event::readable(1)]);
+        // EOF (peer gone) must also wake the owner.
+        let (a2, b2) = pair();
+        poller.delete(1);
+        poller.add(&b2, 2).unwrap();
+        drop(a2);
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events, vec![Event::readable(2)]);
+    }
+
+    #[test]
+    fn notify_wakes_an_idle_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waiter = {
+            let poller = std::sync::Arc::clone(&poller);
+            std::thread::spawn(move || {
+                let mut events = Vec::new();
+                poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        poller.notify();
+        assert_eq!(waiter.join().unwrap(), 0, "notified wait returns empty");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_and_delete_is_idempotent() {
+        let (_a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, 3).unwrap();
+        assert!(poller.add(&b, 3).is_err());
+        assert_eq!(poller.len(), 1);
+        poller.delete(3);
+        poller.delete(3);
+        assert!(poller.is_empty());
+    }
+}
