@@ -104,16 +104,22 @@ done
 
 echo "== crash-recovery smoke: kill -9 the server, warm-boot from the store =="
 # First life: attach one persistent MaterialStore segment per shard
-# ($STORE.shard0, $STORE.shard1), preprocess 6 sets with the replenisher
-# disabled (--pool-low 0), serve 2 clients, then SIGKILL the process —
-# no drain, no flush. Second life: same segments, zero preprocessing,
-# and it must announce that the 4 unconsumed sets came back
-# (C2PI_WARMBOOT restored=4) and serve 2 more clients from them.
+# ($STORE.shard0, $STORE.shard1), preprocess WARM_PRE sets with the
+# replenisher disabled (--pool-low 0), serve WARM_CLIENTS clients, then
+# SIGKILL the process — no drain, no flush. Second life: same segments,
+# zero preprocessing, and it must announce that exactly the unconsumed
+# sets came back (C2PI_WARMBOOT restored=<preprocessed − served>) and
+# serve WARM_CLIENTS more clients from them. The expected count is
+# derived from the scenario variables so editing one cannot silently
+# pass against a stale assertion.
+WARM_PRE=6
+WARM_CLIENTS=2
+WARM_RESTORED=$((WARM_PRE - WARM_CLIENTS))
 STORE=target/smoke-material-store.bin
 rm -f "$STORE"*
 start_server target/smoke-warmboot-1.log \
     "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
-    --persist "$STORE" --preprocess 6 --pool-low 0 --pool-high 0 --workers 2 --shards 2
+    --persist "$STORE" --preprocess "$WARM_PRE" --pool-low 0 --pool-high 0 --workers 2 --shards 2
 addr=$(wait_for_addr)
 grep -q '^C2PI_WARMBOOT restored=0 ' target/smoke-warmboot-1.log || {
     echo "smoke: first life did not announce an empty warm boot" >&2
@@ -121,7 +127,7 @@ grep -q '^C2PI_WARMBOOT restored=0 ' target/smoke-warmboot-1.log || {
     exit 1
 }
 timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
-    --clients 2 --iters 1
+    --clients "$WARM_CLIENTS" --iters 1
 kill -9 "$server_pid" 2>/dev/null
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
@@ -130,18 +136,18 @@ cat target/smoke-warmboot-1.log
 start_server target/smoke-warmboot-2.log \
     "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
     --persist "$STORE" --preprocess 0 --pool-low 0 --pool-high 0 --workers 2 --shards 2 \
-    --serve-n 2
+    --serve-n "$WARM_CLIENTS"
 addr=$(wait_for_addr)
-grep -q '^C2PI_WARMBOOT restored=4 ' target/smoke-warmboot-2.log || {
-    echo "smoke: restart did not restore the 4 unconsumed sets from the store" >&2
+grep -q "^C2PI_WARMBOOT restored=$WARM_RESTORED " target/smoke-warmboot-2.log || {
+    echo "smoke: restart did not restore the $WARM_RESTORED unconsumed sets from the store" >&2
     cat target/smoke-warmboot-2.log >&2
     exit 1
 }
 timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
-    --clients 2 --iters 1
+    --clients "$WARM_CLIENTS" --iters 1
 finish_server
 cat target/smoke-warmboot-2.log
-# Serving 2 clients from 4 restored sets must not have dealt inline.
+# Serving the second wave from restored sets must not have dealt inline.
 grep -q ' 0 inline ' target/smoke-warmboot-2.log || {
     echo "smoke: warm-booted server fell back to inline dealing" >&2
     exit 1

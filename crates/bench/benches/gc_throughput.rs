@@ -9,9 +9,10 @@
 //! per-gate figures are printed for the human log and the raw rows are
 //! merged into BENCH_results.json by `bench_summary`.
 
+use c2pi_mpc::gc::AND_TABLE_BYTES;
 use c2pi_mpc::gcpre::{eval_pregarbled, pregarble, MaskedOp};
 use c2pi_mpc::prg::Prg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, report_metric, BenchmarkId, Criterion};
 use std::time::Duration;
 
 const ITEMS: usize = 256;
@@ -38,6 +39,18 @@ fn bench_gc_throughput(c: &mut Criterion) {
         });
     }
     group.finish();
+    // Deterministic size metrics: garbled-table bytes per item. These
+    // are pinned exactly (max_ratio 1.0) in ci/bench_guard_rules.json
+    // so a garbling-scheme change can never silently grow the dealt
+    // material — half-gates keeps an AND at 2 rows (32 B) and XOR at 0.
+    report_metric(
+        "gc_table_bytes/relu_item",
+        (MaskedOp::Relu.ands_per_item() * AND_TABLE_BYTES) as f64,
+    );
+    report_metric(
+        "gc_table_bytes/maxpool4_item",
+        (MaskedOp::Maxpool4.ands_per_item() * AND_TABLE_BYTES) as f64,
+    );
     // Rough per-gate figures for the human-readable log (the JSON rows
     // carry the exact per-iteration times).
     println!("  [gc_throughput] batch = {ITEMS} relu items, {ands} AND gates per iteration");

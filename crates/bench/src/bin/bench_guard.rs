@@ -1,19 +1,43 @@
-//! Bench regression guard: compares one benchmark row's `mean_ns`
-//! between a baseline `BENCH_results.json` and a freshly generated one,
-//! failing (exit 1) when the new mean regresses past the allowed
-//! factor.
+//! Bench regression guard: compares benchmark rows' `mean_ns` between a
+//! baseline `BENCH_results.json` and a freshly generated one, failing
+//! (exit 1) when any guarded row regresses past its allowed factor.
+//!
+//! The rules live in a committed JSON file — one rule per line, e.g.
+//! `ci/bench_guard_rules.json`:
 //!
 //! ```text
-//! bench_guard <baseline.json> <new.json> <row-id> <max-ratio>
-//! bench_guard BENCH_results.baseline.json BENCH_results.json \
-//!     session_phases/online/delphi 1.25
+//! { "rules": [
+//!   { "id": "session_phases/online/delphi", "direction": "lower_is_better", "max_ratio": 1.25 },
+//!   { "id": "gc_table_bytes/relu_item",     "direction": "lower_is_better", "max_ratio": 1.0 }
+//! ] }
 //! ```
+//!
+//! ```text
+//! bench_guard <baseline.json> <new.json> <rules.json>
+//! bench_guard <baseline.json> <new.json> <row-id> <max-ratio>   # ad-hoc single rule
+//! ```
+//!
+//! `direction` is `lower_is_better` (latency-like: fail when
+//! `new/old > max_ratio`) or `higher_is_better` (throughput-like: fail
+//! when `old/new > max_ratio`). `max_ratio: 1.0` pins a metric exactly
+//! (any increase of a lower-is-better value fails) — used for
+//! deterministic size metrics like `gc_table_bytes`.
 //!
 //! A row missing from the *baseline* passes (first run of a new bench);
 //! a row missing from the *new* file fails (the bench silently
-//! disappeared). The files are the `bench_summary` output: flat JSON
-//! with one `{"id": ..., "mean_ns": N, ...}` row per line, which is all
-//! the parser relies on.
+//! disappeared). `BENCH_GUARD_SCALE` multiplies every `max_ratio` of
+//! rules with a limit above 1.0 (loosening knob for noisy machines; the
+//! exact `1.0` pins are never scaled). The bench files are the
+//! `bench_summary` output: flat JSON with one
+//! `{"id": ..., "mean_ns": N, ...}` row per line, which is all the
+//! parser relies on.
+
+#[derive(Debug, Clone, PartialEq)]
+struct Rule {
+    id: String,
+    lower_is_better: bool,
+    max_ratio: f64,
+}
 
 fn mean_ns_for(content: &str, id: &str) -> Option<f64> {
     let needle = format!("\"id\": \"{id}\"");
@@ -29,39 +53,201 @@ fn mean_ns_for(content: &str, id: &str) -> Option<f64> {
     None
 }
 
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\"")).nth(1)?;
+    let rest = rest.split('"').nth(1)?;
+    Some(rest.to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{key}\"")).nth(1)?;
+    let rest = rest.split(':').nth(1)?;
+    let num: String =
+        rest.trim_start().chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    num.parse().ok()
+}
+
+/// Parses the rules file: every line mentioning an `"id"` is one rule.
+fn parse_rules(content: &str) -> Result<Vec<Rule>, String> {
+    let mut rules = Vec::new();
+    for (n, line) in content.lines().enumerate() {
+        if !line.contains("\"id\"") {
+            continue;
+        }
+        let id = json_str_field(line, "id")
+            .ok_or_else(|| format!("rules line {}: unreadable \"id\"", n + 1))?;
+        let direction = json_str_field(line, "direction")
+            .ok_or_else(|| format!("rule {id}: missing \"direction\""))?;
+        let lower_is_better = match direction.as_str() {
+            "lower_is_better" => true,
+            "higher_is_better" => false,
+            other => return Err(format!("rule {id}: unknown direction {other:?}")),
+        };
+        let max_ratio = json_num_field(line, "max_ratio")
+            .ok_or_else(|| format!("rule {id}: missing \"max_ratio\""))?;
+        if max_ratio < 1.0 {
+            return Err(format!("rule {id}: max_ratio {max_ratio} is below 1.0"));
+        }
+        rules.push(Rule { id, lower_is_better, max_ratio });
+    }
+    if rules.is_empty() {
+        return Err("rules file contains no rules".into());
+    }
+    Ok(rules)
+}
+
+/// Applies one rule; returns `Err(reason)` on regression.
+fn check_rule(rule: &Rule, baseline: &str, fresh: &str, scale: f64) -> Result<String, String> {
+    let Some(new_mean) = mean_ns_for(fresh, &rule.id) else {
+        return Err(format!("row {:?} missing from the new results", rule.id));
+    };
+    let Some(old_mean) = mean_ns_for(baseline, &rule.id) else {
+        return Ok(format!("{}: no baseline row, passing (first run)", rule.id));
+    };
+    // Exact pins (max_ratio 1.0) stay exact regardless of the scale.
+    let limit = if rule.max_ratio > 1.0 { rule.max_ratio * scale } else { rule.max_ratio };
+    let (ratio, arrow) = if rule.lower_is_better {
+        (new_mean / old_mean, "lower-is-better")
+    } else {
+        (old_mean / new_mean, "higher-is-better")
+    };
+    let line = format!(
+        "{}: baseline {old_mean:.0} -> new {new_mean:.0} ({arrow} ratio {ratio:.3}, limit {limit:.3})",
+        rule.id
+    );
+    if ratio > limit {
+        Err(format!("{line} — regressed past the allowed factor"))
+    } else {
+        Ok(line)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, new_path, id, max_ratio] = args.as_slice() else {
-        eprintln!("usage: bench_guard <baseline.json> <new.json> <row-id> <max-ratio>");
-        std::process::exit(2);
-    };
-    let max_ratio: f64 = max_ratio.parse().unwrap_or_else(|_| {
-        eprintln!("bench_guard: max-ratio {max_ratio:?} is not a number");
-        std::process::exit(2);
-    });
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("bench_guard: cannot read {path}: {e}");
             std::process::exit(2);
         })
     };
+    let (baseline_path, new_path, rules) = match args.as_slice() {
+        [baseline_path, new_path, rules_path] => {
+            let rules = parse_rules(&read(rules_path)).unwrap_or_else(|e| {
+                eprintln!("bench_guard: {rules_path}: {e}");
+                std::process::exit(2);
+            });
+            (baseline_path, new_path, rules)
+        }
+        [baseline_path, new_path, id, max_ratio] => {
+            let max_ratio: f64 = max_ratio.parse().unwrap_or_else(|_| {
+                eprintln!("bench_guard: max-ratio {max_ratio:?} is not a number");
+                std::process::exit(2);
+            });
+            let rule = Rule { id: id.clone(), lower_is_better: true, max_ratio };
+            (baseline_path, new_path, vec![rule])
+        }
+        _ => {
+            eprintln!(
+                "usage: bench_guard <baseline.json> <new.json> <rules.json>\n\
+                        bench_guard <baseline.json> <new.json> <row-id> <max-ratio>"
+            );
+            std::process::exit(2);
+        }
+    };
+    let scale: f64 = std::env::var("BENCH_GUARD_SCALE")
+        .ok()
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bench_guard: BENCH_GUARD_SCALE {s:?} is not a number");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1.0);
     let baseline = read(baseline_path);
     let fresh = read(new_path);
-    let Some(new_mean) = mean_ns_for(&fresh, id) else {
-        eprintln!("bench_guard: row {id:?} missing from {new_path}");
+    let mut failed = false;
+    for rule in &rules {
+        match check_rule(rule, &baseline, &fresh, scale) {
+            Ok(line) => println!("bench_guard: {line}"),
+            Err(reason) => {
+                eprintln!("bench_guard: FAIL — {reason}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
         std::process::exit(1);
-    };
-    let Some(old_mean) = mean_ns_for(&baseline, id) else {
-        println!("bench_guard: {id}: no baseline row in {baseline_path}, passing (first run)");
-        return;
-    };
-    let ratio = new_mean / old_mean;
-    println!(
-        "bench_guard: {id}: baseline {old_mean:.0} ns -> new {new_mean:.0} ns \
-         (ratio {ratio:.3}, limit {max_ratio:.3})"
-    );
-    if ratio > max_ratio {
-        eprintln!("bench_guard: FAIL — {id} regressed by more than the allowed factor");
-        std::process::exit(1);
+    }
+    println!("bench_guard: {} rule(s) passed", rules.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &str = r#"{ "rules": [
+  { "id": "a/b", "direction": "lower_is_better", "max_ratio": 1.25 },
+  { "id": "c/d", "direction": "higher_is_better", "max_ratio": 1.6 },
+  { "id": "size/e", "direction": "lower_is_better", "max_ratio": 1.0 }
+] }"#;
+
+    fn row(id: &str, mean: u64) -> String {
+        format!("{{\"id\": \"{id}\", \"mean_ns\": {mean}, \"samples\": 5}}\n")
+    }
+
+    #[test]
+    fn parses_committed_rule_shape() {
+        let rules = parse_rules(RULES).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0], Rule { id: "a/b".into(), lower_is_better: true, max_ratio: 1.25 });
+        assert!(!rules[1].lower_is_better);
+        assert_eq!(rules[2].max_ratio, 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        assert!(parse_rules("{ \"rules\": [] }").is_err());
+        assert!(parse_rules("{ \"rules\": [ { \"id\": \"x\" } ] }").is_err());
+        assert!(parse_rules(
+            "{ \"rules\": [ { \"id\": \"x\", \"direction\": \"sideways\", \"max_ratio\": 2 } ] }"
+        )
+        .is_err());
+        assert!(parse_rules(
+            "{ \"rules\": [ { \"id\": \"x\", \"direction\": \"lower_is_better\", \"max_ratio\": 0.5 } ] }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lower_is_better_guards_slowdowns() {
+        let rule = &parse_rules(RULES).unwrap()[0];
+        let base = row("a/b", 1000);
+        assert!(check_rule(rule, &base, &row("a/b", 1200), 1.0).is_ok());
+        assert!(check_rule(rule, &base, &row("a/b", 1300), 1.0).is_err());
+        // Scale loosens non-pinned limits.
+        assert!(check_rule(rule, &base, &row("a/b", 1300), 1.2).is_ok());
+    }
+
+    #[test]
+    fn higher_is_better_guards_shrinkage() {
+        let rule = &parse_rules(RULES).unwrap()[1];
+        let base = row("c/d", 1000);
+        assert!(check_rule(rule, &base, &row("c/d", 700), 1.0).is_ok());
+        assert!(check_rule(rule, &base, &row("c/d", 500), 1.0).is_err());
+    }
+
+    #[test]
+    fn exact_pins_ignore_scale_and_catch_any_growth() {
+        let rule = &parse_rules(RULES).unwrap()[2];
+        let base = row("size/e", 6144);
+        assert!(check_rule(rule, &base, &row("size/e", 6144), 1.0).is_ok());
+        assert!(check_rule(rule, &base, &row("size/e", 6145), 5.0).is_err());
+    }
+
+    #[test]
+    fn missing_rows_pass_on_baseline_fail_on_new() {
+        let rule = &parse_rules(RULES).unwrap()[0];
+        assert!(check_rule(rule, "", &row("a/b", 1000), 1.0).is_ok());
+        assert!(check_rule(rule, &row("a/b", 1000), "", 1.0).is_err());
     }
 }

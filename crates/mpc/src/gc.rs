@@ -1,19 +1,30 @@
-//! Yao garbled circuits with free-XOR and point-and-permute — the
-//! non-linear-layer protocol of Delphi-style private inference.
+//! Yao garbled circuits with free-XOR, point-and-permute and
+//! **half-gates** AND garbling — the non-linear-layer protocol of
+//! Delphi-style private inference.
 //!
 //! * wire labels are 128-bit; the global offset Δ has its low bit set so
 //!   the label's low bit doubles as the permute bit;
-//! * XOR and NOT gates are free (label arithmetic only);
-//! * AND gates emit a classic four-row table, each row
-//!   `H(Wa, Wb, gate) ⊕ Wout`, indexed by the operand permute bits;
+//! * XOR and NOT gates are free (label arithmetic only — zero tables,
+//!   zero hash calls);
+//! * AND gates use the half-gates construction (Zahur–Rosulek–Evans,
+//!   EUROCRYPT 2015): a generator half and an evaluator half, **two**
+//!   ciphertexts per gate instead of the classic four-row table. Each
+//!   half is one correlation-robust hash [`crate::prg::hash128`] of a
+//!   single operand label under a per-gate tweak;
 //! * outputs are decoded with one permute bit per output wire.
+//!
+//! The classic four-row scheme is kept as a reference implementation
+//! ([`garble_open_classic`] / [`evaluate_classic`]): the cross-scheme
+//! parity tests pin that both schemes decode the same plaintext results
+//! for the ReLU and maxpool circuits, and the table-bytes tests pin the
+//! 2×-smaller material footprint of the half-gates path.
 //!
 //! The module also provides the masked-ReLU circuit used by
 //! [`crate::relu::gc_relu_garbler`]: it reconstructs `x = x₀ + x₁`,
 //! zeroes it when negative, and re-masks the result with the garbler's
 //! fresh randomness so the parties end with additive shares.
 
-use crate::prg::{prf128_pair, Prg};
+use crate::prg::{hash128, prf128_pair, Prg};
 use crate::{MpcError, Result};
 use std::sync::OnceLock;
 
@@ -64,6 +75,13 @@ impl Circuit {
     /// Number of AND gates (the communication cost driver).
     pub fn and_count(&self) -> usize {
         self.gates.iter().filter(|g| matches!(g, Gate::And { .. })).count()
+    }
+
+    /// Number of XOR gates (free under free-XOR: zero tables, zero hash
+    /// calls — tracked so cost reports can show what the garbling
+    /// scheme gets for free).
+    pub fn xor_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Xor { .. })).count()
     }
 
     /// Number of garbler input wires.
@@ -237,8 +255,45 @@ impl CircuitBuilder {
         self.inc_mod2n(&t)
     }
 
-    /// `max(a, b)` over two's-complement bit vectors: select by the sign
-    /// of `a − b` (`out = b ⊕ (¬sign ∧ (a ⊕ b))`).
+    /// `a ≥ b` over two's-complement bit vectors, as the complement of
+    /// the sign of `a − b` — computed from the **carry chain alone**.
+    ///
+    /// `a − b = a + ¬b + 1`: only the top sum bit is consumed, so the
+    /// full subtractor's 2·len−1 AND gates collapse to the len−1 ANDs of
+    /// the carry ripple (the constant carry-in of 1 makes the first
+    /// carry `a₀ ∨ ¬b₀`, one AND with free inversions). The sign bit is
+    /// `a⊕¬b⊕c` at the top position and the result is its complement,
+    /// which the constant folds into plain XORs: `a ≥ b = aₜ⊕bₜ⊕cₜ`.
+    ///
+    /// Correct when `|a − b| < 2^(bits−1)` (same no-overflow
+    /// precondition as [`CircuitBuilder::max_signed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when operand widths differ or are below two bits.
+    pub fn ge_signed(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert_eq!(a.len(), b.len(), "comparator width mismatch");
+        let bits = a.len();
+        assert!(bits >= 2, "signed comparison needs at least two bits");
+        // c₁ = carry(a₀, ¬b₀, 1) = a₀ ∨ ¬b₀ = ¬(¬a₀ ∧ b₀).
+        let na0 = self.inv(a[0]);
+        let t0 = self.and(na0, b[0]);
+        let mut c = self.inv(t0);
+        // cᵢ₊₁ = c ⊕ (aᵢ⊕c)∧(¬bᵢ⊕c); ¬bᵢ⊕c is a free inverted XOR.
+        for i in 1..bits - 1 {
+            let axc = self.xor(a[i], c);
+            let bxc = self.xor(b[i], c);
+            let nbxc = self.inv(bxc);
+            let t = self.and(axc, nbxc);
+            c = self.xor(c, t);
+        }
+        let top = self.xor(a[bits - 1], b[bits - 1]);
+        self.xor(top, c)
+    }
+
+    /// `max(a, b)` over two's-complement bit vectors: select by
+    /// [`CircuitBuilder::ge_signed`] (`out = b ⊕ ((a≥b) ∧ (a ⊕ b))`) —
+    /// `2·len − 1` AND gates per max.
     ///
     /// Correct when `|a − b| < 2^(bits−1)` — the difference must not
     /// overflow. The fixed-point pipeline guarantees this: activations
@@ -249,8 +304,7 @@ impl CircuitBuilder {
     ///
     /// Panics when operand widths differ.
     pub fn max_signed(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
-        let d = self.sub_mod2n(a, b);
-        let a_ge_b = self.inv(d[d.len() - 1]);
+        let a_ge_b = self.ge_signed(a, b);
         a.iter()
             .zip(b.iter())
             .map(|(&ai, &bi)| {
@@ -339,11 +393,15 @@ pub fn maxpool4_unit_circuit() -> &'static Circuit {
     CIRCUIT.get_or_init(|| maxpool4_masked_circuit(1, UNIT_BITS))
 }
 
+/// Bytes one half-gates AND table occupies (two 128-bit rows).
+pub const AND_TABLE_BYTES: usize = 32;
+
 /// The garbler's artifacts for one circuit.
 #[derive(Debug, Clone)]
 pub struct Garbled {
-    /// Four-row tables for each AND gate, in gate order.
-    pub tables: Vec<[u128; 4]>,
+    /// Two-row half-gates tables `[T_G, T_E]` for each AND gate, in
+    /// gate order.
+    pub tables: Vec<[u128; 2]>,
     /// Label pairs for the evaluator's input wires (transferred by OT).
     pub evaluator_label_pairs: Vec<(u128, u128)>,
     /// Active labels for the garbler's own inputs (sent directly).
@@ -359,7 +417,37 @@ pub struct Garbled {
 /// labels selected with [`select_labels`] once the online values exist.
 #[derive(Debug, Clone)]
 pub struct OpenGarbled {
-    /// Four-row tables for each AND gate, in gate order.
+    /// Two-row half-gates tables `[T_G, T_E]` for each AND gate, in
+    /// gate order.
+    pub tables: Vec<[u128; 2]>,
+    /// Label pairs for the garbler's input wires.
+    pub garbler_label_pairs: Vec<(u128, u128)>,
+    /// Label pairs for the evaluator's input wires.
+    pub evaluator_label_pairs: Vec<(u128, u128)>,
+    /// Permute bit of each output wire's zero label (for decoding).
+    pub output_decode: Vec<bool>,
+    /// The free-XOR global offset: every wire's one-label is its
+    /// zero-label ⊕ Δ. Garbler-secret — the evaluator must never see it
+    /// (one active label plus Δ reveals both labels of every wire).
+    /// Exposing it here lets dealt *garbler-side* material store one
+    /// label per wire instead of a pair.
+    pub delta: u128,
+}
+
+impl OpenGarbled {
+    /// Bytes the AND tables occupy (2 rows × 16 B per gate; XOR gates
+    /// contribute nothing).
+    pub fn table_bytes(&self) -> usize {
+        self.tables.len() * AND_TABLE_BYTES
+    }
+}
+
+/// The classic four-row garbling artifact, kept as the reference
+/// implementation the half-gates scheme is tested against.
+#[derive(Debug, Clone)]
+pub struct ClassicOpenGarbled {
+    /// Four-row point-and-permute tables for each AND gate, in gate
+    /// order.
     pub tables: Vec<[u128; 4]>,
     /// Label pairs for the garbler's input wires.
     pub garbler_label_pairs: Vec<(u128, u128)>,
@@ -367,6 +455,13 @@ pub struct OpenGarbled {
     pub evaluator_label_pairs: Vec<(u128, u128)>,
     /// Permute bit of each output wire's zero label (for decoding).
     pub output_decode: Vec<bool>,
+}
+
+impl ClassicOpenGarbled {
+    /// Bytes the AND tables occupy (4 rows × 16 B per gate).
+    pub fn table_bytes(&self) -> usize {
+        self.tables.len() * 64
+    }
 }
 
 /// Selects the active labels for `bits` from per-wire label pairs.
@@ -382,11 +477,143 @@ pub fn select_labels(pairs: &[(u128, u128)], bits: &[bool]) -> Vec<u128> {
 /// Garbles `circuit` without fixing any input bits, returning label
 /// pairs for every input wire (see [`OpenGarbled`]).
 ///
-/// Draws from `prg` in the same order as [`garble`], so fixing the
-/// garbler bits of an open garbling afterwards reproduces [`garble`]
-/// bit for bit.
+/// Half-gates AND garbling: with zero labels `Wa⁰, Wb⁰`, permute bits
+/// `p = lsb(W⁰)` and `H = hash128(·, tweak)` keyed by the gate index,
+///
+/// ```text
+/// T_G = H(Wa⁰, 2g) ⊕ H(Wa⁰⊕Δ, 2g) ⊕ p_b·Δ        (generator half)
+/// T_E = H(Wb⁰, 2g+1) ⊕ H(Wb⁰⊕Δ, 2g+1) ⊕ Wa⁰      (evaluator half)
+/// Wc⁰ = H(Wa⁰, 2g) ⊕ p_a·T_G ⊕ H(Wb⁰, 2g+1) ⊕ p_b·(T_E ⊕ Wa⁰)
+/// ```
+///
+/// Four hash calls and two ciphertexts per AND; XOR/NOT gates touch no
+/// hash and emit nothing. Draws from `prg` in the same order as
+/// [`garble`], so fixing the garbler bits of an open garbling
+/// afterwards reproduces [`garble`] bit for bit.
 pub fn garble_open(circuit: &Circuit, prg: &mut Prg) -> OpenGarbled {
     let delta = prg.next_u128() | 1; // low bit set: permute bit offset
+    let mut zero = vec![0u128; circuit.n_wires];
+    for &w in circuit.garbler_inputs.iter().chain(circuit.evaluator_inputs.iter()) {
+        zero[w] = prg.next_u128();
+    }
+    let mut tables = Vec::with_capacity(circuit.and_count());
+    for (gid, gate) in circuit.gates.iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
+            Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
+            Gate::And { a, b, out } => {
+                let (wa0, wb0) = (zero[a], zero[b]);
+                let pa = wa0 & 1 == 1;
+                let pb = wb0 & 1 == 1;
+                let t = (gid as u64) << 1;
+                let ha0 = hash128(wa0, t);
+                let ha1 = hash128(wa0 ^ delta, t);
+                let hb0 = hash128(wb0, t | 1);
+                let hb1 = hash128(wb0 ^ delta, t | 1);
+                let tg = ha0 ^ ha1 ^ if pb { delta } else { 0 };
+                let te = hb0 ^ hb1 ^ wa0;
+                let wg0 = ha0 ^ if pa { tg } else { 0 };
+                let we0 = hb0 ^ if pb { te ^ wa0 } else { 0 };
+                zero[out] = wg0 ^ we0;
+                tables.push([tg, te]);
+            }
+        }
+    }
+    let garbler_label_pairs =
+        circuit.garbler_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
+    let evaluator_label_pairs =
+        circuit.evaluator_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
+    let output_decode = circuit.outputs.iter().map(|&w| zero[w] & 1 == 1).collect();
+    OpenGarbled { tables, garbler_label_pairs, evaluator_label_pairs, output_decode, delta }
+}
+
+/// Garbles `circuit` with the garbler's input bits fixed.
+///
+/// # Errors
+///
+/// Returns an error when `garbler_bits` length disagrees.
+pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result<Garbled> {
+    if garbler_bits.len() != circuit.garbler_inputs.len() {
+        return Err(MpcError::BadConfig(format!(
+            "garbler has {} bits for {} input wires",
+            garbler_bits.len(),
+            circuit.garbler_inputs.len()
+        )));
+    }
+    let open = garble_open(circuit, prg);
+    let garbler_labels = select_labels(&open.garbler_label_pairs, garbler_bits);
+    Ok(Garbled {
+        tables: open.tables,
+        evaluator_label_pairs: open.evaluator_label_pairs,
+        garbler_labels,
+        output_decode: open.output_decode,
+    })
+}
+
+/// Evaluates a garbled circuit given the active input labels, returning
+/// the decoded output bits.
+///
+/// Per AND gate the evaluator hashes its two operand labels once each
+/// and adds the table rows selected by their select (= permute) bits:
+/// `Wc = H(Wa, 2g) ⊕ s_a·T_G ⊕ H(Wb, 2g+1) ⊕ s_b·(T_E ⊕ Wa)`.
+///
+/// # Errors
+///
+/// Returns an error when label/table counts disagree with the circuit.
+pub fn evaluate(
+    circuit: &Circuit,
+    tables: &[[u128; 2]],
+    garbler_labels: &[u128],
+    evaluator_labels: &[u128],
+    output_decode: &[bool],
+) -> Result<Vec<bool>> {
+    if garbler_labels.len() != circuit.garbler_inputs.len()
+        || evaluator_labels.len() != circuit.evaluator_inputs.len()
+        || tables.len() != circuit.and_count()
+        || output_decode.len() != circuit.outputs.len()
+    {
+        return Err(MpcError::Protocol("garbled artifact counts disagree with circuit".into()));
+    }
+    let mut label = vec![0u128; circuit.n_wires];
+    for (&w, &l) in circuit.garbler_inputs.iter().zip(garbler_labels) {
+        label[w] = l;
+    }
+    for (&w, &l) in circuit.evaluator_inputs.iter().zip(evaluator_labels) {
+        label[w] = l;
+    }
+    let mut and_idx = 0usize;
+    for (gid, gate) in circuit.gates.iter().enumerate() {
+        match *gate {
+            Gate::Xor { a, b, out } => label[out] = label[a] ^ label[b],
+            Gate::Inv { a, out } => label[out] = label[a],
+            Gate::And { a, b, out } => {
+                let la = label[a];
+                let lb = label[b];
+                let [tg, te] = tables[and_idx];
+                let t = (gid as u64) << 1;
+                let wg = hash128(la, t) ^ if la & 1 == 1 { tg } else { 0 };
+                let we = hash128(lb, t | 1) ^ if lb & 1 == 1 { te ^ la } else { 0 };
+                label[out] = wg ^ we;
+                and_idx += 1;
+            }
+        }
+    }
+    Ok(circuit
+        .outputs
+        .iter()
+        .zip(output_decode.iter())
+        .map(|(&w, &d)| ((label[w] & 1) == 1) ^ d)
+        .collect())
+}
+
+/// Reference implementation: garbles `circuit` with the classic
+/// four-row point-and-permute tables (each row
+/// `prf128_pair(Wa, Wb, gate) ⊕ Wout`, indexed by the operand permute
+/// bits). Free-XOR labels are shared with the half-gates path; only the
+/// AND-gate encoding differs — which is exactly what the cross-scheme
+/// parity tests exercise.
+pub fn garble_open_classic(circuit: &Circuit, prg: &mut Prg) -> ClassicOpenGarbled {
+    let delta = prg.next_u128() | 1;
     let mut zero = vec![0u128; circuit.n_wires];
     for &w in circuit.garbler_inputs.iter().chain(circuit.evaluator_inputs.iter()) {
         zero[w] = prg.next_u128();
@@ -418,39 +645,17 @@ pub fn garble_open(circuit: &Circuit, prg: &mut Prg) -> OpenGarbled {
     let evaluator_label_pairs =
         circuit.evaluator_inputs.iter().map(|&w| (zero[w], zero[w] ^ delta)).collect();
     let output_decode = circuit.outputs.iter().map(|&w| zero[w] & 1 == 1).collect();
-    OpenGarbled { tables, garbler_label_pairs, evaluator_label_pairs, output_decode }
+    ClassicOpenGarbled { tables, garbler_label_pairs, evaluator_label_pairs, output_decode }
 }
 
-/// Garbles `circuit` with the garbler's input bits fixed.
-///
-/// # Errors
-///
-/// Returns an error when `garbler_bits` length disagrees.
-pub fn garble(circuit: &Circuit, garbler_bits: &[bool], prg: &mut Prg) -> Result<Garbled> {
-    if garbler_bits.len() != circuit.garbler_inputs.len() {
-        return Err(MpcError::BadConfig(format!(
-            "garbler has {} bits for {} input wires",
-            garbler_bits.len(),
-            circuit.garbler_inputs.len()
-        )));
-    }
-    let open = garble_open(circuit, prg);
-    let garbler_labels = select_labels(&open.garbler_label_pairs, garbler_bits);
-    Ok(Garbled {
-        tables: open.tables,
-        evaluator_label_pairs: open.evaluator_label_pairs,
-        garbler_labels,
-        output_decode: open.output_decode,
-    })
-}
-
-/// Evaluates a garbled circuit given the active input labels, returning
-/// the decoded output bits.
+/// Reference implementation: evaluates a classic four-row garbling
+/// (one `prf128_pair` call per AND, row selected by the operand permute
+/// bits).
 ///
 /// # Errors
 ///
 /// Returns an error when label/table counts disagree with the circuit.
-pub fn evaluate(
+pub fn evaluate_classic(
     circuit: &Circuit,
     tables: &[[u128; 4]],
     garbler_labels: &[u128],
@@ -549,6 +754,7 @@ mod tests {
         b.output(nz);
         let c = b.build();
         assert_eq!(c.and_count(), 0);
+        assert_eq!(c.xor_count(), 1);
         for gx in [false, true] {
             for ey in [false, true] {
                 assert_eq!(garble_and_eval(&c, &[gx], &[ey]), vec![gx ^ ey, !(gx ^ ey)]);
@@ -613,6 +819,102 @@ mod tests {
     }
 
     #[test]
+    fn and_tables_cost_two_rows_and_xors_cost_zero() {
+        // The acceptance accounting of the half-gates scheme: tables
+        // exist only for AND gates (2 rows × 16 B), XOR gates are free,
+        // and the classic reference pays exactly twice the bytes.
+        let c = relu_unit_circuit();
+        assert!(c.xor_count() > 0);
+        let open = garble_open(c, &mut Prg::from_u64(31));
+        let classic = garble_open_classic(c, &mut Prg::from_u64(31));
+        assert_eq!(open.tables.len(), c.and_count());
+        assert_eq!(classic.tables.len(), c.and_count());
+        assert_eq!(open.table_bytes(), c.and_count() * AND_TABLE_BYTES);
+        assert_eq!(AND_TABLE_BYTES, 32);
+        assert_eq!(classic.table_bytes(), 2 * open.table_bytes());
+        // Adding XOR gates must not grow the tables.
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        let mut w = z;
+        for _ in 0..8 {
+            w = b.xor(w, x);
+        }
+        b.output(w);
+        let xor_heavy = b.build();
+        assert_eq!(xor_heavy.xor_count(), 8);
+        let open = garble_open(&xor_heavy, &mut Prg::from_u64(32));
+        assert_eq!(open.table_bytes(), AND_TABLE_BYTES);
+    }
+
+    #[test]
+    fn cross_scheme_relu_parity() {
+        // Half-gates and the classic reference must decode the same
+        // plaintext results (same circuit, same inputs — different
+        // tables by construction).
+        let c = relu_masked_circuit(1, UNIT_BITS);
+        let mut prg = Prg::from_u64(41);
+        for _ in 0..4 {
+            let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|_| prg.next_bool()).collect();
+            let e_bits: Vec<bool> =
+                (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
+            let half = garble_open(&c, &mut Prg::from_u64(42));
+            let classic = garble_open_classic(&c, &mut Prg::from_u64(43));
+            let half_out = evaluate(
+                &c,
+                &half.tables,
+                &select_labels(&half.garbler_label_pairs, &g_bits),
+                &select_labels(&half.evaluator_label_pairs, &e_bits),
+                &half.output_decode,
+            )
+            .unwrap();
+            let classic_out = evaluate_classic(
+                &c,
+                &classic.tables,
+                &select_labels(&classic.garbler_label_pairs, &g_bits),
+                &select_labels(&classic.evaluator_label_pairs, &e_bits),
+                &classic.output_decode,
+            )
+            .unwrap();
+            let plain = c.eval_plain(&g_bits, &e_bits).unwrap();
+            assert_eq!(half_out, plain);
+            assert_eq!(classic_out, plain);
+        }
+    }
+
+    #[test]
+    fn cross_scheme_maxpool_parity() {
+        let c = maxpool4_masked_circuit(1, 16);
+        let mut prg = Prg::from_u64(51);
+        for _ in 0..4 {
+            let g_bits: Vec<bool> = (0..c.garbler_input_count()).map(|_| prg.next_bool()).collect();
+            let e_bits: Vec<bool> =
+                (0..c.evaluator_input_count()).map(|_| prg.next_bool()).collect();
+            let half = garble_open(&c, &mut Prg::from_u64(52));
+            let classic = garble_open_classic(&c, &mut Prg::from_u64(52));
+            let half_out = evaluate(
+                &c,
+                &half.tables,
+                &select_labels(&half.garbler_label_pairs, &g_bits),
+                &select_labels(&half.evaluator_label_pairs, &e_bits),
+                &half.output_decode,
+            )
+            .unwrap();
+            let classic_out = evaluate_classic(
+                &c,
+                &classic.tables,
+                &select_labels(&classic.garbler_label_pairs, &g_bits),
+                &select_labels(&classic.evaluator_label_pairs, &e_bits),
+                &classic.output_decode,
+            )
+            .unwrap();
+            assert_eq!(half_out, c.eval_plain(&g_bits, &e_bits).unwrap());
+            assert_eq!(half_out, classic_out);
+        }
+    }
+
+    #[test]
     fn wrong_artifact_counts_rejected() {
         let c = relu_masked_circuit(1, 8);
         let mut prg = Prg::from_u64(5);
@@ -674,6 +976,41 @@ mod tests {
         );
     }
 
+    #[test]
+    fn half_gate_and_decodes_under_all_four_permute_combos() {
+        // The permute bits (p_a, p_b) of an AND gate's operand zero
+        // labels steer which table rows carry the Δ correction; all
+        // four combinations must decode correctly. Seeds are drawn
+        // until every combination has been exercised.
+        let mut b = CircuitBuilder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        b.output(z);
+        let c = b.build();
+        let mut seen = [false; 4];
+        for seed in 0..64u64 {
+            let open = garble_open(&c, &mut Prg::from_u64(seed));
+            let pa = open.garbler_label_pairs[0].0 & 1 == 1;
+            let pb = open.evaluator_label_pairs[0].0 & 1 == 1;
+            seen[((pa as usize) << 1) | pb as usize] = true;
+            for gx in [false, true] {
+                for ey in [false, true] {
+                    let out = evaluate(
+                        &c,
+                        &open.tables,
+                        &select_labels(&open.garbler_label_pairs, &[gx]),
+                        &select_labels(&open.evaluator_label_pairs, &[ey]),
+                        &open.output_decode,
+                    )
+                    .unwrap();
+                    assert_eq!(out, vec![gx & ey], "permute ({pa},{pb}), inputs ({gx},{ey})");
+                }
+            }
+        }
+        assert_eq!(seen, [true; 4], "64 seeds never hit all four permute combinations");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(8))]
         #[test]
@@ -695,6 +1032,40 @@ mod tests {
             let y = (from_bits(&out).wrapping_add(r)) & 0xFFFF_FFFF;
             let expect = if x < 0 { 0u64 } else { x as u64 };
             prop_assert_eq!(y, expect);
+        }
+
+        #[test]
+        fn delta_lsb_is_always_one_and_shared_by_every_wire(seed in any::<u64>()) {
+            // Free-XOR invariant: one global Δ with its permute bit
+            // set, every wire pair exactly Δ apart.
+            let c = relu_masked_circuit(1, 8);
+            let open = garble_open(&c, &mut Prg::from_u64(seed));
+            prop_assert_eq!(open.delta & 1, 1);
+            for &(l0, l1) in open.garbler_label_pairs.iter().chain(open.evaluator_label_pairs.iter()) {
+                prop_assert_eq!(l0 ^ l1, open.delta);
+            }
+        }
+
+        #[test]
+        fn xor_gate_labels_are_homomorphic(seed in any::<u64>(), va in any::<bool>(), vb in any::<bool>()) {
+            // label(a) ⊕ label(b) = label(a⊕b): the four active output
+            // labels of an XOR gate collapse to {L⁰, L⁰⊕Δ} with the
+            // pairing given by the plaintext XOR.
+            let mut b = CircuitBuilder::new();
+            let x = b.garbler_input();
+            let y = b.evaluator_input();
+            let z = b.xor(x, y);
+            b.output(z);
+            let c = b.build();
+            let open = garble_open(&c, &mut Prg::from_u64(seed));
+            let la = |v: bool| if v { open.garbler_label_pairs[0].1 } else { open.garbler_label_pairs[0].0 };
+            let lb = |v: bool| if v { open.evaluator_label_pairs[0].1 } else { open.evaluator_label_pairs[0].0 };
+            let l00 = la(false) ^ lb(false);
+            let active = la(va) ^ lb(vb);
+            prop_assert_eq!(active, l00 ^ if va ^ vb { open.delta } else { 0 });
+            // And the decode bit agrees with the plaintext value.
+            let decoded = (active & 1 == 1) ^ open.output_decode[0];
+            prop_assert_eq!(decoded, va ^ vb);
         }
     }
 }
@@ -751,7 +1122,9 @@ mod maxpool_tests {
             b.output(w);
         }
         let c = b.build();
-        for (x, y) in [(5i16, 3i16), (3, 5), (-4, 2), (2, -4), (-7, -2), (0, 0)] {
+        // The carry-only comparator plus the mux: 2·bits − 1 ANDs.
+        assert_eq!(c.and_count(), 2 * bits - 1);
+        for (x, y) in [(5i16, 3i16), (3, 5), (-4, 2), (2, -4), (-7, -2), (0, 0), (-1, -1), (1, 1)] {
             let out = garble_and_eval(
                 &c,
                 &to_bits(x as u16 as u64, bits),
@@ -760,6 +1133,36 @@ mod maxpool_tests {
             );
             assert_eq!(from_bits(&out) as u16 as i16, x.max(y), "max({x},{y})");
         }
+    }
+
+    #[test]
+    fn ge_signed_matches_plain_comparison() {
+        let bits = 8;
+        let mut b = CircuitBuilder::new();
+        let a: Vec<WireId> = (0..bits).map(|_| b.garbler_input()).collect();
+        let bb: Vec<WireId> = (0..bits).map(|_| b.evaluator_input()).collect();
+        let ge = b.ge_signed(&a, &bb);
+        b.output(ge);
+        let c = b.build();
+        assert_eq!(c.and_count(), bits - 1);
+        // Exhaustive over the no-overflow range |a−b| < 2^(bits−1).
+        for x in -32i64..32 {
+            for y in -32i64..32 {
+                let out = c
+                    .eval_plain(&to_bits(x as u64 & 0xFF, bits), &to_bits(y as u64 & 0xFF, bits))
+                    .unwrap();
+                assert_eq!(out[0], x >= y, "ge({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_unit_circuit_and_count_reflects_the_lean_comparator() {
+        // 4 reconstruction adders + 3 tournament maxes (127 ANDs each)
+        // + the re-mask adder. The carry-only comparator is what brings
+        // a max from 191 to 127 ANDs.
+        let c = maxpool4_unit_circuit();
+        assert_eq!(c.and_count(), 4 * 64 + 3 * (2 * 64 - 1) + 64);
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //! deterministic: per-item garbling seeds are drawn sequentially from
 //! the dealer PRG, then the band size only controls parallelism, never
 //! the result.
+//!
+//! Free-XOR shrinks the dealt material twice over: the evaluator's
+//! tables are half-gates two-row tables (32 B per AND instead of 64),
+//! and the garbler's open label *pairs* collapse to one zero label per
+//! wire plus the per-item global offset Δ (`l1 = l0 ⊕ Δ`). Handing Δ to
+//! the garbler is sound — the garbler knows every label pair by
+//! definition; it is only the *evaluator's* half that must never see Δ.
 
 use crate::gc::{
     evaluate, from_bits, garble_open, maxpool4_unit_circuit, relu_unit_circuit, select_labels,
@@ -80,6 +87,13 @@ impl MaskedOp {
     pub fn ands_per_item(&self) -> usize {
         self.unit_circuit().and_count()
     }
+
+    /// XOR gates per item — free under free-XOR (no table, no hash);
+    /// counted so cost reports can show what the scheme gets for
+    /// nothing.
+    pub fn xors_per_item(&self) -> usize {
+        self.unit_circuit().xor_count()
+    }
 }
 
 /// The evaluator's (client's) half of an offline-garbled batch: its
@@ -91,8 +105,8 @@ pub struct PreGarbledClient {
     op: MaskedOp,
     /// Input masks `m`, one per input element (item-major).
     masks: Vec<u64>,
-    /// AND tables, item-major.
-    tables: Vec<[u128; 4]>,
+    /// Two-row half-gates AND tables, item-major.
+    tables: Vec<[u128; 2]>,
     /// Active evaluator labels for the bits of `m`, item-major.
     eval_labels: Vec<u128>,
     /// Active garbler labels for the `−r` output-mask inputs.
@@ -101,14 +115,19 @@ pub struct PreGarbledClient {
     decode: Vec<bool>,
 }
 
-/// The garbler's (server's) half: label pairs for its value-dependent
-/// input wires plus its dealt output share `r`.
+/// The garbler's (server's) half: Δ-compressed labels for its
+/// value-dependent input wires plus its dealt output share `r`. Under
+/// free-XOR the one-label of every wire is `l0 ⊕ Δ`, so the dealer
+/// ships one zero label per online wire and one Δ per item instead of
+/// full pairs — half the bytes, reconstructed by XOR at select time.
 #[derive(Debug, Clone)]
 pub struct PreGarbledServer {
     op: MaskedOp,
-    /// Label pairs for the garbler's online inputs (`x − m` bits),
+    /// Zero labels for the garbler's online inputs (`x − m` bits),
     /// item-major.
-    pairs: Vec<(u128, u128)>,
+    labels0: Vec<u128>,
+    /// The free-XOR offset Δ of each item's garbling.
+    deltas: Vec<u128>,
     /// The garbler's output share, one element per item.
     out_share: Vec<u64>,
 }
@@ -133,7 +152,7 @@ impl PreGarbledClient {
     /// seed-compression) dealer would ship to the evaluator.
     pub fn expanded_bytes(&self) -> u64 {
         (self.masks.len() * 8
-            + self.tables.len() * 64
+            + self.tables.len() * 32
             + self.eval_labels.len() * 16
             + self.fixed_labels.len() * 16
             + self.decode.len().div_ceil(8)) as u64
@@ -153,18 +172,20 @@ impl PreGarbledServer {
 
     /// Number of input ring elements (`items × in_elems`).
     pub fn inputs(&self) -> usize {
-        self.pairs.len() / UNIT_BITS
+        self.labels0.len() / UNIT_BITS
     }
 
     /// Serialized size of this half — what an expanded (pre
-    /// seed-compression) dealer would ship to the garbler.
+    /// seed-compression) dealer would ship to the garbler. Δ-compressed:
+    /// one label per online wire plus 16 B of Δ per item (the classic
+    /// layout shipped full 32 B pairs).
     pub fn expanded_bytes(&self) -> u64 {
-        (self.pairs.len() * 32 + self.out_share.len() * 8) as u64
+        (self.labels0.len() * 16 + self.deltas.len() * 16 + self.out_share.len() * 8) as u64
     }
 
     /// Selects the active labels for the garbler's online input values
     /// `g` (item-major ring elements) — the garbler's entire online
-    /// compute: one XOR-select per bit, no PRF.
+    /// compute: one conditional XOR with Δ per bit, no PRF.
     ///
     /// # Errors
     ///
@@ -177,11 +198,13 @@ impl PreGarbledServer {
                 g.len()
             )));
         }
-        let mut labels = Vec::with_capacity(self.pairs.len());
+        let in_elems = self.op.in_elems();
+        let mut labels = Vec::with_capacity(self.labels0.len());
         for (e, &v) in g.iter().enumerate() {
-            let pairs = &self.pairs[e * UNIT_BITS..(e + 1) * UNIT_BITS];
-            for (bit, &(l0, l1)) in pairs.iter().enumerate() {
-                labels.push(if (v >> bit) & 1 == 1 { l1 } else { l0 });
+            let delta = self.deltas[e / in_elems];
+            let zeros = &self.labels0[e * UNIT_BITS..(e + 1) * UNIT_BITS];
+            for (bit, &l0) in zeros.iter().enumerate() {
+                labels.push(if (v >> bit) & 1 == 1 { l0 ^ delta } else { l0 });
             }
         }
         Ok(labels)
@@ -194,11 +217,12 @@ impl PreGarbledServer {
 /// and makes the final flatten a handful of bulk copies.
 #[derive(Debug, Default, Clone)]
 struct BandGarbling {
-    tables: Vec<[u128; 4]>,
+    tables: Vec<[u128; 2]>,
     eval_labels: Vec<u128>,
     fixed_labels: Vec<u128>,
     decode: Vec<bool>,
-    pairs: Vec<(u128, u128)>,
+    labels0: Vec<u128>,
+    deltas: Vec<u128>,
 }
 
 /// Garbles `items` instances of `op`'s masked unit circuit with fresh
@@ -242,7 +266,8 @@ pub fn pregarble(
             slot.eval_labels.reserve_exact((end - start) * online_wires);
             slot.fixed_labels.reserve_exact((end - start) * UNIT_BITS);
             slot.decode.reserve_exact((end - start) * UNIT_BITS);
-            slot.pairs.reserve_exact((end - start) * online_wires);
+            slot.labels0.reserve_exact((end - start) * online_wires);
+            slot.deltas.reserve_exact(end - start);
             for i in start..end {
                 let open = garble_open(circuit, &mut Prg::from_seed(seeds[i]));
                 for (w, &(l0, l1)) in open.evaluator_label_pairs.iter().enumerate() {
@@ -252,7 +277,8 @@ pub fn pregarble(
                 let mask_bits = to_bits(out_share[i].wrapping_neg(), UNIT_BITS);
                 slot.fixed_labels
                     .extend(select_labels(&open.garbler_label_pairs[online_wires..], &mask_bits));
-                slot.pairs.extend_from_slice(&open.garbler_label_pairs[..online_wires]);
+                slot.labels0.extend(open.garbler_label_pairs[..online_wires].iter().map(|p| p.0));
+                slot.deltas.push(open.delta);
                 slot.tables.extend(open.tables);
                 slot.decode.extend(open.output_decode);
             }
@@ -266,15 +292,17 @@ pub fn pregarble(
         fixed_labels: Vec::with_capacity(items * UNIT_BITS),
         decode: Vec::with_capacity(items * UNIT_BITS),
     };
-    let mut pairs = Vec::with_capacity(inputs * UNIT_BITS);
+    let mut labels0 = Vec::with_capacity(inputs * UNIT_BITS);
+    let mut deltas = Vec::with_capacity(items);
     for slot in bands {
         client.tables.extend(slot.tables);
         client.eval_labels.extend(slot.eval_labels);
         client.fixed_labels.extend(slot.fixed_labels);
         client.decode.extend(slot.decode);
-        pairs.extend(slot.pairs);
+        labels0.extend(slot.labels0);
+        deltas.extend(slot.deltas);
     }
-    (client, PreGarbledServer { op, pairs, out_share })
+    (client, PreGarbledServer { op, labels0, deltas, out_share })
 }
 
 fn pack_labels(labels: &[u128]) -> Vec<u8> {
@@ -480,7 +508,8 @@ mod tests {
         let (cy, sy) = pregarble(MaskedOp::Relu, 5, &mut prg_y, 5);
         assert_eq!(cx.tables, cy.tables);
         assert_eq!(cx.eval_labels, cy.eval_labels);
-        assert_eq!(sx.pairs, sy.pairs);
+        assert_eq!(sx.labels0, sy.labels0);
+        assert_eq!(sx.deltas, sy.deltas);
         assert_eq!(sx.out_share, sy.out_share);
     }
 
@@ -492,6 +521,23 @@ mod tests {
         let bad = ShareVec::from_raw(vec![1, 2, 3]);
         assert!(pre_gc_evaluator(&client, &cmat, &bad, 2).is_err());
         assert!(pre_gc_garbler(&server, &smat, &bad).is_err());
+    }
+
+    #[test]
+    fn expanded_bytes_reflect_half_gates_and_delta_compression() {
+        // The dealt-material accounting the planner prices: two-row
+        // tables on the client half, one-label-plus-Δ on the server
+        // half. A classic 4-row/full-pair layout would double both the
+        // table term and the server labels.
+        let mut prg = Prg::from_u64(37);
+        let (cmat, smat) = pregarble(MaskedOp::Relu, 2, &mut prg, 1);
+        let ands = MaskedOp::Relu.ands_per_item();
+        assert_eq!(
+            cmat.expanded_bytes(),
+            (2 * 8 + 2 * ands * 32 + 2 * 64 * 16 + 2 * 64 * 16 + 2 * 8) as u64
+        );
+        assert_eq!(smat.expanded_bytes(), (2 * 64 * 16 + 2 * 16 + 2 * 8) as u64);
+        assert!(MaskedOp::Relu.xors_per_item() > 0);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! `rand`'s own StdRng). The implementation below is the RFC 8439 block
 //! function with a 12-round schedule.
 
-/// ChaCha12 block state.
-fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
+/// ChaCha block function with a configurable double-round count.
+fn chacha_core(key: &[u32; 8], counter: u64, nonce: u64, double_rounds: usize) -> [u32; 16] {
     const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
     let mut state = [0u32; 16];
     state[0..4].copy_from_slice(&SIGMA);
@@ -17,7 +17,7 @@ fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
     state[14] = nonce as u32;
     state[15] = (nonce >> 32) as u32;
     let mut w = state;
-    for _ in 0..6 {
+    for _ in 0..double_rounds {
         // Two rounds per iteration: one column round, one diagonal round.
         quarter(&mut w, 0, 4, 8, 12);
         quarter(&mut w, 1, 5, 9, 13);
@@ -32,6 +32,11 @@ fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
         *o = o.wrapping_add(*s);
     }
     w
+}
+
+/// ChaCha12 block state (the PRG/PRF security point).
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
+    chacha_core(key, counter, nonce, 6)
 }
 
 #[inline]
@@ -256,6 +261,30 @@ pub fn prf128(key: u128, tweak: u64) -> u128 {
         | ((block[3] as u128) << 96)
 }
 
+/// Tweakable correlation-robust hash for half-gates garbling:
+/// `H(label, tweak) -> u128`.
+///
+/// Garbling hashes need correlation robustness, not full PRF/PRG
+/// strength — real GC implementations run fixed-key AES here, far below
+/// a 12-round ChaCha PRF. This is one ChaCha**8** block (the fastest
+/// unbroken round count, used by `rand`'s throughput profile) keyed by
+/// the 128-bit wire label with the per-gate tweak in the nonce slot,
+/// counter 2 for domain separation from [`prf128`]/[`prf128_pair`].
+/// Half-gates spends four of these per AND garbled and two per AND
+/// evaluated, so the reduced rounds are the kernel's cost driver.
+pub fn hash128(label: u128, tweak: u64) -> u128 {
+    let mut k = [0u32; 8];
+    let bytes = label.to_le_bytes();
+    for (i, kk) in k.iter_mut().take(4).enumerate() {
+        *kk = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let block = chacha_core(&k, 2, tweak, 4);
+    (block[0] as u128)
+        | ((block[1] as u128) << 32)
+        | ((block[2] as u128) << 64)
+        | ((block[3] as u128) << 96)
+}
+
 /// PRF variant keyed by *two* labels, used by AND-gate garbling:
 /// `H(a, b, tweak)`.
 ///
@@ -326,6 +355,16 @@ mod tests {
         assert_eq!(prf128(k, 1), prf128(k, 1));
         assert_ne!(prf128(k, 1), prf128(k, 2));
         assert_ne!(prf128(k, 1), prf128(k ^ 1, 1));
+    }
+
+    #[test]
+    fn hash128_is_deterministic_tweak_sensitive_and_separated_from_prf() {
+        let l = 0xfeed_beef_dead_c0de_u128;
+        assert_eq!(hash128(l, 3), hash128(l, 3));
+        assert_ne!(hash128(l, 3), hash128(l, 4));
+        assert_ne!(hash128(l, 3), hash128(l ^ 1, 3));
+        // Distinct counter domain: never collides with the PRF stream.
+        assert_ne!(hash128(l, 3), prf128(l, 3));
     }
 
     #[test]

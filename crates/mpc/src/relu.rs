@@ -54,8 +54,9 @@ pub fn gc_exec_garbler<C: Channel + ?Sized>(
     prg: &mut Prg,
 ) -> Result<()> {
     let garbled = garble(circuit, garbler_bits, prg)?;
-    // Frame 1: AND tables. Frame 2: garbler labels. Frame 3: decode bits.
-    let mut tables = Vec::with_capacity(garbled.tables.len() * 8);
+    // Frame 1: AND tables (two half-gates rows per gate). Frame 2:
+    // garbler labels. Frame 3: decode bits.
+    let mut tables = Vec::with_capacity(garbled.tables.len() * 4);
     for rows in &garbled.tables {
         for row in rows {
             tables.push(*row as u64);
@@ -119,17 +120,17 @@ pub fn gc_exec_evaluator<C: Channel + ?Sized>(
     base: &BaseOtReceiver,
 ) -> Result<Vec<bool>> {
     let table_words = ep.recv_u64s()?;
-    if table_words.len() != circuit.and_count() * 8 {
+    if table_words.len() != circuit.and_count() * 4 {
         return Err(MpcError::Protocol(format!(
             "expected {} table words, got {}",
-            circuit.and_count() * 8,
+            circuit.and_count() * 4,
             table_words.len()
         )));
     }
-    let tables: Vec<[u128; 4]> = table_words
-        .chunks(8)
+    let tables: Vec<[u128; 2]> = table_words
+        .chunks(4)
         .map(|c| {
-            let mut rows = [0u128; 4];
+            let mut rows = [0u128; 2];
             for (r, row) in rows.iter_mut().enumerate() {
                 *row = (c[2 * r] as u128) | ((c[2 * r + 1] as u128) << 64);
             }

@@ -49,6 +49,7 @@ impl Delphi {
         counts: &mut OpCounts,
     ) -> (NlMaterial, NlMaterial) {
         counts.and_gates += (items * op.ands_per_item()) as u64;
+        counts.xor_gates += (items * op.xors_per_item()) as u64;
         // The evaluator's masked-input labels ride the session OT
         // extension (one transfer per input bit).
         counts.ext_ots += (items * op.in_elems() * UNIT_BITS) as u64;

@@ -28,10 +28,15 @@ pub struct OfflineCostModel {
     /// Garbling + transfer time per AND gate shipped offline, seconds
     /// (zero when the backend has no GC component).
     pub sec_per_and_gate: f64,
-    /// Bytes per AND gate shipped offline: the four-row table plus the
-    /// amortised decode/fixed-label material of the offline-garbled
-    /// circuits (zero when the backend has no GC component).
+    /// Bytes per AND gate shipped offline: the two-row half-gates table
+    /// plus the amortised decode/fixed-label material of the
+    /// offline-garbled circuits (zero when the backend has no GC
+    /// component).
     pub bytes_per_and_gate: f64,
+    /// Bytes per XOR gate shipped offline — identically zero under the
+    /// free-XOR scheme (no table, no hash); kept as an explicit model
+    /// term so the zero cost is visible and pinned rather than implied.
+    pub bytes_per_xor_gate: f64,
     /// Bytes per base OT of the per-session setup the IKNP extension
     /// amortises (public keys / seed commitments).
     pub bytes_per_base_ot: f64,
@@ -53,9 +58,10 @@ impl OfflineCostModel {
             sec_per_mac: 2.0e-7,
             bytes_per_bit_triple: 0.0,
             sec_per_and_gate: 2.0e-7,
-            // 64 B of table rows plus ~6 B of amortised decode bits and
-            // fixed-input labels per AND gate.
-            bytes_per_and_gate: 70.0,
+            // 32 B of half-gates table rows plus ~6 B of amortised
+            // decode bits and fixed-input labels per AND gate.
+            bytes_per_and_gate: 38.0,
+            bytes_per_xor_gate: 0.0,
             bytes_per_base_ot: 64.0,
             // 16 B u-matrix column + 32 B masked message pair.
             bytes_per_ext_ot: 48.0,
@@ -74,6 +80,7 @@ impl OfflineCostModel {
             bytes_per_bit_triple: 0.125,
             sec_per_and_gate: 0.0,
             bytes_per_and_gate: 0.0,
+            bytes_per_xor_gate: 0.0,
             bytes_per_base_ot: 64.0,
             bytes_per_ext_ot: 0.0,
         }
@@ -118,7 +125,8 @@ impl OfflineCostModel {
         let cts_down: u64 =
             counts.linear_out_elems.iter().map(|&e| e.div_ceil(self.slots) as u64).sum();
         let triple_bytes = (counts.bit_triples as f64 * self.bytes_per_bit_triple) as u64;
-        let gc_bytes = (counts.and_gates as f64 * self.bytes_per_and_gate) as u64;
+        let gc_bytes = (counts.and_gates as f64 * self.bytes_per_and_gate
+            + counts.xor_gates as f64 * self.bytes_per_xor_gate) as u64;
         let base_ot_bytes = (counts.base_ots as f64 * self.bytes_per_base_ot) as u64;
         let ext_down = (counts.ext_ots as f64 * self.bytes_per_ext_ot * 2.0 / 3.0) as u64;
         let ext_up = (counts.ext_ots as f64 * self.bytes_per_ext_ot / 3.0) as u64;
@@ -167,6 +175,7 @@ mod tests {
             pool_windows: 512,
             bit_triples: 2048 * 187,
             and_gates: 0,
+            xor_gates: 0,
             base_ots: 128,
             ext_ots: 0,
             seed_bytes: 64,
@@ -203,6 +212,23 @@ mod tests {
         assert_eq!(m.offline_traffic(&zero).bytes_total(), 0);
         assert_eq!(m.expanded_traffic(&zero).bytes_total(), 0);
         assert_eq!(m.offline_seconds(&zero), 0.0);
+    }
+
+    #[test]
+    fn xor_gates_are_free_on_the_wire() {
+        // Free-XOR: piling on XOR gates must not move the modelled
+        // expanded traffic, while AND gates must.
+        let m = OfflineCostModel::delphi();
+        let base = OpCounts { and_gates: 10_000, ..counts() };
+        let xor_heavy = OpCounts { xor_gates: 10_000_000, ..base.clone() };
+        assert_eq!(
+            m.expanded_traffic(&base).bytes_total(),
+            m.expanded_traffic(&xor_heavy).bytes_total()
+        );
+        let and_heavy = OpCounts { and_gates: 20_000, ..base.clone() };
+        assert!(
+            m.expanded_traffic(&and_heavy).bytes_total() > m.expanded_traffic(&base).bytes_total()
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct OpCounts {
     /// AND gates garbled (GC backends). Since the offline-garbling
     /// refactor these are garbled in the *offline* phase.
     pub and_gates: u64,
+    /// XOR gates in the same circuits — free under the free-XOR
+    /// garbling scheme (no table, no hash), tracked to make the
+    /// zero-cost term visible in cost reports.
+    pub xor_gates: u64,
     /// Base OTs dealt per inference (one KAPPA-sized set per session —
     /// the setup the IKNP extension amortises).
     pub base_ots: u64,
@@ -125,6 +129,7 @@ impl PiReport {
         self.counts.pool_windows += other.counts.pool_windows;
         self.counts.bit_triples += other.counts.bit_triples;
         self.counts.and_gates += other.counts.and_gates;
+        self.counts.xor_gates += other.counts.xor_gates;
         self.counts.base_ots += other.counts.base_ots;
         self.counts.ext_ots += other.counts.ext_ots;
         self.counts.seed_bytes += other.counts.seed_bytes;
