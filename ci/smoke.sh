@@ -182,6 +182,47 @@ grep -q ' 0 inline ' target/smoke-backpressure.log || {
     exit 1
 }
 
+echo "== batching smoke: coalesced window, bit-identical logits =="
+# Two lives of the same deterministic server (one worker, one shard, no
+# replenisher: material sets 0..N-1 are consumed in stream order no
+# matter how the wave is partitioned into batches), all N clients
+# sending the same input. Reconstruction low bits depend on the
+# consumed material set (probabilistic truncation), and batch order is
+# racy — but the *multiset* of (input, material) pairings is invariant,
+# so the sorted logit-bit dumps must diff clean. The batched life's
+# final reactor line must prove real coalescing happened (coalesced>0),
+# and the unbatched life must not have fused anything.
+BATCH_CLIENTS=4
+for mode in off on; do
+    batch_flags=()
+    if [[ $mode == on ]]; then
+        batch_flags=(--batch-window-ms 200 --max-batch "$BATCH_CLIENTS")
+    fi
+    start_server "target/smoke-batch-$mode.log" \
+        "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
+        --preprocess "$BATCH_CLIENTS" --pool-low 0 --pool-high 0 \
+        --workers 1 --shards 1 --serve-n "$BATCH_CLIENTS" "${batch_flags[@]}"
+    addr=$(wait_for_addr)
+    timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
+        --clients "$BATCH_CLIENTS" --iters 1 --fixed-seed 4242 \
+        --dump-bits "target/smoke-batch-$mode.bits"
+    finish_server
+    cat "target/smoke-batch-$mode.log"
+    sort "target/smoke-batch-$mode.bits" >"target/smoke-batch-$mode.sorted"
+done
+diff target/smoke-batch-off.sorted target/smoke-batch-on.sorted || {
+    echo "smoke: batched logits are not bit-identical to the unbatched reference" >&2
+    exit 1
+}
+grep -Eq '^\[pi_server\] reactor: .*coalesced=[1-9]' target/smoke-batch-on.log || {
+    echo "smoke: batching server never coalesced concurrent requests" >&2
+    exit 1
+}
+grep -Eq '^\[pi_server\] reactor: .*coalesced=0 batches=0$' target/smoke-batch-off.log || {
+    echo "smoke: unbatched server unexpectedly fused a batch" >&2
+    exit 1
+}
+
 echo "== deployment-planner smoke: deterministic plan + round-trip =="
 # plan_report exits non-zero unless every smoke prediction round-trips
 # bit-identically through the top-ranked plan; running it twice and

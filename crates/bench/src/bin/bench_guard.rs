@@ -23,6 +23,13 @@
 //! (any increase of a lower-is-better value fails) — used for
 //! deterministic size metrics like `gc_table_bytes`.
 //!
+//! A rule may also carry `"min_value": N` — an **absolute floor** on
+//! the row's fresh `mean_ns`, checked even when the baseline has no
+//! row. Ratio rules can only express "no worse than last time"; a
+//! floor expresses an invariant like "the batched/unbatched speedup
+//! row (×1000) must stay ≥ 1000", which no baseline ratio can pin.
+//! Floors are never loosened by `BENCH_GUARD_SCALE`.
+//!
 //! A row missing from the *baseline* passes (first run of a new bench);
 //! a row missing from the *new* file fails (the bench silently
 //! disappeared). `BENCH_GUARD_SCALE` multiplies every `max_ratio` of
@@ -37,6 +44,10 @@ struct Rule {
     id: String,
     lower_is_better: bool,
     max_ratio: f64,
+    /// Absolute floor on the fresh `mean_ns`, independent of any
+    /// baseline — for rows that are really invariants (e.g. speedup
+    /// ratios ×1000 that must stay ≥ 1000). Never scaled.
+    min_value: Option<f64>,
 }
 
 fn mean_ns_for(content: &str, id: &str) -> Option<f64> {
@@ -88,7 +99,15 @@ fn parse_rules(content: &str) -> Result<Vec<Rule>, String> {
         if max_ratio < 1.0 {
             return Err(format!("rule {id}: max_ratio {max_ratio} is below 1.0"));
         }
-        rules.push(Rule { id, lower_is_better, max_ratio });
+        let min_value = if line.contains("\"min_value\"") {
+            Some(
+                json_num_field(line, "min_value")
+                    .ok_or_else(|| format!("rule {id}: unreadable \"min_value\""))?,
+            )
+        } else {
+            None
+        };
+        rules.push(Rule { id, lower_is_better, max_ratio, min_value });
     }
     if rules.is_empty() {
         return Err("rules file contains no rules".into());
@@ -101,6 +120,16 @@ fn check_rule(rule: &Rule, baseline: &str, fresh: &str, scale: f64) -> Result<St
     let Some(new_mean) = mean_ns_for(fresh, &rule.id) else {
         return Err(format!("row {:?} missing from the new results", rule.id));
     };
+    // The absolute floor binds before any baseline comparison — it is
+    // an invariant of the fresh run, not a drift check.
+    if let Some(floor) = rule.min_value {
+        if new_mean < floor {
+            return Err(format!(
+                "{}: new {new_mean:.0} is below the absolute floor {floor:.0}",
+                rule.id
+            ));
+        }
+    }
     let Some(old_mean) = mean_ns_for(baseline, &rule.id) else {
         return Ok(format!("{}: no baseline row, passing (first run)", rule.id));
     };
@@ -143,7 +172,7 @@ fn main() {
                 eprintln!("bench_guard: max-ratio {max_ratio:?} is not a number");
                 std::process::exit(2);
             });
-            let rule = Rule { id: id.clone(), lower_is_better: true, max_ratio };
+            let rule = Rule { id: id.clone(), lower_is_better: true, max_ratio, min_value: None };
             (baseline_path, new_path, vec![rule])
         }
         _ => {
@@ -199,9 +228,39 @@ mod tests {
     fn parses_committed_rule_shape() {
         let rules = parse_rules(RULES).unwrap();
         assert_eq!(rules.len(), 3);
-        assert_eq!(rules[0], Rule { id: "a/b".into(), lower_is_better: true, max_ratio: 1.25 });
+        assert_eq!(
+            rules[0],
+            Rule { id: "a/b".into(), lower_is_better: true, max_ratio: 1.25, min_value: None }
+        );
         assert!(!rules[1].lower_is_better);
         assert_eq!(rules[2].max_ratio, 1.0);
+    }
+
+    #[test]
+    fn parses_the_absolute_floor() {
+        let rules = parse_rules(
+            "{ \"rules\": [ { \"id\": \"f/g\", \"direction\": \"higher_is_better\", \"max_ratio\": 3.0, \"min_value\": 1000 } ] }",
+        )
+        .unwrap();
+        assert_eq!(rules[0].min_value, Some(1000.0));
+    }
+
+    #[test]
+    fn absolute_floor_binds_before_and_without_a_baseline() {
+        let rule = Rule {
+            id: "f/g".into(),
+            lower_is_better: false,
+            max_ratio: 3.0,
+            min_value: Some(1000.0),
+        };
+        // No baseline row: the floor still decides pass/fail.
+        assert!(check_rule(&rule, "", &row("f/g", 1100), 1.0).is_ok());
+        assert!(check_rule(&rule, "", &row("f/g", 900), 1.0).is_err());
+        // With a healthy baseline, a below-floor fresh value still fails
+        // even when the ratio itself would pass — and the scale knob
+        // never loosens the floor.
+        assert!(check_rule(&rule, &row("f/g", 1100), &row("f/g", 900), 10.0).is_err());
+        assert!(check_rule(&rule, &row("f/g", 1100), &row("f/g", 1050), 1.0).is_ok());
     }
 
     #[test]

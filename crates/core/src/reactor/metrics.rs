@@ -60,6 +60,51 @@ pub struct HistogramSnapshot {
     pub sum_seconds: f64,
 }
 
+/// Batch-size histogram bucket upper bounds (members per fused run).
+/// Powers of two up to the largest `max_batch` a deployment plausibly
+/// configures; a batch of 1 is the unbatched path.
+pub const BATCH_SIZE_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Fixed-bucket histogram of fused-batch sizes.
+#[derive(Debug, Default)]
+pub struct BatchSizeHistogram {
+    buckets: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl BatchSizeHistogram {
+    /// Records one fused run of `size` members.
+    pub fn record(&self, size: usize) {
+        let size = size as u64;
+        let at =
+            BATCH_SIZE_BUCKETS.iter().position(|&b| size <= b).unwrap_or(BATCH_SIZE_BUCKETS.len());
+        self.buckets[at].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(size, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> BatchSizeSnapshot {
+        BatchSizeSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_members: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`BatchSizeHistogram`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchSizeSnapshot {
+    /// Per-bucket (non-cumulative) counts; the last entry is +Inf.
+    pub buckets: Vec<u64>,
+    /// Fused runs executed.
+    pub count: u64,
+    /// Total members across all fused runs (`sum / count` is the mean
+    /// batch size).
+    pub sum_members: u64,
+}
+
 /// Shared serving counters, updated lock-free by the reactor and every
 /// worker.
 #[derive(Debug, Default)]
@@ -83,11 +128,42 @@ pub struct ReactorMetrics {
     pub(crate) draining: AtomicBool,
     /// Online latency of served inferences (take → share revealed).
     pub(crate) latency: LatencyHistogram,
+    /// Fused batch runs executed (a batch of 1 counts too).
+    pub(crate) batches: AtomicU64,
+    /// Members served in genuinely fused runs (batches of ≥ 2) — the
+    /// coalescing win the smoke test asserts on.
+    pub(crate) coalesced: AtomicU64,
+    /// Batches flushed because they reached `max_batch`.
+    pub(crate) flush_full: AtomicU64,
+    /// Batches flushed because the oldest member's window elapsed.
+    pub(crate) flush_window: AtomicU64,
+    /// Partial batches flushed (and served) at drain.
+    pub(crate) flush_drain: AtomicU64,
+    /// Members per fused run.
+    pub(crate) batch_size: BatchSizeHistogram,
 }
 
 impl ReactorMetrics {
     pub(crate) fn add(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one fused run of `size` members flushed for `reason`
+    /// (see [`crate::reactor::batch::FlushReason`]): the run counter,
+    /// the size histogram, the per-reason flush counter, and — for
+    /// genuine fusions (`size ≥ 2`) — the coalesced-member counter.
+    pub(crate) fn record_batch(&self, size: usize, reason: crate::reactor::batch::FlushReason) {
+        use crate::reactor::batch::FlushReason;
+        self.add(&self.batches);
+        self.batch_size.record(size);
+        self.add(match reason {
+            FlushReason::Full => &self.flush_full,
+            FlushReason::Window => &self.flush_window,
+            FlushReason::Drain => &self.flush_drain,
+        });
+        if size >= 2 {
+            self.coalesced.fetch_add(size as u64, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn connection_done(&self) {
@@ -143,6 +219,19 @@ pub struct MetricsSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// Online-latency histogram of served inferences.
     pub latency: HistogramSnapshot,
+    /// Fused batch runs executed.
+    pub batches: u64,
+    /// Members served in batches of ≥ 2.
+    pub coalesced: u64,
+    /// Batch flushes by reason: (full, window, drain).
+    pub flushes: (u64, u64, u64),
+    /// Members-per-fused-run histogram.
+    pub batch_size: BatchSizeSnapshot,
+    /// Requests currently queued in the batch collector, waiting for
+    /// their coalescing window. Filled in by the reactor's snapshot
+    /// (the collector lives outside [`ReactorMetrics`]); zero wherever
+    /// there is no collector.
+    pub batch_pending: u64,
 }
 
 impl MetricsSnapshot {
@@ -167,6 +256,15 @@ impl MetricsSnapshot {
             restored,
             shards,
             latency: metrics.latency.snapshot(),
+            batches: metrics.batches.load(Ordering::Relaxed),
+            coalesced: metrics.coalesced.load(Ordering::Relaxed),
+            flushes: (
+                metrics.flush_full.load(Ordering::Relaxed),
+                metrics.flush_window.load(Ordering::Relaxed),
+                metrics.flush_drain.load(Ordering::Relaxed),
+            ),
+            batch_size: metrics.batch_size.snapshot(),
+            batch_pending: 0,
         }
     }
 
@@ -240,6 +338,37 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(out, "c2pi_online_latency_seconds_sum {:.6}", self.latency.sum_seconds);
         let _ = writeln!(out, "c2pi_online_latency_seconds_count {}", self.latency.count);
+        let _ = writeln!(out, "# HELP c2pi_batches_total Fused batch protocol runs executed.");
+        let _ = writeln!(out, "# TYPE c2pi_batches_total counter");
+        let _ = writeln!(out, "c2pi_batches_total {}", self.batches);
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_coalesced_total Inferences served inside fused batches of two or more."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_coalesced_total counter");
+        let _ = writeln!(out, "c2pi_coalesced_total {}", self.coalesced);
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_batch_pending Requests waiting in the batch collector for their window."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_batch_pending gauge");
+        let _ = writeln!(out, "c2pi_batch_pending {}", self.batch_pending);
+        let _ = writeln!(out, "# HELP c2pi_batch_flush_total Batch flushes by trigger.");
+        let _ = writeln!(out, "# TYPE c2pi_batch_flush_total counter");
+        let (full, window, drain) = self.flushes;
+        let _ = writeln!(out, "c2pi_batch_flush_total{{reason=\"full\"}} {full}");
+        let _ = writeln!(out, "c2pi_batch_flush_total{{reason=\"window\"}} {window}");
+        let _ = writeln!(out, "c2pi_batch_flush_total{{reason=\"drain\"}} {drain}");
+        let _ = writeln!(out, "# HELP c2pi_batch_size Members per fused batch run.");
+        let _ = writeln!(out, "# TYPE c2pi_batch_size histogram");
+        let mut cumulative = 0u64;
+        for (bound, n) in BATCH_SIZE_BUCKETS.iter().zip(&self.batch_size.buckets) {
+            cumulative += n;
+            let _ = writeln!(out, "c2pi_batch_size_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "c2pi_batch_size_bucket{{le=\"+Inf\"}} {}", self.batch_size.count);
+        let _ = writeln!(out, "c2pi_batch_size_sum {}", self.batch_size.sum_members);
+        let _ = writeln!(out, "c2pi_batch_size_count {}", self.batch_size.count);
         out
     }
 }
@@ -311,5 +440,31 @@ mod tests {
         assert_eq!(metric_value(&text, "c2pi_workers"), Some(3.0));
         assert_eq!(metric_value(&text, "c2pi_draining"), Some(0.0));
         assert_eq!(metric_value(&text, "nonexistent_metric"), None);
+    }
+
+    #[test]
+    fn batch_metrics_reach_the_exposition() {
+        use crate::reactor::batch::FlushReason;
+        let metrics = ReactorMetrics::default();
+        metrics.record_batch(1, FlushReason::Full); // singleton: not coalesced
+        metrics.record_batch(3, FlushReason::Full);
+        metrics.record_batch(5, FlushReason::Window);
+        metrics.record_batch(2, FlushReason::Drain);
+        let snap = MetricsSnapshot::gather(&metrics, 1, 0, vec![]);
+        let text = snap.render_prometheus();
+        assert_eq!(metric_value(&text, "c2pi_batches_total"), Some(4.0));
+        // Only members of genuine fusions (size ≥ 2) count as coalesced.
+        assert_eq!(metric_value(&text, "c2pi_coalesced_total"), Some(10.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_flush_total{reason=\"full\"}"), Some(2.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_flush_total{reason=\"window\"}"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_flush_total{reason=\"drain\"}"), Some(1.0));
+        // Cumulative histogram: sizes {1,2,3,5} land in le buckets 1,2,4,8.
+        assert_eq!(metric_value(&text, "c2pi_batch_size_bucket{le=\"1\"}"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_bucket{le=\"2\"}"), Some(2.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_bucket{le=\"4\"}"), Some(3.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_bucket{le=\"8\"}"), Some(4.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_bucket{le=\"+Inf\"}"), Some(4.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_sum"), Some(11.0));
+        assert_eq!(metric_value(&text, "c2pi_batch_size_count"), Some(4.0));
     }
 }

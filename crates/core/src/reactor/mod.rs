@@ -21,6 +21,23 @@
 //! * one **replenisher per shard** keeps the shards topped up
 //!   (offline phase, input-independent).
 //!
+//! **Cross-client batching** (off by default) adds one stage between
+//! request parsing and protocol dispatch: a [`batch::BatchCollector`].
+//! With [`ReactorConfig::batch_window`] and [`ReactorConfig::max_batch`]
+//! set, concurrent `infer` requests arriving within the window coalesce
+//! into one fused protocol run
+//! ([`c2pi_pi::SessionCore::serve_batch_prepared`]): the k members
+//! share every round trip's compute, each still consumes exactly one
+//! pooled material set, and each gets its own per-member wire content
+//! back — results are bit-for-bit what k sequential runs on the same
+//! material would produce (DESIGN.md §10). A batch flushes when it
+//! fills (`Full`), when its oldest member has waited the window
+//! (`Window`, checked every reactor tick, so flushes quantize to
+//! roughly [`POLL_TICK`]), or at drain (`Drain` — a queued request was
+//! admitted and is *served*, never shed). With the default
+//! `max_batch = 1` the collector is disabled and serving takes the
+//! exact unbatched code path.
+//!
 //! **Backpressure is explicit.** Whenever the server cannot serve — all
 //! shards empty, dispatch queue full, `max_clients` reached, or the
 //! server is draining — the client gets a typed `BUSY` frame carrying a
@@ -40,9 +57,13 @@
 //!
 //! ```text
 //! client → server   REQ   = "C2PQ" ‖ version(u8) ‖ kind(u8: 1=infer, 2=stats)
-//! server → client   OK    = [1]            then the dealt contract runs
-//!                                          (DealtSeed frame, protocol,
+//! server → client   OK    = [1]            solo admit: the dealt contract
+//!                                          runs (DealtSeed frame, protocol,
 //!                                          revealed server share)
+//!                   OK    = [1] ‖ batch(u16 LE)
+//!                                          batch admit: same contract, and
+//!                                          the frame reports how many
+//!                                          members share the fused run
 //!                   BUSY  = [2] ‖ retry_ms(u32 LE) ‖ draining(u8)
 //!                   STATS = [3] ‖ Prometheus-style UTF-8 text
 //! ```
@@ -88,10 +109,12 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod metrics;
 
 use crate::server::ClientInference;
 use crate::{C2piError, Result};
+use batch::{BatchCollector, Deposit, FlushReason};
 use c2pi_pi::SharedPiSession;
 use c2pi_pi::{PoolTake, Replenisher, RestoreReport, SessionCore, ShardedMaterialPool};
 use c2pi_tensor::Tensor;
@@ -109,8 +132,9 @@ use std::time::{Duration, Instant};
 
 /// Request-frame magic: "C2PI request", version-gated.
 const REQ_MAGIC: [u8; 4] = *b"C2PQ";
-/// Wire-protocol version of the REQ/OK/BUSY/STATS envelope.
-const PROTO_VERSION: u8 = 1;
+/// Wire-protocol version of the REQ/OK/BUSY/STATS envelope. Version 2
+/// added the batch-capable `OK` form (`[1] ‖ batch(u16 LE)`).
+const PROTO_VERSION: u8 = 2;
 /// REQ kind: run one online inference.
 const KIND_INFER: u8 = 1;
 /// REQ kind: return the metrics exposition.
@@ -161,6 +185,18 @@ pub struct ReactorConfig {
     /// Suggested backoff carried in `BUSY` frames. Scale to roughly one
     /// material-generation interval so a retrying client finds stock.
     pub retry_after: Duration,
+    /// Coalescing window for cross-client batching: how long the first
+    /// member of a forming batch may wait for company before the batch
+    /// is flushed anyway. `Duration::ZERO` (default) disables
+    /// coalescing entirely — serving takes the exact unbatched path.
+    /// Window flushes are checked on the reactor tick, so their timing
+    /// quantizes to roughly [`POLL_TICK`].
+    pub batch_window: Duration,
+    /// Cross-client batch-size cap: at most this many concurrent
+    /// `infer` requests fuse into one protocol run. `1` (default)
+    /// disables coalescing, identically to a zero window. Each member
+    /// still consumes exactly one pooled material set.
+    pub max_batch: usize,
     /// Base path for persistent material stores; shard `i` persists to
     /// `<base>.shard<i>`. When set, [`ReactorServer::bind`] warm-boots
     /// every shard from its segment and [`ReactorServer::drain`]
@@ -179,6 +215,8 @@ impl Default for ReactorConfig {
             pool_high: 8,
             client_timeout: Duration::from_secs(60),
             retry_after: Duration::from_millis(50),
+            batch_window: Duration::ZERO,
+            max_batch: 1,
             persist_path: None,
         }
     }
@@ -188,6 +226,10 @@ impl Default for ReactorConfig {
 enum Job {
     /// A connection whose request frame is (at least partly) buffered.
     Conn(TcpStream),
+    /// A coalesced batch the collector flushed on the reactor tick
+    /// (window expiry) or at drain — `Full` flushes never pass through
+    /// the queue, the depositing worker serves them in place.
+    Batch(Vec<TcpChannel>, FlushReason),
     /// Drain: finish queued work, then exit. Enqueued once per worker
     /// *behind* all in-flight jobs, so FIFO order makes drain graceful.
     Shutdown,
@@ -202,6 +244,7 @@ struct Shared {
     max_clients: usize,
     client_timeout: Duration,
     retry_after: Duration,
+    collector: BatchCollector<TcpChannel>,
 }
 
 impl Shared {
@@ -222,7 +265,10 @@ impl Shared {
                 restored: l.restored,
             })
             .collect();
-        MetricsSnapshot::gather(&self.metrics, self.workers, self.pool.steals(), shards)
+        let mut snap =
+            MetricsSnapshot::gather(&self.metrics, self.workers, self.pool.steals(), shards);
+        snap.batch_pending = self.collector.pending() as u64;
+        snap
     }
 
     /// Sheds one connection with a best-effort `BUSY` frame.
@@ -242,6 +288,15 @@ impl Shared {
         if counted_active {
             self.metrics.connection_done();
         }
+    }
+
+    /// Sheds one already-admitted connection that has progressed to a
+    /// [`TcpChannel`] (its REQ was parsed and it entered the batching
+    /// stage): best-effort `BUSY` frame, shed counter, active gauge.
+    fn shed_channel(&self, ch: &TcpChannel, draining: bool) {
+        self.metrics.add(&self.metrics.shed);
+        let _ = ch.send_bytes(&busy_frame(self.retry_after, draining));
+        self.metrics.connection_done();
     }
 }
 
@@ -322,6 +377,7 @@ impl ReactorServer {
             max_clients: cfg.max_clients.max(1),
             client_timeout: cfg.client_timeout,
             retry_after: cfg.retry_after,
+            collector: BatchCollector::new(cfg.batch_window, cfg.max_batch.max(1)),
         });
         let queue_depth = if cfg.queue_depth == 0 { workers * 2 } else { cfg.queue_depth };
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
@@ -498,12 +554,41 @@ fn reactor_loop(
                 Err(_) => return, // workers gone; nothing left to serve
             }
         }
+        // Batching tick: a forming batch whose oldest member has waited
+        // the full window stops waiting for company and is dispatched.
+        if let Some(batch) = shared.collector.take_due(Instant::now()) {
+            match tx.try_send(Job::Batch(batch, FlushReason::Window)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(Job::Batch(batch, _))) => {
+                    // Queue full is overload: report it, don't hide it.
+                    for ch in &batch {
+                        shared.shed_channel(ch, shared.draining());
+                    }
+                }
+                Err(_) => return,
+            }
+        }
     }
     // Drain: parked connections have not cost material yet — answer
     // them honestly and close.
     for (key, stream) in parked.drain() {
         poller.delete(key);
         shared.shed(stream, true);
+    }
+    // A partially-formed batch was *admitted* — close the collector and
+    // serve the remainder ahead of the shutdown markers (FIFO), so
+    // drain never abandons a queued request.
+    let rest = shared.collector.close();
+    if !rest.is_empty() {
+        // Blocking send: drain must deliver this batch even if the
+        // queue is momentarily full of in-flight work.
+        if let Err(mpsc::SendError(Job::Batch(batch, _))) =
+            tx.send(Job::Batch(rest, FlushReason::Drain))
+        {
+            for ch in &batch {
+                shared.shed_channel(ch, true);
+            }
+        }
     }
     // FIFO behind every dispatched job: workers finish real work first.
     for _ in 0..shared.workers {
@@ -513,34 +598,39 @@ fn reactor_loop(
     }
 }
 
-/// One worker thread: pull a connection, run one request to completion.
+/// One worker thread: pull a job, run it to completion. All
+/// active-gauge accounting happens inside the handlers — a connection
+/// that joins a forming batch stays active until its batch is served.
 fn worker_loop(worker: usize, rx: &Mutex<Receiver<Job>>, shared: &Shared) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
         let job = { rx.lock().expect("dispatch queue mutex poisoned").recv() };
         match job {
-            Ok(Job::Conn(stream)) => {
-                serve_connection(worker, stream, shared);
-                shared.metrics.connection_done();
-            }
+            Ok(Job::Conn(stream)) => serve_connection(worker, stream, shared),
+            Ok(Job::Batch(chs, reason)) => serve_batch(worker, chs, reason, shared),
             Ok(Job::Shutdown) | Err(_) => break,
         }
     }
 }
 
 /// The whole life of one admitted connection: parse REQ, then serve an
-/// inference (dealt contract + revealed share), answer STATS, or shed.
+/// inference (dealt contract + revealed share), answer STATS, deposit
+/// into the batch collector, or shed. Every terminal path retires the
+/// connection from the active gauge; the one non-terminal outcome — the
+/// request queued in the collector — leaves it active for the flush.
 fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
     // Poller registration switched the shared file description to
     // nonblocking; protocol I/O is blocking with timeouts.
     if stream.set_nonblocking(false).is_err() {
         shared.metrics.add(&shared.metrics.errors);
+        shared.metrics.connection_done();
         return;
     }
     let ch = match TcpChannel::from_stream(stream, Side::Server) {
         Ok(ch) => ch,
         Err(_) => {
             shared.metrics.add(&shared.metrics.errors);
+            shared.metrics.connection_done();
             return;
         }
     };
@@ -548,6 +638,7 @@ fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
         || ch.set_write_timeout(Some(shared.client_timeout)).is_err()
     {
         shared.metrics.add(&shared.metrics.errors);
+        shared.metrics.connection_done();
         return;
     }
     // The readiness event may have been an EOF: the peer connected and
@@ -556,11 +647,13 @@ fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
         Ok(frame) => frame,
         Err(_) => {
             shared.metrics.add(&shared.metrics.hangups);
+            shared.metrics.connection_done();
             return;
         }
     };
     let Some(kind) = parse_req(&req) else {
         shared.metrics.add(&shared.metrics.errors);
+        shared.metrics.connection_done();
         return;
     };
     match kind {
@@ -573,42 +666,142 @@ fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
                 Ok(()) => shared.metrics.add(&shared.metrics.stats_served),
                 Err(_) => shared.metrics.add(&shared.metrics.errors),
             }
+            shared.metrics.connection_done();
         }
-        _ => match shared.pool.try_take(worker) {
-            Ok(PoolTake::Material(material)) => {
-                if ch.send_bytes(&[TAG_OK]).is_err() {
-                    // The material is consumed (ledger-exact) but the
-                    // client is gone; the set is lost to this error.
-                    shared.metrics.add(&shared.metrics.errors);
-                    return;
+        _ if shared.collector.enabled() => {
+            match shared.collector.deposit(ch, Instant::now()) {
+                // Waiting for company; the reactor tick or a filling
+                // deposit will flush it. Still active, by design.
+                Deposit::Queued => {}
+                // This deposit filled the batch (or raced the drain
+                // close): serve it right here, on this worker.
+                Deposit::Flush(chs, reason) => serve_batch(worker, chs, reason, shared),
+            }
+        }
+        _ => {
+            serve_infer_one(worker, &ch, shared);
+            shared.metrics.connection_done();
+        }
+    }
+}
+
+/// The unbatched infer path: one pooled material set, one
+/// [`c2pi_pi::SessionCore::serve_prepared`] run, solo `OK` frame. This
+/// is the *only* serving code when coalescing is disabled — identical
+/// to the pre-batching reactor, not merely equivalent.
+fn serve_infer_one(worker: usize, ch: &TcpChannel, shared: &Shared) {
+    match shared.pool.try_take(worker) {
+        Ok(PoolTake::Material(material)) => {
+            if ch.send_bytes(&[TAG_OK]).is_err() {
+                // The material is consumed (ledger-exact) but the
+                // client is gone; the set is lost to this error.
+                shared.metrics.add(&shared.metrics.errors);
+                return;
+            }
+            let start = Instant::now();
+            let served = shared
+                .core
+                .serve_prepared(ch, *material)
+                .map_err(C2piError::Pi)
+                .and_then(|share| ch.send_u64s(share.as_raw()).map_err(pi_err));
+            match served {
+                Ok(()) => {
+                    shared.metrics.latency.record(start.elapsed());
+                    shared.metrics.add(&shared.metrics.served);
                 }
-                let start = Instant::now();
-                let served = shared
-                    .core
-                    .serve_prepared(&ch, *material)
-                    .map_err(C2piError::Pi)
-                    .and_then(|share| ch.send_u64s(share.as_raw()).map_err(pi_err));
-                match served {
-                    Ok(()) => {
-                        shared.metrics.latency.record(start.elapsed());
-                        shared.metrics.add(&shared.metrics.served);
-                    }
-                    Err(_) => shared.metrics.add(&shared.metrics.errors),
-                }
+                Err(_) => shared.metrics.add(&shared.metrics.errors),
             }
-            // Starved or shutting down: typed backpressure, no block,
-            // no inline dealing.
-            Ok(PoolTake::Empty) => {
-                shared.metrics.add(&shared.metrics.shed);
-                let frame = busy_frame(shared.retry_after, shared.draining());
-                let _ = ch.send_bytes(&frame);
+        }
+        // Starved or shutting down: typed backpressure, no block,
+        // no inline dealing.
+        Ok(PoolTake::Empty) => {
+            shared.metrics.add(&shared.metrics.shed);
+            let frame = busy_frame(shared.retry_after, shared.draining());
+            let _ = ch.send_bytes(&frame);
+        }
+        Ok(PoolTake::ShutDown) => {
+            shared.metrics.add(&shared.metrics.shed);
+            let _ = ch.send_bytes(&busy_frame(shared.retry_after, true));
+        }
+        Err(_) => shared.metrics.add(&shared.metrics.errors),
+    }
+}
+
+/// Serves one flushed batch: takes one material set per member (partial
+/// stock sheds the uncovered tail with typed backpressure, never
+/// silently), announces the fused run with the batch-capable `OK`
+/// frame, and runs [`c2pi_pi::SessionCore::serve_batch_prepared`] over
+/// all members at once. A batch of one takes [`serve_infer_one`] — the
+/// exact solo path.
+///
+/// Failure granularity is the batch: if any member errors
+/// mid-protocol, the whole fused run fails and every member's material
+/// is lost (counted per member in `errors`). That is the documented
+/// price of fusing rounds; see DESIGN.md §10.
+fn serve_batch(worker: usize, chs: Vec<TcpChannel>, reason: FlushReason, shared: &Shared) {
+    let k = chs.len();
+    if k == 0 {
+        return;
+    }
+    shared.metrics.record_batch(k, reason);
+    if k == 1 {
+        serve_infer_one(worker, &chs[0], shared);
+        shared.metrics.connection_done();
+        return;
+    }
+    let (materials, shut) = match shared.pool.try_take_n(worker, k) {
+        Ok(took) => took,
+        Err(_) => {
+            for _ in 0..k {
+                shared.metrics.add(&shared.metrics.errors);
+                shared.metrics.connection_done();
             }
-            Ok(PoolTake::ShutDown) => {
-                shared.metrics.add(&shared.metrics.shed);
-                let _ = ch.send_bytes(&busy_frame(shared.retry_after, true));
+            return;
+        }
+    };
+    // Members the stock does not cover are shed, in arrival order from
+    // the back — the earliest arrivals (who waited longest) get served.
+    let m = materials.len();
+    for ch in &chs[m..] {
+        shared.shed_channel(ch, shut || shared.draining());
+    }
+    if m == 0 {
+        return;
+    }
+    let members = &chs[..m];
+    let size = (m as u16).to_le_bytes();
+    let start = Instant::now();
+    let result = members
+        .iter()
+        .try_for_each(|ch| ch.send_bytes(&[TAG_OK, size[0], size[1]]).map_err(pi_err))
+        .and_then(|()| {
+            let eps: Vec<&dyn Channel> = members.iter().map(|ch| ch as &dyn Channel).collect();
+            shared.core.serve_batch_prepared(&eps, materials).map_err(C2piError::Pi)
+        })
+        .and_then(|shares| {
+            members
+                .iter()
+                .zip(&shares)
+                .try_for_each(|(ch, share)| ch.send_u64s(share.as_raw()).map_err(pi_err))
+        });
+    match result {
+        Ok(()) => {
+            // Every member waited for the whole fused run; each records
+            // the batch's wall-clock latency.
+            let elapsed = start.elapsed();
+            for _ in 0..m {
+                shared.metrics.latency.record(elapsed);
+                shared.metrics.add(&shared.metrics.served);
             }
-            Err(_) => shared.metrics.add(&shared.metrics.errors),
-        },
+        }
+        Err(_) => {
+            for _ in 0..m {
+                shared.metrics.add(&shared.metrics.errors);
+            }
+        }
+    }
+    for _ in 0..m {
+        shared.metrics.connection_done();
     }
 }
 
@@ -679,7 +872,15 @@ impl ReactorClient {
         ch.send_bytes(&req_frame(KIND_INFER)).map_err(pi_err)?;
         let reply = ch.recv_bytes().map_err(pi_err)?;
         match reply.as_slice() {
-            [TAG_OK] => {
+            // Solo admit, or batch admit carrying how many members
+            // share the fused run. The dealt contract after the frame
+            // is identical either way — fusing never changes any
+            // member's wire content.
+            [TAG_OK] | [TAG_OK, _, _] => {
+                let batch = match reply.as_slice() {
+                    [_, lo, hi] => usize::from(u16::from_le_bytes([*lo, *hi])).max(1),
+                    _ => 1,
+                };
                 let outcome = self.session.request_one(&ch, x).map_err(C2piError::Pi)?;
                 let server_share =
                     c2pi_mpc::share::ShareVec::from_raw(ch.recv_u64s().map_err(pi_err)?);
@@ -687,7 +888,12 @@ impl ReactorClient {
                 let fp = self.session.config().fixed;
                 let logits = fp.decode_tensor(&raw, &outcome.dims).map_err(C2piError::Tensor)?;
                 let prediction = logits.argmax().unwrap_or(0);
-                Ok(ReactorReply::Served(Box::new(ClientInference { logits, prediction, outcome })))
+                Ok(ReactorReply::Served(Box::new(ClientInference {
+                    logits,
+                    prediction,
+                    batch,
+                    outcome,
+                })))
             }
             [TAG_BUSY, a, b, c, d, draining] => Ok(ReactorReply::Busy {
                 retry_after: Duration::from_millis(u64::from(u32::from_le_bytes([*a, *b, *c, *d]))),
@@ -856,9 +1062,15 @@ mod tests {
         }
         assert!(server.shed() >= 3, "one request + two infer attempts shed");
 
-        // Restock → the same client's retry loop now succeeds.
+        // Restock → the same client's retry loop now succeeds. The
+        // served counter trails the client's last byte by a beat;
+        // settle before asserting.
         server.preprocess(1).unwrap();
         client.infer(addr, &x).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.served() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
         assert_eq!(server.served(), 1);
         server.drain().unwrap();
     }

@@ -354,6 +354,11 @@ pub struct ClientInference {
     pub logits: Tensor,
     /// `argmax` of the logits.
     pub prediction: usize,
+    /// How many clients shared the fused protocol run that served this
+    /// inference. `1` everywhere except a coalescing
+    /// [`crate::reactor::ReactorServer`], which reports the batch size
+    /// from its `OK` frame.
+    pub batch: usize,
     /// The client party's outcome (share, dims, report).
     pub outcome: PartyOutcome,
 }
@@ -409,7 +414,7 @@ impl PiClient {
         let fp = self.session.config().fixed;
         let logits = fp.decode_tensor(&raw, &outcome.dims).map_err(C2piError::Tensor)?;
         let prediction = logits.argmax().unwrap_or(0);
-        Ok(ClientInference { logits, prediction, outcome })
+        Ok(ClientInference { logits, prediction, batch: 1, outcome })
     }
 }
 
@@ -464,7 +469,14 @@ mod tests {
                 });
             }
         });
-        assert_eq!(server.served(), (clients * iters) as u64);
+        // The served counter trails each client's last byte by a beat;
+        // settle before asserting.
+        let want = (clients * iters) as u64;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.served() < want && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.served(), want);
         assert_eq!(server.errors(), 0);
         let ledger = server.session().ledger();
         assert_eq!(ledger.consumed, (clients * iters) as u64);

@@ -108,6 +108,55 @@ pub fn linear_server<C: Channel + ?Sized>(
     wd.add(&wx1)?.add(&corr.wa_share)
 }
 
+/// Server side of the masked linear protocol **fused over a batch of
+/// clients** sharing one weight matrix: receives each member's
+/// `X₀ − A` flight (one per member, exactly as unbatched), column-stacks
+/// the batch and runs **one** wide `W·[·|·|…]` product instead of `k`
+/// narrow ones, then splits the columns back and adds each member's own
+/// `share(W·Aᵢ)`.
+///
+/// Ring matmul accumulates every output column independently (and
+/// wrapping `u64` addition is exact), so each member's output share is
+/// bit-for-bit what [`linear_server`] would have produced — batching
+/// changes the compute schedule, never the bytes.
+///
+/// # Errors
+///
+/// Returns transport errors or shape mismatches; the per-member slices
+/// must have equal length.
+pub fn linear_server_batch<C: Channel + ?Sized>(
+    eps: &[&C],
+    w: &RingMatrix,
+    x1s: &[RingMatrix],
+    corrs: &[&LinearCorrServer],
+) -> Result<Vec<RingMatrix>> {
+    let k = eps.len();
+    if x1s.len() != k || corrs.len() != k || k == 0 {
+        return Err(MpcError::BadConfig(format!(
+            "linear_server_batch over {k} channels, {} shares, {} correlations",
+            x1s.len(),
+            corrs.len()
+        )));
+    }
+    let mut maskeds = Vec::with_capacity(k);
+    for (ep, x1) in eps.iter().zip(x1s) {
+        let raw = ep.recv_u64s()?;
+        maskeds.push(RingMatrix::from_vec(raw, x1.rows(), x1.cols())?);
+    }
+    let widths: Vec<usize> = x1s.iter().map(RingMatrix::cols).collect();
+    let masked_refs: Vec<&RingMatrix> = maskeds.iter().collect();
+    let x1_refs: Vec<&RingMatrix> = x1s.iter().collect();
+    let wd = w.matmul(&RingMatrix::hstack(&masked_refs)?)?;
+    let wx1 = w.matmul(&RingMatrix::hstack(&x1_refs)?)?;
+    let fused = wd.add(&wx1)?;
+    fused
+        .split_cols(&widths)?
+        .into_iter()
+        .zip(corrs)
+        .map(|(y, corr)| y.add(&corr.wa_share))
+        .collect()
+}
+
 /// Client side of the masked elementwise affine protocol (server-known
 /// scale `s` applied to a shared vector): sends `x₀ − a` and keeps its
 /// share of `s⊙a`.
@@ -312,6 +361,52 @@ mod tests {
         assert_eq!(snap.bytes_client_to_server, (k * n * 8) as u64);
         assert_eq!(snap.bytes_server_to_client, 0);
         assert_eq!(snap.flights, 1);
+    }
+
+    #[test]
+    fn batched_linear_server_is_bit_identical_to_per_member_runs() {
+        let (m, k, n, batch) = (3, 4, 2, 3);
+        let mut dealer = Dealer::new(57);
+        let mut prg = Prg::from_u64(8);
+        let w = RingMatrix::from_vec(prg.next_u64s(m * k), m, k).unwrap();
+        let mut corr_cs = Vec::new();
+        let mut corr_ss = Vec::new();
+        let mut x0s = Vec::new();
+        let mut x1s = Vec::new();
+        for _ in 0..batch {
+            let (cc, cs) = dealer.linear_corr(&w, n).unwrap();
+            corr_cs.push(cc);
+            corr_ss.push(cs);
+            let x: Vec<u64> = prg.next_u64s(k * n);
+            let (x0, x1) = share_secret(&x, &mut prg);
+            x0s.push(RingMatrix::from_vec(x0.into_raw(), k, n).unwrap());
+            x1s.push(RingMatrix::from_vec(x1.into_raw(), k, n).unwrap());
+        }
+        // Reference: each member served by the unbatched server over its
+        // own replayed flight.
+        let mut want = Vec::new();
+        for i in 0..batch {
+            let (client, server, _) = channel_pair();
+            linear_client(&client, &x0s[i], &corr_cs[i]).unwrap();
+            want.push(linear_server(&server, &w, &x1s[i], &corr_ss[i]).unwrap());
+        }
+        // Fused: same flights, one wide matmul, per-member counters.
+        let pairs: Vec<_> = (0..batch).map(|_| channel_pair()).collect();
+        for (i, (client, _, _)) in pairs.iter().enumerate() {
+            linear_client(client, &x0s[i], &corr_cs[i]).unwrap();
+        }
+        let eps: Vec<_> = pairs.iter().map(|(_, s, _)| s).collect();
+        let corr_refs: Vec<&LinearCorrServer> = corr_ss.iter().collect();
+        let got = linear_server_batch(&eps, &w, &x1s, &corr_refs).unwrap();
+        assert_eq!(got, want, "fused output shares must match the unbatched ones bit-for-bit");
+        // Each member still pays exactly its own single flight.
+        for (_, _, counter) in &pairs {
+            let snap = counter.snapshot();
+            assert_eq!(snap.bytes_client_to_server, (k * n * 8) as u64);
+            assert_eq!(snap.flights, 1);
+        }
+        // Length mismatches are rejected up front.
+        assert!(linear_server_batch(&eps[..2], &w, &x1s, &corr_refs).is_err());
     }
 
     #[test]

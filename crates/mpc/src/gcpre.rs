@@ -356,6 +356,69 @@ pub fn pre_gc_garbler<C: Channel + ?Sized>(
     Ok(ShareVec::from_raw(mat.out_share.clone()))
 }
 
+/// Garbler side of one pre-garbled layer **fused over a batch of
+/// evaluators**, each with its own material and channel: receives every
+/// member's `δ` flight, selects the active labels for all `k` members'
+/// unit circuits in one parallel region, then answers each member's
+/// label flight. Per member the wire traffic is exactly one `δ`/label
+/// round trip — identical to [`pre_gc_garbler`] — only the garbler's
+/// compute between the flights is batched.
+///
+/// Label selection is a per-wire conditional XOR with each member's own
+/// material, so every member's labels (and dealt output share) are
+/// bit-for-bit what the unbatched garbler would have sent.
+///
+/// # Errors
+///
+/// Returns transport errors, or a protocol error when slice lengths or
+/// any member's share disagrees with its material.
+pub fn pre_gc_garbler_batch<C: Channel + ?Sized>(
+    eps: &[&C],
+    mats: &[&PreGarbledServer],
+    shares: &[&ShareVec],
+) -> Result<Vec<ShareVec>> {
+    let k = eps.len();
+    if mats.len() != k || shares.len() != k || k == 0 {
+        return Err(MpcError::BadConfig(format!(
+            "pre_gc_garbler_batch over {k} channels, {} materials, {} shares",
+            mats.len(),
+            shares.len()
+        )));
+    }
+    let mut gs = Vec::with_capacity(k);
+    for ((ep, mat), share) in eps.iter().zip(mats).zip(shares) {
+        if share.len() != mat.inputs() {
+            return Err(MpcError::Protocol(format!(
+                "pre-garbled material for {} inputs, share has {}",
+                mat.inputs(),
+                share.len()
+            )));
+        }
+        let delta = ep.recv_u64s().map_err(MpcError::from)?;
+        if delta.len() != mat.inputs() {
+            return Err(MpcError::Protocol(format!(
+                "expected {} masked inputs, got {}",
+                mat.inputs(),
+                delta.len()
+            )));
+        }
+        let g: Vec<u64> =
+            share.as_raw().iter().zip(delta.iter()).map(|(&x1, &d)| x1.wrapping_add(d)).collect();
+        gs.push(g);
+    }
+    // One parallel region selects the labels of all k members' circuits.
+    let mut selected: Vec<Result<Vec<u128>>> = (0..k).map(|_| Ok(Vec::new())).collect();
+    selected.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+        slot[0] = mats[i].select_garbler_labels(&gs[i]);
+    });
+    let mut out = Vec::with_capacity(k);
+    for ((labels, ep), mat) in selected.into_iter().zip(eps).zip(mats) {
+        ep.send_bytes(&pack_labels(&labels?)).map_err(MpcError::from)?;
+        out.push(ShareVec::from_raw(mat.out_share.clone()));
+    }
+    Ok(out)
+}
+
 /// Evaluator (client) side of the online phase: sends `δ = x₀ − m`,
 /// receives the garbler's active labels, evaluates every item (fanned
 /// out in bands of `par_band` items) and returns its output share
@@ -511,6 +574,80 @@ mod tests {
         assert_eq!(sx.labels0, sy.labels0);
         assert_eq!(sx.deltas, sy.deltas);
         assert_eq!(sx.out_share, sy.out_share);
+    }
+
+    #[test]
+    fn batched_garbler_is_bit_identical_to_per_member_runs() {
+        // Three members, each with independently drawn material and
+        // shares. The fused garbler must send every member the exact
+        // label flight (and return the exact out-share) that three
+        // separate pre_gc_garbler calls would have produced.
+        let fp = FixedPoint::default();
+        let members: Vec<Vec<f32>> = vec![
+            vec![-3.0, -0.5, 0.0, 2.5],
+            vec![10.0, -10.0, 0.25, -0.25],
+            vec![1.0, 2.0, 3.0, -4.0],
+        ];
+        let mut prg = Prg::from_u64(41);
+        let mut cmats = Vec::new();
+        let mut smats = Vec::new();
+        let mut x0s = Vec::new();
+        let mut x1s = Vec::new();
+        for vals in &members {
+            let secret: Vec<u64> = vals.iter().map(|&v| fp.encode(v)).collect();
+            let (x0, x1) = share_secret(&secret, &mut prg);
+            let (cmat, smat) = pregarble(MaskedOp::Relu, vals.len(), &mut prg, 2);
+            cmats.push(cmat);
+            smats.push(smat);
+            x0s.push(x0);
+            x1s.push(x1);
+        }
+        // Reference: per-member unbatched runs on clones of the same
+        // material and shares.
+        let mut ref_y = Vec::new();
+        for i in 0..members.len() {
+            let (client, server, _) = channel_pair();
+            let smat = smats[i].clone();
+            let x1 = x1s[i].clone();
+            let t = std::thread::spawn(move || pre_gc_garbler(&server, &smat, &x1).unwrap());
+            let y0 = pre_gc_evaluator(&client, &cmats[i], &x0s[i], 2).unwrap();
+            let y1 = t.join().unwrap();
+            ref_y.push(reconstruct(&y0, &y1));
+        }
+        // Fused: one garbler thread over all three channels.
+        let mut servers = Vec::new();
+        let mut clients = Vec::new();
+        for _ in 0..members.len() {
+            let (c, s, _) = channel_pair();
+            clients.push(c);
+            servers.push(s);
+        }
+        let smats_cl = smats.clone();
+        let x1s_cl = x1s.clone();
+        let t = std::thread::spawn(move || {
+            let eps: Vec<&_> = servers.iter().collect();
+            let mats: Vec<&PreGarbledServer> = smats_cl.iter().collect();
+            let shares: Vec<&ShareVec> = x1s_cl.iter().collect();
+            pre_gc_garbler_batch(&eps, &mats, &shares).unwrap()
+        });
+        let mut eval_threads = Vec::new();
+        for ((client, cmat), x0) in clients.into_iter().zip(cmats).zip(x0s) {
+            eval_threads.push(std::thread::spawn(move || {
+                pre_gc_evaluator(&client, &cmat, &x0, 2).unwrap()
+            }));
+        }
+        let y1s = t.join().unwrap();
+        for (i, (et, y1)) in eval_threads.into_iter().zip(y1s).enumerate() {
+            let y0 = et.join().unwrap();
+            assert_eq!(reconstruct(&y0, &y1), ref_y[i], "member {i} diverged");
+            for (j, &v) in members[i].iter().enumerate() {
+                assert_eq!(ref_y[i][j], fp.encode(v.max(0.0)), "relu({v})");
+            }
+        }
+        // Length mismatches rejected up front.
+        let (_, lone, _) = channel_pair();
+        let eps: Vec<&_> = vec![&lone];
+        assert!(pre_gc_garbler_batch(&eps, &[], &[]).is_err());
     }
 
     #[test]

@@ -120,6 +120,62 @@ impl RingMatrix {
             self.cols,
         )
     }
+
+    /// Stacks matrices with equal row counts along the column (batch)
+    /// axis: `hstack([A, B, …]) = [A | B | …]`. Because ring matmul
+    /// accumulates each output column independently, `W·hstack(Xs)` is
+    /// bit-for-bit the column-stacking of every `W·Xᵢ` — the identity
+    /// the batched linear protocol rests on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty list or disagreeing row counts.
+    pub fn hstack(mats: &[&RingMatrix]) -> Result<RingMatrix> {
+        let rows =
+            mats.first().ok_or_else(|| MpcError::BadConfig("hstack of nothing".into()))?.rows;
+        if mats.iter().any(|m| m.rows != rows) {
+            return Err(MpcError::BadConfig("hstack row counts disagree".into()));
+        }
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for m in mats {
+                data.extend_from_slice(&m.data[r * m.cols..(r + 1) * m.cols]);
+            }
+        }
+        RingMatrix::from_vec(data, rows, cols)
+    }
+
+    /// Splits this matrix back into column blocks of the given widths —
+    /// the inverse of [`RingMatrix::hstack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the widths do not sum to the column count.
+    pub fn split_cols(&self, widths: &[usize]) -> Result<Vec<RingMatrix>> {
+        if widths.iter().sum::<usize>() != self.cols {
+            return Err(MpcError::BadConfig(format!(
+                "split_cols widths sum to {}, matrix has {} columns",
+                widths.iter().sum::<usize>(),
+                self.cols
+            )));
+        }
+        let mut parts: Vec<Vec<u64>> =
+            widths.iter().map(|&w| Vec::with_capacity(self.rows * w)).collect();
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut at = 0;
+            for (part, &w) in parts.iter_mut().zip(widths) {
+                part.extend_from_slice(&row[at..at + w]);
+                at += w;
+            }
+        }
+        parts
+            .into_iter()
+            .zip(widths)
+            .map(|(data, &w)| RingMatrix::from_vec(data, self.rows, w))
+            .collect()
+    }
 }
 
 /// Ring-domain `im2col` for one image stored as a flat
@@ -206,6 +262,36 @@ mod tests {
         let a = RingMatrix::from_vec(vec![1, u64::MAX], 1, 2).unwrap();
         let b = RingMatrix::from_vec(vec![5, 7], 1, 2).unwrap();
         assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn hstack_and_split_cols_round_trip() {
+        let a = RingMatrix::from_vec(vec![1, 2, 3, 4, 5, 6], 2, 3).unwrap();
+        let b = RingMatrix::from_vec(vec![7, 8, 9, 10], 2, 2).unwrap();
+        let stacked = RingMatrix::hstack(&[&a, &b]).unwrap();
+        assert_eq!((stacked.rows(), stacked.cols()), (2, 5));
+        assert_eq!(stacked.as_slice(), &[1, 2, 3, 7, 8, 4, 5, 6, 9, 10]);
+        let parts = stacked.split_cols(&[3, 2]).unwrap();
+        assert_eq!(parts, vec![a.clone(), b]);
+        assert!(RingMatrix::hstack(&[]).is_err());
+        assert!(RingMatrix::hstack(&[&a, &RingMatrix::zeros(3, 1)]).is_err());
+        assert!(stacked.split_cols(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn matmul_of_column_stacked_inputs_is_bit_identical_per_member() {
+        // W·[X₁|X₂|…] column-blocks into the per-member products exactly
+        // — the identity the batched masked-linear server rests on.
+        let mut prg = crate::prg::Prg::from_u64(77);
+        let w = RingMatrix::from_vec(prg.next_u64s(4 * 6), 4, 6).unwrap();
+        let members: Vec<RingMatrix> =
+            (0..3).map(|_| RingMatrix::from_vec(prg.next_u64s(6 * 5), 6, 5).unwrap()).collect();
+        let refs: Vec<&RingMatrix> = members.iter().collect();
+        let fused = w.matmul(&RingMatrix::hstack(&refs).unwrap()).unwrap();
+        let split = fused.split_cols(&[5, 5, 5]).unwrap();
+        for (got, x) in split.iter().zip(&members) {
+            assert_eq!(got, &w.matmul(x).unwrap());
+        }
     }
 
     #[test]

@@ -166,6 +166,110 @@ pub trait PiBackendImpl: fmt::Debug + Send + Sync {
     ) -> Result<RingMatrix> {
         Ok(linear_server(ep, w, x1, corr)?)
     }
+
+    // --- Batched server-side hooks ------------------------------------
+    //
+    // The reactor's coalescer fuses k concurrent inferences into one
+    // protocol run; these hooks are the per-layer entry points it walks.
+    // Each batch member keeps its own channel, material, and PRG, so the
+    // defaults below — a per-member loop over the scalar hooks — are
+    // bit-for-bit the unbatched protocol and safe for custom backends.
+    // The loops are deadlock-free: clients progress independently and
+    // flights buffer in the transport, so serving members in index order
+    // never blocks on a member that is still mid-computation. Built-in
+    // backends override these to fuse the server-side compute (wider
+    // matmuls, one parallel GC region) while leaving every member's wire
+    // traffic unchanged.
+
+    /// Online ReLU over `k` batch members, one channel/share/material/PRG
+    /// per member. Defaults to a per-member loop over [`Self::relu_online`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's protocol/transport error.
+    fn relu_online_batch(
+        &self,
+        eps: &[&dyn Channel],
+        side: Side,
+        shares: &[ShareVec],
+        materials: Vec<NlMaterial>,
+        cfg: &PiConfig,
+        prgs: &mut [Prg],
+    ) -> Result<Vec<ShareVec>> {
+        check_batch_arity("relu", eps.len(), shares.len(), materials.len(), prgs.len())?;
+        let mut out = Vec::with_capacity(eps.len());
+        for (((ep, share), material), prg) in
+            eps.iter().zip(shares).zip(materials).zip(prgs.iter_mut())
+        {
+            out.push(self.relu_online(*ep, side, share, material, cfg, prg)?);
+        }
+        Ok(out)
+    }
+
+    /// Online 2×2 max pool over `k` batch members. Defaults to a
+    /// per-member loop over [`Self::maxpool_online`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's protocol/transport error.
+    fn maxpool_online_batch(
+        &self,
+        eps: &[&dyn Channel],
+        side: Side,
+        quads: &[ShareVec],
+        materials: Vec<NlMaterial>,
+        cfg: &PiConfig,
+        prgs: &mut [Prg],
+    ) -> Result<Vec<ShareVec>> {
+        check_batch_arity("maxpool", eps.len(), quads.len(), materials.len(), prgs.len())?;
+        let mut out = Vec::with_capacity(eps.len());
+        for (((ep, quad), material), prg) in
+            eps.iter().zip(quads).zip(materials).zip(prgs.iter_mut())
+        {
+            out.push(self.maxpool_online(*ep, side, quad, material, cfg, prg)?);
+        }
+        Ok(out)
+    }
+
+    /// Server side of the online linear layer over `k` batch members
+    /// sharing the weight matrix `w`. Defaults to a per-member loop over
+    /// [`Self::linear_online_server`]; built-ins override it with one
+    /// column-stacked matmul over all members.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or shape errors.
+    fn linear_online_server_batch(
+        &self,
+        eps: &[&dyn Channel],
+        w: &RingMatrix,
+        x1s: &[RingMatrix],
+        corrs: &[&LinearCorrServer],
+    ) -> Result<Vec<RingMatrix>> {
+        check_batch_arity("linear", eps.len(), x1s.len(), corrs.len(), eps.len())?;
+        let mut out = Vec::with_capacity(eps.len());
+        for ((ep, x1), corr) in eps.iter().zip(x1s).zip(corrs) {
+            out.push(self.linear_online_server(*ep, w, x1, corr)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Uniform arity check for the batched hooks: every per-member slice
+/// must cover the same nonempty member set.
+fn check_batch_arity(
+    what: &str,
+    eps: usize,
+    shares: usize,
+    materials: usize,
+    prgs: usize,
+) -> Result<()> {
+    if eps == 0 || shares != eps || materials != eps || prgs != eps {
+        return Err(PiError::BadConfig(format!(
+            "batched {what} over {eps} channels, {shares} shares, {materials} materials, {prgs} prgs"
+        )));
+    }
+    Ok(())
 }
 
 /// The Delphi-style backend: GC non-linearities, heavyweight HE offline.

@@ -9,10 +9,12 @@ use crate::cost::OfflineCostModel;
 use crate::engine::PiConfig;
 use crate::report::OpCounts;
 use crate::Result;
-use c2pi_mpc::dealer::{Dealer, TripleShare};
+use c2pi_mpc::beaver::linear_server_batch;
+use c2pi_mpc::dealer::{Dealer, LinearCorrServer, TripleShare};
 use c2pi_mpc::ot::BitTriples;
 use c2pi_mpc::prg::Prg;
 use c2pi_mpc::relu::{drelu_bit_triples, max_interactive, relu_interactive};
+use c2pi_mpc::ring::RingMatrix;
 use c2pi_mpc::share::ShareVec;
 use c2pi_transport::{Channel, Side};
 
@@ -120,5 +122,18 @@ impl PiBackendImpl for Cheetah {
         let m2 = max_interactive(ep, is_client, &c, &d, &mut bt2, &ta2, &tb2)?;
         let (mut bt3, ta3, tb3) = mat.stages.remove(0);
         Ok(max_interactive(ep, is_client, &m1, &m2, &mut bt3, &ta3, &tb3)?)
+    }
+
+    // The multi-round comparison protocols stay per-member loops (the
+    // trait defaults); only the linear layers fuse — one column-stacked
+    // matmul over all k members' masked inputs.
+    fn linear_online_server_batch(
+        &self,
+        eps: &[&dyn Channel],
+        w: &RingMatrix,
+        x1s: &[RingMatrix],
+        corrs: &[&LinearCorrServer],
+    ) -> Result<Vec<RingMatrix>> {
+        Ok(linear_server_batch(eps, w, x1s, corrs)?)
     }
 }

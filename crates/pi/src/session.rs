@@ -426,6 +426,104 @@ impl SharedPiSession {
         xs.iter().map(|x| self.infer(x)).collect()
     }
 
+    /// Online phase over a **fused** batch through the dealt contract:
+    /// one coalesced protocol run serves all of `xs` — the server party
+    /// walks every member's layers together
+    /// ([`SessionCore::serve_batch_prepared`]), amortizing its per-layer
+    /// compute across the batch, while each member keeps its own
+    /// channel, pool item, seed and masks. One in-process client thread
+    /// per member plays the dealt-contract client
+    /// (receive [`DealtSeed`], expand, run the online protocol).
+    ///
+    /// Per-member results are bit-for-bit what `xs.len()` separate
+    /// [`SharedPiSession::infer`] calls would produce — pinned by the
+    /// session tests — because fusing changes only *when* the server
+    /// computes, never *what* any member's transcript contains.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine, shape or protocol errors; one member's failure
+    /// fails the whole fused run.
+    pub fn infer_batch_dealt(&self, xs: &[Tensor]) -> Result<Vec<PiOutcome>> {
+        if xs.is_empty() {
+            return Err(PiError::BadConfig("infer_batch_dealt over an empty batch".into()));
+        }
+        for x in xs {
+            self.check_input(x)?;
+        }
+        let k = xs.len();
+        let mut materials = Vec::with_capacity(k);
+        for _ in 0..k {
+            materials.push(self.pool.take()?);
+        }
+        let counts_per: Vec<OpCounts> = materials.iter().map(|m| m.counts.clone()).collect();
+        let mut ceps = Vec::with_capacity(k);
+        let mut seps = Vec::with_capacity(k);
+        let mut counters = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (cep, sep, counter) = self.transport.pair()?;
+            ceps.push(cep);
+            seps.push(sep);
+            counters.push(counter);
+        }
+        let core = &self.core;
+        let start = Instant::now();
+        let (client_res, server_res) = std::thread::scope(|scope| {
+            let server = scope.spawn(move || {
+                let eps: Vec<&dyn Channel> = seps.iter().map(|s| &**s).collect();
+                core.serve_batch_prepared(&eps, materials)
+            });
+            let clients: Vec<_> = ceps
+                .into_iter()
+                .zip(xs)
+                .map(|(cep, x)| {
+                    scope.spawn(move || -> Result<ShareVec> {
+                        let dealt = DealtSeed::decode(&cep.recv_bytes()?)?;
+                        if dealt != core.dealt_seed(dealt.seed) {
+                            return Err(PiError::BadConfig(
+                                "dealt seed was not produced for this deployment".into(),
+                            ));
+                        }
+                        let InferenceMaterial { seed, cmats, .. } = core.deal(dealt.seed)?;
+                        client_thread(&*cep, &core.plan, cmats, x, &core.cfg, &*core.backend, seed)
+                    })
+                })
+                .collect();
+            let client_res: Vec<Result<ShareVec>> = clients
+                .into_iter()
+                .map(|h| h.join().map_err(|_| PiError::PartyPanic("client"))?)
+                .collect();
+            let server_res = server.join().map_err(|_| PiError::PartyPanic("server"));
+            (client_res, server_res)
+        });
+        let online_seconds = start.elapsed().as_secs_f64();
+        let server_shares = server_res??;
+        let model = self.core.backend.cost_model();
+        let ledger = self.ledger();
+        client_res
+            .into_iter()
+            .zip(server_shares)
+            .zip(counts_per)
+            .zip(counters)
+            .map(|(((client_share, server_share), counts), counter)| {
+                Ok(PiOutcome {
+                    client_share: client_share?,
+                    server_share,
+                    dims: self.core.plan.out_dims.clone(),
+                    report: PiReport {
+                        backend: self.core.backend.name(),
+                        online: counter.snapshot(),
+                        offline: model.offline_traffic(&counts),
+                        online_seconds,
+                        offline_seconds: model.offline_seconds(&counts),
+                        counts,
+                        preprocessing: ledger,
+                    },
+                })
+            })
+            .collect()
+    }
+
     /// Lockstep client party over an external channel (see
     /// [`PiSession::infer_client`]).
     ///
@@ -604,6 +702,56 @@ impl SessionCore {
         let InferenceMaterial { seed, cmats: _, smats, counts: _ } = material;
         server_thread(ch, &self.plan, smats, &self.cfg, &*self.backend, seed)
     }
+
+    /// **Dealt contract, fused batch**: like
+    /// [`SessionCore::serve_prepared`] over `k` members at once — one
+    /// caller-supplied material set per channel, each dealt to its
+    /// member as the first frame, then one batched server walk
+    /// ([`server_thread_batch`]) that fuses the per-layer compute while
+    /// keeping every member's wire transcript, masks and seed stream
+    /// exactly what a solo [`SessionCore::serve_prepared`] run would
+    /// have produced. A batch of one delegates to the solo path, so
+    /// `max_batch = 1` serving is *the same code*, not merely
+    /// equivalent code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiError::BadConfig`] on arity mismatches or a
+    /// non-server channel end, plus engine and protocol errors — one
+    /// member's failure fails the whole fused run. The material is
+    /// consumed either way.
+    pub fn serve_batch_prepared(
+        &self,
+        chs: &[&dyn Channel],
+        materials: Vec<InferenceMaterial>,
+    ) -> Result<Vec<ShareVec>> {
+        let k = chs.len();
+        if k == 0 || materials.len() != k {
+            return Err(PiError::BadConfig(format!(
+                "serve_batch_prepared over {k} channels, {} material sets",
+                materials.len()
+            )));
+        }
+        if k == 1 {
+            let mut materials = materials;
+            let only = materials.pop().expect("len checked above");
+            return Ok(vec![self.serve_prepared(chs[0], only)?]);
+        }
+        if chs.iter().any(|ch| ch.side() != Side::Server) {
+            return Err(PiError::BadConfig(
+                "serve_batch_prepared needs server channel ends".into(),
+            ));
+        }
+        let mut seeds = Vec::with_capacity(k);
+        let mut smats_all = Vec::with_capacity(k);
+        for (ch, material) in chs.iter().zip(materials) {
+            ch.send_bytes(&self.dealt_seed(material.seed).encode())?;
+            let InferenceMaterial { seed, cmats: _, smats, counts: _ } = material;
+            seeds.push(seed);
+            smats_all.push(smats);
+        }
+        server_thread_batch(chs, &self.plan, smats_all, &self.cfg, &*self.backend, &seeds)
+    }
 }
 
 /// Gathers 2×2 window elements of a `[c, h, w]` share into four parallel
@@ -776,6 +924,174 @@ pub(crate) fn server_thread(
     Ok(cur)
 }
 
+fn batch_mismatch() -> PiError {
+    PiError::BadConfig("plan/material mismatch (batched server)".into())
+}
+
+fn lin_mats(mats: Vec<ServerMat>) -> Result<Vec<c2pi_mpc::dealer::LinearCorrServer>> {
+    mats.into_iter()
+        .map(|m| if let ServerMat::Lin(c) = m { Ok(c) } else { Err(batch_mismatch()) })
+        .collect()
+}
+
+fn nl_mats(mats: Vec<ServerMat>) -> Result<Vec<crate::backend::NlMaterial>> {
+    mats.into_iter()
+        .map(|m| if let ServerMat::Nl(c) = m { Ok(c) } else { Err(batch_mismatch()) })
+        .collect()
+}
+
+/// The fused server party: walks the plan **once** for `k` members,
+/// calling the backend's batched per-layer hooks so the server-side
+/// compute of each layer spans the whole batch (column-stacked matmuls,
+/// one parallel GC label-selection region), while every member keeps its
+/// own channel, material, masks, and PRG stream (seeded exactly as
+/// [`server_thread`] seeds a solo run).
+///
+/// Member order is served deterministically (slice order) at every
+/// flight; per-member sequential sub-loops are deadlock-free because
+/// clients progress independently and flights buffer in the transport.
+pub(crate) fn server_thread_batch(
+    eps: &[&dyn Channel],
+    plan: &Plan,
+    mats: Vec<Vec<ServerMat>>,
+    cfg: &PiConfig,
+    backend: &dyn PiBackendImpl,
+    seeds: &[u64],
+) -> Result<Vec<ShareVec>> {
+    let k = eps.len();
+    if k == 0 || mats.len() != k || seeds.len() != k {
+        return Err(PiError::BadConfig(format!(
+            "batched server over {k} channels, {} material sets, {} seeds",
+            mats.len(),
+            seeds.len()
+        )));
+    }
+    let fp = cfg.fixed;
+    let mut prgs: Vec<Prg> = seeds.iter().map(|&s| Prg::from_u64(s ^ 0x5E2F_E27A)).collect();
+    let mut curs = Vec::with_capacity(k);
+    for ep in eps {
+        curs.push(ShareVec::from_raw(ep.recv_u64s()?));
+    }
+    let mut iters: Vec<std::vec::IntoIter<ServerMat>> =
+        mats.into_iter().map(Vec::into_iter).collect();
+    for (step, data) in plan.steps.iter().zip(plan.data.iter()) {
+        let step_mats: Vec<ServerMat> = iters
+            .iter_mut()
+            .map(|it| it.next().ok_or_else(batch_mismatch))
+            .collect::<Result<_>>()?;
+        match (step, data) {
+            (Step::Conv { c, h, w, geom }, StepData::Lin { w: w_ring, bias2f, .. }) => {
+                let corrs = lin_mats(step_mats)?;
+                let mut cols = Vec::with_capacity(k);
+                for cur in &curs {
+                    cols.push(im2col_ring(cur.as_raw(), *c, *h, *w, *geom)?);
+                }
+                let corr_refs: Vec<&c2pi_mpc::dealer::LinearCorrServer> = corrs.iter().collect();
+                let ys = backend.linear_online_server_batch(eps, w_ring, &cols, &corr_refs)?;
+                curs = ys
+                    .into_iter()
+                    .map(|mut y| {
+                        let oh_ow = y.cols();
+                        for (row, &b) in y.as_mut_slice().chunks_exact_mut(oh_ow).zip(bias2f.iter())
+                        {
+                            for v in row {
+                                *v = v.wrapping_add(b);
+                            }
+                        }
+                        truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp)
+                    })
+                    .collect();
+            }
+            (Step::Fc { k: rows }, StepData::Lin { w: w_ring, bias2f, .. }) => {
+                let corrs = lin_mats(step_mats)?;
+                let mut xms = Vec::with_capacity(k);
+                for cur in &curs {
+                    xms.push(RingMatrix::from_vec(cur.as_raw().to_vec(), *rows, 1)?);
+                }
+                let corr_refs: Vec<&c2pi_mpc::dealer::LinearCorrServer> = corrs.iter().collect();
+                let ys = backend.linear_online_server_batch(eps, w_ring, &xms, &corr_refs)?;
+                curs = ys
+                    .into_iter()
+                    .map(|mut y| {
+                        for (v, &b) in y.as_mut_slice().iter_mut().zip(bias2f.iter()) {
+                            *v = v.wrapping_add(b);
+                        }
+                        truncate_share(&ShareVec::from_raw(y.into_vec()), false, fp)
+                    })
+                    .collect();
+            }
+            (Step::Relu { n: _ }, StepData::None) => {
+                let materials = nl_mats(step_mats)?;
+                curs = backend.relu_online_batch(
+                    eps,
+                    Side::Server,
+                    &curs,
+                    materials,
+                    cfg,
+                    &mut prgs,
+                )?;
+            }
+            (Step::MaxPool { c, h, w }, StepData::None) => {
+                let materials = nl_mats(step_mats)?;
+                let idx = pool_windows(*c, *h, *w);
+                let quads: Vec<ShareVec> = curs.iter().map(|cur| gather(cur, &idx)).collect();
+                curs = backend.maxpool_online_batch(
+                    eps,
+                    Side::Server,
+                    &quads,
+                    materials,
+                    cfg,
+                    &mut prgs,
+                )?;
+            }
+            (Step::AvgPool { c, h, w, window, stride }, StepData::None) => {
+                if step_mats.iter().any(|m| !matches!(m, ServerMat::None)) {
+                    return Err(batch_mismatch());
+                }
+                curs = curs
+                    .iter()
+                    .map(|cur| avg_pool_share(cur, (*c, *h, *w), (*window, *stride), false, fp))
+                    .collect();
+            }
+            (Step::Flatten, StepData::None) => {
+                if step_mats.iter().any(|m| !matches!(m, ServerMat::None)) {
+                    return Err(batch_mismatch());
+                }
+            }
+            (Step::Affine, StepData::Affine { scale, shift2f }) => {
+                let corrs: Vec<_> =
+                    step_mats
+                        .into_iter()
+                        .map(|m| {
+                            if let ServerMat::Affine(c) = m {
+                                Ok(c)
+                            } else {
+                                Err(batch_mismatch())
+                            }
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                curs = curs
+                    .iter()
+                    .zip(eps)
+                    .zip(&corrs)
+                    .map(|((cur, ep), corr)| {
+                        let y = c2pi_mpc::beaver::affine_server(*ep, scale, cur, corr)?;
+                        let shifted: Vec<u64> = y
+                            .as_raw()
+                            .iter()
+                            .zip(shift2f.iter())
+                            .map(|(&v, &s)| v.wrapping_add(s))
+                            .collect();
+                        Ok(truncate_share(&ShareVec::from_raw(shifted), false, fp))
+                    })
+                    .collect::<Result<_>>()?;
+            }
+            _ => return Err(batch_mismatch()),
+        }
+    }
+    Ok(curs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -854,6 +1170,82 @@ mod tests {
         let second = sequential.infer(&xs[1]).unwrap();
         assert_eq!(from_batch[0].client_share.as_raw(), first.client_share.as_raw());
         assert_eq!(from_batch[1].client_share.as_raw(), second.client_share.as_raw());
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_sequential_dealt_serving() {
+        // The tentpole claim at the session layer: serving k inputs
+        // through one fused serve_batch_prepared walk yields, for every
+        // member, exactly the shares a solo dealt run over the same
+        // pool item produces — for both backends.
+        for backend in [PiBackend::Cheetah, PiBackend::Delphi] {
+            let seq = tiny_prefix();
+            let xs: Vec<Tensor> =
+                (0..3).map(|s| Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 50 + s)).collect();
+            let cfg = PiConfig { backend, ..Default::default() };
+            // Reference: sequential dealt serving (serve_one/request_one
+            // over per-member pool items, in pool order).
+            let server = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+            server.preprocess(3).unwrap();
+            let client = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+            let mut want = Vec::new();
+            for x in &xs {
+                let (cch, sch, _) = c2pi_transport::channel_pair();
+                let srv = server.clone();
+                let t = std::thread::spawn(move || srv.serve_one(&sch).unwrap());
+                let c = client.request_one(&cch, x).unwrap();
+                let s = t.join().unwrap();
+                want.push((c.share, s.share));
+            }
+            // Fused: same specs, fresh session (same master seed stream),
+            // one batched run over all three inputs.
+            let fused = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+            fused.preprocess(3).unwrap();
+            let outs = fused.infer_batch_dealt(&xs).unwrap();
+            assert_eq!(outs.len(), 3);
+            for (i, (out, (wc, ws))) in outs.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    out.client_share.as_raw(),
+                    wc.as_raw(),
+                    "{backend:?} member {i} client share diverged"
+                );
+                assert_eq!(
+                    out.server_share.as_raw(),
+                    ws.as_raw(),
+                    "{backend:?} member {i} server share diverged"
+                );
+            }
+            // Each member consumed exactly one pool item.
+            assert_eq!(fused.ledger().consumed, 3);
+            assert_eq!(fused.ledger().generated_inline, 0);
+            assert_eq!(fused.pooled(), 0);
+            // Plaintext sanity on the reconstructed logits.
+            for (x, out) in xs.iter().zip(&outs) {
+                let plain = seq.forward_eval(x).unwrap();
+                assert_close(&plain, &out.reconstruct(cfg.fixed).unwrap(), 0.02);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_delegates_to_the_solo_dealt_path() {
+        let seq = tiny_prefix();
+        let x = Tensor::rand_uniform(&[1, 1, 8, 8], -1.0, 1.0, 60);
+        let cfg = PiConfig::default();
+        let solo = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        solo.preprocess(1).unwrap();
+        let client = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        let (cch, sch, _) = c2pi_transport::channel_pair();
+        let srv = solo.clone();
+        let t = std::thread::spawn(move || srv.serve_one(&sch).unwrap());
+        let want = client.request_one(&cch, &x).unwrap();
+        t.join().unwrap();
+        let fused = PiSession::new(&specs_of(&seq), [1, 8, 8], cfg).unwrap().into_shared();
+        fused.preprocess(1).unwrap();
+        let outs = fused.infer_batch_dealt(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].client_share.as_raw(), want.share.as_raw());
+        assert!(fused.infer_batch_dealt(&[]).is_err());
     }
 
     #[test]

@@ -146,6 +146,34 @@ impl ShardedMaterialPool {
         Ok(if shut == n { PoolTake::ShutDown } else { PoolTake::Empty })
     }
 
+    /// Pooled-only take of up to `n` material sets for one fused batch,
+    /// each drawn exactly as [`ShardedMaterialPool::try_take`] would
+    /// (home shard first, then work stealing), so a batch of `k`
+    /// consumes `k` pool items with every shard ledger exact. Stops at
+    /// the first all-empty scan: the returned vector holds however much
+    /// stock could cover (possibly empty), and the serving layer sheds
+    /// the uncovered members. The flag reports whether the pool is shut
+    /// down and drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn try_take_n(
+        &self,
+        home: usize,
+        n: usize,
+    ) -> Result<(Vec<crate::pool::InferenceMaterial>, bool)> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.try_take(home)? {
+                PoolTake::Material(m) => out.push(*m),
+                PoolTake::Empty => return Ok((out, false)),
+                PoolTake::ShutDown => return Ok((out, true)),
+            }
+        }
+        Ok((out, false))
+    }
+
     /// Cross-shard takes served from a sibling shard's stock so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
@@ -345,6 +373,32 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn take_n_covers_what_stock_allows_and_steals_across_shards() {
+        let pool = ShardedMaterialPool::new(tiny_core(), 2);
+        pool.shard(0).preprocess(1).unwrap();
+        pool.shard(1).preprocess(2).unwrap();
+        // Ask for 4 with only 3 pooled: partial coverage, not an error.
+        let (mats, shut) = pool.try_take_n(0, 4).unwrap();
+        assert_eq!(mats.len(), 3);
+        assert!(!shut);
+        // Two of the three takes crossed shards (home 0 held one item).
+        assert_eq!(pool.steals(), 2);
+        let l = pool.ledger();
+        assert_eq!(l.consumed, 3);
+        assert_eq!(l.available, 0);
+        assert_eq!(l.generated_offline + l.generated_inline, l.consumed + l.available);
+        // Dry pool: empty vector, still not shut down.
+        let (mats, shut) = pool.try_take_n(1, 2).unwrap();
+        assert!(mats.is_empty());
+        assert!(!shut);
+        // After shutdown the flag flips.
+        pool.shutdown();
+        let (mats, shut) = pool.try_take_n(0, 1).unwrap();
+        assert!(mats.is_empty());
+        assert!(shut);
     }
 
     #[test]

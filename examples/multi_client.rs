@@ -20,6 +20,12 @@
 //! transport failure, so CI can use it as the serving smoke test.
 //! Prints aggregate online throughput at the end; with `--stats` it also
 //! fetches and prints the server's Prometheus-style metrics exposition.
+//!
+//! For the batching smoke, `--fixed-seed S` makes every inference send
+//! the same input and `--dump-bits FILE` records each reconstruction's
+//! logit bit patterns as one hex line per inference — sorted dumps from
+//! a batched and an unbatched server (one worker, one shard, so the
+//! material stream is consumed in order either way) must be identical.
 
 #[path = "two_party/common.rs"]
 mod common;
@@ -41,6 +47,12 @@ struct Opts {
     iters: usize,
     retries: usize,
     stats: bool,
+    /// One input for every inference (instead of per-(client, iter)
+    /// seeds) — the shape the batching smoke needs to compare runs.
+    fixed_seed: Option<u64>,
+    /// Append one hex line of logit bit patterns per inference, for
+    /// bit-exact (multiset) comparison across server configurations.
+    dump_bits: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -51,6 +63,8 @@ fn parse_opts() -> Opts {
         iters: 2,
         retries: 8,
         stats: false,
+        fixed_seed: None,
+        dump_bits: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +76,10 @@ fn parse_opts() -> Opts {
             "--iters" => opts.iters = val().parse().expect("--iters takes a count"),
             "--retries" => opts.retries = val().parse().expect("--retries takes a count"),
             "--stats" => opts.stats = true,
+            "--fixed-seed" => {
+                opts.fixed_seed = Some(val().parse().expect("--fixed-seed takes a seed"));
+            }
+            "--dump-bits" => opts.dump_bits = Some(val()),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -121,21 +139,24 @@ fn main() {
 
     let total = opts.clients * opts.iters;
     let start = Instant::now();
-    let failures: usize = std::thread::scope(|scope| {
+    let (failures, bit_lines): (usize, Vec<String>) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.clients)
             .map(|t| {
                 let model = &model;
                 let backend = opts.backend;
                 let iters = opts.iters;
                 let retries = opts.retries;
+                let fixed_seed = opts.fixed_seed;
+                let dump = opts.dump_bits.is_some();
                 scope.spawn(move || {
                     let client = ReactorClient::new(common::build_session(backend).into_shared())
                         .with_connect_timeout(Duration::from_secs(30))
                         .with_retries(retries);
                     let [c, h, w] = common::INPUT_CHW;
                     let mut failures = 0usize;
+                    let mut lines = Vec::new();
                     for i in 0..iters {
-                        let seed = (1000 * t + i) as u64;
+                        let seed = fixed_seed.unwrap_or((1000 * t + i) as u64);
                         let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, seed);
                         let clear = match model.seq().forward_eval(&x) {
                             Ok(y) => y,
@@ -147,6 +168,16 @@ fn main() {
                         };
                         match client.infer(addr, &x) {
                             Ok(got) => {
+                                if dump {
+                                    lines.push(
+                                        got.logits
+                                            .as_slice()
+                                            .iter()
+                                            .map(|v| format!("{:08x}", v.to_bits()))
+                                            .collect::<Vec<_>>()
+                                            .join(" "),
+                                    );
+                                }
                                 let max_diff = got
                                     .logits
                                     .as_slice()
@@ -171,12 +202,24 @@ fn main() {
                             }
                         }
                     }
-                    failures
+                    (failures, lines)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+        let mut failures = 0usize;
+        let mut bit_lines = Vec::new();
+        for h in handles {
+            let (f, lines) = h.join().expect("client thread");
+            failures += f;
+            bit_lines.extend(lines);
+        }
+        (failures, bit_lines)
     });
+    if let Some(path) = &opts.dump_bits {
+        let mut text: String = bit_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).expect("write --dump-bits file");
+    }
     let elapsed = start.elapsed().as_secs_f64();
     println!(
         "[multi_client] {} / {total} correct in {elapsed:.2}s — {:.2} inferences/s aggregate",

@@ -25,6 +25,13 @@
 //! `C2PI_WARMBOOT restored=<n> drawn=<n> truncated=<bool>` — a restarted
 //! server resumes the unconsumed pool without re-preprocessing.
 //!
+//! `--batch-window-ms W --max-batch K` turn on cross-client coalescing:
+//! concurrent inferences arriving within W milliseconds fuse into one
+//! batched protocol run of up to K members (off by default — W of 0 or
+//! K of 1 keeps the solo path). The final reactor line reports
+//! `coalesced=` and `batches=` so a harness can assert batching really
+//! happened.
+//!
 //! `--preprocess-delay-ms D` starts serving *before* dealing the initial
 //! material: for D milliseconds every inference request is answered with
 //! `BUSY` (clients are expected to honour the retry-after), which is how
@@ -84,6 +91,13 @@ fn parse_opts() -> Opts {
                     Duration::from_millis(val().parse().expect("--retry-after-ms"));
             }
             "--persist" => opts.cfg.persist_path = Some(val().into()),
+            "--batch-window-ms" => {
+                opts.cfg.batch_window =
+                    Duration::from_millis(val().parse().expect("--batch-window-ms"));
+            }
+            "--max-batch" => {
+                opts.cfg.max_batch = val().parse().expect("--max-batch takes a count");
+            }
             "--timeout-secs" => {
                 opts.timeout = Duration::from_secs(val().parse().expect("--timeout-secs"));
             }
@@ -167,8 +181,8 @@ fn main() {
         ledger.available,
     );
     println!(
-        "[pi_server] reactor: accepted={} shed={} steals={} hangups={}",
-        snap.accepted, snap.shed, snap.steals, snap.hangups
+        "[pi_server] reactor: accepted={} shed={} steals={} hangups={} coalesced={} batches={}",
+        snap.accepted, snap.shed, snap.steals, snap.hangups, snap.coalesced, snap.batches
     );
     let errors = snap.errors;
     server.drain().expect("graceful drain");
