@@ -12,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(serving_throughput session_phases transport_matrix planner_sweep gc_throughput)
+BENCHES=(serving_throughput session_phases transport_matrix planner_sweep gc_throughput poller_scale)
 FLAGS=${BENCH_SMOKE_FLAGS:---measurement-time 1 --sample-size 3}
 # Absolute path: cargo runs bench binaries with the *package* directory
 # as cwd, so a relative CRITERION_OUT_JSON would land in crates/bench.

@@ -12,7 +12,10 @@
 #      the clear model;
 #   3. crash recovery over the sharded store segments (kill -9, warm
 #      boot) and the backpressure path: a deliberately starved pool
-#      shedding typed BUSY frames that retrying clients ride out.
+#      shedding typed BUSY frames that retrying clients ride out;
+#   4. the poller escape hatch: one serving scenario forced onto the
+#      portable peek backend (POLLING_FORCE_PEEK=1), with the default
+#      Linux run asserted to have picked epoll.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -101,6 +104,31 @@ for backend in cheetah delphi; do
     finish_server
     cat "$server_log"
 done
+
+echo "== poller-backend smoke: forced peek fallback serves identically =="
+# Same serving scenario as above, with POLLING_FORCE_PEEK=1 pinning the
+# reactor to the portable peek-scan poller — the non-Linux code path,
+# exercised on every platform. The final reactor line must name the
+# backend actually used, proving the escape hatch was honoured; on
+# Linux the earlier (unforced) run must have picked epoll by default.
+start_server target/smoke-peek-poller.log \
+    env POLLING_FORCE_PEEK=1 "$BIN/pi_server" --backend cheetah --addr 127.0.0.1:0 \
+    --serve-n $((CLIENTS * ITERS)) --preprocess 2 --workers "$CLIENTS" --shards 2
+addr=$(wait_for_addr)
+timeout "$CLIENT_TIMEOUT" "$BIN/multi_client" --backend cheetah --addr "$addr" \
+    --clients "$CLIENTS" --iters "$ITERS"
+finish_server
+cat "$server_log"
+grep -Eq '^\[pi_server\] reactor: .*poll_backend=peek ' "$server_log" || {
+    echo "smoke: POLLING_FORCE_PEEK=1 server did not run on the peek poller" >&2
+    exit 1
+}
+if [[ "$(uname -s)" == Linux ]]; then
+    grep -Eq '^\[pi_server\] reactor: .*poll_backend=epoll ' target/smoke-pi-server-cheetah.log || {
+        echo "smoke: unforced Linux server did not default to the epoll poller" >&2
+        exit 1
+    }
+fi
 
 echo "== crash-recovery smoke: kill -9 the server, warm-boot from the store =="
 # First life: attach one persistent MaterialStore segment per shard
@@ -218,7 +246,7 @@ grep -Eq '^\[pi_server\] reactor: .*coalesced=[1-9]' target/smoke-batch-on.log |
     echo "smoke: batching server never coalesced concurrent requests" >&2
     exit 1
 }
-grep -Eq '^\[pi_server\] reactor: .*coalesced=0 batches=0$' target/smoke-batch-off.log || {
+grep -Eq '^\[pi_server\] reactor: .*coalesced=0 batches=0 ' target/smoke-batch-off.log || {
     echo "smoke: unbatched server unexpectedly fused a batch" >&2
     exit 1
 }

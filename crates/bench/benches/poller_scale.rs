@@ -1,0 +1,188 @@
+//! Poller wake latency vs parked-connection count: the O(ready) claim
+//! behind the epoll backend, measured head-to-head against the
+//! portable peek-scan backend.
+//!
+//! Every row parks `C ∈ {64, 512, 4096}` established loopback
+//! connections on one [`Poller`], then times [`WAKES_PER_RUN`]
+//! write-one-byte → wait-returns-the-event round trips (draining the
+//! byte after each wake so level-triggered readiness clears). All the
+//! parked sockets stay silent: exactly one source is ready per wake,
+//! so the row isolates what a wakeup costs as a function of *registered*
+//! sources, not ready ones.
+//!
+//! Expected shape — and the reason the reactor defaults to epoll on
+//! Linux: `epoll_wait` returns only the ready descriptor, so its wake
+//! latency is flat in C (O(ready)), while the peek backend re-scans
+//! every registered socket per tick, so its wake latency grows
+//! linearly with C. The printed summary states both curves and the
+//! measured 4096-vs-64 ratios; the same ratios land as
+//! `poller_scale/{backend}/wake_ratio_4096v64_x1000` metric rows, and
+//! `ci/bench_guard_rules.json` pins the epoll ratio within 2× (flat
+//! modulo noise) so a regression back to O(registered) wakeups fails
+//! the bench gate.
+
+use criterion::{criterion_group, criterion_main, report_metric, BenchmarkId, Criterion};
+use polling::{Backend, Event, Poller};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Parked-connection counts per row. 4096 pairs ≈ 8k fds — well under
+/// the CI runner's descriptor budget.
+const PARKED: [usize; 3] = [64, 512, 4096];
+/// Wakes timed per measured run; the mean smooths per-wake jitter at
+/// the microsecond scale epoll operates on.
+const WAKES_PER_RUN: usize = 64;
+
+/// Mean of the recorded runs, skipping the shim's warm-up run, so the
+/// printed ratios agree with `BENCH_results.json`.
+fn warm_mean(runs: &[f64]) -> Option<f64> {
+    let measured = if runs.len() > 1 { &runs[1..] } else { runs };
+    if measured.is_empty() {
+        return None;
+    }
+    Some(measured.iter().sum::<f64>() / measured.len() as f64)
+}
+
+/// `count` established loopback connections parked on one poller: the
+/// accepted side is registered (keys `0..count`), the connecting side
+/// is the bench's write handle for triggering a wake.
+struct ParkRig {
+    poller: Poller,
+    /// Registered (server-side) streams, indexed by key — read here to
+    /// clear level-triggered readiness after a wake.
+    parked: Vec<TcpStream>,
+    /// Peer (client-side) streams, indexed by key — write here to make
+    /// exactly one source ready.
+    peers: Vec<TcpStream>,
+}
+
+impl ParkRig {
+    fn new(backend: Backend, count: usize) -> ParkRig {
+        let poller = Poller::with_backend(backend).expect("construct poller");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind rig listener");
+        let addr = listener.local_addr().unwrap();
+        let mut parked = Vec::with_capacity(count);
+        let mut peers = Vec::with_capacity(count);
+        for key in 0..count {
+            // Connect/accept in lockstep so the listener backlog never
+            // overflows, whatever its depth.
+            let peer = TcpStream::connect(addr).expect("connect rig peer");
+            let (stream, _) = listener.accept().expect("accept rig peer");
+            poller.add(&stream, key).expect("register parked stream");
+            parked.push(stream);
+            peers.push(peer);
+        }
+        ParkRig { poller, parked, peers }
+    }
+
+    /// Times `wakes` single-ready-source round trips: write one byte
+    /// on a rotating peer, wait until the poller reports that key,
+    /// drain the byte. Returns the summed wait-side latency.
+    fn measure(&self, wakes: usize) -> Duration {
+        let mut events: Vec<Event> = Vec::new();
+        let mut total = Duration::ZERO;
+        let count = self.peers.len();
+        for wake in 0..wakes {
+            // A fixed stride coprime to every PARKED count, so the
+            // ready key moves around the registration table.
+            let key = (wake * 61 + 7) % count;
+            let start = Instant::now();
+            (&self.peers[key]).write_all(&[0x5a]).expect("peer write");
+            loop {
+                events.clear();
+                let result = self
+                    .poller
+                    .wait(&mut events, Some(Duration::from_secs(5)))
+                    .expect("poller wait");
+                if events.iter().any(|e| e.key == key && e.readable) {
+                    break;
+                }
+                assert!(!result.timed_out(), "wake for key {key} never surfaced");
+            }
+            total += start.elapsed();
+            let mut byte = [0u8; 1];
+            (&self.parked[key]).read_exact(&mut byte).expect("drain wake byte");
+        }
+        total
+    }
+}
+
+/// One backend's measured scaling curve, for the printed summary.
+struct Curve {
+    name: &'static str,
+    /// (parked count, mean run duration in seconds) per row.
+    means: Vec<(usize, f64)>,
+    /// 4096-parked vs 64-parked wake-latency ratio, when both rows ran.
+    ratio: Option<f64>,
+}
+
+fn bench_poller_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poller_scale");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut curves: Vec<Curve> = Vec::new();
+    for &backend in Backend::available() {
+        let name = backend.name();
+        let mut means: Vec<(usize, f64)> = Vec::new();
+        for &parked in &PARKED {
+            let rig = ParkRig::new(backend, parked);
+            let mut local = Vec::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("wake/{name}"), parked),
+                &parked,
+                |b, _| {
+                    b.iter_custom(|_| {
+                        let d = rig.measure(WAKES_PER_RUN);
+                        local.push(d.as_secs_f64());
+                        d
+                    })
+                },
+            );
+            assert_eq!(rig.poller.len(), parked, "no registrations may drop mid-row");
+            if let Some(mean) = warm_mean(&local) {
+                report_metric(
+                    &format!("poller_scale/{name}/wake_ns/{parked}"),
+                    mean / WAKES_PER_RUN as f64 * 1e9,
+                );
+                means.push((parked, mean));
+            }
+        }
+        let ratio =
+            match (means.iter().find(|(c, _)| *c == 64), means.iter().find(|(c, _)| *c == 4096)) {
+                (Some(&(_, t64)), Some(&(_, t4096))) => {
+                    let ratio = t4096 / t64;
+                    // The guarded row: ci/bench_guard_rules.json holds the
+                    // epoll ratio under 2000 (i.e. 2×, flat modulo noise).
+                    report_metric(
+                        &format!("poller_scale/{name}/wake_ratio_4096v64_x1000"),
+                        ratio * 1000.0,
+                    );
+                    Some(ratio)
+                }
+                _ => None,
+            };
+        curves.push(Curve { name, means, ratio });
+    }
+    group.finish();
+
+    println!("\n  wake latency vs parked connections (mean per wake):");
+    for curve in &curves {
+        let cols: Vec<String> = curve
+            .means
+            .iter()
+            .map(|(parked, mean)| format!("{parked}: {:.1}us", mean / WAKES_PER_RUN as f64 * 1e6))
+            .collect();
+        let shape = match curve.ratio {
+            Some(r) => format!("4096v64 ratio {r:.2}x"),
+            None => "ratio unavailable".to_string(),
+        };
+        println!("    {:<6} {} — {shape}", curve.name, cols.join("  "));
+    }
+    println!(
+        "    (epoll is O(ready): flat in parked count; peek re-scans every \
+         registered socket, so it degrades linearly)"
+    );
+}
+
+criterion_group!(benches, bench_poller_scale);
+criterion_main!(benches);

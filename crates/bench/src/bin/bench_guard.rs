@@ -28,7 +28,11 @@
 //! row. Ratio rules can only express "no worse than last time"; a
 //! floor expresses an invariant like "the batched/unbatched speedup
 //! row (×1000) must stay ≥ 1000", which no baseline ratio can pin.
-//! Floors are never loosened by `BENCH_GUARD_SCALE`.
+//! Symmetrically, `"max_value": N` is an **absolute ceiling** on the
+//! fresh value — e.g. "the epoll 4096-vs-64 wake-latency ratio (×1000)
+//! must stay ≤ 2000", the O(ready) invariant of the event-driven
+//! poller. Floors and ceilings are never loosened by
+//! `BENCH_GUARD_SCALE`.
 //!
 //! A row missing from the *baseline* passes (first run of a new bench);
 //! a row missing from the *new* file fails (the bench silently
@@ -48,6 +52,10 @@ struct Rule {
     /// baseline — for rows that are really invariants (e.g. speedup
     /// ratios ×1000 that must stay ≥ 1000). Never scaled.
     min_value: Option<f64>,
+    /// Absolute ceiling on the fresh `mean_ns`, the floor's mirror —
+    /// for invariants like "epoll wake scaling stays ≤ 2×". Never
+    /// scaled.
+    max_value: Option<f64>,
 }
 
 fn mean_ns_for(content: &str, id: &str) -> Option<f64> {
@@ -99,15 +107,22 @@ fn parse_rules(content: &str) -> Result<Vec<Rule>, String> {
         if max_ratio < 1.0 {
             return Err(format!("rule {id}: max_ratio {max_ratio} is below 1.0"));
         }
-        let min_value = if line.contains("\"min_value\"") {
-            Some(
-                json_num_field(line, "min_value")
-                    .ok_or_else(|| format!("rule {id}: unreadable \"min_value\""))?,
-            )
-        } else {
-            None
+        let bound = |key: &str| -> Result<Option<f64>, String> {
+            if !line.contains(&format!("\"{key}\"")) {
+                return Ok(None);
+            }
+            json_num_field(line, key)
+                .map(Some)
+                .ok_or_else(|| format!("rule {id}: unreadable \"{key}\""))
         };
-        rules.push(Rule { id, lower_is_better, max_ratio, min_value });
+        let min_value = bound("min_value")?;
+        let max_value = bound("max_value")?;
+        if let (Some(floor), Some(ceiling)) = (min_value, max_value) {
+            if floor > ceiling {
+                return Err(format!("rule {id}: min_value {floor} exceeds max_value {ceiling}"));
+            }
+        }
+        rules.push(Rule { id, lower_is_better, max_ratio, min_value, max_value });
     }
     if rules.is_empty() {
         return Err("rules file contains no rules".into());
@@ -120,12 +135,20 @@ fn check_rule(rule: &Rule, baseline: &str, fresh: &str, scale: f64) -> Result<St
     let Some(new_mean) = mean_ns_for(fresh, &rule.id) else {
         return Err(format!("row {:?} missing from the new results", rule.id));
     };
-    // The absolute floor binds before any baseline comparison — it is
-    // an invariant of the fresh run, not a drift check.
+    // The absolute bounds bind before any baseline comparison — they
+    // are invariants of the fresh run, not drift checks.
     if let Some(floor) = rule.min_value {
         if new_mean < floor {
             return Err(format!(
                 "{}: new {new_mean:.0} is below the absolute floor {floor:.0}",
+                rule.id
+            ));
+        }
+    }
+    if let Some(ceiling) = rule.max_value {
+        if new_mean > ceiling {
+            return Err(format!(
+                "{}: new {new_mean:.0} is above the absolute ceiling {ceiling:.0}",
                 rule.id
             ));
         }
@@ -172,7 +195,13 @@ fn main() {
                 eprintln!("bench_guard: max-ratio {max_ratio:?} is not a number");
                 std::process::exit(2);
             });
-            let rule = Rule { id: id.clone(), lower_is_better: true, max_ratio, min_value: None };
+            let rule = Rule {
+                id: id.clone(),
+                lower_is_better: true,
+                max_ratio,
+                min_value: None,
+                max_value: None,
+            };
             (baseline_path, new_path, vec![rule])
         }
         _ => {
@@ -230,7 +259,13 @@ mod tests {
         assert_eq!(rules.len(), 3);
         assert_eq!(
             rules[0],
-            Rule { id: "a/b".into(), lower_is_better: true, max_ratio: 1.25, min_value: None }
+            Rule {
+                id: "a/b".into(),
+                lower_is_better: true,
+                max_ratio: 1.25,
+                min_value: None,
+                max_value: None,
+            }
         );
         assert!(!rules[1].lower_is_better);
         assert_eq!(rules[2].max_ratio, 1.0);
@@ -252,6 +287,7 @@ mod tests {
             lower_is_better: false,
             max_ratio: 3.0,
             min_value: Some(1000.0),
+            max_value: None,
         };
         // No baseline row: the floor still decides pass/fail.
         assert!(check_rule(&rule, "", &row("f/g", 1100), 1.0).is_ok());
@@ -264,6 +300,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_absolute_ceiling() {
+        let rules = parse_rules(
+            "{ \"rules\": [ { \"id\": \"h/i\", \"direction\": \"lower_is_better\", \"max_ratio\": 2.0, \"max_value\": 2000 } ] }",
+        )
+        .unwrap();
+        assert_eq!(rules[0].max_value, Some(2000.0));
+    }
+
+    #[test]
+    fn absolute_ceiling_binds_before_and_without_a_baseline() {
+        let rule = Rule {
+            id: "h/i".into(),
+            lower_is_better: true,
+            max_ratio: 2.0,
+            min_value: None,
+            max_value: Some(2000.0),
+        };
+        // No baseline row: the ceiling still decides pass/fail.
+        assert!(check_rule(&rule, "", &row("h/i", 1900), 1.0).is_ok());
+        assert!(check_rule(&rule, "", &row("h/i", 2100), 1.0).is_err());
+        // An above-ceiling fresh value fails even when the ratio would
+        // pass — and the scale knob never loosens the ceiling.
+        assert!(check_rule(&rule, &row("h/i", 1900), &row("h/i", 2100), 10.0).is_err());
+        assert!(check_rule(&rule, &row("h/i", 1900), &row("h/i", 1950), 1.0).is_ok());
+    }
+
+    #[test]
     fn rejects_malformed_rules() {
         assert!(parse_rules("{ \"rules\": [] }").is_err());
         assert!(parse_rules("{ \"rules\": [ { \"id\": \"x\" } ] }").is_err());
@@ -273,6 +336,11 @@ mod tests {
         .is_err());
         assert!(parse_rules(
             "{ \"rules\": [ { \"id\": \"x\", \"direction\": \"lower_is_better\", \"max_ratio\": 0.5 } ] }"
+        )
+        .is_err());
+        // A floor above its own ceiling can never pass — reject it.
+        assert!(parse_rules(
+            "{ \"rules\": [ { \"id\": \"x\", \"direction\": \"lower_is_better\", \"max_ratio\": 2.0, \"min_value\": 3000, \"max_value\": 2000 } ] }"
         )
         .is_err());
     }

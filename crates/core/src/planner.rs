@@ -287,8 +287,9 @@ impl DeploymentPlan {
         PiServerConfig { worker_cap, pool_low, pool_high: pool_low * 2, ..defaults }
     }
 
-    /// A [`ReactorConfig`] sized from the plan's best deployment, for
-    /// the readiness-driven server. Same offline/online compute-ratio
+    /// A [`ReactorConfig`](crate::reactor::ReactorConfig) sized from
+    /// the plan's best deployment, for the readiness-driven server.
+    /// Same offline/online compute-ratio
     /// argument as [`DeploymentPlan::server_config`], but the
     /// watermarks are **per shard** (one shard and one replenisher per
     /// worker), and the suggested `BUSY` retry-after is priced at one

@@ -130,6 +130,16 @@ impl<T> BatchCollector<T> {
         }
     }
 
+    /// When the pending batch becomes due: the instant the oldest
+    /// member's window elapses, or `None` with nothing pending. The
+    /// event-driven reactor arms its poller timeout with this, so a
+    /// window flush fires when it is due instead of on the next tick of
+    /// a fixed poll cadence.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let pending = self.pending.lock().expect("batch collector mutex poisoned");
+        pending.oldest.map(|oldest| oldest + self.window)
+    }
+
     /// Reactor-tick poll: takes the pending batch iff its oldest member
     /// has waited the full window by `now`. The flush carries
     /// [`FlushReason::Window`].
@@ -185,6 +195,21 @@ mod tests {
         assert!(c.take_due(t0 + Duration::from_millis(9)).is_none());
         assert_eq!(c.take_due(t0 + Duration::from_millis(10)), Some(vec![7, 8]));
         assert!(c.take_due(t0 + Duration::from_millis(20)).is_none(), "flushed batches stay gone");
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_oldest_member_and_clears_on_flush() {
+        let window = Duration::from_millis(10);
+        let c = BatchCollector::new(window, 8);
+        let t0 = Instant::now();
+        assert_eq!(c.next_deadline(), None, "nothing pending, nothing armed");
+        assert!(matches!(c.deposit(1, t0), Deposit::Queued));
+        assert_eq!(c.next_deadline(), Some(t0 + window));
+        // Later members never extend the armed deadline.
+        assert!(matches!(c.deposit(2, t0 + Duration::from_millis(7)), Deposit::Queued));
+        assert_eq!(c.next_deadline(), Some(t0 + window));
+        assert_eq!(c.take_due(t0 + window), Some(vec![1, 2]));
+        assert_eq!(c.next_deadline(), None, "flush disarms the deadline");
     }
 
     #[test]

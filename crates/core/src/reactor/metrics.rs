@@ -232,6 +232,18 @@ pub struct MetricsSnapshot {
     /// (the collector lives outside [`ReactorMetrics`]); zero wherever
     /// there is no collector.
     pub batch_pending: u64,
+    /// Readiness-poller backend name (`"epoll"` or `"peek"`). Filled in
+    /// by the reactor's snapshot (the poller lives outside
+    /// [`ReactorMetrics`]); `"none"` wherever there is no poller.
+    pub poll_backend: &'static str,
+    /// Times the reactor's poller wait has returned. Filled in by the
+    /// reactor's snapshot, like [`MetricsSnapshot::poll_backend`].
+    pub poll_wakeups: u64,
+    /// Readiness events those waits reported in total. The ratio
+    /// `poll_events / poll_wakeups` is the payload per wakeup — near
+    /// zero means the loop is spinning on spurious ticks, which is
+    /// exactly what the epoll backend exists to eliminate.
+    pub poll_events: u64,
 }
 
 impl MetricsSnapshot {
@@ -265,6 +277,9 @@ impl MetricsSnapshot {
             ),
             batch_size: metrics.batch_size.snapshot(),
             batch_pending: 0,
+            poll_backend: "none",
+            poll_wakeups: 0,
+            poll_events: 0,
         }
     }
 
@@ -369,6 +384,24 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "c2pi_batch_size_bucket{{le=\"+Inf\"}} {}", self.batch_size.count);
         let _ = writeln!(out, "c2pi_batch_size_sum {}", self.batch_size.sum_members);
         let _ = writeln!(out, "c2pi_batch_size_count {}", self.batch_size.count);
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_poll_backend Readiness-poller backend in use (1 on the active label)."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_poll_backend gauge");
+        let _ = writeln!(out, "c2pi_poll_backend{{backend=\"{}\"}} 1", self.poll_backend);
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_poll_wakeups_total Times the reactor's poller wait returned."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_poll_wakeups_total counter");
+        let _ = writeln!(out, "c2pi_poll_wakeups_total {}", self.poll_wakeups);
+        let _ = writeln!(
+            out,
+            "# HELP c2pi_poll_events_total Readiness events reported across all poller waits."
+        );
+        let _ = writeln!(out, "# TYPE c2pi_poll_events_total counter");
+        let _ = writeln!(out, "c2pi_poll_events_total {}", self.poll_events);
         out
     }
 }
@@ -440,6 +473,23 @@ mod tests {
         assert_eq!(metric_value(&text, "c2pi_workers"), Some(3.0));
         assert_eq!(metric_value(&text, "c2pi_draining"), Some(0.0));
         assert_eq!(metric_value(&text, "nonexistent_metric"), None);
+    }
+
+    #[test]
+    fn poll_metrics_reach_the_exposition() {
+        let metrics = ReactorMetrics::default();
+        let mut snap = MetricsSnapshot::gather(&metrics, 1, 0, vec![]);
+        // The reactor overlays the poller's state after gather, exactly
+        // like batch_pending; a poller-less snapshot stays "none".
+        assert_eq!(snap.poll_backend, "none");
+        snap.poll_backend = "epoll";
+        snap.poll_wakeups = 12;
+        snap.poll_events = 48;
+        let text = snap.render_prometheus();
+        assert_eq!(metric_value(&text, "c2pi_poll_backend{backend=\"epoll\"}"), Some(1.0));
+        assert_eq!(metric_value(&text, "c2pi_poll_backend{backend=\"peek\"}"), None);
+        assert_eq!(metric_value(&text, "c2pi_poll_wakeups_total"), Some(12.0));
+        assert_eq!(metric_value(&text, "c2pi_poll_events_total"), Some(48.0));
     }
 
     #[test]

@@ -8,11 +8,16 @@
 //! reactor inverts that:
 //!
 //! * the **reactor thread** owns a nonblocking listener and a
-//!   [`polling::Poller`]. It accepts new connections (bounded by
-//!   [`ReactorConfig::max_clients`]), parks them in the poller until
-//!   their request frame arrives, and dispatches readable connections
-//!   into a **bounded** queue. It never runs cryptography, so one
-//!   thread multiplexes thousands of idle sockets;
+//!   [`polling::Poller`] — on Linux a real epoll instance by default.
+//!   The listener, every parked connection, and the poller's notify
+//!   handle share **one** poller wait, so the thread is genuinely
+//!   event-driven: it sleeps until an accept, a request frame, or a
+//!   notify actually arrives (no periodic polling), wakes in O(ready)
+//!   work, admits new connections (bounded per wakeup and by
+//!   [`ReactorConfig::max_clients`]), parks them until their request
+//!   frame arrives, and dispatches readable connections into a
+//!   **bounded** queue. It never runs cryptography, so one thread
+//!   multiplexes thousands of idle sockets;
 //! * a fixed set of **worker threads** pulls connections off the queue
 //!   and runs the online server party end to end. Worker *w* draws
 //!   material from shard *w mod shards* of a
@@ -32,11 +37,13 @@
 //! back — results are bit-for-bit what k sequential runs on the same
 //! material would produce (DESIGN.md §10). A batch flushes when it
 //! fills (`Full`), when its oldest member has waited the window
-//! (`Window`, checked every reactor tick, so flushes quantize to
-//! roughly [`POLL_TICK`]), or at drain (`Drain` — a queued request was
-//! admitted and is *served*, never shed). With the default
-//! `max_batch = 1` the collector is disabled and serving takes the
-//! exact unbatched code path.
+//! (`Window` — the reactor arms its poller timeout with the batch
+//! deadline, and a deposit that opens a new window notifies the poller
+//! to re-arm, so the flush fires when due rather than on a polling
+//! tick), or at drain (`Drain` — a queued request was admitted and is
+//! *served*, never shed). With the default `max_batch = 1` the
+//! collector is disabled and serving takes the exact unbatched code
+//! path.
 //!
 //! **Backpressure is explicit.** Whenever the server cannot serve — all
 //! shards empty, dispatch queue full, `max_clients` reached, or the
@@ -120,7 +127,7 @@ use c2pi_pi::{PoolTake, Replenisher, RestoreReport, SessionCore, ShardedMaterial
 use c2pi_tensor::Tensor;
 use c2pi_transport::{Channel, Side, TcpChannel, TcpListenerTransport, TransportError};
 use metrics::{MetricsSnapshot, ReactorMetrics, ShardSnapshot};
-use polling::Poller;
+use polling::{Backend, Poller};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -146,10 +153,25 @@ const TAG_BUSY: u8 = 2;
 /// Reply tag: metrics exposition follows as UTF-8 text.
 const TAG_STATS: u8 = 3;
 
-/// How many pending accepts the reactor admits per poll tick.
+/// How many pending accepts the reactor admits per wakeup. The bound is
+/// a fairness device: a connect storm cannot monopolize the loop,
+/// because parked clients' events are dispatched before each accept
+/// batch and the level-triggered listener registration re-surfaces the
+/// rest of the backlog on the next wakeup.
 const ACCEPT_BATCH: usize = 64;
-/// Poll-tick timeout: the accept latency ceiling while connections idle.
-const POLL_TICK: Duration = Duration::from_millis(5);
+/// Poller key the listener is registered under: one below the poller's
+/// own reserved key ([`polling::RESERVED_KEY`]); client-key allocation
+/// wraps before reaching either.
+const LISTENER_KEY: usize = usize::MAX - 1;
+/// Wait-timeout ceiling on an event-driven backend (epoll). Accepts,
+/// client readiness, and notifies all arrive as events there, so this
+/// is a pure safety net, not a duty cycle.
+const SAFETY_TICK_EVENT: Duration = Duration::from_millis(50);
+/// Wait-timeout ceiling on a scanning backend (peek). That backend
+/// cannot observe listener readiness — it reports the listener
+/// "assumed-ready" only when a wait returns — so this tick is the
+/// accept-latency bound, matching the old `POLL_TICK` cadence.
+const SAFETY_TICK_SCAN: Duration = Duration::from_millis(5);
 
 fn pi_err(e: TransportError) -> C2piError {
     C2piError::Pi(e.into())
@@ -189,8 +211,8 @@ pub struct ReactorConfig {
     /// member of a forming batch may wait for company before the batch
     /// is flushed anyway. `Duration::ZERO` (default) disables
     /// coalescing entirely — serving takes the exact unbatched path.
-    /// Window flushes are checked on the reactor tick, so their timing
-    /// quantizes to roughly [`POLL_TICK`].
+    /// The reactor arms its poller timeout with the window deadline, so
+    /// the flush fires when due.
     pub batch_window: Duration,
     /// Cross-client batch-size cap: at most this many concurrent
     /// `infer` requests fuse into one protocol run. `1` (default)
@@ -202,6 +224,13 @@ pub struct ReactorConfig {
     /// every shard from its segment and [`ReactorServer::drain`]
     /// flushes them all. `None` keeps material in memory only.
     pub persist_path: Option<PathBuf>,
+    /// Force the portable peek poller backend even where a kernel
+    /// multiplexer is available — the in-process equivalent of the
+    /// `POLLING_FORCE_PEEK=1` environment switch (which still applies
+    /// when this is `false`). The test suite uses it to run the full
+    /// reactor stack against both backends in one process without
+    /// racing on the environment.
+    pub force_peek_poller: bool,
 }
 
 impl Default for ReactorConfig {
@@ -218,6 +247,7 @@ impl Default for ReactorConfig {
             batch_window: Duration::ZERO,
             max_batch: 1,
             persist_path: None,
+            force_peek_poller: false,
         }
     }
 }
@@ -226,9 +256,9 @@ impl Default for ReactorConfig {
 enum Job {
     /// A connection whose request frame is (at least partly) buffered.
     Conn(TcpStream),
-    /// A coalesced batch the collector flushed on the reactor tick
-    /// (window expiry) or at drain — `Full` flushes never pass through
-    /// the queue, the depositing worker serves them in place.
+    /// A coalesced batch the collector flushed on its window deadline
+    /// or at drain — `Full` flushes never pass through the queue, the
+    /// depositing worker serves them in place.
     Batch(Vec<TcpChannel>, FlushReason),
     /// Drain: finish queued work, then exit. Enqueued once per worker
     /// *behind* all in-flight jobs, so FIFO order makes drain graceful.
@@ -245,6 +275,10 @@ struct Shared {
     client_timeout: Duration,
     retry_after: Duration,
     collector: BatchCollector<TcpChannel>,
+    /// The reactor's readiness poller. Workers hold it to notify the
+    /// reactor when a deposit opens a new batch window (so it re-arms
+    /// its wait timeout); snapshots read its backend and counters.
+    poller: Arc<Poller>,
 }
 
 impl Shared {
@@ -268,6 +302,9 @@ impl Shared {
         let mut snap =
             MetricsSnapshot::gather(&self.metrics, self.workers, self.pool.steals(), shards);
         snap.batch_pending = self.collector.pending() as u64;
+        snap.poll_backend = self.poller.backend().name();
+        snap.poll_wakeups = self.poller.wakeups();
+        snap.poll_events = self.poller.events_reported();
         snap
     }
 
@@ -365,10 +402,16 @@ impl ReactorServer {
         let listener = TcpListenerTransport::bind(addr).map_err(pi_err)?;
         listener.set_nonblocking(true).map_err(pi_err)?;
         let addr = listener.local_addr();
-        let poller = Arc::new(
-            Poller::new()
-                .map_err(|e| C2piError::BadConfig(format!("readiness poller unavailable: {e}")))?,
-        );
+        let poller_err =
+            |e: std::io::Error| C2piError::BadConfig(format!("readiness poller unavailable: {e}"));
+        let poller =
+            if cfg.force_peek_poller { Poller::with_backend(Backend::Peek) } else { Poller::new() }
+                .map_err(poller_err)?;
+        // Register the listener up front so accepts arrive as events
+        // through the same wait as client readiness and notifies; a
+        // failure here surfaces as a bind error, not a dead server.
+        poller.add_listener(listener.as_tcp_listener(), LISTENER_KEY).map_err(poller_err)?;
+        let poller = Arc::new(poller);
         let shared = Arc::new(Shared {
             core,
             pool: Arc::clone(&pool),
@@ -378,6 +421,7 @@ impl ReactorServer {
             client_timeout: cfg.client_timeout,
             retry_after: cfg.retry_after,
             collector: BatchCollector::new(cfg.batch_window, cfg.max_batch.max(1)),
+            poller: Arc::clone(&poller),
         });
         let queue_depth = if cfg.queue_depth == 0 { workers * 2 } else { cfg.queue_depth };
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
@@ -503,7 +547,9 @@ impl Drop for ReactorServer {
     }
 }
 
-/// The reactor thread: accept, park, dispatch, shed — no cryptography.
+/// The reactor thread: one poller wait multiplexing accepts, parked
+/// client readiness, and notifies — accept, park, dispatch, shed; no
+/// cryptography, no periodic polling.
 fn reactor_loop(
     listener: &TcpListenerTransport,
     poller: &Poller,
@@ -513,39 +559,46 @@ fn reactor_loop(
     let mut parked: HashMap<usize, TcpStream> = HashMap::new();
     let mut next_key = 0usize;
     let mut events = Vec::new();
+    let safety_tick =
+        if poller.backend().event_driven() { SAFETY_TICK_EVENT } else { SAFETY_TICK_SCAN };
     while !shared.draining() {
-        // Admit new connections, up to the batch and the client cap.
-        for _ in 0..ACCEPT_BATCH {
-            match listener.try_accept() {
-                Ok(Some(stream)) => {
-                    shared.metrics.add(&shared.metrics.accepted);
-                    let active = shared.metrics.active.load(Ordering::Relaxed);
-                    if active >= shared.max_clients as u64 {
-                        shared.shed(stream, false);
-                        continue;
-                    }
-                    let key = next_key;
-                    next_key = next_key.wrapping_add(1);
-                    shared.metrics.active.fetch_add(1, Ordering::Relaxed);
-                    if poller.add(&stream, key).is_err() {
-                        shared.metrics.add(&shared.metrics.errors);
-                        shared.metrics.connection_done();
-                        continue;
-                    }
-                    parked.insert(key, stream);
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    shared.metrics.add(&shared.metrics.errors);
-                    break;
-                }
-            }
-        }
-        // Park until a request frame arrives somewhere (or the tick
-        // elapses and we look for new accepts again).
+        // Sleep until something actually happens: a parked client's
+        // request frame, a pending accept, or a notify (a worker opened
+        // a batch window, or drain wants the flag observed). The
+        // timeout covers the armed batch deadline, capped by the
+        // backend's safety tick.
+        let timeout = match shared.collector.next_deadline() {
+            Some(deadline) => deadline.saturating_duration_since(Instant::now()).min(safety_tick),
+            None => safety_tick,
+        };
         events.clear();
-        let _ = poller.wait(&mut events, Some(POLL_TICK));
+        let result = match poller.wait(&mut events, Some(timeout)) {
+            Ok(result) => result,
+            Err(_) => {
+                // A failing wait (epoll state corruption) would spin
+                // this loop hot; count it and back off instead.
+                shared.metrics.add(&shared.metrics.errors);
+                std::thread::sleep(safety_tick);
+                continue;
+            }
+        };
+        if shared.draining() {
+            break;
+        }
+        // A pure notify only re-arms the wait timeout (the deposit that
+        // sent it updated the collector's deadline): nothing is
+        // readable, so skip the dispatch/accept/flush work entirely.
+        if result.notified && result.added == 0 {
+            continue;
+        }
+        // Dispatch parked clients BEFORE accepting: a connect storm
+        // must not starve a client whose request is already waiting.
+        let mut accept_ready = false;
         for event in &events {
+            if event.key == LISTENER_KEY {
+                accept_ready = true;
+                continue;
+            }
             let Some(stream) = parked.remove(&event.key) else { continue };
             poller.delete(event.key);
             match tx.try_send(Job::Conn(stream)) {
@@ -554,8 +607,43 @@ fn reactor_loop(
                 Err(_) => return, // workers gone; nothing left to serve
             }
         }
-        // Batching tick: a forming batch whose oldest member has waited
-        // the full window stops waiting for company and is dispatched.
+        // Admit new connections, bounded per wakeup and by the client
+        // cap. A backlog deeper than the batch is not lost: the
+        // level-triggered listener registration reports it again on the
+        // next wait, after parked clients have had their turn.
+        if accept_ready {
+            for _ in 0..ACCEPT_BATCH {
+                match listener.try_accept() {
+                    Ok(Some(stream)) => {
+                        shared.metrics.add(&shared.metrics.accepted);
+                        let active = shared.metrics.active.load(Ordering::Relaxed);
+                        if active >= shared.max_clients as u64 {
+                            shared.shed(stream, false);
+                            continue;
+                        }
+                        let key = next_key;
+                        next_key = next_key.wrapping_add(1);
+                        if next_key >= LISTENER_KEY {
+                            next_key = 0; // skip the reserved keys
+                        }
+                        shared.metrics.active.fetch_add(1, Ordering::Relaxed);
+                        if poller.add(&stream, key).is_err() {
+                            shared.metrics.add(&shared.metrics.errors);
+                            shared.metrics.connection_done();
+                            continue;
+                        }
+                        parked.insert(key, stream);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        shared.metrics.add(&shared.metrics.errors);
+                        break;
+                    }
+                }
+            }
+        }
+        // Batch deadline: a forming batch whose oldest member has
+        // waited the full window stops waiting for company.
         if let Some(batch) = shared.collector.take_due(Instant::now()) {
             match tx.try_send(Job::Batch(batch, FlushReason::Window)) {
                 Ok(()) => {}
@@ -571,6 +659,7 @@ fn reactor_loop(
     }
     // Drain: parked connections have not cost material yet — answer
     // them honestly and close.
+    poller.delete(LISTENER_KEY);
     for (key, stream) in parked.drain() {
         poller.delete(key);
         shared.shed(stream, true);
@@ -670,9 +759,12 @@ fn serve_connection(worker: usize, stream: TcpStream, shared: &Shared) {
         }
         _ if shared.collector.enabled() => {
             match shared.collector.deposit(ch, Instant::now()) {
-                // Waiting for company; the reactor tick or a filling
-                // deposit will flush it. Still active, by design.
-                Deposit::Queued => {}
+                // Waiting for company; the armed window deadline or a
+                // filling deposit will flush it. Still active, by
+                // design. The reactor may be asleep with no deadline
+                // armed (this deposit could have opened the window), so
+                // wake it to re-arm its wait timeout.
+                Deposit::Queued => shared.poller.notify(),
                 // This deposit filled the batch (or raced the drain
                 // close): serve it right here, on this worker.
                 Deposit::Flush(chs, reason) => serve_batch(worker, chs, reason, shared),

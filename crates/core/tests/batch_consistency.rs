@@ -141,6 +141,12 @@ fn coalesced_logits_are_bit_identical_to_sequential_serving() {
     assert_eq!(ledger.consumed, N as u64, "one material set per member, exactly");
     assert_eq!(ledger.generated_inline, 0, "the reactor never deals inline");
 
+    // Server-side bookkeeping trails the last client reply by a beat;
+    // settle before asserting the counters.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics_snapshot().served < N as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
     let snap = server.metrics_snapshot();
     assert_eq!(snap.served, N as u64);
     assert_eq!(snap.errors, 0);

@@ -707,7 +707,7 @@ impl SessionCore {
     /// [`SessionCore::serve_prepared`] over `k` members at once — one
     /// caller-supplied material set per channel, each dealt to its
     /// member as the first frame, then one batched server walk
-    /// ([`server_thread_batch`]) that fuses the per-layer compute while
+    /// (`server_thread_batch`) that fuses the per-layer compute while
     /// keeping every member's wire transcript, masks and seed stream
     /// exactly what a solo [`SessionCore::serve_prepared`] run would
     /// have produced. A batch of one delegates to the solo path, so

@@ -134,7 +134,7 @@ pub struct RestoreReport {
 }
 
 /// An open, append-positioned store file. All mutation goes through
-/// [`MaterialStore::append`]/[`MaterialStore::sync`], driven by the
+/// `MaterialStore::append`/`MaterialStore::sync`, driven by the
 /// owning pool under its lock.
 #[derive(Debug)]
 pub struct MaterialStore {

@@ -306,6 +306,14 @@ impl TcpListenerTransport {
         self.listener.set_nonblocking(nonblocking).map_err(io_error)
     }
 
+    /// The underlying OS listener socket. A readiness-driven accept
+    /// loop registers this with its poller (e.g. `polling`'s
+    /// `add_listener`) so pending connections surface as events instead
+    /// of being discovered by periodic `try_accept` polling.
+    pub fn as_tcp_listener(&self) -> &TcpListener {
+        &self.listener
+    }
+
     /// Nonblocking accept: the raw stream of one pending connection, or
     /// `None` when nothing is queued (`WouldBlock`). Returns the bare
     /// [`TcpStream`] — a reactor registers it for readiness first and

@@ -181,8 +181,17 @@ fn main() {
         ledger.available,
     );
     println!(
-        "[pi_server] reactor: accepted={} shed={} steals={} hangups={} coalesced={} batches={}",
-        snap.accepted, snap.shed, snap.steals, snap.hangups, snap.coalesced, snap.batches
+        "[pi_server] reactor: accepted={} shed={} steals={} hangups={} coalesced={} batches={} \
+         poll_backend={} poll_wakeups={} poll_events={}",
+        snap.accepted,
+        snap.shed,
+        snap.steals,
+        snap.hangups,
+        snap.coalesced,
+        snap.batches,
+        snap.poll_backend,
+        snap.poll_wakeups,
+        snap.poll_events
     );
     let errors = snap.errors;
     server.drain().expect("graceful drain");

@@ -1,45 +1,56 @@
-//! Minimal `polling`-compatible shim for the offline build: socket
-//! readiness over plain `std`, standing in for the real epoll/kqueue
-//! wrapper the reactor would use online (see `shims/README.md` for the
-//! swap-back recipe).
+//! Minimal `polling`-compatible readiness poller with two backends
+//! behind one API:
 //!
-//! `std` exposes no fd-multiplexing syscall, so this shim derives
-//! readiness from [`TcpStream::peek`] on nonblocking handles: a peek
-//! that returns `Ok(n)` means buffered bytes (readable), `Ok(0)` means
-//! EOF (readable — the owner must observe the close), `WouldBlock`
-//! means idle, and any other error is surfaced as readable so the owner
-//! reads the failure instead of leaking the connection. [`Poller::wait`]
-//! scans all registered sources in a short-tick loop — O(sources) per
-//! tick rather than O(ready) like real epoll, which is exactly the
-//! trade an offline stand-in may make: same API shape, honest
-//! semantics, no platform code.
+//! * **epoll** ([`Backend::Epoll`], Linux, the default there) — a real
+//!   kernel multiplexer in `sys`: every socket, the listener, and an
+//!   `eventfd` notify share one `epoll_wait`, so a wakeup costs
+//!   O(ready) regardless of how many thousands of sources are parked;
+//! * **peek** ([`Backend::Peek`], everywhere) — the portable stand-in:
+//!   readiness derived from [`TcpStream::peek`] scans on a 1 ms tick,
+//!   O(sources) per tick. Still the build on non-Linux targets, and
+//!   selectable on Linux with `POLLING_FORCE_PEEK=1` so both backends
+//!   stay testable side by side.
+//!
+//! Both backends satisfy the same **level-triggered contract**
+//! (DESIGN.md §11): a source that stays readable is reported on every
+//! wait until the owner deletes it; [`Poller::notify`] is sticky (a
+//! notify with no waiter makes the next wait return immediately) and is
+//! distinguishable from a timeout via [`WaitResult::notified`]; the
+//! peek backend may additionally report a registered *listener* as
+//! readable when it is not (readiness of a listener cannot be peeked —
+//! the owner's nonblocking `accept` resolves it), which level-triggered
+//! semantics permit.
 //!
 //! Registration puts the socket into nonblocking mode (the flag lives
 //! on the shared file description, so the caller's handle is affected
 //! too); a worker that takes the connection over for blocking protocol
 //! I/O must switch it back with `set_nonblocking(false)`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // relaxed from forbid: sys/ holds the scoped allow
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
-use std::io;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+mod peek;
+#[cfg(target_os = "linux")]
+mod sys;
 
-/// How long one scan pass sleeps before re-peeking every source.
-const TICK: Duration = Duration::from_millis(1);
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The key value reserved by the poller itself (the epoll backend's
+/// notify word). [`Poller::add`] rejects it.
+pub const RESERVED_KEY: usize = usize::MAX;
 
 /// A readiness event for one registered source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// The key the source was registered under.
     pub key: usize,
-    /// Readable: buffered bytes, EOF, or a socket error to collect.
+    /// Readable: buffered bytes, EOF, a socket error to collect, or —
+    /// for a listener — a pending (possibly already-gone) connection.
     pub readable: bool,
-    /// Writability is not modeled by the peek probe; always `false`.
+    /// Writability is not modeled; always `false`.
     pub writable: bool,
 }
 
@@ -50,38 +61,147 @@ impl Event {
     }
 }
 
-struct Source {
-    probe: TcpStream,
+/// What one [`Poller::wait`] returned, making "woke with events",
+/// "woke because of [`Poller::notify`]" and "timed out" distinguishable
+/// — the reactor skips accept and due-batch work on pure notifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitResult {
+    /// Readiness events appended to the caller's buffer by this wait.
+    pub added: usize,
+    /// Whether a notify was drained during this wait. May be true
+    /// alongside `added > 0` on the epoll backend (one `epoll_wait`
+    /// batch can carry both).
+    pub notified: bool,
 }
 
-/// Readiness poller over registered [`TcpStream`]s.
+impl WaitResult {
+    /// Whether the wait returned only because its timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.added == 0 && !self.notified
+    }
+}
+
+/// Which kernel-facing implementation a [`Poller`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Peek-scan over nonblocking sockets: portable, O(sources)/tick.
+    Peek,
+    /// Linux epoll: O(ready) wakeups, real listener readiness.
+    #[cfg(target_os = "linux")]
+    Epoll,
+}
+
+impl Backend {
+    /// Every backend this build can construct, preferred first.
+    pub fn available() -> &'static [Backend] {
+        #[cfg(target_os = "linux")]
+        {
+            &[Backend::Epoll, Backend::Peek]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            &[Backend::Peek]
+        }
+    }
+
+    /// Stable lowercase name, used in metrics labels and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Peek => "peek",
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => "epoll",
+        }
+    }
+
+    /// Whether listener readiness reported by this backend is real
+    /// kernel state rather than a conservative assumption. An
+    /// event-driven owner may sleep long between wakeups; a scanning
+    /// backend's owner must keep its wait timeouts at the accept
+    /// latency it wants.
+    pub fn event_driven(self) -> bool {
+        match self {
+            Backend::Peek => false,
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => true,
+        }
+    }
+}
+
+enum Impl {
+    Peek(peek::PeekPoller),
+    #[cfg(target_os = "linux")]
+    Epoll(sys::epoll::EpollPoller),
+}
+
+/// Readiness poller over registered [`TcpStream`]s (and at most a
+/// handful of [`TcpListener`]s).
 ///
 /// One thread calls [`Poller::wait`] in a loop; any thread may
 /// [`Poller::add`]/[`Poller::delete`] sources or [`Poller::notify`] the
-/// waiter out of its sleep.
+/// waiter out of its sleep. Level-triggered: a source that stays
+/// readable is reported again on the next call, so the owner should
+/// delete it before handing the connection off.
 pub struct Poller {
-    sources: Mutex<BTreeMap<usize, Source>>,
-    notified: AtomicBool,
+    imp: Impl,
+    backend: Backend,
+    wakeups: AtomicU64,
+    events: AtomicU64,
 }
 
 impl std::fmt::Debug for Poller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let sources = self.sources.lock().expect("poller mutex poisoned");
-        f.debug_struct("Poller").field("sources", &sources.len()).finish()
+        f.debug_struct("Poller")
+            .field("backend", &self.backend.name())
+            .field("sources", &self.len())
+            .finish()
     }
 }
 
 impl Default for Poller {
     fn default() -> Self {
-        Self::new().expect("poller construction is infallible in the shim")
+        Self::new().expect("default poller backend construction failed")
     }
 }
 
 impl Poller {
-    /// Creates an empty poller. (Fallible to match the real crate,
-    /// where this allocates an epoll/kqueue fd; the shim cannot fail.)
+    /// Creates a poller on the build's preferred backend: epoll on
+    /// Linux, peek elsewhere. Setting `POLLING_FORCE_PEEK=1` in the
+    /// environment forces the peek backend even on Linux — the runtime
+    /// escape hatch CI uses to pin backend parity end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures (epoll/eventfd fd
+    /// allocation; the peek backend is infallible).
     pub fn new() -> io::Result<Poller> {
-        Ok(Poller { sources: Mutex::new(BTreeMap::new()), notified: AtomicBool::new(false) })
+        let force_peek = std::env::var("POLLING_FORCE_PEEK").is_ok_and(|v| v == "1");
+        let backend = if force_peek { Backend::Peek } else { Backend::available()[0] };
+        Self::with_backend(backend)
+    }
+
+    /// Creates a poller on an explicit backend — how the conformance
+    /// suite and benches run both implementations side by side in one
+    /// process, without racing on the environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let imp = match backend {
+            Backend::Peek => Impl::Peek(peek::PeekPoller::new()?),
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Impl::Epoll(sys::epoll::EpollPoller::new()?),
+        };
+        Poller::wrap(imp, backend)
+    }
+
+    fn wrap(imp: Impl, backend: Backend) -> io::Result<Poller> {
+        Ok(Poller { imp, backend, wakeups: AtomicU64::new(0), events: AtomicU64::new(0) })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Registers `stream` for readable interest under `key`, switching
@@ -90,28 +210,63 @@ impl Poller {
     ///
     /// # Errors
     ///
-    /// Propagates `try_clone`/`set_nonblocking` failures; rejects a key
-    /// that is already registered.
+    /// Propagates `try_clone`/`set_nonblocking`/registration failures;
+    /// rejects a key that is already registered or [`RESERVED_KEY`].
     pub fn add(&self, stream: &TcpStream, key: usize) -> io::Result<()> {
-        let probe = stream.try_clone()?;
-        probe.set_nonblocking(true)?;
-        let mut sources = self.sources.lock().expect("poller mutex poisoned");
-        if sources.contains_key(&key) {
-            return Err(io::Error::new(io::ErrorKind::AlreadyExists, format!("key {key}")));
+        self.check_key(key)?;
+        match &self.imp {
+            Impl::Peek(p) => p.add(stream, key),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.add(stream, key),
         }
-        sources.insert(key, Source { probe });
+    }
+
+    /// Registers `listener` for accept-readiness under `key`, switching
+    /// it to nonblocking mode. On the epoll backend the event is real
+    /// kernel state; on the peek backend the listener is reported
+    /// *conservatively* — alongside any stream events and on every
+    /// timeout expiry — because listener readiness cannot be peeked
+    /// (see the [crate docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// As [`Poller::add`].
+    pub fn add_listener(&self, listener: &TcpListener, key: usize) -> io::Result<()> {
+        self.check_key(key)?;
+        match &self.imp {
+            Impl::Peek(p) => p.add_listener(listener, key),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.add_listener(listener, key),
+        }
+    }
+
+    fn check_key(&self, key: usize) -> io::Result<()> {
+        if key == RESERVED_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("key {key} is reserved by the poller"),
+            ));
+        }
         Ok(())
     }
 
     /// Deregisters `key`. Unknown keys are a no-op (the source may have
     /// been dispatched concurrently).
     pub fn delete(&self, key: usize) {
-        self.sources.lock().expect("poller mutex poisoned").remove(&key);
+        match &self.imp {
+            Impl::Peek(p) => p.delete(key),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.delete(key),
+        }
     }
 
-    /// Number of registered sources.
+    /// Number of registered sources (listeners included).
     pub fn len(&self) -> usize {
-        self.sources.lock().expect("poller mutex poisoned").len()
+        match &self.imp {
+            Impl::Peek(p) => p.len(),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.len(),
+        }
     }
 
     /// Whether no sources are registered.
@@ -121,128 +276,121 @@ impl Poller {
 
     /// Blocks until at least one source is readable, `timeout` elapses
     /// (`None` waits forever), or [`Poller::notify`] is called; appends
-    /// the ready events to `events` and returns how many were added.
-    /// Level-triggered: a source that stays readable is reported again
-    /// on the next call, so the owner should delete it before handing
-    /// the connection off.
+    /// the ready events to `events` and reports what happened in the
+    /// returned [`WaitResult`].
     ///
     /// # Errors
     ///
-    /// Infallible in the shim (signature parity with the real crate).
-    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
-        let deadline = timeout.map(|t| Instant::now() + t);
-        let mut buf = [0u8; 1];
-        loop {
-            if self.notified.swap(false, Ordering::SeqCst) {
-                return Ok(0);
-            }
-            let before = events.len();
-            {
-                let sources = self.sources.lock().expect("poller mutex poisoned");
-                for (&key, source) in sources.iter() {
-                    let ready = match source.probe.peek(&mut buf) {
-                        Ok(_) => true, // bytes buffered, or Ok(0) = EOF
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
-                        Err(_) => true, // surface the error to the owner
-                    };
-                    if ready {
-                        events.push(Event::readable(key));
-                    }
-                }
-            }
-            let added = events.len() - before;
-            if added > 0 {
-                return Ok(added);
-            }
-            match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Ok(0);
-                    }
-                    std::thread::sleep(TICK.min(d - now));
-                }
-                None => std::thread::sleep(TICK),
-            }
+    /// Propagates `epoll_wait` failures; the peek backend is
+    /// infallible. `EINTR` is retried internally, never surfaced.
+    pub fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<WaitResult> {
+        let result = match &self.imp {
+            Impl::Peek(p) => p.wait(events, timeout),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.wait(events, timeout),
+        }?;
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(result.added as u64, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] out of its sleep. Sticky: a
+    /// notify with no waiter makes the next wait return immediately,
+    /// with [`WaitResult::notified`] set.
+    pub fn notify(&self) {
+        match &self.imp {
+            Impl::Peek(p) => p.notify(),
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(p) => p.notify(),
         }
     }
 
-    /// Wakes a concurrent [`Poller::wait`] out of its sleep (it returns
-    /// with zero events). Sticky: a notify with no waiter makes the
-    /// next wait return immediately.
-    pub fn notify(&self) {
-        self.notified.store(true, Ordering::SeqCst);
+    /// How many times [`Poller::wait`] has returned — the denominator
+    /// of the wakeup-to-event ratio the metrics exposition reports.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Total readiness events reported across all waits (notify
+    /// drains excluded).
+    pub fn events_reported(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write;
-    use std::net::{TcpListener, TcpStream};
 
-    fn pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let a = TcpStream::connect(addr).unwrap();
-        let (b, _) = listener.accept().unwrap();
-        (a, b)
+    // The behavioral suite lives in tests/conformance.rs and runs
+    // against every available backend; these tests cover the dispatch
+    // layer itself.
+
+    #[test]
+    fn available_backends_prefer_the_kernel_multiplexer() {
+        let backends = Backend::available();
+        assert_eq!(backends.last(), Some(&Backend::Peek), "peek is always the fallback");
+        #[cfg(target_os = "linux")]
+        {
+            assert_eq!(backends[0], Backend::Epoll);
+            assert!(Backend::Epoll.event_driven());
+            assert_eq!(Backend::Epoll.name(), "epoll");
+        }
+        assert!(!Backend::Peek.event_driven());
+        assert_eq!(Backend::Peek.name(), "peek");
     }
 
     #[test]
-    fn idle_source_times_out_without_events() {
-        let (_a, b) = pair();
-        let poller = Poller::new().unwrap();
-        poller.add(&b, 7).unwrap();
+    fn force_peek_env_selects_the_peek_backend() {
+        // Process-global env mutation: this is the only test touching
+        // the variable, and it restores the prior state before exiting.
+        let prior = std::env::var("POLLING_FORCE_PEEK").ok();
+        std::env::set_var("POLLING_FORCE_PEEK", "1");
+        let forced = Poller::new().unwrap();
+        assert_eq!(forced.backend(), Backend::Peek);
+        std::env::set_var("POLLING_FORCE_PEEK", "0");
+        let unforced = Poller::new().unwrap();
+        assert_eq!(unforced.backend(), Backend::available()[0], "only the literal 1 forces");
+        match prior {
+            Some(v) => std::env::set_var("POLLING_FORCE_PEEK", v),
+            None => std::env::remove_var("POLLING_FORCE_PEEK"),
+        }
+    }
+
+    #[test]
+    fn reserved_key_is_rejected_on_every_backend() {
+        for &backend in Backend::available() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let stream = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            assert_eq!(
+                poller.add(&stream, RESERVED_KEY).unwrap_err().kind(),
+                io::ErrorKind::InvalidInput
+            );
+            assert_eq!(
+                poller.add_listener(&listener, RESERVED_KEY).unwrap_err().kind(),
+                io::ErrorKind::InvalidInput
+            );
+            assert!(poller.is_empty());
+        }
+    }
+
+    #[test]
+    fn wakeup_and_event_counters_accumulate() {
+        let poller = Poller::default();
         let mut events = Vec::new();
-        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
-        assert_eq!(n, 0);
-        assert!(events.is_empty());
-    }
-
-    #[test]
-    fn buffered_bytes_and_eof_are_both_readable() {
-        let (mut a, b) = pair();
-        let poller = Poller::new().unwrap();
-        poller.add(&b, 1).unwrap();
-        a.write_all(b"x").unwrap();
-        let mut events = Vec::new();
-        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
-        assert_eq!(events, vec![Event::readable(1)]);
-        // EOF (peer gone) must also wake the owner.
-        let (a2, b2) = pair();
-        poller.delete(1);
-        poller.add(&b2, 2).unwrap();
-        drop(a2);
-        events.clear();
-        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
-        assert_eq!(events, vec![Event::readable(2)]);
-    }
-
-    #[test]
-    fn notify_wakes_an_idle_wait() {
-        let poller = std::sync::Arc::new(Poller::new().unwrap());
-        let waiter = {
-            let poller = std::sync::Arc::clone(&poller);
-            std::thread::spawn(move || {
-                let mut events = Vec::new();
-                poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap()
-            })
-        };
-        std::thread::sleep(Duration::from_millis(30));
+        let r = poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(r.timed_out());
+        assert_eq!(poller.wakeups(), 1);
+        assert_eq!(poller.events_reported(), 0);
         poller.notify();
-        assert_eq!(waiter.join().unwrap(), 0, "notified wait returns empty");
-    }
-
-    #[test]
-    fn duplicate_keys_are_rejected_and_delete_is_idempotent() {
-        let (_a, b) = pair();
-        let poller = Poller::new().unwrap();
-        poller.add(&b, 3).unwrap();
-        assert!(poller.add(&b, 3).is_err());
-        assert_eq!(poller.len(), 1);
-        poller.delete(3);
-        poller.delete(3);
-        assert!(poller.is_empty());
+        let r = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(r.notified);
+        assert!(!r.timed_out());
+        assert_eq!(poller.wakeups(), 2);
     }
 }

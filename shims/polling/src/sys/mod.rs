@@ -1,0 +1,8 @@
+//! Platform backends built on raw kernel interfaces. This is the one
+//! subtree of the crate where `unsafe` is permitted: the crate-level
+//! `#![deny(unsafe_code)]` is relaxed here with a scoped allow, and
+//! every unsafe block wraps exactly one libc call whose contract is
+//! stated at the call site.
+
+#[allow(unsafe_code)]
+pub(crate) mod epoll;

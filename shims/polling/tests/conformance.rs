@@ -1,0 +1,242 @@
+//! Backend-parameterized conformance suite: every behavioral guarantee
+//! of the `Poller` API, executed against each backend this build can
+//! construct ([`Backend::available`] — epoll + peek on Linux, peek
+//! elsewhere). A failure names the offending backend in its panic
+//! message.
+
+use polling::{Backend, Event, Poller};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Runs `check` once per available backend.
+fn for_each_backend(check: impl Fn(&Poller, Backend)) {
+    for &backend in Backend::available() {
+        let poller = Poller::with_backend(backend)
+            .unwrap_or_else(|e| panic!("[{}] construction failed: {e}", backend.name()));
+        assert_eq!(poller.backend(), backend);
+        check(&poller, backend);
+    }
+}
+
+/// A connected (client, server-side) socket pair.
+fn socket_pair(listener: &TcpListener) -> (TcpStream, TcpStream) {
+    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    (client, server)
+}
+
+fn wait_collect(poller: &Poller, timeout: Duration) -> (Vec<Event>, polling::WaitResult) {
+    let mut events = Vec::new();
+    let result = poller.wait(&mut events, Some(timeout)).unwrap();
+    (events, result)
+}
+
+/// Waits until `key` is reported readable, panicking after `timeout`.
+fn wait_for_key(poller: &Poller, key: usize, timeout: Duration, what: &str) -> Vec<Event> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        assert!(!remaining.is_zero(), "timed out waiting for {what} (key {key})");
+        let (events, _) = wait_collect(poller, remaining);
+        if events.iter().any(|e| e.key == key) {
+            return events;
+        }
+    }
+}
+
+#[test]
+fn idle_wait_times_out_empty() {
+    for_each_backend(|poller, backend| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (_client, server) = socket_pair(&listener);
+        poller.add(&server, 7).unwrap();
+        let start = Instant::now();
+        let (events, result) = wait_collect(poller, Duration::from_millis(30));
+        assert!(events.is_empty(), "[{}] phantom events: {events:?}", backend.name());
+        assert!(result.timed_out(), "[{}] expected timeout, got {result:?}", backend.name());
+        assert!(start.elapsed() >= Duration::from_millis(25), "[{}] woke early", backend.name());
+    });
+}
+
+#[test]
+fn buffered_bytes_and_eof_are_readable() {
+    for_each_backend(|poller, backend| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (mut client, server) = socket_pair(&listener);
+        poller.add(&server, 3).unwrap();
+        client.write_all(b"ping").unwrap();
+        let events = wait_for_key(poller, 3, Duration::from_secs(5), "buffered bytes");
+        assert!(events.iter().any(|e| e.key == 3 && e.readable), "[{}]", backend.name());
+
+        // Level-triggered: unconsumed bytes resurface on the next wait.
+        let again = wait_for_key(poller, 3, Duration::from_secs(5), "level-triggered resurface");
+        assert!(again.iter().any(|e| e.key == 3), "[{}]", backend.name());
+
+        // Drain, then close the peer: EOF must also report readable.
+        let mut server = server;
+        server.set_nonblocking(false).unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        drop(client);
+        let events = wait_for_key(poller, 3, Duration::from_secs(5), "EOF readability");
+        assert!(events.iter().any(|e| e.key == 3 && e.readable), "[{}]", backend.name());
+    });
+}
+
+#[test]
+fn notify_wakes_a_blocked_wait_and_is_sticky() {
+    for_each_backend(|poller, backend| {
+        // Sticky: notify with no waiter short-circuits the next wait.
+        poller.notify();
+        let start = Instant::now();
+        let (events, result) = wait_collect(poller, Duration::from_secs(10));
+        assert!(result.notified, "[{}] expected notified, got {result:?}", backend.name());
+        assert!(events.is_empty(), "[{}]", backend.name());
+        assert!(start.elapsed() < Duration::from_secs(5), "[{}] notify not sticky", backend.name());
+
+        // Consumed: the next wait is a plain timeout again.
+        let (_, result) = wait_collect(poller, Duration::from_millis(10));
+        assert!(result.timed_out(), "[{}] notify leaked: {result:?}", backend.name());
+
+        // Cross-thread: a concurrent notify interrupts a long wait.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(50));
+                poller.notify();
+            });
+            let start = Instant::now();
+            let (_, result) = wait_collect(poller, Duration::from_secs(30));
+            assert!(result.notified, "[{}] got {result:?}", backend.name());
+            assert!(start.elapsed() < Duration::from_secs(10), "[{}]", backend.name());
+        });
+    });
+}
+
+#[test]
+fn duplicate_keys_rejected_and_delete_is_idempotent() {
+    for_each_backend(|poller, backend| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (_c1, s1) = socket_pair(&listener);
+        let (_c2, s2) = socket_pair(&listener);
+        poller.add(&s1, 1).unwrap();
+        let err = poller.add(&s2, 1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "[{}]", backend.name());
+        assert_eq!(poller.len(), 1, "[{}]", backend.name());
+        poller.delete(1);
+        poller.delete(1); // idempotent
+        assert!(poller.is_empty(), "[{}]", backend.name());
+        // The key is reusable after deletion.
+        poller.add(&s2, 1).unwrap();
+        poller.delete(1);
+    });
+}
+
+#[test]
+fn deleted_source_stops_reporting() {
+    for_each_backend(|poller, backend| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let (mut client, server) = socket_pair(&listener);
+        poller.add(&server, 9).unwrap();
+        client.write_all(b"x").unwrap();
+        wait_for_key(poller, 9, Duration::from_secs(5), "pre-delete readability");
+        poller.delete(9);
+        let (events, result) = wait_collect(poller, Duration::from_millis(30));
+        assert!(
+            events.iter().all(|e| e.key != 9),
+            "[{}] deleted key still reported: {events:?}",
+            backend.name()
+        );
+        assert!(result.timed_out(), "[{}]", backend.name());
+    });
+}
+
+#[test]
+fn listener_registration_surfaces_pending_accepts() {
+    for_each_backend(|poller, backend| {
+        const LISTENER_KEY: usize = 1000;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poller.add_listener(&listener, LISTENER_KEY).unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let events = wait_for_key(poller, LISTENER_KEY, Duration::from_secs(5), "pending accept");
+        assert!(events.iter().any(|e| e.key == LISTENER_KEY && e.readable), "[{}]", backend.name());
+        // Registration switched the listener nonblocking; accept works.
+        listener.accept().unwrap();
+        poller.delete(LISTENER_KEY);
+    });
+}
+
+#[test]
+fn ready_stream_reported_alongside_parked_peers() {
+    for_each_backend(|poller, backend| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut pairs = Vec::new();
+        for key in 0..32usize {
+            let (client, server) = socket_pair(&listener);
+            poller.add(&server, key).unwrap();
+            pairs.push((client, server));
+        }
+        // Exactly one of the 32 becomes ready.
+        pairs[17].0.write_all(b"!").unwrap();
+        let events = wait_for_key(poller, 17, Duration::from_secs(5), "the one ready stream");
+        assert!(
+            events.iter().all(|e| e.key == 17),
+            "[{}] phantom readiness among parked peers: {events:?}",
+            backend.name()
+        );
+        for key in 0..32usize {
+            poller.delete(key);
+        }
+    });
+}
+
+#[test]
+fn add_delete_notify_churn_stress() {
+    // Hammer registration/deregistration from one thread and notify
+    // from another while a third waits — exercising the mutex + kernel
+    // table paths for lost wakeups, phantom keys, or deadlock.
+    for_each_backend(|poller, backend| {
+        const ROUNDS: usize = 40;
+        const PER_ROUND: usize = 16;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        std::thread::scope(|scope| {
+            let churn = scope.spawn(|| {
+                for round in 0..ROUNDS {
+                    let mut pairs = Vec::new();
+                    for slot in 0..PER_ROUND {
+                        let key = round * PER_ROUND + slot;
+                        let (mut client, server) = socket_pair(&listener);
+                        poller.add(&server, key).unwrap();
+                        if slot % 3 == 0 {
+                            client.write_all(b"c").unwrap();
+                        }
+                        pairs.push((client, server, key));
+                    }
+                    for (_, _, key) in &pairs {
+                        poller.delete(*key);
+                    }
+                }
+            });
+            let notifier = scope.spawn(|| {
+                for _ in 0..200 {
+                    poller.notify();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while !(churn.is_finished() && notifier.is_finished()) {
+                assert!(Instant::now() < deadline, "[{}] churn wedged", backend.name());
+                let mut events = Vec::new();
+                // Events for just-deleted keys are permitted (the wait
+                // races deletion); errors and deadlock are not.
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(5)))
+                    .unwrap_or_else(|e| panic!("[{}] wait failed: {e}", backend.name()));
+            }
+            churn.join().unwrap();
+            notifier.join().unwrap();
+        });
+        assert!(poller.is_empty(), "[{}] leaked registrations", backend.name());
+    });
+}
